@@ -1,0 +1,78 @@
+"""Ablation — how workload burstiness drives Write Grouping.
+
+DESIGN.md decision 1: addresses are synthesised with real spatial
+structure so geometry effects emerge.  This bench sweeps the burst
+length of a controlled profile and shows the WW share and WG's benefit
+rising together — the mechanism behind Figure 4 vs Figure 9.
+"""
+
+from repro.analysis.result import FigureResult
+from repro.cache.address import AddressMapper
+from repro.cache.config import BASELINE_GEOMETRY
+from repro.sim.simulator import run_simulation
+from repro.trace.stats import collect_statistics
+from repro.trace.stream import materialize
+from repro.workload.generator import generate_trace
+from repro.workload.profile import StreamSpec, WorkloadProfile
+
+from conftest import BENCH_ACCESSES, run_once
+
+BURSTS = (1.0, 2.0, 4.0, 8.0)
+
+
+def _profile(burst: float) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=f"burst-{burst}",
+        read_frequency=0.26,
+        write_frequency=0.14,
+        silent_fraction=0.4,
+        burst_mean=burst,
+        type_persistence=0.7,
+        streams=(
+            StreamSpec("sequential", weight=3.0, region_kib=1024),
+            StreamSpec("random", weight=1.0, region_kib=1024),
+        ),
+    )
+
+
+def _ablation() -> FigureResult:
+    mapper = AddressMapper(BASELINE_GEOMETRY)
+    rows = []
+    reductions = []
+    for burst in BURSTS:
+        trace = materialize(generate_trace(_profile(burst), BENCH_ACCESSES))
+        stats = collect_statistics(trace, mapper.set_index)
+        rmw = run_simulation(trace, "rmw", BASELINE_GEOMETRY)
+        wg = run_simulation(trace, "wg", BASELINE_GEOMETRY)
+        reduction = 1 - wg.array_accesses / rmw.array_accesses
+        reductions.append(reduction)
+        rows.append(
+            (
+                f"burst={burst:g}",
+                100 * stats.scenarios.share("WW"),
+                100 * stats.scenarios.same_set_share,
+                100 * reduction,
+            )
+        )
+    return FigureResult(
+        figure_id="ablation_burst",
+        title="Ablation: burst length vs WW share and WG reduction",
+        headers=("profile", "WW %", "same-set %", "WG reduction %"),
+        rows=rows,
+        summary={
+            "reduction_at_burst1": 100 * reductions[0],
+            "reduction_at_burst8": 100 * reductions[-1],
+        },
+    )
+
+
+def test_ablation_burstiness(benchmark, report):
+    result = run_once(benchmark, _ablation)
+    report(result)
+    # Monotone: more burstiness, more grouping benefit.
+    reductions = [row[3] for row in result.rows]
+    assert reductions == sorted(reductions)
+    assert (
+        result.summary["reduction_at_burst8"]
+        > result.summary["reduction_at_burst1"] + 5.0
+    )

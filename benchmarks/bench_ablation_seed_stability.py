@@ -1,0 +1,55 @@
+"""Ablation — seed sensitivity of the headline metric.
+
+The paper could not repeat Pin runs ("Since Pin simulations are not
+repeatable, we run all evaluations and techniques in one run").  Our
+traces are deterministic per seed, so we can put error bars on the
+Figure 9 averages: this bench runs the campaign across seeds and
+asserts the mean reduction moves by at most a few points.
+"""
+
+from repro.analysis.result import FigureResult
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.stability import seed_stability
+
+from conftest import BENCH_ACCESSES, run_once
+
+SEEDS = (2012, 7, 1234, 99)
+BENCHMARKS = ("bwaves", "lbm", "gcc", "mcf", "gamess", "hmmer")
+
+
+def _stability() -> FigureResult:
+    config = ExperimentConfig(
+        benchmarks=BENCHMARKS,
+        techniques=("rmw", "wg", "wg_rb"),
+        accesses_per_benchmark=max(4000, BENCH_ACCESSES // 2),
+    )
+    results = seed_stability(config, seeds=SEEDS)
+    rows = []
+    for technique, stat in results.items():
+        rows.append(
+            (
+                technique,
+                100 * stat.mean,
+                100 * stat.std,
+                100 * stat.spread,
+            )
+        )
+    return FigureResult(
+        figure_id="ablation_seeds",
+        title=(
+            f"Ablation: Figure 9 mean reduction across {len(SEEDS)} seeds (%)"
+        ),
+        headers=("technique", "mean", "std", "spread"),
+        rows=rows,
+        summary={
+            f"{technique}_spread_pct": 100 * stat.spread
+            for technique, stat in results.items()
+        },
+    )
+
+
+def test_ablation_seed_stability(benchmark, report):
+    result = run_once(benchmark, _stability)
+    report(result)
+    assert result.summary["wg_spread_pct"] < 5.0
+    assert result.summary["wg_rb_spread_pct"] < 5.0

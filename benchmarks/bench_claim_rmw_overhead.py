@@ -1,0 +1,16 @@
+"""Section 1 claim — RMW's access-frequency overhead.
+
+Paper: RMW raises cache access frequency by more than 32 % on average,
+with a 47 % maximum.
+"""
+
+from repro.analysis.rmw_overhead import claim_rmw_overhead
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_claim_rmw_overhead(benchmark, report):
+    result = run_once(benchmark, claim_rmw_overhead, accesses=BENCH_ACCESSES)
+    report(result)
+    assert 26.0 <= result.summary["mean_overhead_pct"] <= 42.0
+    assert 42.0 <= result.summary["max_overhead_pct"] <= 55.0

@@ -1,0 +1,34 @@
+"""Endgame — total cache energy across the paper's argument chain.
+
+One table pricing the introduction's pitch: a 6T cache stuck at its
+Vmin, an 8T cache at its (much lower) Vmin paying the RMW tax, and the
+8T+WG+RB configuration the paper argues for.  Dynamic energy comes from
+the event logs at each floor voltage; leakage is integrated over the
+timing model's elapsed cycles at the floor frequency.
+"""
+
+from repro.analysis.dvfs_energy import dvfs_energy_endgame
+
+from conftest import BENCH_ACCESSES, run_once
+
+BENCHMARKS = ("bwaves", "wrf", "lbm", "gcc", "mcf", "gamess", "sphinx3")
+
+
+def test_dvfs_energy_endgame(benchmark, report):
+    result = run_once(
+        benchmark,
+        dvfs_energy_endgame,
+        accesses=max(4000, BENCH_ACCESSES // 2),
+        benchmarks=BENCHMARKS,
+    )
+    report(result)
+    # Full ordering: WG+RB < RMW < 6T on mean total energy.
+    assert (
+        result.summary["mean_8t_wgrb_nj"]
+        < result.summary["mean_8t_rmw_nj"]
+        < result.summary["mean_6t_nj"]
+    )
+    # Voltage scaling + WG+RB together halve (or better) the 6T energy.
+    assert result.summary["wgrb_vs_6t_saving_pct"] > 45.0
+    # And WG+RB recovers a solid share of the RMW tax at low voltage.
+    assert result.summary["wgrb_vs_rmw_saving_pct"] > 20.0

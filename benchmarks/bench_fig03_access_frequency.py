@@ -1,0 +1,18 @@
+"""Figure 3 — read/write access frequency per benchmark.
+
+Paper: averages 26 % reads / 14 % writes per executed instruction;
+bwaves exceeds 22 % writes.
+"""
+
+from repro.analysis.frequency import figure3_access_frequency
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig3_access_frequency(benchmark, report):
+    result = run_once(
+        benchmark, figure3_access_frequency, accesses=BENCH_ACCESSES
+    )
+    report(result)
+    assert 22.0 <= result.summary["mean_read_pct"] <= 31.0
+    assert 11.0 <= result.summary["mean_write_pct"] <= 18.0

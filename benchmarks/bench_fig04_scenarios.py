@@ -1,0 +1,20 @@
+"""Figure 4 — consecutive same-set scenario breakdown (RR/RW/WW/WR).
+
+Paper: 27 % of consecutive accesses are same-set; RR and WW dominate;
+WW peaks at 24 % for bwaves.
+"""
+
+from repro.analysis.scenarios import figure4_scenarios
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig4_scenarios(benchmark, report):
+    result = run_once(benchmark, figure4_scenarios, accesses=BENCH_ACCESSES)
+    report(result)
+    by_name = {row[0]: row for row in result.rows}
+    # bwaves WW share leads the suite (paper: 24 %).
+    ww_shares = {name: row[3] for name, row in by_name.items() if name != "AVG"}
+    top3 = sorted(ww_shares, key=ww_shares.get, reverse=True)[:3]
+    assert "bwaves" in top3
+    assert result.summary["mean_same_set_pct"] > 20.0

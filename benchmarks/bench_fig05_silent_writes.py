@@ -1,0 +1,15 @@
+"""Figure 5 — silent write frequency.
+
+Paper: suite average above 42 %, bwaves at 77 %.
+"""
+
+from repro.analysis.silent import figure5_silent_writes
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig5_silent_writes(benchmark, report):
+    result = run_once(benchmark, figure5_silent_writes, accesses=BENCH_ACCESSES)
+    report(result)
+    assert 38.0 <= result.summary["mean_silent_pct"] <= 52.0
+    assert abs(result.summary["bwaves_silent_pct"] - 77.0) < 5.0

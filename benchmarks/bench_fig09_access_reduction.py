@@ -1,0 +1,22 @@
+"""Figure 9 — the headline result: access-frequency reduction vs RMW.
+
+Paper (64 KB / 4-way / 32 B): WG 27 % and WG+RB 33 % on average;
+bwaves tops the suite at 47 % for WG; WG+RB wins on every benchmark.
+"""
+
+from repro.analysis.reductions import figure9_access_reduction
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig9_access_reduction(benchmark, report):
+    result = run_once(
+        benchmark, figure9_access_reduction, accesses=BENCH_ACCESSES
+    )
+    report(result)
+    assert 18.0 <= result.summary["mean_wg_pct"] <= 34.0
+    assert 25.0 <= result.summary["mean_wgrb_pct"] <= 41.0
+    assert 40.0 <= result.summary["max_wg_pct"] <= 53.0
+    # WG+RB strictly better in every benchmark row.
+    for row in result.rows:
+        assert row[2] >= row[1], row

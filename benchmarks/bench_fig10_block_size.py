@@ -1,0 +1,18 @@
+"""Figure 10 — sensitivity to block size (32 KB cache, 64 B blocks).
+
+Paper: reductions improve to 29 % (WG) and 37 % (WG+RB) because bigger
+blocks raise the Set-Buffer hit rate.
+"""
+
+from repro.analysis.reductions import figure10_block_size, figure9_access_reduction
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig10_block_size(benchmark, report):
+    result = run_once(benchmark, figure10_block_size, accesses=BENCH_ACCESSES)
+    report(result)
+    baseline = figure9_access_reduction(accesses=BENCH_ACCESSES)
+    # Larger blocks help both techniques (the paper's stated mechanism).
+    assert result.summary["mean_wg_pct"] > baseline.summary["mean_wg_pct"]
+    assert result.summary["mean_wgrb_pct"] > baseline.summary["mean_wgrb_pct"]

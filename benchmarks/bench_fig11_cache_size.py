@@ -1,0 +1,20 @@
+"""Figure 11 — sensitivity to cache size (32 KB vs 128 KB, 32 B blocks).
+
+Paper: essentially flat — WG 26.9 %→26.6 %, WG+RB 32.6 %→32.1 %.
+"""
+
+from repro.analysis.reductions import figure11_cache_size
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_fig11_cache_size(benchmark, report):
+    result = run_once(benchmark, figure11_cache_size, accesses=BENCH_ACCESSES)
+    report(result)
+    # The paper's point is insensitivity: within a couple of points.
+    assert abs(
+        result.summary["wg_32k_pct"] - result.summary["wg_128k_pct"]
+    ) < 3.0
+    assert abs(
+        result.summary["wgrb_32k_pct"] - result.summary["wgrb_128k_pct"]
+    ) < 3.0

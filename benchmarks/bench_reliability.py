@@ -1,0 +1,28 @@
+"""Premise check — interleaving + SEC-DED vs supply voltage.
+
+Quantifies the paper's Section 1/2 reliability premise: strikes upset
+wider cell bursts at low Vdd; bit interleaving spreads them into
+single-bit (correctable) errors per word.  This is the reason the
+column-selection problem — and hence RMW, and hence WG — exists.
+"""
+
+from repro.analysis.reliability import reliability_vs_voltage
+
+from conftest import run_once
+
+
+def test_reliability_vs_voltage(benchmark, report):
+    result = run_once(benchmark, reliability_vs_voltage, strikes=20_000)
+    report(result)
+    # Interleaving keeps 400 mV operation viable (sub-1% uncorrectable)
+    # while the flat layout degrades by an order of magnitude more.
+    assert result.summary["interleaved_uncorrectable_400mv"] < 2.0
+    assert (
+        result.summary["flat_uncorrectable_400mv"]
+        > 10 * result.summary["interleaved_uncorrectable_400mv"]
+    )
+    # And the flat layout gets worse as voltage drops.
+    assert (
+        result.summary["flat_uncorrectable_400mv"]
+        > result.summary["flat_uncorrectable_1000mv"]
+    )

@@ -1,0 +1,24 @@
+"""Section 5.4 — Set-Buffer / Tag-Buffer area overhead.
+
+Paper: the Set-Buffer is one cache set (128 B baseline, <0.2 % of the
+cache) and the Tag-Buffer is under 150 bits at 48-bit addresses.
+"""
+
+from repro.analysis.area import section54_area
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+
+from conftest import run_once
+
+GEOMETRIES = (
+    BASELINE_GEOMETRY,
+    CacheGeometry(32 * 1024, 4, 64),
+    CacheGeometry(32 * 1024, 4, 32),
+    CacheGeometry(128 * 1024, 4, 32),
+)
+
+
+def test_sec54_area_overhead(benchmark, report):
+    result = run_once(benchmark, section54_area, geometries=GEOMETRIES)
+    report(result)
+    assert result.summary["set_buffer_overhead_pct"] < 0.2
+    assert result.summary["tag_buffer_bits"] < 150.0

@@ -1,0 +1,27 @@
+"""Section 5.5 — power and performance directions, quantified.
+
+Paper (qualitative): both techniques cut power; WG+RB improves read
+latency because the Set-Buffer is faster than the array and the read
+port is freer.
+"""
+
+from repro.analysis.power_perf import section55_power_performance
+
+from conftest import BENCH_ACCESSES, run_once
+
+
+def test_sec55_power_performance(benchmark, report):
+    result = run_once(
+        benchmark,
+        section55_power_performance,
+        accesses=max(4000, BENCH_ACCESSES // 2),
+    )
+    report(result)
+    assert result.summary["mean_wg_energy_saving_pct"] > 5.0
+    assert result.summary["mean_wgrb_energy_saving_pct"] >= (
+        result.summary["mean_wg_energy_saving_pct"]
+    )
+    assert (
+        result.summary["mean_wgrb_read_latency"]
+        < result.summary["mean_rmw_read_latency"]
+    )

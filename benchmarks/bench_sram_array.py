@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the SRAM array substrate itself.
+
+Times raw row reads, row writes and RMW sequences at the baseline array
+shape (512 rows x 16 words), and checks the event accounting stays
+exact under load.  These are real pytest-benchmark timings (multiple
+rounds), unlike the one-shot figure reproductions.
+"""
+
+from repro.sram.array import SRAMArray
+from repro.sram.geometry import ArrayGeometry
+
+
+def _array() -> SRAMArray:
+    return SRAMArray(ArrayGeometry(rows=512, words_per_row=16))
+
+
+def test_bench_row_reads(benchmark):
+    array = _array()
+
+    def work():
+        for row in range(512):
+            array.read_row(row)
+
+    benchmark(work)
+    assert array.events.row_reads >= 512
+
+
+def test_bench_rmw(benchmark):
+    array = _array()
+
+    def work():
+        for row in range(512):
+            array.read_modify_write(row, {row % 16: row})
+
+    benchmark(work)
+    assert array.events.rmw_operations >= 512
+    assert array.events.row_reads == array.events.row_writes
+
+
+def test_bench_word_reads_via_mux(benchmark):
+    array = _array()
+
+    def work():
+        for row in range(512):
+            array.read_words(row, [row % 16])
+
+    benchmark(work)
+    assert array.events.words_routed >= 512

@@ -1,0 +1,76 @@
+"""Build your own workload profile and evaluate the techniques on it.
+
+Shows the full profile surface: stream mixes, burstiness, read/write
+persistence and silent-store rate — then sweeps one knob (the silent
+fraction) to show how it feeds Write Grouping, independent of
+grouping itself.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import BASELINE_GEOMETRY, compare_techniques
+from repro.utils.tables import format_table
+from repro.workload.generator import generate_trace
+from repro.workload.profile import StreamSpec, WorkloadProfile
+
+
+def make_profile(silent_fraction: float) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=f"custom-silent-{int(100 * silent_fraction)}",
+        read_frequency=0.25,
+        write_frequency=0.15,
+        silent_fraction=silent_fraction,
+        burst_mean=4.0,
+        type_persistence=0.7,
+        streams=(
+            # A checkpointing loop: sweeps a buffer and rewrites most of
+            # it unchanged (classic silent-store generator).
+            StreamSpec("sequential", weight=4.0, region_kib=512, write_bias=1.6),
+            # Hot counters in one cache block.
+            StreamSpec(
+                "hotspot",
+                weight=2.0,
+                region_kib=64,
+                write_bias=1.2,
+                hot_words=4,
+                hot_probability=0.85,
+            ),
+            # Background pointer chasing.
+            StreamSpec("pointer_chase", weight=1.0, region_kib=2048,
+                       write_bias=0.5),
+        ),
+        description="synthetic checkpointing workload",
+    )
+
+
+def main() -> None:
+    rows = []
+    for silent in (0.0, 0.2, 0.4, 0.6, 0.8):
+        profile = make_profile(silent)
+        trace = generate_trace(profile, 20_000, seed=1)
+        comparison = compare_techniques(trace, BASELINE_GEOMETRY)
+        wg = comparison.result("wg")
+        rows.append(
+            (
+                f"{silent:.0%}",
+                100 * comparison.access_reduction("wg"),
+                100 * comparison.access_reduction("wg_rb"),
+                100 * wg.counts.silent_write_fraction,
+            )
+        )
+    print(
+        format_table(
+            ("silent stores", "WG red. %", "WG+RB red. %", "detected %"),
+            rows,
+            title="Silent-store rate vs access reduction (custom workload)",
+        )
+    )
+    print(
+        "\nSilent writes never dirty the Set-Buffer, so their write-backs"
+        "\nvanish: reduction climbs with the silent rate even though the"
+        "\naddress stream (and thus grouping) is unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

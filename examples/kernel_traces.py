@@ -1,0 +1,63 @@
+"""Drive the techniques with traces from *executed* kernels.
+
+Instead of statistical synthesis, these traces come from real Python
+kernels running against an instrumented memory (the repository's
+stand-in for a Pin tool).  Each kernel archetype lands where you'd
+expect: streaming groups beautifully, pointer chasing doesn't, and the
+histogram's read-modify-write pairs feed the read bypass.
+
+Run:  python examples/kernel_traces.py
+"""
+
+from repro.cache.config import CacheGeometry
+from repro.sim.comparison import compare_techniques
+from repro.trace.stats import collect_statistics
+from repro.utils.tables import format_table
+from repro.workload.kernels import KERNEL_NAMES, run_kernel
+
+GEOMETRY = CacheGeometry(size_bytes=4 * 1024, associativity=4, block_bytes=32)
+
+
+def main() -> None:
+    rows = []
+    for kernel in KERNEL_NAMES:
+        trace = run_kernel(kernel, words=2048, seed=11)
+        stats = collect_statistics(trace)
+        comparison = compare_techniques(trace, GEOMETRY)
+        wgrb = comparison.result("wg_rb")
+        rows.append(
+            (
+                kernel,
+                len(trace),
+                100 * stats.write_share_of_accesses,
+                100 * stats.silent_write_fraction,
+                100 * comparison.access_reduction("wg"),
+                100 * comparison.access_reduction("wg_rb"),
+                wgrb.counts.bypassed_reads,
+            )
+        )
+    print(
+        format_table(
+            (
+                "kernel",
+                "accesses",
+                "write %",
+                "silent %",
+                "WG red. %",
+                "WG+RB red. %",
+                "bypassed",
+            ),
+            rows,
+            title=f"Instrumented kernels on a {GEOMETRY.describe()} cache",
+        )
+    )
+    print(
+        "\nstream_triad/stencil: unit-stride writes -> strong grouping."
+        "\nlinked_list: pointer chasing -> little same-set reuse, small wins."
+        "\nhistogram: load-increment-store on hot bins -> read bypass shines."
+        "\ninsertion_sort: duplicate-rich data -> silent stores do the work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Calibration helper: print per-benchmark stats vs paper targets.
+
+Not part of the library — a development tool for tuning the SPEC2006
+profile knobs.  Run: python scripts/calibrate.py [accesses]
+"""
+
+import sys
+
+from repro import BASELINE_GEOMETRY, compare_techniques, generate_trace
+from repro.cache import AddressMapper
+from repro.trace import collect_statistics
+from repro.workload.spec2006 import SPEC2006_PROFILES
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+
+
+def main() -> None:
+    mapper = AddressMapper(BASELINE_GEOMETRY)
+    header = (
+        f"{'bench':<12}{'rf':>6}{'wf':>6}{'sil':>6}{'same':>6}"
+        f"{'WW':>6}{'RR':>6}{'ovh':>7}{'WG':>7}{'WG+RB':>7}"
+    )
+    print(header)
+    sums = [0.0] * 9
+    for name, profile in sorted(SPEC2006_PROFILES.items()):
+        trace = generate_trace(profile, N)
+        st = collect_statistics(trace, mapper.set_index)
+        cmp = compare_techniques(trace, BASELINE_GEOMETRY)
+        row = [
+            st.read_frequency,
+            st.write_frequency,
+            st.silent_write_fraction,
+            st.scenarios.same_set_share,
+            st.scenarios.share("WW"),
+            st.scenarios.share("RR"),
+            cmp.rmw_overhead,
+            cmp.access_reduction("wg"),
+            cmp.access_reduction("wg_rb"),
+        ]
+        for i, v in enumerate(row):
+            sums[i] += v
+        print(
+            f"{name:<12}" + "".join(
+                f"{v:>6.2f}" if i < 6 else f"{v:>7.3f}" for i, v in enumerate(row)
+            )
+        )
+    n = len(SPEC2006_PROFILES)
+    print(
+        f"{'AVG':<12}" + "".join(
+            f"{s / n:>6.2f}" if i < 6 else f"{s / n:>7.3f}"
+            for i, s in enumerate(sums)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure-level analyses: one module per paper figure/claim.
+
+Every module produces a :class:`FigureResult` — a labelled table with
+exactly the rows/series the paper's figure plots — and
+:func:`reproduce_figure` is the front door used by the benchmark
+harness and the examples.
+"""
+
+from repro.analysis.result import FigureResult
+from repro.analysis.frequency import figure3_access_frequency
+from repro.analysis.scenarios import figure4_scenarios
+from repro.analysis.silent import figure5_silent_writes
+from repro.analysis.rmw_overhead import claim_rmw_overhead
+from repro.analysis.reductions import (
+    figure9_access_reduction,
+    figure10_block_size,
+    figure11_cache_size,
+)
+from repro.analysis.area import section54_area
+from repro.analysis.power_perf import section55_power_performance
+from repro.analysis.reliability import reliability_vs_voltage
+from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+from repro.analysis.export import figure_to_csv
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.bars import render_bars
+from repro.analysis.dvfs_energy import dvfs_energy_endgame
+
+__all__ = [
+    "FigureResult",
+    "figure3_access_frequency",
+    "figure4_scenarios",
+    "figure5_silent_writes",
+    "claim_rmw_overhead",
+    "figure9_access_reduction",
+    "figure10_block_size",
+    "figure11_cache_size",
+    "section54_area",
+    "section55_power_performance",
+    "reliability_vs_voltage",
+    "FIGURE_IDS",
+    "reproduce_figure",
+    "figure_to_csv",
+    "generate_report",
+    "write_report",
+    "render_bars",
+    "dvfs_energy_endgame",
+]

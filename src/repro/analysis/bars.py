@@ -1,0 +1,69 @@
+"""ASCII bar-chart rendering for reproduced figures.
+
+The paper's figures are grouped bar charts; :func:`render_bars` turns a
+:class:`FigureResult` into the closest terminal equivalent — one block
+per row, one horizontal bar per numeric series — so
+``repro-8t figure fig9 --bars`` looks like Figure 9 rather than a bare
+table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.result import FigureResult
+
+__all__ = ["render_bars"]
+
+_BAR_CHARACTER = "█"
+_HALF_CHARACTER = "▌"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    units = value / maximum * width
+    full = int(units)
+    text = _BAR_CHARACTER * full
+    if units - full >= 0.5:
+        text += _HALF_CHARACTER
+    return text
+
+
+def render_bars(result: FigureResult, width: int = 40) -> str:
+    """Render a figure's numeric columns as horizontal bars.
+
+    Non-numeric cells are skipped; bars are scaled to the maximum value
+    across all numeric cells so series are comparable (matching the
+    shared y-axis of the paper's charts).
+    """
+    if width < 4:
+        raise ValueError(f"width must be at least 4, got {width}")
+    numeric_columns = [
+        column
+        for column in range(1, len(result.headers))
+        if any(
+            isinstance(row[column], (int, float)) for row in result.rows
+        )
+    ]
+    maximum = 0.0
+    for row in result.rows:
+        for column in numeric_columns:
+            value = row[column]
+            if isinstance(value, (int, float)):
+                maximum = max(maximum, float(value))
+
+    label_width = max(
+        [len(str(result.headers[c])) for c in numeric_columns] + [1]
+    )
+    lines: List[str] = [result.title, "=" * len(result.title)]
+    for row in result.rows:
+        lines.append(str(row[0]))
+        for column in numeric_columns:
+            value = row[column]
+            if not isinstance(value, (int, float)):
+                continue
+            header = str(result.headers[column]).rjust(label_width)
+            bar = _bar(float(value), maximum, width)
+            lines.append(f"  {header} |{bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""CSV export for reproduced figures."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.result import FigureResult
+
+__all__ = ["figure_to_csv"]
+
+
+def figure_to_csv(result: FigureResult, path: Union[str, Path]) -> int:
+    """Write a figure's table to CSV; returns the number of data rows."""
+    count = 0
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+            count += 1
+    return count

@@ -1,0 +1,108 @@
+"""Section 5.5 — power and performance directions.
+
+The paper forecasts (without measuring): WG's write-latency cost is off
+the critical path and negligible; WG+RB *improves* read latency because
+Set-Buffer hits are faster than array reads; both techniques cut power
+because they replace full-array activations with small-buffer activity.
+
+This module quantifies all three with the energy model and the
+port-contention timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.result import FigureResult
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.perf.timing import evaluate_performance
+from repro.power.energy import EnergyModel
+from repro.power.params import TECH_45NM, TechnologyParams
+from repro.sim.comparison import compare_techniques
+from repro.sram.geometry import ArrayGeometry
+from repro.trace.stream import materialize
+from repro.workload.generator import generate_trace
+from repro.workload.spec2006 import benchmark_names, get_profile
+
+__all__ = ["section55_power_performance"]
+
+_TECHNIQUES = ("rmw", "wg", "wg_rb")
+
+
+def section55_power_performance(
+    accesses: int = 15_000,
+    seed: int = 2012,
+    geometry: CacheGeometry = BASELINE_GEOMETRY,
+    technology: TechnologyParams = TECH_45NM,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Energy savings and read-latency effects of WG / WG+RB vs RMW."""
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    array_geometry = ArrayGeometry.for_cache(geometry)
+    energy_model = EnergyModel(technology, array_geometry)
+
+    rows = []
+    sums = {"wg_energy": 0.0, "wgrb_energy": 0.0, "rmw_lat": 0.0,
+            "wg_lat": 0.0, "wgrb_lat": 0.0}
+    for name in names:
+        trace = materialize(generate_trace(get_profile(name), accesses, seed=seed))
+        comparison = compare_techniques(trace, geometry, techniques=_TECHNIQUES)
+        baseline_events = comparison.result("rmw").events
+        wg_saving = energy_model.savings_vs(
+            comparison.result("wg").events, baseline_events
+        )
+        wgrb_saving = energy_model.savings_vs(
+            comparison.result("wg_rb").events, baseline_events
+        )
+        perf = evaluate_performance(trace, geometry, techniques=_TECHNIQUES)
+        rmw_latency = perf["rmw"].mean_read_latency
+        wg_latency = perf["wg"].mean_read_latency
+        wgrb_latency = perf["wg_rb"].mean_read_latency
+        sums["wg_energy"] += wg_saving
+        sums["wgrb_energy"] += wgrb_saving
+        sums["rmw_lat"] += rmw_latency
+        sums["wg_lat"] += wg_latency
+        sums["wgrb_lat"] += wgrb_latency
+        rows.append(
+            (
+                name,
+                100.0 * wg_saving,
+                100.0 * wgrb_saving,
+                rmw_latency,
+                wg_latency,
+                wgrb_latency,
+            )
+        )
+    count = len(names)
+    rows.append(
+        (
+            "AVG",
+            100.0 * sums["wg_energy"] / count,
+            100.0 * sums["wgrb_energy"] / count,
+            sums["rmw_lat"] / count,
+            sums["wg_lat"] / count,
+            sums["wgrb_lat"] / count,
+        )
+    )
+    return FigureResult(
+        figure_id="sec5.5",
+        title=(
+            "Section 5.5: dynamic-energy saving vs RMW (%) and mean read "
+            "latency (cycles)"
+        ),
+        headers=(
+            "benchmark",
+            "WG energy",
+            "WG+RB energy",
+            "RMW read lat",
+            "WG read lat",
+            "WG+RB read lat",
+        ),
+        rows=rows,
+        summary={
+            "mean_wg_energy_saving_pct": 100.0 * sums["wg_energy"] / count,
+            "mean_wgrb_energy_saving_pct": 100.0 * sums["wgrb_energy"] / count,
+            "mean_rmw_read_latency": sums["rmw_lat"] / count,
+            "mean_wgrb_read_latency": sums["wgrb_lat"] / count,
+        },
+    )

@@ -1,0 +1,173 @@
+"""Figures 9, 10 and 11 — cache access frequency reduction.
+
+Figure 9: WG and WG+RB vs the RMW baseline at 64 KB / 4-way / 32 B
+(paper: 27 % and 33 % on average, bwaves up to 47 % for WG).
+
+Figure 10: the same at 32 KB / 64 B blocks (paper: 29 % and 37 % —
+bigger blocks raise the Set-Buffer hit rate).
+
+Figure 11: 32 KB vs 128 KB with 32 B blocks (paper: WG 26.9 %/26.6 %,
+WG+RB 32.6 %/32.1 % — essentially insensitive to cache size).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.result import FigureResult
+from repro.cache.config import CacheGeometry
+from repro.sim.campaign import CampaignResult, run_campaign
+from repro.sim.experiment import ExperimentConfig
+
+__all__ = [
+    "figure9_access_reduction",
+    "figure10_block_size",
+    "figure11_cache_size",
+]
+
+_TECHNIQUES = ("conventional", "rmw", "wg", "wg_rb")
+
+
+def _campaign(
+    geometry: CacheGeometry,
+    accesses: int,
+    seed: int,
+    benchmarks: Optional[Sequence[str]],
+) -> CampaignResult:
+    config = ExperimentConfig(
+        geometry=geometry,
+        benchmarks=tuple(benchmarks) if benchmarks else (),
+        techniques=_TECHNIQUES,
+        accesses_per_benchmark=accesses,
+        seed=seed,
+    )
+    return run_campaign(config)
+
+
+def _reduction_rows(campaign: CampaignResult):
+    rows = []
+    for row in campaign.rows:
+        rows.append(
+            (
+                row.benchmark,
+                100.0 * row.access_reduction("wg"),
+                100.0 * row.access_reduction("wg_rb"),
+            )
+        )
+    rows.append(
+        (
+            "AVG",
+            100.0 * campaign.mean_reduction("wg"),
+            100.0 * campaign.mean_reduction("wg_rb"),
+        )
+    )
+    return rows
+
+
+def figure9_access_reduction(
+    accesses: int = 20_000,
+    seed: int = 2012,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Reproduce Figure 9 (baseline geometry)."""
+    geometry = CacheGeometry(size_bytes=64 * 1024, associativity=4, block_bytes=32)
+    campaign = _campaign(geometry, accesses, seed, benchmarks)
+    return FigureResult(
+        figure_id="fig9",
+        title=(
+            "Figure 9: access frequency reduction vs RMW, "
+            f"{geometry.describe()} (%)"
+        ),
+        headers=("benchmark", "WG", "WG+RB"),
+        rows=_reduction_rows(campaign),
+        summary={
+            "mean_wg_pct": 100.0 * campaign.mean_reduction("wg"),
+            "mean_wgrb_pct": 100.0 * campaign.mean_reduction("wg_rb"),
+            "max_wg_pct": 100.0 * campaign.max_reduction("wg"),
+        },
+        paper_values={
+            "mean_wg_pct": 27.0,
+            "mean_wgrb_pct": 33.0,
+            "max_wg_pct": 47.0,
+        },
+    )
+
+
+def figure10_block_size(
+    accesses: int = 20_000,
+    seed: int = 2012,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Reproduce Figure 10 (32 KB cache, 64 B blocks)."""
+    geometry = CacheGeometry(size_bytes=32 * 1024, associativity=4, block_bytes=64)
+    campaign = _campaign(geometry, accesses, seed, benchmarks)
+    return FigureResult(
+        figure_id="fig10",
+        title=(
+            "Figure 10: access frequency reduction vs RMW, "
+            f"{geometry.describe()} (%)"
+        ),
+        headers=("benchmark", "WG", "WG+RB"),
+        rows=_reduction_rows(campaign),
+        summary={
+            "mean_wg_pct": 100.0 * campaign.mean_reduction("wg"),
+            "mean_wgrb_pct": 100.0 * campaign.mean_reduction("wg_rb"),
+        },
+        paper_values={"mean_wg_pct": 29.0, "mean_wgrb_pct": 37.0},
+    )
+
+
+def figure11_cache_size(
+    accesses: int = 20_000,
+    seed: int = 2012,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Reproduce Figure 11 (32 KB vs 128 KB, 32 B blocks)."""
+    small = CacheGeometry(size_bytes=32 * 1024, associativity=4, block_bytes=32)
+    large = CacheGeometry(size_bytes=128 * 1024, associativity=4, block_bytes=32)
+    campaign_small = _campaign(small, accesses, seed, benchmarks)
+    campaign_large = _campaign(large, accesses, seed, benchmarks)
+    rows = []
+    for row_small, row_large in zip(campaign_small.rows, campaign_large.rows):
+        rows.append(
+            (
+                row_small.benchmark,
+                100.0 * row_small.access_reduction("wg"),
+                100.0 * row_small.access_reduction("wg_rb"),
+                100.0 * row_large.access_reduction("wg"),
+                100.0 * row_large.access_reduction("wg_rb"),
+            )
+        )
+    rows.append(
+        (
+            "AVG",
+            100.0 * campaign_small.mean_reduction("wg"),
+            100.0 * campaign_small.mean_reduction("wg_rb"),
+            100.0 * campaign_large.mean_reduction("wg"),
+            100.0 * campaign_large.mean_reduction("wg_rb"),
+        )
+    )
+    return FigureResult(
+        figure_id="fig11",
+        title="Figure 11: access frequency reduction vs RMW, 32KB vs 128KB (%)",
+        headers=(
+            "benchmark",
+            "WG 32KB",
+            "WG+RB 32KB",
+            "WG 128KB",
+            "WG+RB 128KB",
+        ),
+        rows=rows,
+        summary={
+            "wg_32k_pct": 100.0 * campaign_small.mean_reduction("wg"),
+            "wg_128k_pct": 100.0 * campaign_large.mean_reduction("wg"),
+            "wgrb_32k_pct": 100.0 * campaign_small.mean_reduction("wg_rb"),
+            "wgrb_128k_pct": 100.0 * campaign_large.mean_reduction("wg_rb"),
+        },
+        paper_values={
+            "wg_32k_pct": 26.9,
+            "wg_128k_pct": 26.6,
+            "wgrb_32k_pct": 32.6,
+            "wgrb_128k_pct": 32.1,
+        },
+    )

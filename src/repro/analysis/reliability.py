@@ -1,0 +1,64 @@
+"""Reliability analysis: interleaving vs voltage (the paper's premise).
+
+Not a numbered figure in the paper — this quantifies the Section 1/2
+claim that bit interleaving plus one-bit correction is what makes
+low-voltage 8T caches viable, which is the entire reason the
+column-selection problem (and hence RMW, and hence WG) exists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.result import FigureResult
+from repro.sram.ecc import InterleavedRowLayout
+from repro.sram.faults import FaultInjector
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["reliability_vs_voltage"]
+
+DEFAULT_VOLTAGES_MV = (1000.0, 800.0, 600.0, 400.0)
+
+
+def reliability_vs_voltage(
+    strikes: int = 20_000,
+    voltages_mv: Sequence[float] = DEFAULT_VOLTAGES_MV,
+    interleave_words: int = 16,
+    seed: int = 2012,
+) -> FigureResult:
+    """Uncorrectable-strike fraction vs Vdd, with and without interleaving."""
+    rng = DeterministicRNG(seed)
+    interleaved_layout = InterleavedRowLayout(words=interleave_words)
+    flat_layout = InterleavedRowLayout(words=1, bits_per_word=interleaved_layout.columns)
+    rows = []
+    summary = {}
+    for vdd in voltages_mv:
+        interleaved = FaultInjector(
+            interleaved_layout, rng.fork("interleaved", str(vdd))
+        ).inject(strikes, vdd)
+        flat = FaultInjector(
+            flat_layout, rng.fork("flat", str(vdd))
+        ).inject(strikes, vdd)
+        rows.append(
+            (
+                f"{vdd:.0f} mV",
+                100.0 * interleaved.uncorrectable_fraction,
+                100.0 * flat.uncorrectable_fraction,
+            )
+        )
+        summary[f"interleaved_uncorrectable_{int(vdd)}mv"] = (
+            100.0 * interleaved.uncorrectable_fraction
+        )
+        summary[f"flat_uncorrectable_{int(vdd)}mv"] = (
+            100.0 * flat.uncorrectable_fraction
+        )
+    return FigureResult(
+        figure_id="reliability",
+        title=(
+            "Premise check: uncorrectable strike fraction vs Vdd "
+            f"(SEC-DED, {interleave_words}-way interleave vs none, %)"
+        ),
+        headers=("Vdd", "interleaved", "non-interleaved"),
+        rows=rows,
+        summary=summary,
+    )

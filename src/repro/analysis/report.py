@@ -1,0 +1,99 @@
+"""One-shot reproduction report.
+
+Runs every registered figure and assembles a single markdown document
+with the measured-vs-paper summary — the machine-generated counterpart
+of EXPERIMENTS.md.  Used by ``repro-8t report``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+from repro.analysis.result import FigureResult
+
+__all__ = ["generate_report", "write_report"]
+
+#: Figures that take no trace-length argument.
+_PARAMETERLESS = ("sec5.4",)
+_SEED_ONLY = ("reliability",)
+
+
+def generate_report(
+    accesses: int = 15_000,
+    seed: int = 2012,
+    figure_ids: Optional[Sequence[str]] = None,
+) -> str:
+    """Reproduce every figure and render one markdown report."""
+    ids = list(figure_ids) if figure_ids else list(FIGURE_IDS)
+    results: Dict[str, FigureResult] = {}
+    timings: Dict[str, float] = {}
+    for figure_id in ids:
+        started = time.perf_counter()
+        if figure_id in _PARAMETERLESS:
+            results[figure_id] = reproduce_figure(figure_id)
+        elif figure_id in _SEED_ONLY:
+            results[figure_id] = reproduce_figure(figure_id, seed=seed)
+        else:
+            results[figure_id] = reproduce_figure(
+                figure_id, accesses=accesses, seed=seed
+            )
+        timings[figure_id] = time.perf_counter() - started
+    return _render(results, timings, accesses, seed)
+
+
+def _render(
+    results: Dict[str, FigureResult],
+    timings: Dict[str, float],
+    accesses: int,
+    seed: int,
+) -> str:
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        "Paper: *Performance and Power Solutions for Caches Using 8T "
+        "SRAM Cells* (Farahani & Baniasadi, MICRO 2012).",
+        "",
+        f"Settings: {accesses} accesses/benchmark, seed {seed}.  "
+        "Regenerate with `repro-8t report`.",
+        "",
+        "## Summary (measured vs paper)",
+        "",
+        "| figure | metric | measured | paper |",
+        "|---|---|---|---|",
+    ]
+    for figure_id, result in results.items():
+        for key, value in result.summary.items():
+            paper = result.paper_values.get(key)
+            paper_text = f"{paper:.2f}" if paper is not None else "—"
+            lines.append(
+                f"| {figure_id} | {key} | {value:.2f} | {paper_text} |"
+            )
+    lines.append("")
+    lines.append("## Figure tables")
+    for figure_id, result in results.items():
+        lines.append("")
+        lines.append(f"### {figure_id}  ({timings[figure_id]:.1f}s)")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: Union[str, Path],
+    accesses: int = 15_000,
+    seed: int = 2012,
+    figure_ids: Optional[Sequence[str]] = None,
+) -> Path:
+    """Generate and save the report; returns the path."""
+    path = Path(path)
+    path.write_text(
+        generate_report(accesses=accesses, seed=seed, figure_ids=figure_ids),
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,48 @@
+"""Common result container for figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.tables import format_table
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table.
+
+    Attributes:
+        figure_id: e.g. ``"fig9"`` or ``"sec5.4"``.
+        title: human-readable caption.
+        headers: column names; first column is the row label.
+        rows: table body (floats rendered with two decimals).
+        summary: named scalar take-aways (e.g. ``{"mean_wg": 0.24}``),
+            used by tests and EXPERIMENTS.md.
+        paper_values: what the paper reports for the same scalars, for
+            side-by-side presentation where known.
+    """
+
+    figure_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper_values: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering of the figure (table + summary lines)."""
+        lines = [format_table(self.headers, self.rows, title=self.title)]
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                paper = self.paper_values.get(key)
+                if paper is not None:
+                    lines.append(
+                        f"{key}: measured {value:.3f} | paper {paper:.3f}"
+                    )
+                else:
+                    lines.append(f"{key}: measured {value:.3f}")
+        return "\n".join(lines)

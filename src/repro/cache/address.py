@@ -1,0 +1,64 @@
+"""Byte-address decomposition into tag / set index / offsets."""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheGeometry
+from repro.trace.record import WORD_BYTES
+from repro.utils.bitops import extract_bits
+
+__all__ = ["AddressMapper"]
+
+
+class AddressMapper:
+    """Decomposes byte addresses for a given :class:`CacheGeometry`.
+
+    The decomposition is the textbook one: low ``offset_bits`` select the
+    byte within the block, the next ``index_bits`` select the set, the
+    rest is the tag.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._geometry = geometry
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._tag_bits = geometry.tag_bits
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._geometry
+
+    def set_index(self, address: int) -> int:
+        """Set selected by ``address``."""
+        return extract_bits(address, self._offset_bits, self._index_bits)
+
+    def tag(self, address: int) -> int:
+        """Tag of ``address``."""
+        return extract_bits(
+            address, self._offset_bits + self._index_bits, self._tag_bits
+        )
+
+    def block_address(self, address: int) -> int:
+        """Address of the first byte of the block containing ``address``."""
+        return address & ~((1 << self._offset_bits) - 1)
+
+    def word_offset(self, address: int) -> int:
+        """Word position of ``address`` within its block."""
+        return extract_bits(address, 0, self._offset_bits) // WORD_BYTES
+
+    def compose(self, tag: int, set_index: int, word_offset: int = 0) -> int:
+        """Rebuild a byte address from its components (inverse mapping)."""
+        if not 0 <= set_index < self._geometry.num_sets:
+            raise ValueError(
+                f"set_index {set_index} out of range "
+                f"[0, {self._geometry.num_sets})"
+            )
+        if not 0 <= word_offset < self._geometry.words_per_block:
+            raise ValueError(
+                f"word_offset {word_offset} out of range "
+                f"[0, {self._geometry.words_per_block})"
+            )
+        return (
+            (tag << (self._offset_bits + self._index_bits))
+            | (set_index << self._offset_bits)
+            | (word_offset * WORD_BYTES)
+        )

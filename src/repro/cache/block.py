@@ -1,0 +1,62 @@
+"""Cache block (line) with data words."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["CacheBlock"]
+
+
+class CacheBlock:
+    """One cache line: valid/dirty bits, tag, and its data words.
+
+    The simulator is value-accurate: silent-store detection in the
+    Set-Buffer compares real data, so blocks carry their words.
+    """
+
+    __slots__ = ("valid", "dirty", "tag", "data")
+
+    def __init__(self, words_per_block: int) -> None:
+        self.valid: bool = False
+        self.dirty: bool = False
+        self.tag: Optional[int] = None
+        self.data: List[int] = [0] * words_per_block
+
+    def fill(self, tag: int, data: List[int]) -> None:
+        """Install a block fetched from the next level."""
+        if len(data) != len(self.data):
+            raise ValueError(
+                f"fill data has {len(data)} words, block holds {len(self.data)}"
+            )
+        self.valid = True
+        self.dirty = False
+        self.tag = tag
+        self.data = list(data)
+
+    def invalidate(self) -> None:
+        """Drop the block (used on eviction)."""
+        self.valid = False
+        self.dirty = False
+        self.tag = None
+        self.data = [0] * len(self.data)
+
+    def read_word(self, word_offset: int) -> int:
+        if not self.valid:
+            raise ValueError("read from an invalid block")
+        return self.data[word_offset]
+
+    def write_word(self, word_offset: int, value: int) -> None:
+        if not self.valid:
+            raise ValueError("write to an invalid block")
+        self.data[word_offset] = value
+        self.dirty = True
+
+    def matches(self, tag: int) -> bool:
+        """True when the block is valid and holds ``tag``."""
+        return self.valid and self.tag == tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "V" if self.valid else "-"
+        state += "D" if self.dirty else "-"
+        tag = f"{self.tag:#x}" if self.tag is not None else "None"
+        return f"CacheBlock({state} tag={tag})"

@@ -1,0 +1,183 @@
+"""The set-associative, data-holding L1 cache model.
+
+The cache owns block residency (lookups, fills, evictions, write-backs
+to the next level) and the data words themselves.  It deliberately knows
+nothing about 8T arrays or RMW: translating requests into SRAM array
+operations is the job of the controllers in :mod:`repro.core`, which sit
+on top of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.address import AddressMapper
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheGeometry
+from repro.cache.memory import FunctionalMemory
+from repro.cache.replacement import make_policy
+from repro.cache.stats import CacheStats
+from repro.trace.record import MemoryAccess
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["SetAssociativeCache", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of making one request resident in the cache.
+
+    Attributes:
+        hit: True when the block was already resident.
+        set_index: set the request maps to.
+        way: way holding the block after the call.
+        word_offset: word position inside the block.
+        filled: True when a fill from the next level happened.
+        evicted_tag: tag of the victim block, when one was evicted.
+        evicted_dirty: True when the victim was dirty (written back).
+    """
+
+    hit: bool
+    set_index: int
+    way: int
+    word_offset: int
+    filled: bool = False
+    evicted_tag: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class SetAssociativeCache:
+    """Value-accurate set-associative cache over a functional memory."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        memory: Optional[FunctionalMemory] = None,
+        replacement: str = "lru",
+        rng: Optional[DeterministicRNG] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mapper = AddressMapper(geometry)
+        self.memory = memory if memory is not None else FunctionalMemory()
+        self.stats = CacheStats()
+        self._replacement_name = replacement
+        rng = rng if rng is not None else DeterministicRNG(0)
+        self._sets: List[CacheSet] = []
+        for set_index in range(geometry.num_sets):
+            if replacement == "random":
+                policy = make_policy(replacement, geometry.associativity)
+                policy._rng = rng.fork("replacement", str(set_index))  # noqa: SLF001
+            else:
+                policy = make_policy(replacement, geometry.associativity)
+            self._sets.append(
+                CacheSet(geometry.associativity, geometry.words_per_block, policy)
+            )
+
+    # -- residency ----------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Way holding ``address``, or None on miss.  No side effects."""
+        set_index = self.mapper.set_index(address)
+        return self._sets[set_index].find_way(self.mapper.tag(address))
+
+    def ensure_resident(self, access: MemoryAccess) -> AccessResult:
+        """Make the block of ``access`` resident, filling on a miss.
+
+        Updates hit/miss statistics and the replacement state.  Dirty
+        victims are written back to the next level.
+        """
+        address = access.address
+        set_index = self.mapper.set_index(address)
+        tag = self.mapper.tag(address)
+        word_offset = self.mapper.word_offset(address)
+        cache_set = self._sets[set_index]
+
+        way = cache_set.find_way(tag)
+        if way is not None:
+            self._record_hit(access)
+            cache_set.touch(way)
+            return AccessResult(
+                hit=True, set_index=set_index, way=way, word_offset=word_offset
+            )
+
+        self._record_miss(access)
+        way = cache_set.choose_fill_way()
+        victim = cache_set.ways[way]
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        if victim.valid:
+            evicted_tag = victim.tag
+            evicted_dirty = victim.dirty
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+                victim_address = self.mapper.compose(victim.tag, set_index)
+                self.memory.write_block(victim_address, victim.data)
+
+        block_address = self.mapper.block_address(address)
+        fill_data = self.memory.read_block(
+            block_address, self.geometry.words_per_block
+        )
+        victim.fill(tag, fill_data)
+        cache_set.record_fill(way)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            way=way,
+            word_offset=word_offset,
+            filled=True,
+            evicted_tag=evicted_tag,
+            evicted_dirty=evicted_dirty,
+        )
+
+    def _record_hit(self, access: MemoryAccess) -> None:
+        if access.is_read:
+            self.stats.read_hits += 1
+        else:
+            self.stats.write_hits += 1
+
+    def _record_miss(self, access: MemoryAccess) -> None:
+        if access.is_read:
+            self.stats.read_misses += 1
+        else:
+            self.stats.write_misses += 1
+
+    # -- data plane ----------------------------------------------------------
+
+    def read_word(self, set_index: int, way: int, word_offset: int) -> int:
+        """Read a word from a resident block."""
+        return self._sets[set_index].ways[way].read_word(word_offset)
+
+    def write_word(
+        self, set_index: int, way: int, word_offset: int, value: int
+    ) -> None:
+        """Write a word into a resident block (marks it dirty)."""
+        self._sets[set_index].ways[way].write_word(word_offset, value)
+
+    def read_set_data(self, set_index: int) -> List[List[int]]:
+        """Copy of every way's data words — the Set-Buffer fill (read row)."""
+        return [list(block.data) for block in self._sets[set_index].ways]
+
+    def set_tags(self, set_index: int) -> List[Optional[int]]:
+        """Tags resident in a set (None for invalid ways) — Tag-Buffer fill."""
+        return self._sets[set_index].valid_tags()
+
+    def flush_all_dirty(self) -> int:
+        """Write every dirty block to memory (end-of-run drain for oracles).
+
+        Returns the number of blocks written back.
+        """
+        written = 0
+        for set_index, cache_set in enumerate(self._sets):
+            for block in cache_set.ways:
+                if block.valid and block.dirty:
+                    address = self.mapper.compose(block.tag, set_index)
+                    self.memory.write_block(address, block.data)
+                    block.dirty = False
+                    written += 1
+        return written
+
+    @property
+    def replacement_name(self) -> str:
+        return self._replacement_name

@@ -1,0 +1,65 @@
+"""One cache set: ways plus replacement state."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import ReplacementPolicy
+
+__all__ = ["CacheSet"]
+
+
+class CacheSet:
+    """A group of ways sharing one index, managed by a replacement policy."""
+
+    __slots__ = ("ways", "policy")
+
+    def __init__(
+        self, associativity: int, words_per_block: int, policy: ReplacementPolicy
+    ) -> None:
+        if policy.associativity != associativity:
+            raise ValueError(
+                f"policy built for {policy.associativity} ways, set has "
+                f"{associativity}"
+            )
+        self.ways: List[CacheBlock] = [
+            CacheBlock(words_per_block) for _ in range(associativity)
+        ]
+        self.policy = policy
+
+    def find_way(self, tag: int) -> Optional[int]:
+        """Way index holding ``tag``, or None on miss."""
+        for way_index, block in enumerate(self.ways):
+            if block.matches(tag):
+                return way_index
+        return None
+
+    def find_invalid_way(self) -> Optional[int]:
+        """First invalid way, or None when the set is full."""
+        for way_index, block in enumerate(self.ways):
+            if not block.valid:
+                return way_index
+        return None
+
+    def choose_fill_way(self) -> int:
+        """Way to fill: an invalid way if any, else the policy's victim."""
+        invalid = self.find_invalid_way()
+        if invalid is not None:
+            return invalid
+        return self.policy.victim()
+
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+        self.policy.on_access(way)
+
+    def record_fill(self, way: int) -> None:
+        """Record that ``way`` was just filled."""
+        self.policy.on_fill(way)
+
+    def valid_tags(self) -> List[Optional[int]]:
+        """Tags currently resident (None for invalid ways).
+
+        The controller's Tag-Buffer snapshots these on a Set-Buffer fill.
+        """
+        return [block.tag if block.valid else None for block in self.ways]

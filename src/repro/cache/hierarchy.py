@@ -1,0 +1,123 @@
+"""Two-level cache hierarchy.
+
+The paper simulates the L1-D alone (its techniques live in the L1's
+arrays).  A second level matters for one thing the paper leaves
+implicit: L1 miss traffic.  :class:`CacheHierarchy` stacks an inclusive
+L2 between the L1 and the functional memory so the miss-traffic
+ablation can charge realistic fill latencies/energies, and so users can
+study how an 8T L1's RMW interacts with an L2 of its own.
+
+The L2 is a plain :class:`SetAssociativeCache`; adapters below make a
+cache usable as another cache's next level (the `read_block` /
+`write_block` protocol of :class:`FunctionalMemory`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.cache.memory import FunctionalMemory
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessType, MemoryAccess
+
+__all__ = ["CacheBackedMemory", "CacheHierarchy"]
+
+
+class CacheBackedMemory:
+    """Adapter: present a cache as the next-level 'memory' of another.
+
+    Implements the block-transfer protocol the L1 uses
+    (:meth:`read_block` / :meth:`write_block`) by converting each block
+    transfer into word accesses of the underlying cache — counting L2
+    hits/misses along the way.
+    """
+
+    def __init__(self, cache: SetAssociativeCache) -> None:
+        self.cache = cache
+        self.block_reads = 0
+        self.block_writes = 0
+        self._icount = 0
+
+    def _access(self, kind: AccessType, address: int, value: int = 0):
+        self._icount += 1
+        access = MemoryAccess(
+            icount=self._icount, kind=kind, address=address, value=value
+        )
+        return self.cache.ensure_resident(access)
+
+    def read_word(self, byte_address: int) -> int:
+        result = self._access(AccessType.READ, byte_address)
+        return self.cache.read_word(
+            result.set_index, result.way, result.word_offset
+        )
+
+    def write_word(self, byte_address: int, value: int) -> None:
+        result = self._access(AccessType.WRITE, byte_address, value)
+        self.cache.write_word(
+            result.set_index, result.way, result.word_offset, value
+        )
+
+    def read_block(self, block_address: int, words_per_block: int) -> List[int]:
+        self.block_reads += 1
+        return [
+            self.read_word(block_address + 8 * offset)
+            for offset in range(words_per_block)
+        ]
+
+    def write_block(self, block_address: int, data: List[int]) -> None:
+        self.block_writes += 1
+        for offset, value in enumerate(data):
+            self.write_word(block_address + 8 * offset, value)
+
+
+class CacheHierarchy:
+    """An L1 over an L2 over flat memory.
+
+    Only geometric sanity is enforced (the L2 must be at least as large
+    as the L1 and its blocks at least as big); replacement policies are
+    per level.
+    """
+
+    def __init__(
+        self,
+        l1_geometry: CacheGeometry,
+        l2_geometry: CacheGeometry,
+        memory: Optional[FunctionalMemory] = None,
+        l1_replacement: str = "lru",
+        l2_replacement: str = "lru",
+    ) -> None:
+        if l2_geometry.size_bytes < l1_geometry.size_bytes:
+            raise ConfigurationError(
+                "L2 must be at least as large as L1: "
+                f"{l2_geometry.size_bytes} < {l1_geometry.size_bytes}"
+            )
+        if l2_geometry.block_bytes < l1_geometry.block_bytes:
+            raise ConfigurationError(
+                "L2 blocks must be at least as large as L1 blocks"
+            )
+        self.memory = memory if memory is not None else FunctionalMemory()
+        self.l2 = SetAssociativeCache(
+            l2_geometry, self.memory, replacement=l2_replacement
+        )
+        self._l2_adapter = CacheBackedMemory(self.l2)
+        self.l1 = SetAssociativeCache(
+            l1_geometry, self._l2_adapter, replacement=l1_replacement
+        )
+
+    @property
+    def l1_to_l2_transfers(self) -> int:
+        """Block fills + write-backs the L1 pushed at the L2."""
+        return self._l2_adapter.block_reads + self._l2_adapter.block_writes
+
+    def drain(self) -> None:
+        """Flush both levels so ``memory`` holds the architectural state."""
+        self.l1.flush_all_dirty()
+        self.l2.flush_all_dirty()
+
+    def describe(self) -> str:
+        return (
+            f"L1 {self.l1.geometry.describe()} + "
+            f"L2 {self.l2.geometry.describe()}"
+        )

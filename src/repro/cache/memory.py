@@ -1,0 +1,56 @@
+"""Functional next-level memory.
+
+A flat, word-granular memory that backs the cache simulator and doubles
+as the *correctness oracle*: whatever controller sits in front (RMW, WG,
+WG+RB), the values returned by reads must equal the values this memory
+model would produce for the same program order.  Memory starts
+zero-filled, matching the value model's assumption when classifying the
+first write to a word as silent or not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.record import WORD_BYTES
+
+__all__ = ["FunctionalMemory"]
+
+
+class FunctionalMemory:
+    """Sparse word-addressed memory with block transfer helpers."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        self.block_reads: int = 0
+        self.block_writes: int = 0
+
+    def read_word(self, byte_address: int) -> int:
+        """Read the word containing ``byte_address`` (default 0)."""
+        return self._words.get(byte_address // WORD_BYTES, 0)
+
+    def write_word(self, byte_address: int, value: int) -> None:
+        """Write the word containing ``byte_address``."""
+        self._words[byte_address // WORD_BYTES] = value
+
+    def read_block(self, block_address: int, words_per_block: int) -> List[int]:
+        """Fetch a whole block (cache fill path)."""
+        self.block_reads += 1
+        first_word = block_address // WORD_BYTES
+        return [self._words.get(first_word + i, 0) for i in range(words_per_block)]
+
+    def write_block(self, block_address: int, data: List[int]) -> None:
+        """Write back a whole block (dirty eviction path)."""
+        self.block_writes += 1
+        first_word = block_address // WORD_BYTES
+        for i, value in enumerate(data):
+            self._words[first_word + i] = value
+
+    @property
+    def footprint_words(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the memory contents (word index -> value), for oracles."""
+        return dict(self._words)

@@ -1,0 +1,178 @@
+"""Replacement policies.
+
+The paper uses LRU; FIFO, Random and tree-PLRU are provided for
+sensitivity studies (replacement choice barely moves the WG/WG+RB
+numbers, which the ablation benchmark demonstrates).
+
+Each policy instance manages *one* set.  The protocol is:
+
+* :meth:`on_access` — called on every hit or post-fill touch of a way;
+* :meth:`victim` — called when a fill needs a way; invalid ways are
+  chosen by the caller before the policy is consulted.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-set replacement state machine."""
+
+    def __init__(self, associativity: int) -> None:
+        check_positive("associativity", associativity)
+        self.associativity = associativity
+
+    @abc.abstractmethod
+    def on_access(self, way: int) -> None:
+        """Record a reference to ``way``."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Choose the way to evict (all ways valid)."""
+
+    def on_fill(self, way: int) -> None:
+        """Record that ``way`` was just filled (defaults to an access)."""
+        self.on_access(way)
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.associativity:
+            raise ValueError(
+                f"way {way} out of range [0, {self.associativity})"
+            )
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used (the paper's policy)."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        # Recency order: index 0 is LRU, last is MRU.
+        self._order: List[int] = list(range(associativity))
+
+    def on_access(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def recency_order(self) -> List[int]:
+        """Current LRU→MRU order (exposed for tests)."""
+        return list(self._order)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: eviction order equals fill order."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._queue: List[int] = list(range(associativity))
+
+    def on_access(self, way: int) -> None:
+        self._check_way(way)  # hits do not update FIFO state
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self) -> int:
+        return self._queue[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim from a deterministic stream."""
+
+    def __init__(self, associativity: int, rng: Optional[DeterministicRNG] = None) -> None:
+        super().__init__(associativity)
+        self._rng = rng if rng is not None else DeterministicRNG(0)
+
+    def on_access(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self) -> int:
+        return self._rng.randint(0, self.associativity - 1)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two number of ways."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ValueError(
+                f"tree-PLRU requires power-of-two associativity, got {associativity}"
+            )
+        # One bit per internal node of a complete binary tree; bit 0 means
+        # "LRU side is the left subtree".
+        self._bits: List[int] = [0] * max(associativity - 1, 1)
+
+    def on_access(self, way: int) -> None:
+        self._check_way(way)
+        if self.associativity == 1:
+            return
+        node = 0
+        low, high = 0, self.associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            went_right = way >= mid
+            # Point the bit away from the accessed side.
+            self._bits[node] = 0 if went_right else 1
+            node = 2 * node + (2 if went_right else 1)
+            if went_right:
+                low = mid
+            else:
+                high = mid
+
+    def victim(self) -> int:
+        if self.associativity == 1:
+            return 0
+        node = 0
+        low, high = 0, self.associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            go_right = self._bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                low = mid
+            else:
+                high = mid
+        return low
+
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+_POLICIES: Dict[str, PolicyFactory] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": TreePLRUPolicy,
+}
+
+
+def make_policy(name: str, associativity: int) -> ReplacementPolicy:
+    """Build a replacement policy by name (``lru``/``fifo``/``random``/``plru``)."""
+    try:
+        factory = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"known: {sorted(_POLICIES)}"
+        ) from None
+    return factory(associativity)

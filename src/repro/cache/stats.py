@@ -1,0 +1,50 @@
+"""Cache hit/miss bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Elementwise sum (used when aggregating campaign runs)."""
+        return CacheStats(
+            read_hits=self.read_hits + other.read_hits,
+            read_misses=self.read_misses + other.read_misses,
+            write_hits=self.write_hits + other.write_hits,
+            write_misses=self.write_misses + other.write_misses,
+            evictions=self.evictions + other.evictions,
+            dirty_evictions=self.dirty_evictions + other.dirty_evictions,
+        )

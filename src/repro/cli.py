@@ -1,0 +1,362 @@
+"""Command-line interface.
+
+Installed as the ``repro-8t`` console script::
+
+    repro-8t figures                      # list reproducible figures
+    repro-8t figure fig9 --accesses 20000 # reproduce one figure
+    repro-8t compare bwaves --geometry 64K:4:32
+    repro-8t trace bwaves out.trc --accesses 50000 --format binary
+    repro-8t stats out.trc --geometry 64K:4:32
+    repro-8t kernels                      # list instrumented kernels
+    repro-8t kernel matmul out.trc
+    repro-8t benchmarks                   # list workload profiles
+
+Every subcommand is a thin shell over the public library API, so the
+CLI doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.export import figure_to_csv
+from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+from repro.cache.address import AddressMapper
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.core.registry import ALL_CONTROLLER_NAMES
+from repro.sim.comparison import compare_techniques
+from repro.trace.binio import read_binary_trace, write_binary_trace
+from repro.trace.stats import collect_statistics
+from repro.trace.textio import read_text_trace, write_text_trace
+from repro.utils.tables import format_table
+from repro.workload.generator import generate_trace
+from repro.workload.kernels import KERNEL_NAMES, run_kernel
+from repro.workload.spec2006 import SPEC2006_PROFILES, benchmark_names, get_profile
+
+__all__ = ["main", "parse_geometry"]
+
+
+def parse_geometry(spec: str) -> CacheGeometry:
+    """Parse ``SIZE:WAYS:BLOCK`` (e.g. ``64K:4:32``) into a geometry.
+
+    SIZE accepts an optional K/M suffix; WAYS and BLOCK are plain
+    integers (block in bytes).
+    """
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"geometry must be SIZE:WAYS:BLOCK, got {spec!r}"
+        )
+    size_text, ways_text, block_text = parts
+    multiplier = 1
+    if size_text[-1:].upper() == "K":
+        multiplier, size_text = 1024, size_text[:-1]
+    elif size_text[-1:].upper() == "M":
+        multiplier, size_text = 1024 * 1024, size_text[:-1]
+    try:
+        return CacheGeometry(
+            size_bytes=int(size_text) * multiplier,
+            associativity=int(ways_text),
+            block_bytes=int(block_text),
+        )
+    except (ValueError, Exception) as exc:  # ConfigurationError included
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _read_trace(path: str):
+    if path.endswith(".bin") or path.endswith(".rpt"):
+        return read_binary_trace(path)
+    return read_text_trace(path)
+
+
+# -- subcommand handlers ---------------------------------------------------------
+
+
+def _cmd_figures(_args) -> int:
+    print("reproducible figures/tables/claims:")
+    for figure_id in FIGURE_IDS:
+        print(f"  {figure_id}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    kwargs = {}
+    if args.figure_id == "reliability":
+        kwargs["seed"] = args.seed
+    elif args.figure_id != "sec5.4":
+        kwargs["accesses"] = args.accesses
+        kwargs["seed"] = args.seed
+        if args.benchmarks:
+            kwargs["benchmarks"] = args.benchmarks
+    result = reproduce_figure(args.figure_id, **kwargs)
+    if args.bars:
+        from repro.analysis.bars import render_bars
+
+        print(render_bars(result))
+    else:
+        print(result.render())
+    if args.csv:
+        rows = figure_to_csv(result, args.csv)
+        print(f"\nwrote {rows} rows to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = generate_trace(
+        get_profile(args.benchmark), args.accesses, seed=args.seed
+    )
+    comparison = compare_techniques(
+        trace, args.geometry, techniques=tuple(args.techniques)
+    )
+    rows = []
+    for technique in args.techniques:
+        result = comparison.result(technique)
+        reduction = (
+            100.0 * comparison.access_reduction(technique)
+            if "rmw" in args.techniques
+            else float("nan")
+        )
+        rows.append(
+            (
+                technique,
+                result.array_accesses,
+                reduction,
+                100.0 * result.cache_stats.hit_rate,
+            )
+        )
+    print(
+        format_table(
+            ("technique", "array accesses", "reduction vs rmw %", "hit rate %"),
+            rows,
+            title=f"{args.benchmark} on {args.geometry.describe()}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = generate_trace(
+        get_profile(args.benchmark), args.accesses, seed=args.seed
+    )
+    if args.format == "binary":
+        count = write_binary_trace(args.output, trace)
+    else:
+        count = write_text_trace(args.output, trace)
+    print(f"wrote {count} accesses to {args.output} ({args.format})")
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    trace = run_kernel(args.kernel, words=args.words, seed=args.seed)
+    if args.output:
+        if args.format == "binary":
+            count = write_binary_trace(args.output, trace)
+        else:
+            count = write_text_trace(args.output, trace)
+        print(f"wrote {count} accesses to {args.output}")
+    else:
+        for access in trace[: args.head]:
+            print(access.describe())
+        print(f"... {len(trace)} accesses total")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    mapper = AddressMapper(args.geometry)
+    stats = collect_statistics(_read_trace(args.trace), mapper.set_index)
+    rows = [
+        ("accesses", stats.accesses),
+        ("instructions", stats.instructions),
+        ("read frequency", f"{100 * stats.read_frequency:.2f}%"),
+        ("write frequency", f"{100 * stats.write_frequency:.2f}%"),
+        ("silent writes", f"{100 * stats.silent_write_fraction:.2f}%"),
+        ("same-set pairs", f"{100 * stats.scenarios.same_set_share:.2f}%"),
+        ("RR share", f"{100 * stats.scenarios.share('RR'):.2f}%"),
+        ("RW share", f"{100 * stats.scenarios.share('RW'):.2f}%"),
+        ("WW share", f"{100 * stats.scenarios.share('WW'):.2f}%"),
+        ("WR share", f"{100 * stats.scenarios.share('WR'):.2f}%"),
+    ]
+    print(
+        format_table(
+            ("metric", "value"),
+            rows,
+            title=f"{args.trace} @ {args.geometry.describe()}",
+        )
+    )
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.trace.stream import materialize
+    from repro.workload.fitting import fit_profile
+
+    trace = materialize(_read_trace(args.trace))
+    profile = fit_profile(trace, name=args.name)
+    rows = [
+        ("read frequency", f"{100 * profile.read_frequency:.2f}%"),
+        ("write frequency", f"{100 * profile.write_frequency:.2f}%"),
+        ("silent fraction", f"{100 * profile.silent_fraction:.2f}%"),
+        ("burst mean", f"{profile.burst_mean:.2f}"),
+        ("type persistence", f"{profile.type_persistence:.2f}"),
+        ("footprint", f"{profile.footprint_kib} KiB"),
+    ] + [
+        (f"stream: {spec.kind}", f"weight {spec.weight:.2f}")
+        for spec in profile.streams
+    ]
+    print(
+        format_table(
+            ("knob", "fitted value"),
+            rows,
+            title=f"profile fitted from {args.trace}",
+        )
+    )
+    return 0
+
+
+def _cmd_kernels(_args) -> int:
+    print("instrumented kernels:")
+    for name in KERNEL_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(
+        args.output,
+        accesses=args.accesses,
+        seed=args.seed,
+        figure_ids=args.figures,
+    )
+    print(f"wrote reproduction report to {path}")
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    rows = [
+        (
+            name,
+            f"{100 * profile.read_frequency:.0f}%",
+            f"{100 * profile.write_frequency:.0f}%",
+            f"{100 * profile.silent_fraction:.0f}%",
+            profile.description,
+        )
+        for name, profile in sorted(SPEC2006_PROFILES.items())
+    ]
+    print(
+        format_table(
+            ("benchmark", "reads", "writes", "silent", "character"),
+            rows,
+            title="SPEC CPU2006 workload profiles (25 of 29, as in the paper)",
+        )
+    )
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-8t",
+        description=(
+            "Reproduction toolkit for 'Performance and Power Solutions "
+            "for Caches Using 8T SRAM Cells' (MICRO 2012)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("figures", help="list reproducible figures")
+    sub.set_defaults(handler=_cmd_figures)
+
+    sub = subparsers.add_parser("figure", help="reproduce one figure")
+    sub.add_argument("figure_id", choices=FIGURE_IDS)
+    sub.add_argument("--accesses", type=int, default=15_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument("--benchmarks", nargs="*", choices=benchmark_names())
+    sub.add_argument("--csv", help="also write the table to this CSV path")
+    sub.add_argument(
+        "--bars", action="store_true", help="render as ASCII bar chart"
+    )
+    sub.set_defaults(handler=_cmd_figure)
+
+    sub = subparsers.add_parser(
+        "compare", help="compare techniques on one benchmark"
+    )
+    sub.add_argument("benchmark", choices=benchmark_names())
+    sub.add_argument("--accesses", type=int, default=20_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.add_argument(
+        "--techniques",
+        nargs="+",
+        default=["conventional", "rmw", "wg", "wg_rb"],
+        choices=ALL_CONTROLLER_NAMES,
+    )
+    sub.set_defaults(handler=_cmd_compare)
+
+    sub = subparsers.add_parser("trace", help="synthesise a trace file")
+    sub.add_argument("benchmark", choices=benchmark_names())
+    sub.add_argument("output")
+    sub.add_argument("--accesses", type=int, default=50_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument("--format", choices=("text", "binary"), default="text")
+    sub.set_defaults(handler=_cmd_trace)
+
+    sub = subparsers.add_parser(
+        "kernel", help="run an instrumented kernel, dump/preview its trace"
+    )
+    sub.add_argument("kernel", choices=KERNEL_NAMES)
+    sub.add_argument("output", nargs="?")
+    sub.add_argument("--words", type=int, default=2048)
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument("--format", choices=("text", "binary"), default="text")
+    sub.add_argument("--head", type=int, default=10)
+    sub.set_defaults(handler=_cmd_kernel)
+
+    sub = subparsers.add_parser("stats", help="Figure 3/4/5 stats of a trace file")
+    sub.add_argument("trace")
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.set_defaults(handler=_cmd_stats)
+
+    sub = subparsers.add_parser("kernels", help="list instrumented kernels")
+    sub.set_defaults(handler=_cmd_kernels)
+
+    sub = subparsers.add_parser(
+        "fit", help="fit workload-profile knobs to a trace file"
+    )
+    sub.add_argument("trace")
+    sub.add_argument("--name", default="fitted")
+    sub.set_defaults(handler=_cmd_fit)
+
+    sub = subparsers.add_parser(
+        "report", help="reproduce every figure into one markdown report"
+    )
+    sub.add_argument("output", nargs="?", default="reproduction_report.md")
+    sub.add_argument("--accesses", type=int, default=15_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument("--figures", nargs="*", choices=FIGURE_IDS)
+    sub.set_defaults(handler=_cmd_report)
+
+    sub = subparsers.add_parser("benchmarks", help="list workload profiles")
+    sub.set_defaults(handler=_cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: cache write-policy controllers.
+
+Four controllers translate L1-D requests into 8T SRAM array operations:
+
+* :class:`ConventionalController` — a 6T-style cache with no column
+  selection issue (writes touch only the selected columns).  This is the
+  pre-RMW reference point the ">32 % access increase" claim compares to.
+* :class:`RMWController` — Morita et al.'s Read-Modify-Write baseline:
+  every write costs a full-row read plus a full-row write.
+* :class:`WriteGroupingController` (WG) — the paper's Section 4.1:
+  a one-set Set-Buffer + Tag-Buffer groups consecutive writes to the
+  same set into a single write-back and drops silent writes entirely.
+* :class:`WGRBController` (WG+RB) — Section 4.2: additionally serves
+  reads that hit the Tag-Buffer straight from the Set-Buffer.
+
+All controllers are value-accurate and interchangeable: for the same
+request stream they must (and, property-tested, do) return identical
+read values and leave identical final memory state.
+"""
+
+from repro.core.outcomes import AccessOutcome, OperationCounts, ServedFrom
+from repro.core.set_buffer import SetBuffer
+from repro.core.tag_buffer import TagBuffer
+from repro.core.controller import CacheController
+from repro.core.conventional import ConventionalController
+from repro.core.rmw import RMWController
+from repro.core.write_grouping import WriteGroupingController
+from repro.core.wg_rb import WGRBController
+from repro.core.related_work import LocalRMWController, WordWriteController
+from repro.core.write_buffer import WriteBufferController
+from repro.core.pulse_assist import PulseAssistController
+from repro.core.registry import (
+    ALL_CONTROLLER_NAMES,
+    CONTROLLER_NAMES,
+    make_controller,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "OperationCounts",
+    "ServedFrom",
+    "SetBuffer",
+    "TagBuffer",
+    "CacheController",
+    "ConventionalController",
+    "RMWController",
+    "WriteGroupingController",
+    "WGRBController",
+    "WordWriteController",
+    "LocalRMWController",
+    "WriteBufferController",
+    "PulseAssistController",
+    "CONTROLLER_NAMES",
+    "ALL_CONTROLLER_NAMES",
+    "make_controller",
+]

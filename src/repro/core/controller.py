@@ -1,0 +1,132 @@
+"""Controller base class.
+
+A controller owns a :class:`SetAssociativeCache` and translates each
+:class:`MemoryAccess` into SRAM array operations, recording them in an
+:class:`SRAMEventLog`.  Residency (miss handling) is common to all
+controllers; the array-level read/write behaviour is what the concrete
+subclasses implement — that is where the paper's techniques live.
+
+Miss-traffic accounting
+-----------------------
+The paper's evaluation counts *request-level* array accesses and does
+not discuss fills or dirty evictions (reasonable for a 64 KB L1 over
+SPEC, where miss rates are small).  We follow that by default; setting
+``count_miss_traffic=True`` additionally charges each fill as an RMW
+(a block write is a partial-row write) and each dirty eviction as a row
+read, which the ablation benchmark uses to show the conclusions are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.core.outcomes import AccessOutcome, OperationCounts
+from repro.sram.events import SRAMEventLog
+from repro.trace.record import MemoryAccess
+
+__all__ = ["CacheController"]
+
+
+class CacheController(abc.ABC):
+    """Base for all array-access policies."""
+
+    #: Short registry name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        count_miss_traffic: bool = False,
+    ) -> None:
+        self.cache = cache
+        self.events = SRAMEventLog()
+        self.counts = OperationCounts()
+        self.count_miss_traffic = count_miss_traffic
+        self._row_words = cache.geometry.words_per_set
+        self._finalized = False
+        self._current_icount = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def process(self, access: MemoryAccess) -> AccessOutcome:
+        """Handle one request end-to-end and return its outcome."""
+        if self._finalized:
+            raise RuntimeError("controller already finalized")
+        if access.is_read:
+            self.counts.read_requests += 1
+        else:
+            self.counts.write_requests += 1
+        self._current_icount = access.icount
+
+        self._before_residency(access)
+        result = self.cache.ensure_resident(access)
+        if result.filled:
+            self._account_miss_traffic(result)
+
+        if access.is_read:
+            return self._handle_read(access, result)
+        return self._handle_write(access, result)
+
+    def run(self, trace: Iterable[MemoryAccess]) -> List[AccessOutcome]:
+        """Process a whole trace, finalize, and return per-access outcomes."""
+        outcomes = [self.process(access) for access in trace]
+        self.finalize()
+        return outcomes
+
+    def finalize(self) -> None:
+        """Drain any controller-private state (e.g. a dirty Set-Buffer).
+
+        Idempotent; must be called before comparing memory contents
+        against an oracle.
+        """
+        if not self._finalized:
+            self._drain()
+            self._finalized = True
+
+    # -- template methods -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _handle_read(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        """Array-level behaviour of a read request."""
+
+    @abc.abstractmethod
+    def _handle_write(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        """Array-level behaviour of a write request."""
+
+    def _before_residency(self, access: MemoryAccess) -> None:
+        """Hook before miss handling; WG flushes its buffer here when a
+        fill is about to change the buffered set."""
+
+    def _drain(self) -> None:
+        """Hook to flush controller-private state at end of run."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _word_in_row(self, result: AccessResult) -> int:
+        """Column (word) position of the access within its array row."""
+        return result.way * self.cache.geometry.words_per_block + result.word_offset
+
+    def _account_miss_traffic(self, result: AccessResult) -> None:
+        if not self.count_miss_traffic:
+            return
+        if result.evicted_dirty:
+            # Reading the victim block out of the array for write-back.
+            self.events.record_row_read(
+                words_routed=self.cache.geometry.words_per_block
+            )
+        # Installing the fill is a partial-row write => RMW on an
+        # interleaved array.
+        self.events.record_rmw(row_words=self._row_words)
+        self.counts.rmw_operations += 1
+
+    @property
+    def array_accesses(self) -> int:
+        """Row activations so far — the paper's cache-access count."""
+        return self.events.array_accesses

@@ -1,0 +1,93 @@
+"""Kim et al.'s write-assist alternative (paper Section 2, ref [5]).
+
+"Kim et al. proposed adaptive pulse width and voltage modulation to
+address dynamic write failure.  They modulated pulse width and voltage
+level to ensure that all cells are written."
+
+The idea: instead of avoiding half-selection (RMW) or removing
+interleaving (Chang), make the write pulse itself safe — stretch the
+WWL pulse and/or boost the write voltage so selected cells flip
+reliably while half-selected cells retain state.  At the architecture
+level this looks like a conventional cache (one array access per
+write), but each write pays a circuit premium:
+
+* energy: write drivers run longer/harder
+  (``WRITE_ENERGY_FACTOR`` x the normal row-write energy);
+* latency: the stretched pulse occupies the write port longer
+  (``WRITE_CYCLE_FACTOR`` x), which the timing model charges.
+
+The related-work benchmark places this on the same axes as WG: similar
+access counts to ``word_write``/``conventional``, but with write
+energy/latency premiums instead of ECC or buffer costs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import AccessResult
+from repro.core.controller import CacheController
+from repro.core.outcomes import AccessOutcome, ServedFrom
+from repro.trace.record import MemoryAccess
+
+__all__ = ["PulseAssistController", "WRITE_ENERGY_FACTOR", "WRITE_CYCLE_FACTOR"]
+
+#: Energy premium per assisted write vs a plain row write, modelled as
+#: a multiple of driver activity.  Boosted-WWL / stretched-pulse
+#: schemes pay substantially more write energy (longer pulse at equal
+#: or higher voltage); 2x is the behavioural constant used here.
+WRITE_ENERGY_FACTOR = 2
+
+#: Pulse-stretch factor: assisted writes hold the write port twice as
+#: long as a nominal write pulse.
+WRITE_CYCLE_FACTOR = 2
+
+
+class PulseAssistController(CacheController):
+    """Writes via modulated pulses: no RMW, but premium writes.
+
+    The event log records the stretched pulse as extra ``words_driven``
+    so the energy model's driver term scales, and the controller tracks
+    ``assisted_writes`` explicitly for reporting.
+    """
+
+    name = "pulse_assist"
+
+    def __init__(self, cache, count_miss_traffic: bool = False) -> None:
+        super().__init__(cache, count_miss_traffic=count_miss_traffic)
+        self.assisted_writes = 0
+
+    def _handle_read(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        self.events.record_row_read(words_routed=1)
+        value = self.cache.read_word(
+            result.set_index, result.way, result.word_offset
+        )
+        return AccessOutcome(
+            value=value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.ARRAY,
+            array_reads=1,
+        )
+
+    def _handle_write(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        # One row activation; the stretched/boosted pulse drives only
+        # the selected word's columns but at an energy premium, modelled
+        # as proportionally more driver activity.
+        self.assisted_writes += 1
+        self.events.record_row_write(words_driven=WRITE_ENERGY_FACTOR)
+        self.cache.write_word(
+            result.set_index, result.way, result.word_offset, access.value
+        )
+        return AccessOutcome(
+            value=access.value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.ARRAY,
+            array_writes=1,
+        )
+
+    @property
+    def write_cycle_factor(self) -> int:
+        """Exposed for the timing model's pulse-stretch accounting."""
+        return WRITE_CYCLE_FACTOR

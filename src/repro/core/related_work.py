@@ -1,0 +1,110 @@
+"""Related-work comparator controllers (paper Section 2).
+
+The paper discusses two prior alternatives to wholesale RMW; both are
+implemented here so the benchmark harness can put WG/WG+RB in context:
+
+* **Chang et al. [2]** — abandon bit interleaving and drive word lines
+  at word granularity (:class:`WordWriteController`).  Writes then touch
+  only the selected word: one array access, like a 6T cache.  The cost
+  moves elsewhere: without interleaving an adjacent multi-bit upset
+  lands in one word, so SEC-DED no longer suffices — the scheme "requires
+  multi-bit correction techniques and larger write word line drivers,
+  which could increase area and power".  Those costs are modelled by
+  :meth:`repro.power.area.AreaModel.ecc_bits` and the energy model's
+  word-line factors; the ``bench_related_work`` benchmark combines them.
+* **Park et al. [11]** — keep RMW but exploit the hierarchical read bit
+  lines to perform it *locally* inside one sub-array
+  (:class:`LocalRMWController`).  Array-access counts are identical to
+  plain RMW (every write still reads and rewrites its row); the benefit
+  is concurrency — only requests to the busy sub-array stall, which the
+  timing model in :mod:`repro.perf` captures via per-sub-array ports.
+  The paper's criticism ("the sub-array performing write-back is not
+  available to any other cache access") is visible there too.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.core.controller import CacheController
+from repro.core.outcomes import AccessOutcome, ServedFrom
+from repro.core.rmw import RMWController
+from repro.trace.record import MemoryAccess
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["WordWriteController", "LocalRMWController"]
+
+
+class WordWriteController(CacheController):
+    """Chang et al.: non-interleaved array, word-granularity writes.
+
+    Reads and writes each cost a single row activation.  The array
+    behind this controller is ``ArrayGeometry(interleaved=False)``;
+    partial writes are legal there, so no RMW is ever issued.
+    """
+
+    name = "word_write"
+
+    #: ECC scheme this layout forces (see AreaModel.ecc_bits).
+    ecc_scheme = "multi_bit"
+
+    def _handle_read(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        self.events.record_row_read(words_routed=1)
+        value = self.cache.read_word(
+            result.set_index, result.way, result.word_offset
+        )
+        return AccessOutcome(
+            value=value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.ARRAY,
+            array_reads=1,
+        )
+
+    def _handle_write(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        # Word-granular WWL: only the selected word's drivers fire.
+        self.events.record_row_write(words_driven=1)
+        self.cache.write_word(
+            result.set_index, result.way, result.word_offset, access.value
+        )
+        return AccessOutcome(
+            value=access.value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.ARRAY,
+            array_writes=1,
+        )
+
+
+class LocalRMWController(RMWController):
+    """Park et al.: RMW confined to one sub-array.
+
+    Identical data-plane behaviour and access counts to
+    :class:`RMWController`; exposes the sub-array mapping the timing
+    model needs to localise port occupancy.
+    """
+
+    name = "rmw_local"
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        count_miss_traffic: bool = False,
+        subarrays: int = None,
+    ) -> None:
+        super().__init__(cache, count_miss_traffic=count_miss_traffic)
+        if subarrays is None:
+            # Default: 8 banks, clamped for tiny caches.
+            subarrays = min(8, cache.geometry.num_sets)
+        check_power_of_two("subarrays", subarrays)
+        if subarrays > cache.geometry.num_sets:
+            raise ValueError(
+                f"subarrays ({subarrays}) cannot exceed the number of "
+                f"sets ({cache.geometry.num_sets})"
+            )
+        self.subarrays = subarrays
+
+    def subarray_of(self, set_index: int) -> int:
+        """Sub-array servicing ``set_index`` (rows striped across banks)."""
+        return set_index % self.subarrays

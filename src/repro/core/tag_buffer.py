@@ -1,0 +1,80 @@
+"""The Tag-Buffer (paper Figure 6b).
+
+Lives in the cache controller: the buffered set's index, one tag per
+way, and the Dirty bit.  At the paper's baseline geometry it is under
+150 bits (Section 5.4): 9 index bits + 4 x 35-bit tags + valid/dirty —
+the area model in :mod:`repro.power` computes this exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["TagBuffer"]
+
+
+class TagBuffer:
+    """Control plane of WG/WG+RB: which set is buffered, and is it dirty."""
+
+    def __init__(self) -> None:
+        self.valid: bool = False
+        self.dirty: bool = False
+        self.set_index: Optional[int] = None
+        self._tags: Tuple[Optional[int], ...] = ()
+
+    def load(self, set_index: int, tags: List[Optional[int]]) -> None:
+        """Record the buffered set and its resident tags; clears Dirty."""
+        self.valid = True
+        self.dirty = False
+        self.set_index = set_index
+        self._tags = tuple(tags)
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.set_index = None
+        self._tags = ()
+
+    def probe(self, set_index: int, tag: int) -> bool:
+        """The controller's per-request Tag-Buffer probe.
+
+        Hits when the buffer holds ``set_index`` *and* the request's tag
+        is among the buffered ways' tags.
+        """
+        return self.valid and self.set_index == set_index and tag in self._tags
+
+    def matches_set(self, set_index: int) -> bool:
+        """True when the buffered set is ``set_index`` (any tag)."""
+        return self.valid and self.set_index == set_index
+
+    def way_of(self, tag: int) -> int:
+        """Way index whose tag is ``tag`` (must be present)."""
+        if not self.valid:
+            raise ValueError("Tag-Buffer is empty")
+        for way, stored in enumerate(self._tags):
+            if stored == tag:
+                return way
+        raise ValueError(f"tag {tag:#x} not in Tag-Buffer")
+
+    def set_dirty(self) -> None:
+        """Set by the controller upon a non-silent write (Figure 6b)."""
+        if not self.valid:
+            raise ValueError("cannot dirty an empty Tag-Buffer")
+        self.dirty = True
+
+    def clear_dirty(self) -> None:
+        """Cleared after a write-back: cache and Set-Buffer are consistent."""
+        self.dirty = False
+
+    @property
+    def tags(self) -> Tuple[Optional[int], ...]:
+        return self._tags
+
+    def storage_bits(self, index_bits: int, tag_bits: int) -> int:
+        """Exact storage this buffer needs (Section 5.4 accounting).
+
+        index + one tag per way + valid bit per way + buffer valid +
+        dirty.
+        """
+        ways = len(self._tags) if self._tags else 0
+        return index_bits + ways * (tag_bits + 1) + 2

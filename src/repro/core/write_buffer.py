@@ -1,0 +1,207 @@
+"""Coalescing write buffer — the obvious alternative WG must beat.
+
+A reviewer's first question about Write Grouping is "why not a plain
+coalescing write buffer?"  This controller implements that design point
+so the question has a quantitative answer
+(``benchmarks/bench_write_buffer.py``):
+
+* N block-granularity entries in front of the array (matching WG's
+  storage budget: 4 x 32 B entries = one 128 B Set-Buffer at the
+  baseline geometry);
+* writes coalesce into a matching entry (no array access) or allocate
+  one, draining the LRU entry when full;
+* reads are forwarded from the buffer when they hit a buffered word.
+
+The structural difference from WG is what the comparison exposes:
+
+1. a write-buffer entry holds only the *stores* (a word mask), not the
+   row pre-image, so a drain must be a full RMW — read-merge-write,
+   two array accesses — where WG's write-back is a single row write
+   (its read happened once, at fill);
+2. without the pre-image, silent stores cannot be detected, so every
+   dirtied entry eventually costs a drain; WG elides ~42 % of them.
+
+WG is, in effect, a write buffer that pre-reads the row — paying one
+read up front to make the drain single-access and silent-detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.core.controller import CacheController
+from repro.core.outcomes import AccessOutcome, ServedFrom
+from repro.trace.record import MemoryAccess
+from repro.utils.validation import check_positive
+
+__all__ = ["WriteBufferController"]
+
+
+class _BufferSlot:
+    """One block-granularity coalescing entry."""
+
+    __slots__ = ("valid", "set_index", "way", "tag", "words")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.set_index: Optional[int] = None
+        self.way: Optional[int] = None
+        self.tag: Optional[int] = None
+        #: word_offset -> value for the stores coalesced so far.
+        self.words: Dict[int, int] = {}
+
+    def matches(self, set_index: int, tag: int) -> bool:
+        return self.valid and self.set_index == set_index and self.tag == tag
+
+    def open(self, set_index: int, way: int, tag: int) -> None:
+        self.valid = True
+        self.set_index = set_index
+        self.way = way
+        self.tag = tag
+        self.words = {}
+
+    def close(self) -> None:
+        self.valid = False
+        self.set_index = None
+        self.way = None
+        self.tag = None
+        self.words = {}
+
+
+class WriteBufferController(CacheController):
+    """Conventional coalescing write buffer over an RMW array."""
+
+    name = "write_buffer"
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        count_miss_traffic: bool = False,
+        entries: int = 4,
+    ) -> None:
+        super().__init__(cache, count_miss_traffic=count_miss_traffic)
+        check_positive("entries", entries)
+        # LRU order: index 0 least recently used.
+        self._slots: List[_BufferSlot] = [_BufferSlot() for _ in range(entries)]
+
+    # -- slot management --------------------------------------------------------
+
+    def _find_slot(self, set_index: int, tag: int) -> Optional[_BufferSlot]:
+        for slot in self._slots:
+            if slot.matches(set_index, tag):
+                return slot
+        return None
+
+    def _touch(self, slot: _BufferSlot) -> None:
+        self._slots.remove(slot)
+        self._slots.append(slot)
+
+    def _victim_slot(self) -> _BufferSlot:
+        for slot in self._slots:
+            if not slot.valid:
+                return slot
+        return self._slots[0]
+
+    def _drain_slot(self, slot: _BufferSlot, reason: str) -> int:
+        """Write a slot's coalesced stores into the array.
+
+        Costs one RMW (two array accesses): without the row pre-image
+        the half-selected columns must be read before the row write.
+        Returns the number of array accesses spent.
+        """
+        if not slot.valid:
+            return 0
+        for word_offset, value in slot.words.items():
+            self.cache.write_word(slot.set_index, slot.way, word_offset, value)
+        self.events.record_rmw(row_words=self._row_words)
+        self.counts.rmw_operations += 1
+        if reason == "eviction":
+            self.counts.eviction_writebacks += 1
+        elif reason == "fill_flush":
+            self.counts.fill_flush_writebacks += 1
+        elif reason == "final":
+            self.counts.final_writebacks += 1
+        else:
+            raise ValueError(f"unknown drain reason {reason!r}")
+        slot.close()
+        return 2
+
+    # -- residency hook -----------------------------------------------------------
+
+    def _before_residency(self, access: MemoryAccess) -> None:
+        """Drain buffered blocks of a set that is about to take a fill.
+
+        Same correctness rule as WG: a fill may evict a block whose
+        newest words exist only here, and way bindings go stale.
+        """
+        if self.cache.lookup(access.address) is not None:
+            return
+        set_index = self.cache.mapper.set_index(access.address)
+        for slot in self._slots:
+            if slot.valid and slot.set_index == set_index:
+                self._drain_slot(slot, "fill_flush")
+
+    # -- request handling -----------------------------------------------------------
+
+    def _handle_read(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        tag = self.cache.mapper.tag(access.address)
+        slot = self._find_slot(result.set_index, tag)
+        if slot is not None and result.word_offset in slot.words:
+            # Store-to-load forwarding from the buffer.
+            self._touch(slot)
+            self.events.record_set_buffer_read(1)
+            self.counts.bypassed_reads += 1
+            return AccessOutcome(
+                value=slot.words[result.word_offset],
+                cache_hit=result.hit,
+                served_from=ServedFrom.SET_BUFFER,
+                bypassed=True,
+            )
+        # Words not covered by the buffer are current in the array.
+        self.events.record_row_read(words_routed=1)
+        value = self.cache.read_word(
+            result.set_index, result.way, result.word_offset
+        )
+        return AccessOutcome(
+            value=value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.ARRAY,
+            array_reads=1,
+        )
+
+    def _handle_write(
+        self, access: MemoryAccess, result: AccessResult
+    ) -> AccessOutcome:
+        tag = self.cache.mapper.tag(access.address)
+        slot = self._find_slot(result.set_index, tag)
+        drained = 0
+        grouped = False
+        if slot is None:
+            slot = self._victim_slot()
+            drained = self._drain_slot(slot, "eviction")
+            slot.open(result.set_index, result.way, tag)
+        else:
+            grouped = True
+            self.counts.grouped_writes += 1
+        self._touch(slot)
+        slot.words[result.word_offset] = access.value
+        self.events.record_set_buffer_write(1)
+        return AccessOutcome(
+            value=access.value,
+            cache_hit=result.hit,
+            served_from=ServedFrom.SET_BUFFER,
+            array_reads=drained // 2,
+            array_writes=drained // 2,
+            grouped=grouped,
+            forced_writeback=drained > 0,
+        )
+
+    # -- end of run --------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        for slot in self._slots:
+            if slot.valid:
+                self._drain_slot(slot, "final")

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch configuration and simulation failures without also swallowing
+programming errors like ``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TraceFormatError",
+    "SimulationError",
+    "PortConflictError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A cache/SRAM/workload configuration is internally inconsistent."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record is malformed."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an impossible state (internal invariant broke)."""
+
+
+class PortConflictError(SimulationError):
+    """An SRAM port was scheduled for two operations in the same cycle."""

@@ -1,0 +1,11 @@
+"""Performance (timing) model.
+
+Quantifies the paper's Section 5.5 expectations: RMW occupies the read
+port on behalf of writes (stalling reads), WG frees the read port by
+eliminating most RMW read phases, and WG+RB shortens read latency by
+serving Tag-Buffer hits from the fast Set-Buffer.
+"""
+
+from repro.perf.timing import PerfResult, TimingSimulator, evaluate_performance
+
+__all__ = ["TimingSimulator", "PerfResult", "evaluate_performance"]

@@ -1,0 +1,204 @@
+"""Port-contention timing model.
+
+A lightweight in-order model: requests arrive at the cache at their
+instruction count (1 IPC front end), the 8T array exposes one read port
+and one write port (:class:`PortTracker`), and each array operation
+holds its port for the :class:`PhaseTiming` durations.
+
+What each technique schedules per request:
+
+===============  ==========================================  =================
+technique        read request                                 write request
+===============  ==========================================  =================
+conventional     R-port, read latency                         W-port
+rmw              R-port, read latency                         R-port then W-port (serial)
+wg               [W-port premature write-back] then R-port    [W-port evict] + R-port fill on
+                                                              Tag-Buffer miss; buffer merge
+wg_rb            Set-Buffer hit: buffer latency, no port      same as wg
+===============  ==========================================  =================
+
+Reads are on the critical path; the headline metric is mean read
+latency (arrival to data), plus read-port conflict counts showing the
+1R/1W parallelism RMW destroys and WG restores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cache.config import CacheGeometry
+from repro.core.outcomes import AccessOutcome
+from repro.core.registry import make_controller
+from repro.cache.cache import SetAssociativeCache
+from repro.sram.ports import PortKind, PortTracker
+from repro.sram.timing import PhaseTiming
+from repro.trace.record import MemoryAccess
+
+__all__ = ["PerfResult", "TimingSimulator", "evaluate_performance"]
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """Timing metrics of one run."""
+
+    technique: str
+    reads: int
+    writes: int
+    total_read_latency: int
+    read_port_conflicts: int
+    write_port_conflicts: int
+    read_port_busy: int
+    write_port_busy: int
+    elapsed_cycles: int
+    bypassed_reads: int
+
+    @property
+    def mean_read_latency(self) -> float:
+        return self.total_read_latency / self.reads if self.reads else 0.0
+
+    @property
+    def read_port_utilisation(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.read_port_busy / self.elapsed_cycles)
+
+
+class TimingSimulator:
+    """Runs a trace through a controller while scheduling array ports."""
+
+    def __init__(
+        self,
+        technique: str,
+        geometry: CacheGeometry,
+        timing: PhaseTiming = PhaseTiming(),
+        **controller_kwargs,
+    ) -> None:
+        self.cache = SetAssociativeCache(geometry)
+        self.controller = make_controller(
+            technique, self.cache, **controller_kwargs
+        )
+        self.timing = timing
+        # Park et al.'s local RMW confines port occupancy to one
+        # sub-array: give such controllers one tracker per sub-array so
+        # requests to other banks proceed concurrently.
+        subarrays = getattr(self.controller, "subarrays", 1)
+        self._trackers = [PortTracker() for _ in range(subarrays)]
+        self.ports = self._trackers[0]
+        # Kim et al.'s pulse assist stretches every write pulse.
+        self._write_cycles = timing.array_write_cycles * getattr(
+            self.controller, "write_cycle_factor", 1
+        )
+        self._reads = 0
+        self._writes = 0
+        self._total_read_latency = 0
+        self._bypassed = 0
+        self._last_cycle = 0
+
+    def _tracker_for(self, access: MemoryAccess) -> PortTracker:
+        if len(self._trackers) == 1:
+            return self._trackers[0]
+        set_index = self.cache.mapper.set_index(access.address)
+        return self._trackers[self.controller.subarray_of(set_index)]
+
+    def run(self, trace: Iterable[MemoryAccess]) -> PerfResult:
+        timing = self.timing
+        for access in trace:
+            arrival = access.icount
+            tracker = self._tracker_for(access)
+            outcome = self.controller.process(access)
+            if access.is_read:
+                self._reads += 1
+                self._total_read_latency += self._schedule_read(
+                    tracker, arrival, outcome, timing
+                )
+            else:
+                self._writes += 1
+                self._schedule_write(tracker, arrival, outcome, timing)
+            self._last_cycle = max(
+                self._last_cycle,
+                tracker.free_at[PortKind.READ],
+                tracker.free_at[PortKind.WRITE],
+                arrival,
+            )
+        self.controller.finalize()
+        return PerfResult(
+            technique=self.controller.name,
+            reads=self._reads,
+            writes=self._writes,
+            total_read_latency=self._total_read_latency,
+            read_port_conflicts=self._sum(PortKind.READ, "conflicts"),
+            write_port_conflicts=self._sum(PortKind.WRITE, "conflicts"),
+            read_port_busy=self._sum(PortKind.READ, "busy_cycles"),
+            write_port_busy=self._sum(PortKind.WRITE, "busy_cycles"),
+            elapsed_cycles=self._last_cycle,
+            bypassed_reads=self._bypassed,
+        )
+
+    def _sum(self, port: PortKind, field: str) -> int:
+        return sum(getattr(tracker, field)[port] for tracker in self._trackers)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _schedule_read(
+        self,
+        tracker: PortTracker,
+        arrival: int,
+        outcome: AccessOutcome,
+        timing: PhaseTiming,
+    ) -> int:
+        if outcome.bypassed:
+            # Served from the Set-Buffer: short fixed latency, no port.
+            self._bypassed += 1
+            return timing.set_buffer_cycles
+        start = arrival
+        if outcome.forced_writeback:
+            # The premature write-back must land before the array read.
+            writeback_start = tracker.acquire(
+                PortKind.WRITE, arrival, self._write_cycles
+            )
+            start = writeback_start + self._write_cycles
+        read_start = tracker.acquire(
+            PortKind.READ, start, timing.array_read_cycles
+        )
+        finish = read_start + timing.array_read_cycles
+        return finish - arrival
+
+    def _schedule_write(
+        self,
+        tracker: PortTracker,
+        arrival: int,
+        outcome: AccessOutcome,
+        timing: PhaseTiming,
+    ) -> None:
+        # Writes are off the critical path; they only occupy ports.
+        start = arrival
+        if outcome.forced_writeback:
+            writeback_start = tracker.acquire(
+                PortKind.WRITE, start, self._write_cycles
+            )
+            start = writeback_start + self._write_cycles
+        if outcome.array_reads:
+            # RMW read phase / Set-Buffer fill occupies the read port.
+            read_start = tracker.acquire(
+                PortKind.READ, start, timing.array_read_cycles
+            )
+            start = read_start + timing.array_read_cycles
+        if outcome.array_writes and not outcome.forced_writeback:
+            # RMW write-back phase (grouped writes never get here).
+            tracker.acquire(PortKind.WRITE, start, self._write_cycles)
+
+
+def evaluate_performance(
+    trace: Sequence[MemoryAccess],
+    geometry: CacheGeometry,
+    techniques: Sequence[str] = ("conventional", "rmw", "wg", "wg_rb"),
+    timing: PhaseTiming = PhaseTiming(),
+) -> dict:
+    """Run the timing model for several techniques on one trace."""
+    if iter(trace) is trace:
+        raise TypeError("trace must be a reusable sequence")
+    return {
+        technique: TimingSimulator(technique, geometry, timing).run(trace)
+        for technique in techniques
+    }

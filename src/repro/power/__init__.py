@@ -1,0 +1,39 @@
+"""Analytic power, energy, leakage, area and voltage models.
+
+The paper's Section 5.4 (area overhead) and Section 5.5 (expected power
+and performance effects) are qualitative; this package makes them
+quantitative with CACTI-flavoured analytic models:
+
+``params``
+    Technology presets (45/32 nm class constants) and per-event energy
+    coefficients.
+``energy``
+    Dynamic energy of a run from its :class:`SRAMEventLog`.
+``leakage``
+    Static power of 6T vs 8T arrays vs supply voltage.
+``area``
+    Cell/array/buffer area — reproduces the Section 5.4 numbers
+    (Set-Buffer < 0.2 % of the cache, Tag-Buffer < 150 bits).
+``voltage``
+    DVFS level table and the Vmin story that motivates 8T cells.
+"""
+
+from repro.power.params import TechnologyParams, TECH_45NM, TECH_32NM
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.power.leakage import LeakageModel
+from repro.power.area import AreaModel, AreaReport
+from repro.power.voltage import DVFSLevel, DVFSController, vmin_mv
+
+__all__ = [
+    "TechnologyParams",
+    "TECH_45NM",
+    "TECH_32NM",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LeakageModel",
+    "AreaModel",
+    "AreaReport",
+    "DVFSLevel",
+    "DVFSController",
+    "vmin_mv",
+]

@@ -1,0 +1,114 @@
+"""Dynamic-energy model over SRAM event logs.
+
+Decomposition per event class (all at word granularity, 64 bit/word):
+
+* row read  = precharge(all columns) + wordline + sense(words routed)
+* row write = wordline + write drivers(all columns — the column
+  selection constraint means every driver fires on a row write)
+* Set-Buffer read/write = per-word latch energy
+
+Because WG/WG+RB replace row activations with buffer activity, their
+energy advantage falls straight out of the event log — the Section 5.5
+expectation ("replace power hungry cache accesses with accessing a
+smaller and hence more power efficient structure") made measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.params import TechnologyParams
+from repro.sram.events import SRAMEventLog
+from repro.sram.geometry import ArrayGeometry
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Dynamic energy of one run, femtojoules."""
+
+    read_fj: float
+    write_fj: float
+    buffer_fj: float
+
+    @property
+    def array_fj(self) -> float:
+        return self.read_fj + self.write_fj
+
+    @property
+    def total_fj(self) -> float:
+        return self.array_fj + self.buffer_fj
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_fj * 1e-6
+
+
+class EnergyModel:
+    """Maps an event log to energy for one array geometry and Vdd."""
+
+    def __init__(
+        self,
+        technology: TechnologyParams,
+        array_geometry: ArrayGeometry,
+        vdd_mv: float = None,
+    ) -> None:
+        self.technology = technology
+        self.array_geometry = array_geometry
+        self.vdd_mv = (
+            vdd_mv if vdd_mv is not None else technology.vdd_nominal_mv
+        )
+        self._scale = technology.voltage_scale(self.vdd_mv)
+
+    def row_read_energy_fj(self, words_routed: int) -> float:
+        """Energy of one row read routing ``words_routed`` words out."""
+        tech = self.technology
+        columns = self.array_geometry.columns
+        raw = (
+            tech.e_precharge_per_column_fj * columns
+            + tech.e_wordline_fj
+            + tech.e_sense_per_word_fj * words_routed
+        )
+        return raw * self._scale
+
+    def row_write_energy_fj(self) -> float:
+        """Energy of one full-row write (all drivers fire)."""
+        tech = self.technology
+        columns = self.array_geometry.columns
+        raw = tech.e_wordline_fj + tech.e_write_driver_per_column_fj * columns
+        return raw * self._scale
+
+    def buffer_word_energy_fj(self) -> float:
+        return self.technology.e_buffer_per_word_fj * self._scale
+
+    def energy_of(self, events: SRAMEventLog) -> EnergyBreakdown:
+        """Total dynamic energy of a run.
+
+        Word-routing energy is apportioned from the aggregate
+        ``words_routed`` counter so mixed single-word and full-row reads
+        are charged exactly.
+        """
+        tech = self.technology
+        columns = self.array_geometry.columns
+        read_fj = (
+            events.row_reads
+            * (tech.e_precharge_per_column_fj * columns + tech.e_wordline_fj)
+            + events.words_routed * tech.e_sense_per_word_fj
+        ) * self._scale
+        write_fj = events.row_writes * self.row_write_energy_fj()
+        buffer_fj = (
+            events.set_buffer_reads + events.set_buffer_writes
+        ) * self.buffer_word_energy_fj()
+        return EnergyBreakdown(
+            read_fj=read_fj, write_fj=write_fj, buffer_fj=buffer_fj
+        )
+
+    def savings_vs(
+        self, events: SRAMEventLog, baseline_events: SRAMEventLog
+    ) -> float:
+        """Fractional dynamic-energy saving of ``events`` vs a baseline."""
+        baseline = self.energy_of(baseline_events).total_fj
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.energy_of(events).total_fj / baseline

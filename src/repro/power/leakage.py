@@ -1,0 +1,67 @@
+"""Static (leakage) power model.
+
+Leakage is the reason voltage scaling matters for caches: an L1 leaks
+continuously through every cell.  The model is deliberately simple —
+per-cell leakage at nominal Vdd from the technology preset, scaled
+superlinearly with supply (DIBL makes subthreshold leakage roughly
+exponential in Vds; a quadratic-plus term is enough for the trends the
+reproduction needs).
+
+8T cells pay ~33 % more leakage per cell (two extra transistors) but
+tolerate a much lower Vmin (see :mod:`repro.power.voltage`), which is
+the trade the paper's introduction describes: at the 6T Vmin the 8T
+array leaks more, but the 8T array may keep scaling down and win.
+"""
+
+from __future__ import annotations
+
+from repro.power.params import TechnologyParams
+from repro.sram.geometry import ArrayGeometry
+
+__all__ = ["LeakageModel"]
+
+# Exponent of the Vdd dependence of leakage power (I_leak rises with
+# Vdd via DIBL and the P=V*I product adds one more power of V).
+_LEAKAGE_VDD_EXPONENT = 2.5
+
+
+class LeakageModel:
+    """Array leakage power vs supply voltage."""
+
+    def __init__(
+        self, technology: TechnologyParams, array_geometry: ArrayGeometry
+    ) -> None:
+        self.technology = technology
+        self.array_geometry = array_geometry
+
+    def per_cell_pw(self, cell_kind: str, vdd_mv: float) -> float:
+        """Leakage power of one cell at ``vdd_mv``, picowatts."""
+        if vdd_mv <= 0:
+            raise ValueError(f"vdd_mv must be positive, got {vdd_mv}")
+        if cell_kind == "6T":
+            nominal = self.technology.leak_per_cell_6t_pw
+        elif cell_kind == "8T":
+            nominal = self.technology.leak_per_cell_8t_pw
+        else:
+            raise ValueError(f"unknown cell kind {cell_kind!r}")
+        ratio = vdd_mv / self.technology.vdd_nominal_mv
+        return nominal * (ratio ** _LEAKAGE_VDD_EXPONENT)
+
+    def array_power_uw(self, cell_kind: str, vdd_mv: float) -> float:
+        """Whole-array leakage power, microwatts."""
+        cells = self.array_geometry.total_cells
+        return self.per_cell_pw(cell_kind, vdd_mv) * cells * 1e-6
+
+    def scaling_win_fraction(
+        self, vdd_6t_min_mv: float, vdd_8t_min_mv: float
+    ) -> float:
+        """Leakage saving of an 8T array at its Vmin vs 6T at its Vmin.
+
+        Positive when the 8T array's deeper voltage scaling more than
+        pays for its extra transistors — the paper's premise.
+        """
+        power_6t = self.array_power_uw("6T", vdd_6t_min_mv)
+        power_8t = self.array_power_uw("8T", vdd_8t_min_mv)
+        if power_6t == 0:
+            return 0.0
+        return 1.0 - power_8t / power_6t

@@ -1,0 +1,93 @@
+"""Technology parameters and per-event energy coefficients.
+
+The coefficients are CACTI-6.0-flavoured order-of-magnitude constants
+(Muralimanohar et al., the tool the paper cites) for a small L1 array.
+Absolute joules are not the reproduction target — *ratios* between
+techniques are — so the constants only need to respect the relative
+costs: a full-row activation dwarfs a word's mux/sense energy, write
+drivers on all columns dominate row writes, and the Set-Buffer (a small
+latch row next to the drivers) is roughly an order of magnitude cheaper
+per word than an array access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TechnologyParams", "TECH_45NM", "TECH_32NM"]
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """One process-node preset.
+
+    Energy coefficients are in femtojoules at ``vdd_nominal_mv`` and
+    scale as (Vdd/Vdd_nominal)^2.
+
+    Attributes:
+        node_nm: feature size.
+        vdd_nominal_mv: nominal supply.
+        vdd_levels_mv: the discrete DVFS supply levels available.
+        e_precharge_per_column_fj: RBL precharge, per bit column.
+        e_wordline_fj: word-line driver pulse (read or write), per row.
+        e_sense_per_word_fj: sense + column mux, per word routed out.
+        e_write_driver_per_column_fj: write driver firing, per bit column.
+        e_buffer_per_word_fj: Set-Buffer latch read or write, per word.
+        leak_per_cell_6t_pw: 6T cell leakage power at nominal Vdd, pW.
+        leak_per_cell_8t_pw: 8T cell leakage (two extra transistors).
+    """
+
+    node_nm: int
+    vdd_nominal_mv: float
+    vdd_levels_mv: tuple
+    e_precharge_per_column_fj: float = 0.8
+    e_wordline_fj: float = 40.0
+    e_sense_per_word_fj: float = 12.0
+    e_write_driver_per_column_fj: float = 1.6
+    e_buffer_per_word_fj: float = 3.0
+    leak_per_cell_6t_pw: float = 12.0
+    leak_per_cell_8t_pw: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise ConfigurationError(f"node_nm must be > 0, got {self.node_nm}")
+        if self.vdd_nominal_mv <= 0:
+            raise ConfigurationError(
+                f"vdd_nominal_mv must be > 0, got {self.vdd_nominal_mv}"
+            )
+        if not self.vdd_levels_mv:
+            raise ConfigurationError("at least one DVFS level is required")
+        for level in self.vdd_levels_mv:
+            if level <= 0:
+                raise ConfigurationError(f"bad DVFS level {level}")
+
+    def voltage_scale(self, vdd_mv: float) -> float:
+        """Dynamic-energy scale factor (Vdd/Vnominal)^2."""
+        if vdd_mv <= 0:
+            raise ValueError(f"vdd_mv must be positive, got {vdd_mv}")
+        ratio = vdd_mv / self.vdd_nominal_mv
+        return ratio * ratio
+
+
+TECH_45NM = TechnologyParams(
+    node_nm=45,
+    vdd_nominal_mv=1000.0,
+    vdd_levels_mv=(1000.0, 900.0, 800.0, 700.0, 600.0, 500.0, 400.0),
+)
+"""45 nm-class preset (the node where 8T overtakes 6T density)."""
+
+TECH_32NM = TechnologyParams(
+    node_nm=32,
+    vdd_nominal_mv=900.0,
+    vdd_levels_mv=(900.0, 800.0, 700.0, 600.0, 500.0, 400.0, 350.0),
+    e_precharge_per_column_fj=0.6,
+    e_wordline_fj=30.0,
+    e_sense_per_word_fj=9.0,
+    e_write_driver_per_column_fj=1.2,
+    e_buffer_per_word_fj=2.2,
+    leak_per_cell_6t_pw=18.0,
+    leak_per_cell_8t_pw=24.0,
+)
+"""32 nm-class preset (Chang et al.'s 8T target node)."""

@@ -1,0 +1,94 @@
+"""DVFS levels and the 6T-vs-8T Vmin story.
+
+The paper's introduction: DVFS switches between predefined voltage
+levels; the minimum level assuring correct operation (Vmin) is limited
+by the cache's SRAM cells, and 6T read stability sets a high Vmin.  8T
+cells decouple the read port and keep working far lower — Verma &
+Chandrakasan demonstrate sub-threshold 8T operation.
+
+``vmin_mv`` derives each cell's Vmin from the behavioural SNM curve in
+:mod:`repro.sram.cell`; :class:`DVFSController` picks operating levels
+subject to that floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.power.params import TechnologyParams
+from repro.sram.cell import SNM_FAILURE_THRESHOLD_MV, read_snm_mv
+
+__all__ = ["vmin_mv", "DVFSLevel", "DVFSController"]
+
+_VDD_SEARCH_FLOOR_MV = 300.0
+_VDD_SEARCH_CEIL_MV = 1500.0
+_SEARCH_STEP_MV = 5.0
+
+
+def vmin_mv(cell_kind: str) -> float:
+    """Lowest supply at which the cell's read SNM is still safe."""
+    vdd = _VDD_SEARCH_FLOOR_MV
+    while vdd <= _VDD_SEARCH_CEIL_MV:
+        if read_snm_mv(cell_kind, vdd) >= SNM_FAILURE_THRESHOLD_MV:
+            return vdd
+        vdd += _SEARCH_STEP_MV
+    raise ValueError(f"{cell_kind} never reaches a safe read SNM")
+
+
+@dataclass(frozen=True)
+class DVFSLevel:
+    """One operating point: supply and the frequency it supports.
+
+    Frequency follows the classic alpha-power law approximation
+    f ∝ (Vdd - Vth) ** 1.3 / Vdd.
+    """
+
+    vdd_mv: float
+    frequency_ghz: float
+
+    @property
+    def relative_dynamic_power(self) -> float:
+        """P ∝ f * Vdd^2, normalised to Vdd in volts."""
+        vdd_v = self.vdd_mv / 1000.0
+        return self.frequency_ghz * vdd_v * vdd_v
+
+
+def _frequency_ghz(vdd_mv: float, vth_mv: float = 320.0) -> float:
+    if vdd_mv <= vth_mv:
+        return 0.05  # deep subthreshold: slow but alive
+    return 3.0 * ((vdd_mv - vth_mv) / 1000.0) ** 1.3 / (vdd_mv / 1000.0)
+
+
+class DVFSController:
+    """Picks operating levels for a cache built from a given cell."""
+
+    def __init__(self, technology: TechnologyParams, cell_kind: str) -> None:
+        self.technology = technology
+        self.cell_kind = cell_kind
+        self.vmin_mv = vmin_mv(cell_kind)
+
+    def available_levels(self) -> List[DVFSLevel]:
+        """Technology levels at or above this cell's Vmin."""
+        return [
+            DVFSLevel(vdd_mv=level, frequency_ghz=_frequency_ghz(level))
+            for level in sorted(self.technology.vdd_levels_mv, reverse=True)
+            if level >= self.vmin_mv
+        ]
+
+    def lowest_level(self) -> DVFSLevel:
+        """The deepest legal operating point — what the cache's Vmin buys."""
+        levels = self.available_levels()
+        if not levels:
+            raise ValueError(
+                f"no DVFS level satisfies Vmin={self.vmin_mv} mV for "
+                f"{self.cell_kind}"
+            )
+        return levels[-1]
+
+    def power_at_lowest_vs(self, other: "DVFSController") -> Tuple[float, float]:
+        """(self, other) relative dynamic power at each one's floor level."""
+        return (
+            self.lowest_level().relative_dynamic_power,
+            other.lowest_level().relative_dynamic_power,
+        )

@@ -1,0 +1,38 @@
+"""Simulation driver: traces -> controllers -> results.
+
+``simulator``
+    Run one trace through one controller.
+``comparison``
+    Replay one materialised trace through several techniques on fresh
+    caches, and compute the paper's access-frequency reduction metrics.
+``experiment``
+    :class:`ExperimentConfig` — everything one run depends on.
+``campaign``
+    Full benchmark-suite sweeps (the shape of Figures 9-11).
+"""
+
+from repro.sim.simulator import SimulationResult, Simulator, run_simulation
+from repro.sim.comparison import ComparisonResult, compare_techniques
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.campaign import (
+    BenchmarkRow,
+    CampaignResult,
+    run_campaign,
+    run_geometry_sweep,
+)
+from repro.sim.stability import StabilityResult, seed_stability
+
+__all__ = [
+    "StabilityResult",
+    "seed_stability",
+    "Simulator",
+    "SimulationResult",
+    "run_simulation",
+    "ComparisonResult",
+    "compare_techniques",
+    "ExperimentConfig",
+    "BenchmarkRow",
+    "CampaignResult",
+    "run_campaign",
+    "run_geometry_sweep",
+]

@@ -1,0 +1,134 @@
+"""Benchmark-suite campaigns — the engine behind Figures 9, 10 and 11.
+
+A campaign synthesises one trace per benchmark, replays it through
+every technique (with a warm-up slice excluded from accounting) and
+collects the per-benchmark access-reduction numbers plus suite
+averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cache.config import CacheGeometry
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.trace.record import MemoryAccess
+from repro.workload.generator import generate_trace
+from repro.workload.spec2006 import get_profile
+
+__all__ = ["BenchmarkRow", "CampaignResult", "run_campaign", "run_geometry_sweep"]
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """All techniques' results for one benchmark."""
+
+    benchmark: str
+    results: Dict[str, SimulationResult]
+
+    def array_accesses(self, technique: str) -> int:
+        return self.results[technique].array_accesses
+
+    def access_reduction(self, technique: str, baseline: str = "rmw") -> float:
+        baseline_accesses = self.array_accesses(baseline)
+        if baseline_accesses == 0:
+            return 0.0
+        return 1.0 - self.array_accesses(technique) / baseline_accesses
+
+    @property
+    def rmw_overhead(self) -> float:
+        conventional = self.array_accesses("conventional")
+        if conventional == 0:
+            return 0.0
+        return self.array_accesses("rmw") / conventional - 1.0
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Suite-wide results for one geometry."""
+
+    config: ExperimentConfig
+    rows: List[BenchmarkRow]
+
+    def row(self, benchmark: str) -> BenchmarkRow:
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise ValueError(f"benchmark {benchmark!r} not in campaign")
+
+    def mean_reduction(self, technique: str, baseline: str = "rmw") -> float:
+        """Arithmetic mean of per-benchmark reductions (the paper's avg)."""
+        if not self.rows:
+            return 0.0
+        return sum(
+            row.access_reduction(technique, baseline) for row in self.rows
+        ) / len(self.rows)
+
+    def max_reduction(self, technique: str, baseline: str = "rmw") -> float:
+        return max(
+            (row.access_reduction(technique, baseline) for row in self.rows),
+            default=0.0,
+        )
+
+    def best_benchmark(self, technique: str, baseline: str = "rmw") -> str:
+        """Benchmark with the largest reduction for ``technique``."""
+        if not self.rows:
+            raise ValueError("empty campaign")
+        return max(
+            self.rows, key=lambda row: row.access_reduction(technique, baseline)
+        ).benchmark
+
+    @property
+    def mean_rmw_overhead(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.rmw_overhead for row in self.rows) / len(self.rows)
+
+    @property
+    def max_rmw_overhead(self) -> float:
+        return max((row.rmw_overhead for row in self.rows), default=0.0)
+
+
+def _run_one(
+    trace: Sequence[MemoryAccess],
+    technique: str,
+    config: ExperimentConfig,
+) -> SimulationResult:
+    simulator = Simulator(technique, config.geometry)
+    warmup = config.warmup_accesses
+    if warmup:
+        simulator.feed(trace[:warmup])
+        simulator.reset_measurements()
+    simulator.feed(trace[warmup:])
+    return simulator.finish()
+
+
+def run_campaign(config: ExperimentConfig) -> CampaignResult:
+    """Run every benchmark through every technique."""
+    rows: List[BenchmarkRow] = []
+    for benchmark in config.benchmarks:
+        profile = get_profile(benchmark)
+        trace = generate_trace(
+            profile, config.accesses_per_benchmark, seed=config.seed
+        )
+        results = {
+            technique: _run_one(trace, technique, config)
+            for technique in config.techniques
+        }
+        rows.append(BenchmarkRow(benchmark=benchmark, results=results))
+    return CampaignResult(config=config, rows=rows)
+
+
+def run_geometry_sweep(
+    config: ExperimentConfig, geometries: Sequence[CacheGeometry]
+) -> Dict[str, CampaignResult]:
+    """Run the campaign once per geometry (Figures 10/11).
+
+    Returns results keyed by ``geometry.describe()``.
+    """
+    return {
+        geometry.describe(): run_campaign(config.with_geometry(geometry))
+        for geometry in geometries
+    }

@@ -1,0 +1,63 @@
+"""Multiprocess campaign execution.
+
+A full campaign is embarrassingly parallel across benchmarks (each
+benchmark's trace generation + per-technique replay is independent), so
+this module fans the rows out over a process pool.  Each worker
+synthesises its own trace from ``(benchmark, config)`` — nothing large
+crosses the process boundary, and determinism is untouched because
+seeds derive from names, not from execution order.
+
+``run_campaign_parallel`` returns exactly what
+:func:`repro.sim.campaign.run_campaign` returns; a sequential fallback
+keeps single-CPU and restricted environments working.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.sim.campaign import BenchmarkRow, CampaignResult, _run_one
+from repro.sim.experiment import ExperimentConfig
+from repro.utils.validation import check_positive
+from repro.workload.generator import generate_trace
+from repro.workload.spec2006 import get_profile
+
+__all__ = ["run_campaign_parallel"]
+
+
+def _run_benchmark(args) -> BenchmarkRow:
+    """Worker: one benchmark through every technique (module-level so
+    it pickles)."""
+    benchmark, config = args
+    profile = get_profile(benchmark)
+    trace = generate_trace(
+        profile, config.accesses_per_benchmark, seed=config.seed
+    )
+    results = {
+        technique: _run_one(trace, technique, config)
+        for technique in config.techniques
+    }
+    return BenchmarkRow(benchmark=benchmark, results=results)
+
+
+def run_campaign_parallel(
+    config: ExperimentConfig, processes: Optional[int] = None
+) -> CampaignResult:
+    """Run the campaign with up to ``processes`` workers.
+
+    ``processes=1`` (or a pool failure, e.g. a sandbox that forbids
+    fork) degrades to in-process execution with identical results.
+    """
+    if processes is not None:
+        check_positive("processes", processes)
+    jobs = [(benchmark, config) for benchmark in config.benchmarks]
+    if processes == 1:
+        rows = [_run_benchmark(job) for job in jobs]
+        return CampaignResult(config=config, rows=rows)
+    try:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            rows = list(pool.map(_run_benchmark, jobs))
+    except (OSError, PermissionError):
+        rows = [_run_benchmark(job) for job in jobs]
+    return CampaignResult(config=config, rows=rows)

@@ -1,0 +1,100 @@
+"""Single-technique simulation runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.cache.memory import FunctionalMemory
+from repro.cache.stats import CacheStats
+from repro.core.controller import CacheController
+from repro.core.outcomes import OperationCounts
+from repro.core.registry import make_controller
+from repro.sram.events import SRAMEventLog
+from repro.trace.record import MemoryAccess
+
+__all__ = ["Simulator", "SimulationResult", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured from one (trace, technique) run."""
+
+    technique: str
+    geometry: CacheGeometry
+    requests: int
+    events: SRAMEventLog
+    counts: OperationCounts
+    cache_stats: CacheStats
+
+    @property
+    def array_accesses(self) -> int:
+        """The paper's cache-access count for this run."""
+        return self.events.array_accesses
+
+    @property
+    def accesses_per_request(self) -> float:
+        return self.array_accesses / self.requests if self.requests else 0.0
+
+
+class Simulator:
+    """Owns one controller + cache + memory and feeds it a trace."""
+
+    def __init__(
+        self,
+        technique: str,
+        geometry: CacheGeometry,
+        memory: Optional[FunctionalMemory] = None,
+        **controller_kwargs,
+    ) -> None:
+        self.memory = memory if memory is not None else FunctionalMemory()
+        self.cache = SetAssociativeCache(geometry, self.memory)
+        self.controller: CacheController = make_controller(
+            technique, self.cache, **controller_kwargs
+        )
+        self.geometry = geometry
+        self._requests = 0
+
+    def feed(self, trace: Iterable[MemoryAccess]) -> None:
+        """Process a stream of accesses (may be called repeatedly)."""
+        process = self.controller.process
+        for access in trace:
+            process(access)
+            self._requests += 1
+
+    def reset_measurements(self) -> None:
+        """Zero all counters while keeping cache/controller *state*.
+
+        Used to implement warm-up: feed the warm-up slice, reset, then
+        feed the measured slice — the paper's fast-forward, in miniature.
+        """
+        self.controller.events = SRAMEventLog()
+        self.controller.counts = OperationCounts()
+        self.cache.stats = CacheStats()
+        self._requests = 0
+
+    def finish(self) -> SimulationResult:
+        """Finalize the controller and snapshot the results."""
+        self.controller.finalize()
+        return SimulationResult(
+            technique=self.controller.name,
+            geometry=self.geometry,
+            requests=self._requests,
+            events=self.controller.events.copy(),
+            counts=self.controller.counts,
+            cache_stats=self.cache.stats,
+        )
+
+
+def run_simulation(
+    trace: Iterable[MemoryAccess],
+    technique: str,
+    geometry: CacheGeometry,
+    **controller_kwargs,
+) -> SimulationResult:
+    """Convenience: build a simulator, run the trace, return the result."""
+    simulator = Simulator(technique, geometry, **controller_kwargs)
+    simulator.feed(trace)
+    return simulator.finish()

@@ -1,0 +1,81 @@
+"""Seed-stability analysis.
+
+The paper notes Pin runs are not repeatable, forcing all techniques to
+be evaluated in a single run.  Our traces are repeatable, which buys
+something better: we can *quantify* run-to-run variation by re-seeding
+the generators.  This module runs a campaign across seeds and reports
+mean / standard deviation of the headline reductions — the error bars
+the paper could not draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.campaign import run_campaign
+from repro.sim.experiment import ExperimentConfig
+from repro.utils.validation import check_positive
+
+__all__ = ["StabilityResult", "seed_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Across-seed statistics of a campaign metric."""
+
+    technique: str
+    per_seed_means: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.per_seed_means) / len(self.per_seed_means)
+
+    @property
+    def std(self) -> float:
+        if len(self.per_seed_means) < 2:
+            return 0.0
+        mu = self.mean
+        variance = sum((x - mu) ** 2 for x in self.per_seed_means) / (
+            len(self.per_seed_means) - 1
+        )
+        return variance ** 0.5
+
+    @property
+    def spread(self) -> float:
+        return max(self.per_seed_means) - min(self.per_seed_means)
+
+
+def seed_stability(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    techniques: Sequence[str] = ("wg", "wg_rb"),
+) -> Dict[str, StabilityResult]:
+    """Run ``config`` once per seed; return per-technique statistics.
+
+    ``config.techniques`` must include ``rmw`` (the reduction baseline)
+    plus every entry of ``techniques``.
+    """
+    check_positive("number of seeds", len(seeds))
+    missing = [t for t in ("rmw", *techniques) if t not in config.techniques]
+    if missing:
+        raise ValueError(f"config.techniques is missing {missing}")
+    per_seed: Dict[str, List[float]] = {t: [] for t in techniques}
+    for seed in seeds:
+        seeded = ExperimentConfig(
+            geometry=config.geometry,
+            benchmarks=config.benchmarks,
+            techniques=config.techniques,
+            accesses_per_benchmark=config.accesses_per_benchmark,
+            warmup_fraction=config.warmup_fraction,
+            seed=seed,
+        )
+        campaign = run_campaign(seeded)
+        for technique in techniques:
+            per_seed[technique].append(campaign.mean_reduction(technique))
+    return {
+        technique: StabilityResult(
+            technique=technique, per_seed_means=tuple(values)
+        )
+        for technique, values in per_seed.items()
+    }

@@ -1,0 +1,47 @@
+"""Behavioural 8T (and 6T) SRAM array substrate.
+
+Models the circuit-level machinery the paper builds on (its Figures 1
+and 2): cross-coupled cells with separate read/write ports, one row per
+cache set, bit-interleaved columns sharing word lines, column muxes for
+reads, and the Read-Modify-Write sequence required to write a subset of
+an interleaved row safely.
+
+The model is value-accurate at word granularity and *enforces* the
+column-selection constraint: a partial write to an interleaved 8T row
+without RMW raises :class:`HalfSelectViolation`, which is exactly the
+hazard the paper's Section 2 describes.
+"""
+
+from repro.sram.cell import SRAMCell6T, SRAMCell8T, read_snm_mv
+from repro.sram.geometry import ArrayGeometry
+from repro.sram.events import SRAMEventLog
+from repro.sram.array import HalfSelectViolation, SRAMArray
+from repro.sram.ports import PortKind, PortTracker
+from repro.sram.timing import PhaseTiming
+from repro.sram.ecc import DecodeResult, InterleavedRowLayout, decode, encode
+from repro.sram.faults import FaultInjector, ReliabilityReport, mean_burst_width
+from repro.sram.protected import ECCProtectedArray, ScrubReport
+from repro.sram.banked import BankedSRAMArray
+
+__all__ = [
+    "SRAMCell6T",
+    "SRAMCell8T",
+    "read_snm_mv",
+    "ArrayGeometry",
+    "SRAMEventLog",
+    "SRAMArray",
+    "HalfSelectViolation",
+    "PortKind",
+    "PortTracker",
+    "PhaseTiming",
+    "encode",
+    "decode",
+    "DecodeResult",
+    "InterleavedRowLayout",
+    "FaultInjector",
+    "ReliabilityReport",
+    "mean_burst_width",
+    "ECCProtectedArray",
+    "ScrubReport",
+    "BankedSRAMArray",
+]

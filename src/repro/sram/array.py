@@ -1,0 +1,158 @@
+"""Value-accurate behavioural SRAM array.
+
+Implements the paper's Figure 2 semantics at word granularity:
+
+* a **row read** precharges the RBLs, raises one RWL, and every cell in
+  the row drives its read stack; the column mux routes only the
+  requested words to the output;
+* a **row write** raises one WWL and every write driver in the row
+  fires — there is no way to write only some columns of an interleaved
+  row;
+* a **partial write** therefore must go through :meth:`read_modify_write`,
+  which reads the row into the write-back latches, merges the new words,
+  and writes the full row back.  Calling :meth:`write_words` directly on
+  an interleaved array raises :class:`HalfSelectViolation`.
+
+With ``interleaved=False`` the array models Chang et al.'s alternative
+(word-granularity word lines): partial writes are legal and cost a
+single row write, which the ablation benchmarks use as a comparison
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sram.events import SRAMEventLog
+from repro.sram.geometry import ArrayGeometry
+
+__all__ = ["SRAMArray", "HalfSelectViolation"]
+
+
+class HalfSelectViolation(SimulationError):
+    """A partial write was attempted on an interleaved row without RMW."""
+
+
+class SRAMArray:
+    """One data array: ``rows`` x ``words_per_row`` words of storage."""
+
+    def __init__(
+        self, geometry: ArrayGeometry, event_log: Optional[SRAMEventLog] = None
+    ) -> None:
+        self.geometry = geometry
+        self.events = event_log if event_log is not None else SRAMEventLog()
+        self._rows: List[List[int]] = [
+            [0] * geometry.words_per_row for _ in range(geometry.rows)
+        ]
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.geometry.rows:
+            raise ValueError(f"row {row} out of range [0, {self.geometry.rows})")
+
+    def _check_column(self, word_index: int) -> None:
+        if not 0 <= word_index < self.geometry.words_per_row:
+            raise ValueError(
+                f"word index {word_index} out of range "
+                f"[0, {self.geometry.words_per_row})"
+            )
+
+    # -- reads ----------------------------------------------------------------
+
+    def read_row(self, row: int) -> List[int]:
+        """Full-row read (RMW's 'read row' phase: fills the latches)."""
+        self._check_row(row)
+        self.events.record_row_read(words_routed=self.geometry.words_per_row)
+        return list(self._rows[row])
+
+    def read_words(self, row: int, word_indices: Sequence[int]) -> List[int]:
+        """Architectural read: one row activation, mux routes the words.
+
+        All cells in the row perform the read; half-selected columns are
+        simply ignored by the multiplexers (safe for 8T read ports).
+        """
+        self._check_row(row)
+        for word_index in word_indices:
+            self._check_column(word_index)
+        self.events.record_row_read(words_routed=len(word_indices))
+        return [self._rows[row][i] for i in word_indices]
+
+    # -- writes ---------------------------------------------------------------
+
+    def write_row(self, row: int, values: Sequence[int]) -> None:
+        """Full-row write: WWL raised, every driver fires.
+
+        This is the only legal *direct* write on an interleaved array;
+        it is used for the RMW write-back phase and for the Set-Buffer
+        write-back (the buffer holds the whole row).
+        """
+        self._check_row(row)
+        if len(values) != self.geometry.words_per_row:
+            raise ValueError(
+                f"row write needs {self.geometry.words_per_row} words, "
+                f"got {len(values)}"
+            )
+        self._rows[row] = list(values)
+        self.events.record_row_write(words_driven=self.geometry.words_per_row)
+
+    def write_words(self, row: int, updates: Dict[int, int]) -> None:
+        """Partial write without RMW.
+
+        Legal only on a non-interleaved array (Chang-style word-granular
+        word lines).  On an interleaved array this is the column
+        selection hazard and raises :class:`HalfSelectViolation`.
+        """
+        self._check_row(row)
+        if self.geometry.interleaved:
+            raise HalfSelectViolation(
+                "partial write to an interleaved 8T row would corrupt "
+                "half-selected columns; use read_modify_write()"
+            )
+        for word_index, value in updates.items():
+            self._check_column(word_index)
+            self._rows[row][word_index] = value
+        self.events.record_row_write(words_driven=len(updates))
+
+    def read_modify_write(self, row: int, updates: Dict[int, int]) -> List[int]:
+        """Morita et al.'s RMW sequence (paper Section 2, steps 1-5).
+
+        1-3. precharge, RWL, latch the full row (mux output suppressed);
+        4.   selected columns load from Data-in, half-selected columns
+             load from the latches;
+        5.   WWL rises and the merged row is written back.
+
+        Returns the *pre-write* row contents (what the latches held),
+        which the Set-Buffer uses when WG fills it by 'read row'.
+        """
+        self._check_row(row)
+        for word_index in updates:
+            self._check_column(word_index)
+        latched = self.read_row(row)
+        merged = list(latched)
+        for word_index, value in updates.items():
+            merged[word_index] = value
+        self.write_row(row, merged)
+        self.events.rmw_operations += 1
+        return latched
+
+    # -- inspection -----------------------------------------------------------
+
+    def peek_row(self, row: int) -> List[int]:
+        """Row contents without generating events (test/oracle use only)."""
+        self._check_row(row)
+        return list(self._rows[row])
+
+    def peek_word(self, row: int, word_index: int) -> int:
+        self._check_row(row)
+        self._check_column(word_index)
+        return self._rows[row][word_index]
+
+    def load_row(self, row: int, values: Sequence[int]) -> None:
+        """Initialise a row without events (test fixture / fill mirror)."""
+        self._check_row(row)
+        if len(values) != self.geometry.words_per_row:
+            raise ValueError(
+                f"row load needs {self.geometry.words_per_row} words, "
+                f"got {len(values)}"
+            )
+        self._rows[row] = list(values)

@@ -1,0 +1,111 @@
+"""Banked (sub-array) SRAM organisation.
+
+The paper's Section 2: "In order to optimize word and bit lines
+latency, power, and area, SRAM arrays are broken vertically and
+horizontally into interleaved sub-arrays" — and Park et al. exploit
+exactly this structure to localise RMW.  :class:`BankedSRAMArray`
+models the organisation: a grid of independent :class:`SRAMArray`
+banks, rows striped across them, with per-bank event logs plus an
+aggregate view.
+
+The behavioural contract matches a flat array (same data, same
+operations), which the equivalence property test pins down; what
+banking adds is *locality of occupancy* — the timing model can treat
+each bank's ports independently, and per-bank event counts expose load
+balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sram.array import SRAMArray
+from repro.sram.events import SRAMEventLog
+from repro.sram.geometry import ArrayGeometry
+from repro.utils.bitops import is_power_of_two
+
+__all__ = ["BankedSRAMArray"]
+
+
+class BankedSRAMArray:
+    """A grid of sub-arrays presenting one flat row space.
+
+    Row ``r`` lives in bank ``r % banks`` at local row ``r // banks``
+    (low-order striping, so consecutive sets land in different banks —
+    the arrangement that lets Park's scheme overlap accesses).
+    """
+
+    def __init__(self, geometry: ArrayGeometry, banks: int) -> None:
+        if not is_power_of_two(banks):
+            raise ValueError(f"banks must be a power of two, got {banks}")
+        if banks > geometry.rows:
+            raise ValueError(
+                f"banks ({banks}) cannot exceed rows ({geometry.rows})"
+            )
+        self.geometry = geometry
+        self.banks = banks
+        bank_geometry = ArrayGeometry(
+            rows=geometry.rows // banks,
+            words_per_row=geometry.words_per_row,
+            interleaved=geometry.interleaved,
+        )
+        self._banks: List[SRAMArray] = [
+            SRAMArray(bank_geometry) for _ in range(banks)
+        ]
+
+    # -- routing -----------------------------------------------------------------
+
+    def bank_of(self, row: int) -> int:
+        self._check_row(row)
+        return row % self.banks
+
+    def _local(self, row: int) -> int:
+        return row // self.banks
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.geometry.rows:
+            raise ValueError(
+                f"row {row} out of range [0, {self.geometry.rows})"
+            )
+
+    # -- flat-array operations ------------------------------------------------------
+
+    def read_row(self, row: int) -> List[int]:
+        return self._banks[self.bank_of(row)].read_row(self._local(row))
+
+    def read_words(self, row: int, word_indices: Sequence[int]) -> List[int]:
+        return self._banks[self.bank_of(row)].read_words(
+            self._local(row), word_indices
+        )
+
+    def write_row(self, row: int, values: Sequence[int]) -> None:
+        self._banks[self.bank_of(row)].write_row(self._local(row), values)
+
+    def read_modify_write(self, row: int, updates: Dict[int, int]) -> List[int]:
+        return self._banks[self.bank_of(row)].read_modify_write(
+            self._local(row), updates
+        )
+
+    def peek_row(self, row: int) -> List[int]:
+        return self._banks[self.bank_of(row)].peek_row(self._local(row))
+
+    def load_row(self, row: int, values: Sequence[int]) -> None:
+        self._banks[self.bank_of(row)].load_row(self._local(row), values)
+
+    # -- observation ------------------------------------------------------------------
+
+    def bank_events(self, bank: int) -> SRAMEventLog:
+        """Event log of one bank."""
+        return self._banks[bank].events
+
+    @property
+    def events(self) -> SRAMEventLog:
+        """Aggregate event log across banks (a merged copy)."""
+        merged = SRAMEventLog()
+        for bank in self._banks:
+            merged = merged.merge(bank.events)
+        return merged
+
+    def load_balance(self) -> List[int]:
+        """Array accesses per bank — uniform striping keeps this flat."""
+        return [bank.events.array_accesses for bank in self._banks]

@@ -1,0 +1,136 @@
+"""Behavioural 6T and 8T SRAM cell models.
+
+These follow the paper's Figure 1.  An 8T cell is a 6T core (M1-M4
+cross-coupled inverters, M5/M6 write access transistors on WBL/WBLB
+gated by the write word line WWL) plus a decoupled read stack (M7/M8 on
+the read bit line RBL gated by the read word line RWL).
+
+The behavioural contract captured here:
+
+* 8T reads are non-destructive and do not disturb the cell: RBL
+  discharges through M7/M8 when Q == 0 and stays precharged when Q == 1.
+* 8T cells are write-optimised; a *half-selected* 8T cell (WWL raised
+  but its write drivers not driving the intended value) sees its stored
+  value exposed to whatever is on the shared write bit lines, so the
+  model treats a half-select during write as data corruption — the very
+  reason RMW exists.
+* 6T cells tolerate half-select during writes by biasing the cell for a
+  read (Section 2), at the cost of read-stability margin under voltage
+  scaling.
+
+A small analytic read static-noise-margin (SNM) curve is included so
+the power package can derive Vmin for 6T vs 8T arrays and reproduce the
+paper's DVFS motivation (8T keeps working below the 6T Vmin).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_range
+
+__all__ = ["SRAMCell6T", "SRAMCell8T", "read_snm_mv"]
+
+# Empirical-shape constants for the toy SNM model (loosely following the
+# 65 nm measurements in Verma & Chandrakasan [12]): read SNM shrinks
+# roughly linearly with Vdd and the 6T read SNM is much smaller than the
+# 8T one because the 8T read stack is decoupled from the storage nodes.
+_SNM_SLOPE_6T = 0.18  # mV of read SNM per mV of Vdd
+_SNM_SLOPE_8T = 0.34
+_SNM_OFFSET_6T = -60.0  # mV
+_SNM_OFFSET_8T = -20.0
+SNM_FAILURE_THRESHOLD_MV = 40.0
+"""Minimum read SNM considered stable (used for Vmin derivation)."""
+
+
+def read_snm_mv(cell_kind: str, vdd_mv: float) -> float:
+    """Analytic read static-noise margin in millivolts.
+
+    Args:
+        cell_kind: ``"6T"`` or ``"8T"``.
+        vdd_mv: supply voltage in millivolts (300-1200 supported).
+    """
+    check_in_range("vdd_mv", vdd_mv, 300.0, 1500.0)
+    if cell_kind == "6T":
+        return max(0.0, _SNM_SLOPE_6T * vdd_mv + _SNM_OFFSET_6T)
+    if cell_kind == "8T":
+        return max(0.0, _SNM_SLOPE_8T * vdd_mv + _SNM_OFFSET_8T)
+    raise ValueError(f"unknown cell kind {cell_kind!r}")
+
+
+class SRAMCell6T:
+    """Classic six-transistor cell: one shared port for read and write."""
+
+    kind = "6T"
+    transistors = 6
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial not in (0, 1):
+            raise ValueError(f"cell stores one bit, got {initial!r}")
+        self.q = initial
+
+    def write(self, bit: int) -> None:
+        """Drive WBL/WBLB with the word line raised."""
+        if bit not in (0, 1):
+            raise ValueError(f"cell stores one bit, got {bit!r}")
+        self.q = bit
+
+    def read(self) -> int:
+        """Differential read through the shared access transistors."""
+        return self.q
+
+    def half_select_during_write(self) -> int:
+        """A half-selected 6T cell is biased as a read: data survives."""
+        return self.q
+
+    @property
+    def half_select_safe(self) -> bool:
+        return True
+
+
+class SRAMCell8T:
+    """Eight-transistor cell with decoupled read port (paper Figure 1)."""
+
+    kind = "8T"
+    transistors = 8
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial not in (0, 1):
+            raise ValueError(f"cell stores one bit, got {initial!r}")
+        self.q = initial
+
+    def write(self, bit: int) -> None:
+        """Full write: WWL raised, write drivers driving WBL/WBLB."""
+        if bit not in (0, 1):
+            raise ValueError(f"cell stores one bit, got {bit!r}")
+        self.q = bit
+
+    def read_rbl(self, rbl_precharged: bool = True) -> bool:
+        """Read through M7/M8.
+
+        Returns True when the read bit line *discharges* — which happens
+        when the cell stores 0 (M7 on).  A cell storing 1 leaves the RBL
+        precharged.  Raises if the RBL was not precharged first, because
+        a floating RBL yields garbage.
+        """
+        if not rbl_precharged:
+            raise ValueError("RBL must be precharged before RWL rises")
+        return self.q == 0
+
+    def read(self) -> int:
+        """Convenience logical read (precharge + sense)."""
+        return 0 if self.read_rbl(True) else 1
+
+    def half_select_during_write(self, wbl_value: int) -> int:
+        """A half-selected 8T cell during a row write is *unsafe*.
+
+        The cell's WWL is raised (shared along the row) while the shared
+        write bit lines carry whatever the write drivers put there for
+        the selected word.  The cell is overwritten with that value —
+        data corruption unless RMW reloaded the correct value into the
+        drivers first.
+        """
+        self.q = wbl_value & 1
+        return self.q
+
+    @property
+    def half_select_safe(self) -> bool:
+        return False

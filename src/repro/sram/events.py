@@ -1,0 +1,95 @@
+"""SRAM array event accounting.
+
+Every architectural operation decomposes into circuit events (precharge,
+read word line pulse, write word line pulse, words routed through the
+column mux, write drivers fired).  The controllers in :mod:`repro.core`
+and the full :class:`repro.sram.SRAMArray` both record through this log,
+so the energy model in :mod:`repro.power` has a single source of truth.
+
+The paper's headline metric — *cache access frequency* — is
+``row_reads + row_writes``: each word-line activation of the data array,
+which is what costs energy and occupies a port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["SRAMEventLog"]
+
+
+@dataclass
+class SRAMEventLog:
+    """Counters for circuit-level events in one array.
+
+    ``row_reads``/``row_writes`` count word-line activations;
+    ``words_routed``/``words_driven`` count data actually moved, which
+    the energy model weights separately from the row activation cost.
+    """
+
+    row_reads: int = 0
+    row_writes: int = 0
+    rmw_operations: int = 0
+    precharges: int = 0
+    rwl_pulses: int = 0
+    wwl_pulses: int = 0
+    words_routed: int = 0
+    words_driven: int = 0
+    set_buffer_reads: int = 0
+    set_buffer_writes: int = 0
+
+    # -- recording helpers ----------------------------------------------------
+
+    def record_row_read(self, words_routed: int) -> None:
+        """A precharge + RWL pulse; ``words_routed`` words leave the mux."""
+        self.precharges += 1
+        self.rwl_pulses += 1
+        self.row_reads += 1
+        self.words_routed += words_routed
+
+    def record_row_write(self, words_driven: int) -> None:
+        """A WWL pulse with every write driver in the row firing.
+
+        ``words_driven`` is the full row width: the column-selection
+        constraint means a row write always drives all columns.
+        """
+        self.wwl_pulses += 1
+        self.row_writes += 1
+        self.words_driven += words_driven
+
+    def record_rmw(self, row_words: int) -> None:
+        """One Read-Modify-Write: a row read feeding latches + a row write."""
+        self.rmw_operations += 1
+        self.record_row_read(words_routed=row_words)
+        self.record_row_write(words_driven=row_words)
+
+    def record_set_buffer_read(self, words: int = 1) -> None:
+        """Words served from the Set-Buffer instead of the array (WG+RB)."""
+        self.set_buffer_reads += words
+
+    def record_set_buffer_write(self, words: int = 1) -> None:
+        """Words merged into the Set-Buffer (WG)."""
+        self.set_buffer_writes += words
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def array_accesses(self) -> int:
+        """The paper's 'cache access' count: all word-line activations."""
+        return self.row_reads + self.row_writes
+
+    def merge(self, other: "SRAMEventLog") -> "SRAMEventLog":
+        """Elementwise sum of two logs."""
+        merged = SRAMEventLog()
+        for field in fields(SRAMEventLog):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+    def copy(self) -> "SRAMEventLog":
+        return SRAMEventLog(
+            **{f.name: getattr(self, f.name) for f in fields(SRAMEventLog)}
+        )

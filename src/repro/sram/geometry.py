@@ -1,0 +1,75 @@
+"""SRAM array organisation.
+
+One array row holds one cache set (that is why the paper's Set-Buffer —
+sized to one set — can buffer a full row).  Words are bit-interleaved
+across the row: adjacent cells belong to different words, so one word
+line selects all words of the row and reads use column multiplexers to
+route only the requested word (paper Section 2 / Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.utils.bitops import is_power_of_two
+
+__all__ = ["ArrayGeometry"]
+
+BITS_PER_WORD = 64
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Shape of one SRAM data array.
+
+    Attributes:
+        rows: number of word-line rows (== cache sets in our mapping).
+        words_per_row: interleaved words sharing each row
+            (== associativity * words_per_block).
+        interleaved: True for bit-interleaved layout (the paper's
+            default, required for single-bit-correction ECC).  When
+            False the array models Chang et al.'s non-interleaved
+            word-granularity-write alternative, where partial writes
+            are legal and RMW is unnecessary.
+    """
+
+    rows: int
+    words_per_row: int
+    interleaved: bool = True
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.rows):
+            raise ConfigurationError(
+                f"rows must be a power of two, got {self.rows!r}"
+            )
+        if not is_power_of_two(self.words_per_row):
+            raise ConfigurationError(
+                f"words_per_row must be a power of two, got {self.words_per_row!r}"
+            )
+
+    @property
+    def columns(self) -> int:
+        """Bit columns per row."""
+        return self.words_per_row * BITS_PER_WORD
+
+    @property
+    def interleave_factor(self) -> int:
+        """Number of words whose bits are interleaved in one row."""
+        return self.words_per_row if self.interleaved else 1
+
+    @property
+    def total_cells(self) -> int:
+        return self.rows * self.columns
+
+    @classmethod
+    def for_cache(
+        cls, cache_geometry: CacheGeometry, interleaved: bool = True
+    ) -> "ArrayGeometry":
+        """Array shape matching a cache: one row per set."""
+        return cls(
+            rows=cache_geometry.num_sets,
+            words_per_row=cache_geometry.words_per_set,
+            interleaved=interleaved,
+        )

@@ -1,0 +1,68 @@
+"""1R/1W port occupancy tracking.
+
+8T arrays have separate read and write ports and can normally service
+one read and one write in the same cycle.  RMW breaks this: its read
+phase occupies the read port on behalf of a *write* request (paper
+Section 2), so a concurrent read must stall.  WG/WG+RB restore read
+port availability by eliminating most RMW read phases — the effect the
+performance model in :mod:`repro.perf` quantifies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PortKind", "PortTracker"]
+
+
+class PortKind(enum.Enum):
+    """The two independent ports of an 8T array."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class PortTracker:
+    """Tracks when each port becomes free on a monotonically advancing clock.
+
+    ``acquire`` returns the cycle at which the operation actually starts
+    (its requested start, or later if the port is busy) and counts a
+    conflict whenever an operation had to wait.
+    """
+
+    free_at: Dict[PortKind, int] = field(
+        default_factory=lambda: {PortKind.READ: 0, PortKind.WRITE: 0}
+    )
+    busy_cycles: Dict[PortKind, int] = field(
+        default_factory=lambda: {PortKind.READ: 0, PortKind.WRITE: 0}
+    )
+    conflicts: Dict[PortKind, int] = field(
+        default_factory=lambda: {PortKind.READ: 0, PortKind.WRITE: 0}
+    )
+
+    def acquire(self, port: PortKind, start_cycle: int, duration: int) -> int:
+        """Reserve ``port`` for ``duration`` cycles from ``start_cycle``.
+
+        Returns the actual start cycle after any stall.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        actual_start = max(start_cycle, self.free_at[port])
+        if actual_start > start_cycle:
+            self.conflicts[port] += 1
+        self.free_at[port] = actual_start + duration
+        self.busy_cycles[port] += duration
+        return actual_start
+
+    def is_free(self, port: PortKind, cycle: int) -> bool:
+        """True when ``port`` is idle at ``cycle``."""
+        return self.free_at[port] <= cycle
+
+    def utilisation(self, port: PortKind, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` the port spent busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles[port] / elapsed_cycles)

@@ -1,0 +1,133 @@
+"""ECC-protected SRAM array with scrubbing.
+
+Wraps :class:`SRAMArray` so that every stored word is a Hamming(72,64)
+SEC-DED codeword: writes encode, reads decode (correcting single-bit
+upsets in place), and a background *scrub* walks rows to repair latent
+errors before a second strike can compound them — standard practice for
+low-voltage caches and the operational context of the paper's
+reliability premise.
+
+Strikes are injected at logical positions via :meth:`inject_bit_flips`,
+which the reliability example/benchmarks drive through
+:class:`repro.sram.faults.FaultInjector`-style burst geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sram.array import SRAMArray
+from repro.sram.ecc import CODEWORD_BITS, decode, encode
+from repro.sram.geometry import ArrayGeometry
+
+__all__ = ["ECCProtectedArray", "ScrubReport"]
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass."""
+
+    rows_scrubbed: int = 0
+    corrected_words: int = 0
+    uncorrectable_words: int = 0
+    failed_positions: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.uncorrectable_words == 0
+
+
+class ECCProtectedArray:
+    """SEC-DED protected word storage over a behavioural array.
+
+    The backing :class:`SRAMArray` stores 72-bit codewords; this wrapper
+    keeps the data/codeword translation and the error accounting.
+    """
+
+    def __init__(self, geometry: ArrayGeometry) -> None:
+        self.geometry = geometry
+        self._array = SRAMArray(geometry)
+        # Rows start as encoded zeros, matching FunctionalMemory's
+        # zero-filled initial state.
+        zero = encode(0)
+        for row in range(geometry.rows):
+            self._array.load_row(row, [zero] * geometry.words_per_row)
+        self.corrected_reads = 0
+        self.uncorrectable_reads = 0
+
+    @property
+    def events(self):
+        """Circuit event log of the backing array."""
+        return self._array.events
+
+    # -- data path -------------------------------------------------------------
+
+    def write_word(self, row: int, word_index: int, value: int) -> None:
+        """Encode and store one word (a legal partial write via RMW)."""
+        self._array.read_modify_write(row, {word_index: encode(value)})
+
+    def write_row(self, row: int, values: Sequence[int]) -> None:
+        """Encode and store a full row (the Set-Buffer write-back path)."""
+        self._array.write_row(row, [encode(value) for value in values])
+
+    def read_word(self, row: int, word_index: int) -> int:
+        """Read one word, transparently correcting a single-bit upset.
+
+        Correction also repairs the stored codeword (read-repair), so a
+        corrected error does not linger.  Raises ``ValueError`` on an
+        uncorrectable word — data loss, which callers surface.
+        """
+        codeword = self._array.read_words(row, [word_index])[0]
+        result = decode(codeword)
+        if result.status == "corrected":
+            self.corrected_reads += 1
+            self._array.read_modify_write(row, {word_index: encode(result.data)})
+        elif result.status == "uncorrectable":
+            self.uncorrectable_reads += 1
+            raise ValueError(
+                f"uncorrectable ECC error at row {row} word {word_index}"
+            )
+        return result.data
+
+    # -- faults and scrubbing -----------------------------------------------------
+
+    def inject_bit_flips(
+        self, row: int, flips: Sequence[Tuple[int, int]]
+    ) -> None:
+        """Flip ``(word_index, bit_index)`` positions in a stored row.
+
+        Bypasses the event log (a particle strike is not an access).
+        """
+        stored = self._array.peek_row(row)
+        for word_index, bit_index in flips:
+            if not 0 <= bit_index < CODEWORD_BITS:
+                raise ValueError(
+                    f"bit_index {bit_index} out of range [0, {CODEWORD_BITS})"
+                )
+            stored[word_index] ^= 1 << bit_index
+        self._array.load_row(row, stored)
+
+    def scrub(self) -> ScrubReport:
+        """Walk every row, re-encoding any correctable words.
+
+        Returns the repair census; uncorrectable words are reported (and
+        left in place) rather than raising, since a scrubber must finish
+        its sweep.
+        """
+        report = ScrubReport()
+        for row in range(self.geometry.rows):
+            stored = self._array.read_row(row)
+            repaired: Dict[int, int] = {}
+            for word_index, codeword in enumerate(stored):
+                result = decode(codeword)
+                if result.status == "corrected":
+                    repaired[word_index] = encode(result.data)
+                    report.corrected_words += 1
+                elif result.status == "uncorrectable":
+                    report.uncorrectable_words += 1
+                    report.failed_positions.append((row, word_index))
+            if repaired:
+                self._array.read_modify_write(row, repaired)
+            report.rows_scrubbed += 1
+        return report

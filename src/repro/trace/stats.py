@@ -1,0 +1,177 @@
+"""Trace statistics behind the paper's motivation figures.
+
+:class:`TraceStatistics` computes, in one pass over a trace:
+
+* read/write access counts and their frequency per executed instruction
+  (Figure 3);
+* the breakdown of *consecutive accesses to the same cache set* into the
+  four scenarios Read-Read, Read-Write, Write-Write and Write-Read
+  (Figure 4) — a pair is classified by ``(previous kind, current kind)``
+  and counted only when both accesses map to the same set;
+* silent-write frequency (Figure 5) — a write is silent when the value
+  it stores equals the value already held at that word, judged against a
+  functional memory that starts zero-filled, exactly like the silent
+  stores of Lepak & Lipasti that the paper cites.
+
+The set mapping is supplied as a callable so this module stays
+independent of the cache package; :mod:`repro.analysis` wires in the
+real :class:`repro.cache.AddressMapper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.trace.record import AccessType, MemoryAccess
+
+__all__ = ["ScenarioBreakdown", "TraceStatistics", "collect_statistics"]
+
+SetIndexFn = Callable[[int], int]
+
+
+@dataclass
+class ScenarioBreakdown:
+    """Counts of consecutive same-set access pairs, by scenario.
+
+    Pair names follow the paper: the first letter is the *earlier*
+    access.  ``total_pairs`` counts every consecutive pair (same set or
+    not) so the shares can be expressed as the paper's "% of accesses".
+    """
+
+    read_read: int = 0
+    read_write: int = 0
+    write_write: int = 0
+    write_read: int = 0
+    total_pairs: int = 0
+
+    @property
+    def same_set_pairs(self) -> int:
+        return self.read_read + self.read_write + self.write_write + self.write_read
+
+    def share(self, scenario: str) -> float:
+        """Share of all consecutive pairs falling in ``scenario``.
+
+        ``scenario`` is one of ``"RR"``, ``"RW"``, ``"WW"``, ``"WR"``.
+        """
+        counts = {
+            "RR": self.read_read,
+            "RW": self.read_write,
+            "WW": self.write_write,
+            "WR": self.write_read,
+        }
+        if scenario not in counts:
+            raise ValueError(f"unknown scenario {scenario!r}")
+        if self.total_pairs == 0:
+            return 0.0
+        return counts[scenario] / self.total_pairs
+
+    @property
+    def same_set_share(self) -> float:
+        """Share of all consecutive pairs made to the same set."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.same_set_pairs / self.total_pairs
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics for one trace.
+
+    Build incrementally via :meth:`observe`, or in one shot with
+    :func:`collect_statistics`.
+    """
+
+    set_index_fn: Optional[SetIndexFn] = None
+    reads: int = 0
+    writes: int = 0
+    silent_writes: int = 0
+    first_icount: Optional[int] = None
+    last_icount: Optional[int] = None
+    scenarios: ScenarioBreakdown = field(default_factory=ScenarioBreakdown)
+    _memory: Dict[int, int] = field(default_factory=dict, repr=False)
+    _previous: Optional[MemoryAccess] = field(default=None, repr=False)
+
+    def observe(self, access: MemoryAccess) -> None:
+        """Fold one access into the statistics."""
+        if self.first_icount is None:
+            self.first_icount = access.icount
+        self.last_icount = access.icount
+
+        if access.kind is AccessType.READ:
+            self.reads += 1
+        else:
+            self.writes += 1
+            if self._memory.get(access.word, 0) == access.value:
+                self.silent_writes += 1
+            else:
+                self._memory[access.word] = access.value
+
+        if self._previous is not None:
+            self.scenarios.total_pairs += 1
+            if self.set_index_fn is not None:
+                previous_set = self.set_index_fn(self._previous.address)
+                current_set = self.set_index_fn(access.address)
+                if previous_set == current_set:
+                    self._classify_pair(self._previous.kind, access.kind)
+        self._previous = access
+
+    def _classify_pair(self, first: AccessType, second: AccessType) -> None:
+        if first.is_read and second.is_read:
+            self.scenarios.read_read += 1
+        elif first.is_read and second.is_write:
+            self.scenarios.read_write += 1
+        elif first.is_write and second.is_write:
+            self.scenarios.write_write += 1
+        else:
+            self.scenarios.write_read += 1
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def instructions(self) -> int:
+        """Number of executed instructions spanned by the trace."""
+        if self.first_icount is None or self.last_icount is None:
+            return 0
+        return self.last_icount - self.first_icount + 1
+
+    @property
+    def read_frequency(self) -> float:
+        """Reads per executed instruction (Figure 3, left series)."""
+        instructions = self.instructions
+        return self.reads / instructions if instructions else 0.0
+
+    @property
+    def write_frequency(self) -> float:
+        """Writes per executed instruction (Figure 3, right series)."""
+        instructions = self.instructions
+        return self.writes / instructions if instructions else 0.0
+
+    @property
+    def memory_access_frequency(self) -> float:
+        """Memory accesses per executed instruction."""
+        return self.read_frequency + self.write_frequency
+
+    @property
+    def silent_write_fraction(self) -> float:
+        """Fraction of writes that are silent (Figure 5)."""
+        return self.silent_writes / self.writes if self.writes else 0.0
+
+    @property
+    def write_share_of_accesses(self) -> float:
+        """Writes as a fraction of all memory accesses."""
+        return self.writes / self.accesses if self.accesses else 0.0
+
+
+def collect_statistics(
+    trace: Iterable[MemoryAccess], set_index_fn: Optional[SetIndexFn] = None
+) -> TraceStatistics:
+    """Run a whole trace through :class:`TraceStatistics`."""
+    stats = TraceStatistics(set_index_fn=set_index_fn)
+    for access in trace:
+        stats.observe(access)
+    return stats

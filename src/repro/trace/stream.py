@@ -1,0 +1,67 @@
+"""Lazy trace-stream transformers.
+
+All transformers accept and return iterables of :class:`MemoryAccess`
+and never materialise the stream, so multi-million-access campaigns run
+in constant memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.trace.record import MemoryAccess
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["skip_warmup", "limit_accesses", "sample_accesses", "materialize"]
+
+
+def skip_warmup(
+    trace: Iterable[MemoryAccess], warmup_accesses: int
+) -> Iterator[MemoryAccess]:
+    """Drop the first ``warmup_accesses`` records.
+
+    Mirrors the paper's 1-billion-instruction fast-forward: statistics
+    are collected only after the cache has warmed.  (The simulator still
+    *processes* warm-up accesses when warming state matters; this filter
+    is for pure trace statistics.)
+    """
+    check_non_negative("warmup_accesses", warmup_accesses)
+    iterator = iter(trace)
+    for _ in range(warmup_accesses):
+        next(iterator, None)
+    yield from iterator
+
+
+def limit_accesses(
+    trace: Iterable[MemoryAccess], max_accesses: int
+) -> Iterator[MemoryAccess]:
+    """Truncate the stream after ``max_accesses`` records."""
+    check_non_negative("max_accesses", max_accesses)
+    for index, access in enumerate(trace):
+        if index >= max_accesses:
+            return
+        yield access
+
+
+def sample_accesses(
+    trace: Iterable[MemoryAccess], period: int
+) -> Iterator[MemoryAccess]:
+    """Keep every ``period``-th record (period 1 keeps everything).
+
+    Note sampling breaks consecutive-pair statistics; it exists for quick
+    footprint inspection, not for reproducing Figure 4.
+    """
+    check_positive("period", period)
+    for index, access in enumerate(trace):
+        if index % period == 0:
+            yield access
+
+
+def materialize(trace: Iterable[MemoryAccess]) -> List[MemoryAccess]:
+    """Fully realise a stream into a list (for reuse across techniques).
+
+    The paper evaluated all techniques in one Pin run because Pin is not
+    repeatable; we instead materialise a trace once and replay it through
+    every controller so comparisons are exact.
+    """
+    return list(trace)

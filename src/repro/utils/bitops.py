@@ -1,0 +1,62 @@
+"""Bit-level arithmetic helpers.
+
+Cache address decomposition and SRAM array geometry are all powers of
+two, so these helpers favour exactness over generality: ``log2_exact``
+raises if its argument is not a power of two rather than silently
+truncating.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "bit_mask",
+    "extract_bits",
+    "round_up_pow2",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``n`` such that ``2**n == value``.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the ``width`` low-order bits set.
+
+    ``bit_mask(0)`` is 0; negative widths are rejected.
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    Example:
+        >>> extract_bits(0b1101_0110, low=2, width=3)
+        5
+    """
+    if low < 0:
+        raise ValueError(f"low bit index must be non-negative, got {low}")
+    return (value >> low) & bit_mask(width)
+
+
+def round_up_pow2(value: int) -> int:
+    """Round ``value`` up to the nearest power of two (min 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()

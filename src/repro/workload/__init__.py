@@ -1,0 +1,74 @@
+"""Workload substrate — the reproduction's substitute for Pin + SPEC 2006.
+
+The paper drives its cache simulator with Pin traces of 25 SPEC CPU2006
+benchmarks.  Neither Pin nor SPEC binaries are available here, so this
+package synthesises traces whose *statistical structure* matches what
+the paper measures (its Figures 3-5) while keeping the spatial structure
+at the address level so geometry sensitivity (Figures 10-11) emerges
+from simulation:
+
+``patterns``
+    Address-stream engines: sequential, strided, random, pointer-chase
+    and hotspot.
+``values``
+    The store-value model that produces silent stores at a calibrated
+    rate.
+``profile``
+    :class:`WorkloadProfile` — the knobs describing one benchmark.
+``spec2006``
+    25 calibrated profiles named after the paper's benchmarks.
+``generator``
+    :class:`SyntheticTraceGenerator` — turns a profile into a trace.
+``kernels``
+    Real, executable, instrumented kernels (matmul, stream triad, sort,
+    linked list, histogram, stencil) whose memory behaviour is captured
+    directly — a second, fully mechanistic trace source.
+"""
+
+from repro.workload.patterns import (
+    AddressPattern,
+    HotspotPattern,
+    PointerChasePattern,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    make_pattern,
+)
+from repro.workload.values import ValueModel
+from repro.workload.profile import StreamSpec, WorkloadProfile
+from repro.workload.generator import SyntheticTraceGenerator, generate_trace
+from repro.workload.spec2006 import (
+    SPEC2006_PROFILES,
+    benchmark_names,
+    get_profile,
+)
+from repro.workload.kernels import (
+    InstrumentedMemory,
+    KERNEL_NAMES,
+    run_kernel,
+)
+from repro.workload.mixes import merge_traces
+from repro.workload.fitting import fit_profile
+
+__all__ = [
+    "AddressPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "RandomPattern",
+    "PointerChasePattern",
+    "HotspotPattern",
+    "make_pattern",
+    "ValueModel",
+    "StreamSpec",
+    "WorkloadProfile",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "SPEC2006_PROFILES",
+    "benchmark_names",
+    "get_profile",
+    "InstrumentedMemory",
+    "KERNEL_NAMES",
+    "run_kernel",
+    "merge_traces",
+    "fit_profile",
+]

@@ -1,0 +1,136 @@
+"""Fit a workload profile to an observed trace.
+
+Closes the loop between the two trace sources: given any trace — an
+instrumented kernel, a converted real trace file, or another tool's
+output — estimate the :class:`WorkloadProfile` knobs that would make
+the synthetic generator mimic it.  Useful for (a) calibrating profiles
+from real measurements when they exist, and (b) sanity-checking the
+generator (fitting a synthetic trace should roughly recover its own
+knobs — property-tested).
+
+Estimators (all single-pass over the trace):
+
+* read/write frequency — directly from :class:`TraceStatistics`;
+* silent fraction — directly from the value stream;
+* burst_mean — from the mean run length of *consecutive same-block*
+  accesses (the observable footprint of stream bursts);
+* type_persistence — from P(kind_i == kind_{i-1}), inverted through
+  the stationary mixing identity p_obs = rho + (1-rho)*(r^2 + w^2);
+* stream mix — a coarse spatial classification: fraction of accesses
+  whose block distance to the previous access is 0/1 (sequential-ish),
+  small (strided/hot) or large (random/pointer), mapped to a
+  three-stream mixture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.trace.record import MemoryAccess
+from repro.trace.stats import collect_statistics
+from repro.utils.bitops import round_up_pow2
+from repro.workload.profile import StreamSpec, WorkloadProfile
+
+__all__ = ["fit_profile"]
+
+_BLOCK_BYTES = 32  # classification granularity (baseline block size)
+
+
+def _estimate_burst_mean(trace: Sequence[MemoryAccess]) -> float:
+    """Mean run length of consecutive same-block accesses, floor 1."""
+    runs: List[int] = []
+    current = 1
+    for previous, access in zip(trace, trace[1:]):
+        same_block = (
+            previous.address // _BLOCK_BYTES == access.address // _BLOCK_BYTES
+        )
+        near_block = (
+            abs(access.address // _BLOCK_BYTES - previous.address // _BLOCK_BYTES)
+            <= 1
+        )
+        if same_block or near_block:
+            current += 1
+        else:
+            runs.append(current)
+            current = 1
+    runs.append(current)
+    return max(1.0, sum(runs) / len(runs))
+
+
+def _estimate_persistence(trace: Sequence[MemoryAccess], stats) -> float:
+    """Invert P(same kind) = rho + (1-rho)(r^2+w^2) for rho."""
+    if len(trace) < 2:
+        return 0.5
+    same_kind = sum(
+        1
+        for previous, access in zip(trace, trace[1:])
+        if previous.kind is access.kind
+    )
+    observed = same_kind / (len(trace) - 1)
+    write_share = stats.write_share_of_accesses
+    base = write_share**2 + (1.0 - write_share) ** 2
+    if base >= 1.0:
+        return 0.0
+    rho = (observed - base) / (1.0 - base)
+    return min(1.0, max(0.0, rho))
+
+
+def _classify_spatial(trace: Sequence[MemoryAccess]) -> Dict[str, float]:
+    """Fractions of near/strided/far transitions between accesses."""
+    counts = {"sequential": 0, "strided": 0, "random": 0}
+    for previous, access in zip(trace, trace[1:]):
+        distance = abs(
+            access.address // _BLOCK_BYTES - previous.address // _BLOCK_BYTES
+        )
+        if distance <= 1:
+            counts["sequential"] += 1
+        elif distance <= 16:
+            counts["strided"] += 1
+        else:
+            counts["random"] += 1
+    total = max(1, len(trace) - 1)
+    return {kind: count / total for kind, count in counts.items()}
+
+
+def fit_profile(
+    trace: Sequence[MemoryAccess], name: str = "fitted"
+) -> WorkloadProfile:
+    """Estimate a :class:`WorkloadProfile` from a trace.
+
+    Raises ``ValueError`` for traces too short to estimate from
+    (< 100 accesses) or with no reads or no writes (the profile model
+    requires both).
+    """
+    if len(trace) < 100:
+        raise ValueError(
+            f"need at least 100 accesses to fit a profile, got {len(trace)}"
+        )
+    stats = collect_statistics(trace)
+    if stats.reads == 0 or stats.writes == 0:
+        raise ValueError("trace must contain both reads and writes")
+
+    read_frequency = min(0.6, max(0.01, stats.read_frequency))
+    write_frequency = min(0.6, max(0.01, stats.write_frequency))
+    if read_frequency + write_frequency >= 1.0:
+        scale = 0.95 / (read_frequency + write_frequency)
+        read_frequency *= scale
+        write_frequency *= scale
+
+    footprint_words = len({access.word for access in trace})
+    region_kib = max(8, round_up_pow2(footprint_words * 8 // 1024 or 1))
+    spatial = _classify_spatial(trace)
+    streams = tuple(
+        StreamSpec(kind, weight=max(share, 0.02), region_kib=region_kib)
+        for kind, share in spatial.items()
+    )
+
+    return WorkloadProfile(
+        name=name,
+        read_frequency=read_frequency,
+        write_frequency=write_frequency,
+        silent_fraction=stats.silent_write_fraction,
+        burst_mean=_estimate_burst_mean(trace),
+        type_persistence=_estimate_persistence(trace, stats),
+        streams=streams,
+        description=f"fitted from a {len(trace)}-access trace",
+    )

@@ -1,0 +1,135 @@
+"""Synthetic trace generator.
+
+Turns a :class:`WorkloadProfile` into a stream of
+:class:`MemoryAccess` records.  The generation loop:
+
+1. pick a stream (weighted) and a geometric burst length
+   (``burst_mean``) — within a burst all accesses come from that stream;
+2. for each access choose read/write: repeat the previous kind with
+   probability ``type_persistence``, otherwise redraw Bernoulli with the
+   stream-biased write share (the stationary write share stays at the
+   profile's value for unit bias);
+3. advance the instruction counter by a geometric gap whose mean makes
+   memory accesses land at ``memory_fraction`` per instruction;
+4. for writes, draw the value from the :class:`ValueModel`, which
+   produces silent stores at the calibrated rate.
+
+Determinism: everything derives from ``(profile.name, seed)`` so two
+runs — or two controllers replaying the same materialised trace — see
+identical streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import check_positive
+from repro.workload.patterns import AddressPattern, make_pattern
+from repro.workload.profile import WorkloadProfile
+from repro.workload.values import ValueModel
+
+__all__ = ["SyntheticTraceGenerator", "generate_trace"]
+
+# Streams get disjoint 1 GiB-aligned base regions so their footprints
+# never overlap (48-bit physical space leaves plenty of room).
+_REGION_SPACING = 1 << 30
+
+
+class SyntheticTraceGenerator:
+    """Stateful generator for one profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 2012) -> None:
+        self.profile = profile
+        root = DeterministicRNG(seed).fork("workload", profile.name)
+        self._stream_rng = root.fork("streams")
+        self._type_rng = root.fork("types")
+        self._gap_rng = root.fork("gaps")
+        self._address_rng = root.fork("addresses")
+        self._value_model = ValueModel(
+            profile.silent_fraction, root.fork("values")
+        )
+        self._patterns: List[AddressPattern] = []
+        self._weights: List[float] = []
+        self._write_shares: List[float] = []
+        base_write_share = profile.write_share
+        for index, spec in enumerate(profile.streams):
+            kwargs = {}
+            if spec.kind == "strided":
+                kwargs["stride_words"] = spec.stride_words
+            elif spec.kind == "hotspot":
+                kwargs["hot_words"] = spec.hot_words
+                kwargs["hot_probability"] = spec.hot_probability
+            pattern = make_pattern(
+                spec.kind,
+                base_address=(index + 1) * _REGION_SPACING,
+                region_words=spec.region_words,
+                **kwargs,
+            )
+            self._patterns.append(pattern)
+            self._weights.append(spec.weight)
+            self._write_shares.append(
+                min(1.0, base_write_share * spec.write_bias)
+            )
+        self._icount = 0
+        self._gap_mean = 1.0 / profile.memory_fraction
+
+    @property
+    def value_model(self) -> ValueModel:
+        return self._value_model
+
+    def generate(self, num_accesses: int) -> Iterator[MemoryAccess]:
+        """Yield ``num_accesses`` records."""
+        check_positive("num_accesses", num_accesses)
+        produced = 0
+        stream_indices = list(range(len(self._patterns)))
+        while produced < num_accesses:
+            stream_index = self._stream_rng.weighted_choice(
+                stream_indices, self._weights
+            )
+            pattern = self._patterns[stream_index]
+            write_share = self._write_shares[stream_index]
+            burst_length = self._stream_rng.geometric(self.profile.burst_mean)
+            previous_kind: Optional[AccessType] = None
+            for _ in range(burst_length):
+                if produced >= num_accesses:
+                    return
+                kind = self._choose_kind(previous_kind, write_share)
+                previous_kind = kind
+                address = pattern.next_address(self._address_rng)
+                self._icount += self._gap_rng.geometric(self._gap_mean)
+                if kind is AccessType.WRITE:
+                    value = self._value_model.value_for_write(address)
+                else:
+                    value = 0
+                yield MemoryAccess(
+                    icount=self._icount,
+                    kind=kind,
+                    address=address,
+                    value=value,
+                )
+                produced += 1
+
+    def _choose_kind(
+        self, previous: Optional[AccessType], write_share: float
+    ) -> AccessType:
+        if previous is not None and self._type_rng.maybe(
+            self.profile.type_persistence
+        ):
+            return previous
+        if self._type_rng.maybe(write_share):
+            return AccessType.WRITE
+        return AccessType.READ
+
+
+def generate_trace(
+    profile: WorkloadProfile, num_accesses: int, seed: int = 2012
+) -> List[MemoryAccess]:
+    """Materialise a full synthetic trace for ``profile``."""
+    generator = SyntheticTraceGenerator(profile, seed=seed)
+    return list(generator.generate(num_accesses))
+
+
+def _word_aligned(address: int) -> bool:
+    return address % WORD_BYTES == 0

@@ -1,0 +1,268 @@
+"""Instrumented real kernels — a mechanistic trace source.
+
+Where :mod:`repro.workload.generator` synthesises traces statistically,
+this module *executes* small kernels against an
+:class:`InstrumentedMemory` that records every load and store, exactly
+the way a Pin tool instruments a binary.  The kernels cover the access
+archetypes the SPEC profiles model: dense sweeps (stream triad,
+matmul), pointer chasing (linked list), random updates (histogram),
+stencils, and comparison-driven writes (insertion sort — a natural
+source of silent stores when data is partially sorted).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import check_positive
+
+__all__ = ["InstrumentedMemory", "KERNEL_NAMES", "run_kernel"]
+
+
+class InstrumentedMemory:
+    """A flat word array that logs every access as a trace record.
+
+    Kernels address it by word index; the logger converts to byte
+    addresses.  One instruction-counter tick is charged per memory
+    access plus a fixed overhead per kernel-level operation, giving the
+    traces a realistic memory-access frequency (~1/3).
+    """
+
+    def __init__(self, words: int, non_memory_gap: int = 2) -> None:
+        check_positive("words", words)
+        self._data: List[int] = [0] * words
+        self._gap = non_memory_gap
+        self._icount = 0
+        self.trace: List[MemoryAccess] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def load(self, word_index: int) -> int:
+        """Instrumented read."""
+        self._icount += 1 + self._gap
+        self.trace.append(
+            MemoryAccess(
+                icount=self._icount,
+                kind=AccessType.READ,
+                address=word_index * WORD_BYTES,
+            )
+        )
+        return self._data[word_index]
+
+    def store(self, word_index: int, value: int) -> None:
+        """Instrumented write (records the stored value for silent-store
+        analysis, then updates the backing array)."""
+        self._icount += 1 + self._gap
+        self.trace.append(
+            MemoryAccess(
+                icount=self._icount,
+                kind=AccessType.WRITE,
+                address=word_index * WORD_BYTES,
+                value=value,
+            )
+        )
+        self._data[word_index] = value
+
+    def poke(self, word_index: int, value: int) -> None:
+        """Initialise memory without tracing (test fixture setup)."""
+        self._data[word_index] = value
+
+    def peek(self, word_index: int) -> int:
+        """Read without tracing."""
+        return self._data[word_index]
+
+
+# -- kernels -------------------------------------------------------------------
+
+
+def _stream_triad(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """a[i] = b[i] + s * c[i] over three disjoint arrays."""
+    n = len(memory) // 3
+    a, b, c = 0, n, 2 * n
+    for i in range(n):
+        memory.poke(b + i, rng.randint(0, 50))
+        memory.poke(c + i, rng.randint(0, 50))
+    scalar = 3
+    for i in range(n):
+        memory.store(a + i, memory.load(b + i) + scalar * memory.load(c + i))
+
+
+def _matmul(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Naive n x n matrix multiply, row-major C = A @ B."""
+    n = max(2, int((len(memory) // 3) ** 0.5))
+    a, b, c = 0, n * n, 2 * n * n
+    for i in range(n * n):
+        memory.poke(a + i, rng.randint(0, 9))
+        memory.poke(b + i, rng.randint(0, 9))
+    for i in range(n):
+        for j in range(n):
+            accumulator = 0
+            for k in range(n):
+                accumulator += memory.load(a + i * n + k) * memory.load(
+                    b + k * n + j
+                )
+            memory.store(c + i * n + j, accumulator)
+
+
+def _linked_list(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Build a shuffled singly linked list, then walk it twice summing."""
+    n = len(memory) // 2
+    order = list(range(n))
+    rng.shuffle(order)
+    # node i: next pointer at word i, payload at word n + i.
+    for position in range(n - 1):
+        memory.store(order[position], order[position + 1])
+        memory.store(n + order[position], rng.randint(0, 99))
+    memory.store(order[-1], order[0])
+    memory.store(n + order[-1], rng.randint(0, 99))
+    node = order[0]
+    total = 0
+    for _ in range(2 * n):
+        total += memory.load(n + node)
+        node = memory.load(node)
+
+
+def _histogram(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Random increments into a small bin array (read-modify-write pairs)."""
+    bins = min(64, len(memory) // 4)
+    samples = len(memory)
+    for _ in range(samples):
+        bin_index = rng.randint(0, bins - 1)
+        memory.store(bin_index, memory.load(bin_index) + 1)
+
+
+def _stencil(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """1D 3-point Jacobi sweep: out[i] = avg(in[i-1], in[i], in[i+1])."""
+    n = len(memory) // 2
+    src, dst = 0, n
+    for i in range(n):
+        memory.poke(src + i, rng.randint(0, 100))
+    for _ in range(2):
+        for i in range(1, n - 1):
+            total = (
+                memory.load(src + i - 1)
+                + memory.load(src + i)
+                + memory.load(src + i + 1)
+            )
+            memory.store(dst + i, total // 3)
+        src, dst = dst, src
+
+
+def _insertion_sort(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Insertion sort of a nearly-sorted array — rich in silent stores.
+
+    Shifting an element over an equal neighbour rewrites the same value,
+    which is exactly the silent-store pattern of Figure 5.
+    """
+    n = min(len(memory), 512)
+    for i in range(n):
+        # Long runs of duplicates with sparse perturbations: most
+        # elements are already in place, so the final store of each
+        # iteration rewrites the value it just read.
+        bump = 1 if rng.maybe(0.15) else 0
+        memory.poke(i, (i // 16) + bump)
+    for i in range(1, n):
+        key = memory.load(i)
+        j = i - 1
+        while j >= 0:
+            current = memory.load(j)
+            if current <= key:
+                break
+            memory.store(j + 1, current)
+            j -= 1
+        memory.store(j + 1, key)
+
+
+def _binary_search(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Many binary searches over a sorted table — scattered, read-only
+    probes into a large array plus a small hot result buffer."""
+    n = max(8, len(memory) - 64)
+    results = n  # 64-word result buffer after the table
+    for i in range(n):
+        memory.poke(i, 2 * i)  # sorted, even values only
+    for query_index in range(n // 2):
+        target = rng.randint(0, 2 * n)
+        low, high = 0, n - 1
+        found = 0
+        while low <= high:
+            mid = (low + high) // 2
+            value = memory.load(mid)
+            if value == target:
+                found = 1
+                break
+            if value < target:
+                low = mid + 1
+            else:
+                high = mid - 1
+        memory.store(results + (query_index % 64), found)
+
+
+def _fifo_queue(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Producer/consumer ring buffer: head/tail counters in one hot
+    block, payload sweeping the ring — WW pairs on the counters."""
+    capacity = len(memory) - 2
+    head_slot, tail_slot = capacity, capacity + 1
+    for _ in range(2 * capacity):
+        if rng.maybe(0.55):
+            tail = memory.load(tail_slot)
+            head = memory.load(head_slot)
+            if tail - head < capacity:
+                memory.store(tail % capacity, rng.randint(1, 99))
+                memory.store(tail_slot, tail + 1)
+        else:
+            head = memory.load(head_slot)
+            tail = memory.load(tail_slot)
+            if head < tail:
+                memory.load(head % capacity)
+                memory.store(head_slot, head + 1)
+
+
+def _checkpoint(memory: InstrumentedMemory, rng: DeterministicRNG) -> None:
+    """Periodic state checkpointing: copy a working region into a
+    shadow region even when little changed — the canonical silent-store
+    generator (most copied words are identical to the previous copy)."""
+    n = len(memory) // 2
+    working, shadow = 0, n
+    for i in range(n):
+        memory.poke(working + i, rng.randint(0, 9))
+    for _round in range(3):
+        # Mutate a small fraction of the working set...
+        for _ in range(max(1, n // 16)):
+            memory.store(working + rng.randint(0, n - 1), rng.randint(0, 9))
+        # ...then checkpoint everything.
+        for i in range(n):
+            memory.store(shadow + i, memory.load(working + i))
+
+
+_KERNELS: Dict[str, Callable[[InstrumentedMemory, DeterministicRNG], None]] = {
+    "stream_triad": _stream_triad,
+    "matmul": _matmul,
+    "linked_list": _linked_list,
+    "histogram": _histogram,
+    "stencil": _stencil,
+    "insertion_sort": _insertion_sort,
+    "binary_search": _binary_search,
+    "fifo_queue": _fifo_queue,
+    "checkpoint": _checkpoint,
+}
+
+KERNEL_NAMES = tuple(sorted(_KERNELS))
+"""Available instrumented kernels."""
+
+
+def run_kernel(
+    name: str, words: int = 3072, seed: int = 7
+) -> List[MemoryAccess]:
+    """Execute a kernel over a fresh instrumented memory; return its trace."""
+    try:
+        kernel = _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; known: {list(KERNEL_NAMES)}"
+        ) from None
+    memory = InstrumentedMemory(words)
+    kernel(memory, DeterministicRNG(seed).fork("kernel", name))
+    return memory.trace

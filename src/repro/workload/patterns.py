@@ -1,0 +1,172 @@
+"""Address-stream pattern engines.
+
+Each pattern walks a private region of the address space and yields
+word-aligned byte addresses.  The mixture of patterns in a profile is
+what gives each synthetic benchmark its spatial-locality signature —
+and spatial locality is what the paper's techniques harvest.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+from repro.trace.record import WORD_BYTES
+from repro.utils.rng import DeterministicRNG
+from repro.utils.bitops import is_power_of_two
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "AddressPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "RandomPattern",
+    "PointerChasePattern",
+    "HotspotPattern",
+    "make_pattern",
+]
+
+
+class AddressPattern(abc.ABC):
+    """A stateful generator of word-aligned byte addresses.
+
+    Args:
+        base_address: first byte of the pattern's region (word aligned).
+        region_words: number of words in the region.
+    """
+
+    def __init__(self, base_address: int, region_words: int) -> None:
+        check_positive("region_words", region_words)
+        if base_address % WORD_BYTES != 0:
+            raise ValueError(
+                f"base_address must be word aligned, got {base_address:#x}"
+            )
+        self.base_address = base_address
+        self.region_words = region_words
+
+    @abc.abstractmethod
+    def next_address(self, rng: DeterministicRNG) -> int:
+        """Produce the next byte address of the stream."""
+
+    def _address_of_word(self, word_index: int) -> int:
+        return self.base_address + (word_index % self.region_words) * WORD_BYTES
+
+
+class SequentialPattern(AddressPattern):
+    """Unit-stride walk, wrapping at the region end.
+
+    Models streaming kernels (bwaves, lbm, libquantum): consecutive
+    accesses fall in the same cache block 1 - 1/words_per_block of the
+    time, which is the raw material for write grouping.
+    """
+
+    def __init__(self, base_address: int, region_words: int) -> None:
+        super().__init__(base_address, region_words)
+        self._position = 0
+
+    def next_address(self, rng: DeterministicRNG) -> int:
+        address = self._address_of_word(self._position)
+        self._position = (self._position + 1) % self.region_words
+        return address
+
+
+class StridedPattern(AddressPattern):
+    """Constant-stride walk (column-major array sweeps, records)."""
+
+    def __init__(
+        self, base_address: int, region_words: int, stride_words: int
+    ) -> None:
+        super().__init__(base_address, region_words)
+        check_positive("stride_words", stride_words)
+        self.stride_words = stride_words
+        self._position = 0
+
+    def next_address(self, rng: DeterministicRNG) -> int:
+        address = self._address_of_word(self._position)
+        self._position = (self._position + self.stride_words) % self.region_words
+        return address
+
+
+class RandomPattern(AddressPattern):
+    """Uniform random words in the region (hash tables, gobmk/sjeng)."""
+
+    def next_address(self, rng: DeterministicRNG) -> int:
+        return self._address_of_word(rng.randint(0, self.region_words - 1))
+
+
+class PointerChasePattern(AddressPattern):
+    """A full-period pseudo-random permutation walk (mcf-style chasing).
+
+    Uses an LCG over a power-of-two region (odd increment, multiplier
+    ≡ 1 mod 4) so every word is visited exactly once per period without
+    materialising a permutation.
+    """
+
+    def __init__(self, base_address: int, region_words: int) -> None:
+        if not is_power_of_two(region_words):
+            raise ValueError(
+                f"pointer chase needs a power-of-two region, got {region_words}"
+            )
+        super().__init__(base_address, region_words)
+        self._position = 0
+        # Full-period LCG parameters for modulus 2^k (Hull-Dobell).
+        self._multiplier = 5
+        self._increment = 12345 | 1
+
+    def next_address(self, rng: DeterministicRNG) -> int:
+        address = self._address_of_word(self._position)
+        self._position = (
+            self._multiplier * self._position + self._increment
+        ) % self.region_words
+        return address
+
+
+class HotspotPattern(AddressPattern):
+    """A small hot set reused with high probability, else a cold word.
+
+    Models stack frames and frequently written globals — the main source
+    of silent stores and tight set reuse in integer codes.
+    """
+
+    def __init__(
+        self,
+        base_address: int,
+        region_words: int,
+        hot_words: int = 16,
+        hot_probability: float = 0.9,
+    ) -> None:
+        super().__init__(base_address, region_words)
+        check_positive("hot_words", hot_words)
+        if not 0.0 <= hot_probability <= 1.0:
+            raise ValueError(
+                f"hot_probability must be in [0, 1], got {hot_probability}"
+            )
+        self.hot_words = min(hot_words, region_words)
+        self.hot_probability = hot_probability
+
+    def next_address(self, rng: DeterministicRNG) -> int:
+        if rng.maybe(self.hot_probability):
+            return self._address_of_word(rng.randint(0, self.hot_words - 1))
+        return self._address_of_word(rng.randint(0, self.region_words - 1))
+
+
+_PATTERN_KINDS: Dict[str, Type[AddressPattern]] = {
+    "sequential": SequentialPattern,
+    "strided": StridedPattern,
+    "random": RandomPattern,
+    "pointer_chase": PointerChasePattern,
+    "hotspot": HotspotPattern,
+}
+
+
+def make_pattern(
+    kind: str, base_address: int, region_words: int, **kwargs
+) -> AddressPattern:
+    """Build a pattern engine by kind name."""
+    try:
+        pattern_class = _PATTERN_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern kind {kind!r}; known: {sorted(_PATTERN_KINDS)}"
+        ) from None
+    return pattern_class(base_address, region_words, **kwargs)

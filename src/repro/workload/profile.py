@@ -1,0 +1,138 @@
+"""Workload profile — the calibrated knobs describing one benchmark.
+
+A profile is a mixture of address streams plus scalar behaviour knobs.
+The knobs map to the paper's measured quantities as follows:
+
+``read_frequency`` / ``write_frequency``
+    Memory accesses per executed instruction (Figure 3).
+``silent_fraction``
+    Probability a write stores the value already present (Figure 5).
+``burst_mean``
+    Mean number of consecutive accesses served by the same stream;
+    together with the streams' spatial locality this sets the
+    consecutive same-set share (Figure 4).
+``type_persistence``
+    Probability that the next access repeats the previous access's
+    read/write kind within a burst; high persistence produces the WW
+    runs Write Grouping exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamSpec", "WorkloadProfile"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One address stream in a profile's mixture.
+
+    Attributes:
+        kind: pattern engine name (see :mod:`repro.workload.patterns`).
+        weight: relative probability of a burst using this stream.
+        region_kib: size of the stream's private region in KiB.
+        stride_words: stride for ``strided`` patterns (ignored otherwise).
+        write_bias: multiplier (>0) applied to the profile write share
+            when the burst runs on this stream; lets e.g. a result
+            stream be write-heavy while an input stream is read-only.
+        hot_words / hot_probability: working-set knobs for ``hotspot``
+            patterns (ignored otherwise).  A small ``hot_words`` keeps
+            revisits inside one cache block, which feeds the Tag-Buffer
+            hits that survive intervening accesses to other sets.
+    """
+
+    kind: str
+    weight: float
+    region_kib: int = 256
+    stride_words: int = 1
+    write_bias: float = 1.0
+    hot_words: int = 16
+    hot_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(f"stream weight must be > 0, got {self.weight}")
+        if self.region_kib <= 0:
+            raise ConfigurationError(
+                f"region_kib must be > 0, got {self.region_kib}"
+            )
+        if self.write_bias < 0:
+            raise ConfigurationError(
+                f"write_bias must be >= 0, got {self.write_bias}"
+            )
+        if self.hot_words <= 0:
+            raise ConfigurationError(
+                f"hot_words must be > 0, got {self.hot_words}"
+            )
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise ConfigurationError(
+                f"hot_probability must be in [0, 1], got {self.hot_probability}"
+            )
+
+    @property
+    def region_words(self) -> int:
+        return self.region_kib * 1024 // 8
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """All knobs for one synthetic benchmark."""
+
+    name: str
+    read_frequency: float
+    write_frequency: float
+    silent_fraction: float
+    burst_mean: float
+    type_persistence: float
+    streams: Tuple[StreamSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("profile needs a name")
+        if not 0.0 < self.read_frequency < 1.0:
+            raise ConfigurationError(
+                f"read_frequency must be in (0, 1), got {self.read_frequency}"
+            )
+        if not 0.0 < self.write_frequency < 1.0:
+            raise ConfigurationError(
+                f"write_frequency must be in (0, 1), got {self.write_frequency}"
+            )
+        if self.read_frequency + self.write_frequency >= 1.0:
+            raise ConfigurationError(
+                "read_frequency + write_frequency must stay below 1 "
+                "(not every instruction is a memory access)"
+            )
+        if not 0.0 <= self.silent_fraction <= 1.0:
+            raise ConfigurationError(
+                f"silent_fraction must be in [0, 1], got {self.silent_fraction}"
+            )
+        if self.burst_mean < 1.0:
+            raise ConfigurationError(
+                f"burst_mean must be >= 1, got {self.burst_mean}"
+            )
+        if not 0.0 <= self.type_persistence <= 1.0:
+            raise ConfigurationError(
+                f"type_persistence must be in [0, 1], got {self.type_persistence}"
+            )
+        if not self.streams:
+            raise ConfigurationError("profile needs at least one stream")
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that access memory."""
+        return self.read_frequency + self.write_frequency
+
+    @property
+    def write_share(self) -> float:
+        """Writes as a share of memory accesses."""
+        return self.write_frequency / self.memory_fraction
+
+    @property
+    def footprint_kib(self) -> int:
+        """Total region footprint across streams."""
+        return sum(stream.region_kib for stream in self.streams)

@@ -1,0 +1,184 @@
+"""Calibrated SPEC CPU2006 workload profiles.
+
+The paper runs 25 of the 29 SPEC CPU2006 benchmarks (Section 5.1).  It
+names a handful explicitly — bwaves, wrf and lbm as the high
+write-grouping winners, gamess and cactusADM as the read-bypass winners
+— and reports the averages: 26 % reads / 14 % writes per instruction
+(Figure 3), 27 % consecutive same-set accesses with WW peaking at 24 %
+for bwaves (Figure 4), and 42 % silent writes on average with 77 % for
+bwaves (Figure 5).
+
+Each profile below encodes one benchmark's published character (memory
+intensity, spatial locality, write burstiness, silent-store rate) into
+the generator's knobs.  The four benchmarks the paper drops are the
+four that were notoriously hard to build in 2012 toolchains: dealII,
+tonto, omnetpp and xalancbmk.
+
+Calibration is *shape-level*, per the reproduction brief: the
+per-benchmark values are plausible rather than measured, but the
+averages and the orderings the paper highlights are asserted by the
+calibration tests in ``tests/workload/test_calibration.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workload.profile import StreamSpec, WorkloadProfile
+
+__all__ = ["SPEC2006_PROFILES", "benchmark_names", "get_profile"]
+
+
+def _streaming(
+    region_kib: int = 4096, out_bias: float = 2.0, noise: float = 1.2
+) -> Tuple[StreamSpec, ...]:
+    """FP streaming kernel: big input sweep, write-heavy output sweep."""
+    return (
+        StreamSpec("sequential", weight=5.0, region_kib=region_kib, write_bias=0.5),
+        StreamSpec(
+            "sequential", weight=3.0, region_kib=region_kib // 2, write_bias=out_bias
+        ),
+        StreamSpec("random", weight=noise, region_kib=256, write_bias=1.0),
+    )
+
+
+def _read_stencil(region_kib: int = 2048) -> Tuple[StreamSpec, ...]:
+    """Stencil/update: reads dominate, writes land where reads just were."""
+    return (
+        StreamSpec("sequential", weight=6.0, region_kib=region_kib, write_bias=1.0),
+        StreamSpec("strided", weight=2.0, region_kib=region_kib, stride_words=8,
+                   write_bias=0.6),
+        StreamSpec("random", weight=1.0, region_kib=256, write_bias=1.0),
+    )
+
+
+def _pointer(region_kib: int = 8192) -> Tuple[StreamSpec, ...]:
+    """Pointer chasing with a hot working set (mcf/astar)."""
+    return (
+        StreamSpec("pointer_chase", weight=5.0, region_kib=region_kib,
+                   write_bias=0.8),
+        StreamSpec("hotspot", weight=3.0, region_kib=128, write_bias=1.3,
+                   hot_words=4, hot_probability=0.85),
+        StreamSpec("sequential", weight=1.0, region_kib=512, write_bias=1.0),
+    )
+
+
+def _integer_mixed(region_kib: int = 1024) -> Tuple[StreamSpec, ...]:
+    """Typical integer code: stack hotspot, heap randomness, some sweeps.
+
+    The stack hotspot fits one cache block (4 words), so repeated
+    spills/reloads revisit one set even with other accesses interleaved
+    — the Tag-Buffer hit pattern integer codes feed WG with.
+    """
+    return (
+        StreamSpec("hotspot", weight=3.0, region_kib=128, write_bias=1.5,
+                   hot_words=4, hot_probability=0.8),
+        StreamSpec("random", weight=3.0, region_kib=region_kib, write_bias=0.8),
+        StreamSpec("sequential", weight=2.0, region_kib=512, write_bias=1.0),
+    )
+
+
+def _table_walk(region_kib: int = 2048) -> Tuple[StreamSpec, ...]:
+    """hmmer/h264-style: sequential table sweeps with a hot accumulator."""
+    return (
+        StreamSpec("sequential", weight=5.0, region_kib=region_kib, write_bias=1.2),
+        StreamSpec("hotspot", weight=2.0, region_kib=64, write_bias=1.5,
+                   hot_words=4, hot_probability=0.85),
+        StreamSpec("random", weight=1.0, region_kib=512, write_bias=0.6),
+    )
+
+
+# name: (read_freq, write_freq, silent, burst_mean, persistence, streams, note)
+_TABLE: Dict[str, tuple] = {
+    "perlbench": (0.28, 0.16, 0.45, 2.0, 0.50, _integer_mixed(1024),
+                  "interpreter: hot stack, branchy heap traffic"),
+    "bzip2": (0.25, 0.12, 0.35, 1.9, 0.55, _table_walk(1024),
+              "block-sorting compressor: buffer sweeps"),
+    "gcc": (0.30, 0.15, 0.50, 1.9, 0.45, _integer_mixed(2048),
+            "compiler: pointer-rich IR walks"),
+    "bwaves": (0.26, 0.215, 0.77, 5.5, 0.85, _streaming(8192, out_bias=2.1),
+               "blast-wave CFD: long unit-stride write bursts"),
+    "gamess": (0.32, 0.09, 0.40, 2.6, 0.30, _read_stencil(1024),
+               "quantum chemistry: read-read reuse of fresh results"),
+    "mcf": (0.35, 0.10, 0.30, 1.5, 0.40, _pointer(16384),
+            "network simplex: cache-hostile pointer chasing"),
+    "milc": (0.26, 0.14, 0.45, 2.3, 0.65, _streaming(4096),
+             "lattice QCD: field sweeps"),
+    "zeusmp": (0.24, 0.12, 0.50, 2.3, 0.65, _streaming(4096),
+               "astro CFD: structured-grid sweeps"),
+    "gromacs": (0.26, 0.13, 0.40, 2.1, 0.50, _integer_mixed(512),
+                "molecular dynamics: neighbour lists + hot particles"),
+    "cactusADM": (0.30, 0.12, 0.45, 3.0, 0.30, _read_stencil(4096),
+                  "numerical relativity: stencil updates then re-reads"),
+    "leslie3d": (0.27, 0.14, 0.50, 2.4, 0.65, _streaming(4096),
+                 "eddy simulation: grid sweeps"),
+    "namd": (0.23, 0.09, 0.35, 1.9, 0.50, _integer_mixed(512),
+             "molecular dynamics: compute-bound"),
+    "gobmk": (0.27, 0.14, 0.40, 1.6, 0.40, _integer_mixed(2048),
+              "go engine: board hashing, low spatial locality"),
+    "soplex": (0.30, 0.10, 0.35, 2.2, 0.45, (
+        StreamSpec("strided", weight=4.0, region_kib=4096, stride_words=16,
+                   write_bias=0.7),
+        StreamSpec("sequential", weight=3.0, region_kib=2048, write_bias=1.2),
+        StreamSpec("random", weight=1.0, region_kib=1024, write_bias=0.8),
+    ), "LP solver: sparse column strides"),
+    "povray": (0.30, 0.13, 0.45, 2.1, 0.45, _integer_mixed(256),
+               "ray tracer: hot scene graph nodes"),
+    "calculix": (0.26, 0.13, 0.40, 2.0, 0.55, _read_stencil(2048),
+                 "FEM: element matrix assembly"),
+    "hmmer": (0.30, 0.16, 0.45, 2.0, 0.60, _table_walk(2048),
+              "profile HMM: dynamic-programming rows"),
+    "sjeng": (0.26, 0.12, 0.40, 1.5, 0.40, _integer_mixed(4096),
+              "chess engine: transposition-table randomness"),
+    "GemsFDTD": (0.28, 0.14, 0.50, 2.8, 0.65, _streaming(8192),
+                 "FDTD solver: field-array sweeps"),
+    "libquantum": (0.22, 0.12, 0.60, 4.0, 0.80, _streaming(2048, out_bias=2.3,
+                                                           noise=0.2),
+                   "quantum simulator: single-array streaming"),
+    "h264ref": (0.30, 0.17, 0.45, 2.0, 0.55, _table_walk(1024),
+                "video encoder: macroblock sweeps + hot predictors"),
+    "lbm": (0.23, 0.20, 0.65, 5.5, 0.85, _streaming(8192, out_bias=2.2),
+            "lattice Boltzmann: write-dominated cell updates"),
+    "astar": (0.28, 0.11, 0.35, 1.8, 0.40, _pointer(8192),
+              "pathfinding: open-list pointer chasing"),
+    "wrf": (0.26, 0.18, 0.70, 5.0, 0.80, _streaming(8192, out_bias=2.1),
+            "weather model: tile sweeps with many unchanged cells"),
+    "sphinx3": (0.31, 0.08, 0.40, 2.1, 0.40, _read_stencil(1024),
+                "speech recognition: read-dominated scoring"),
+}
+
+
+def _build_profiles() -> Dict[str, WorkloadProfile]:
+    profiles = {}
+    for name, row in _TABLE.items():
+        read_freq, write_freq, silent, burst, persistence, streams, note = row
+        profiles[name] = WorkloadProfile(
+            name=name,
+            read_frequency=read_freq,
+            write_frequency=write_freq,
+            silent_fraction=silent,
+            burst_mean=burst,
+            type_persistence=persistence,
+            streams=streams,
+            description=note,
+        )
+    return profiles
+
+
+SPEC2006_PROFILES: Dict[str, WorkloadProfile] = _build_profiles()
+"""The paper's 25 benchmarks, keyed by name."""
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the paper's (alphabetical) presentation order."""
+    return sorted(SPEC2006_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up one benchmark profile by name."""
+    try:
+        return SPEC2006_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+        ) from None

@@ -1,0 +1,68 @@
+"""Unit tests for ASCII bar rendering."""
+
+import pytest
+
+from repro.analysis.bars import render_bars
+from repro.analysis.result import FigureResult
+
+
+def _figure():
+    return FigureResult(
+        figure_id="figX",
+        title="Bars",
+        headers=("benchmark", "WG", "WG+RB"),
+        rows=[("alpha", 20.0, 40.0), ("beta", 10.0, 10.0)],
+    )
+
+
+class TestRenderBars:
+    def test_contains_labels_and_values(self):
+        text = render_bars(_figure())
+        assert "alpha" in text
+        assert "WG+RB" in text
+        assert "40.00" in text
+
+    def test_bar_lengths_proportional(self):
+        text = render_bars(_figure(), width=40)
+        lines = text.splitlines()
+        alpha_wg = next(l for l in lines if "20.00" in l)
+        alpha_wgrb = next(l for l in lines if "40.00" in l)
+        assert alpha_wgrb.count("█") == 40
+        assert alpha_wg.count("█") == 20
+
+    def test_max_value_fills_width(self):
+        text = render_bars(_figure(), width=10)
+        top = next(l for l in text.splitlines() if "40.00" in l)
+        assert top.count("█") == 10
+
+    def test_non_numeric_cells_skipped(self):
+        figure = FigureResult(
+            figure_id="f",
+            title="t",
+            headers=("name", "value"),
+            rows=[("x", "n/a"), ("y", 5.0)],
+        )
+        text = render_bars(figure)
+        assert "n/a" not in text
+        assert "5.00" in text
+
+    def test_zero_maximum(self):
+        figure = FigureResult(
+            figure_id="f",
+            title="t",
+            headers=("name", "value"),
+            rows=[("x", 0.0)],
+        )
+        text = render_bars(figure)
+        assert "0.00" in text
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_bars(_figure(), width=2)
+
+    def test_real_figure(self):
+        from repro.analysis.figures import reproduce_figure
+
+        result = reproduce_figure("sec5.4")
+        text = render_bars(result)
+        assert "64KB/4-way/32B" in text

@@ -1,0 +1,135 @@
+"""Integration-level tests for every figure producer.
+
+Each producer runs on a small benchmark subset so the whole file stays
+fast; the full-suite numbers are exercised by the benchmark harness.
+"""
+
+import pytest
+
+from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+
+SUBSET = ("bwaves", "mcf", "gamess")
+FAST = dict(accesses=4000, benchmarks=SUBSET)
+
+
+class TestFrontDoor:
+    def test_figure_ids(self):
+        assert set(FIGURE_IDS) == {
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig9",
+            "fig10",
+            "fig11",
+            "claim_rmw",
+            "sec5.4",
+            "sec5.5",
+            "reliability",
+            "dvfs_energy",
+            "traffic",
+        }
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            reproduce_figure("fig99")
+
+
+class TestFig3:
+    def test_rows_and_summary(self):
+        result = reproduce_figure("fig3", **FAST)
+        assert len(result.rows) == len(SUBSET) + 1  # + AVG
+        assert result.rows[-1][0] == "AVG"
+        assert "mean_read_pct" in result.summary
+        assert result.paper_values["mean_read_pct"] == 26.0
+
+    def test_bwaves_write_heavy(self):
+        result = reproduce_figure("fig3", **FAST)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["bwaves"][2] > by_name["gamess"][2]
+
+
+class TestFig4:
+    def test_shares_sum_to_same_set(self):
+        result = reproduce_figure("fig4", **FAST)
+        for row in result.rows:
+            _, rr, rw, ww, wr, same = row
+            assert rr + rw + ww + wr == pytest.approx(same, abs=0.01)
+
+    def test_bwaves_ww_dominates_subset(self):
+        result = reproduce_figure("fig4", **FAST)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["bwaves"][3] > by_name["gamess"][3]
+
+
+class TestFig5:
+    def test_summary_keys(self):
+        result = reproduce_figure("fig5", **FAST)
+        assert result.summary["bwaves_silent_pct"] == pytest.approx(77, abs=5)
+
+
+class TestFig9Family:
+    def test_fig9(self):
+        result = reproduce_figure("fig9", **FAST)
+        by_name = {row[0]: row for row in result.rows}
+        wg, wgrb = by_name["bwaves"][1], by_name["bwaves"][2]
+        assert wgrb >= wg > 35.0
+
+    def test_fig10_block_effect(self):
+        fig9 = reproduce_figure("fig9", **FAST)
+        fig10 = reproduce_figure("fig10", **FAST)
+        assert (
+            fig10.summary["mean_wgrb_pct"] > fig9.summary["mean_wgrb_pct"]
+        )
+
+    def test_fig11_size_insensitive(self):
+        result = reproduce_figure("fig11", **FAST)
+        assert result.summary["wg_32k_pct"] == pytest.approx(
+            result.summary["wg_128k_pct"], abs=3.0
+        )
+
+
+class TestClaimAndSections:
+    def test_claim_rmw(self):
+        result = reproduce_figure("claim_rmw", **FAST)
+        assert 20.0 < result.summary["mean_overhead_pct"] < 60.0
+
+    def test_sec54_needs_no_simulation(self):
+        result = reproduce_figure("sec5.4")
+        assert result.summary["tag_buffer_bits"] == 145.0
+        assert result.summary["set_buffer_overhead_pct"] < 0.2
+
+    def test_sec55_directions(self):
+        result = reproduce_figure("sec5.5", accesses=3000, benchmarks=SUBSET)
+        assert result.summary["mean_wg_energy_saving_pct"] > 0.0
+        assert (
+            result.summary["mean_wgrb_read_latency"]
+            < result.summary["mean_rmw_read_latency"]
+        )
+
+    def test_traffic_anatomy(self):
+        result = reproduce_figure("traffic", accesses=3000, benchmarks=SUBSET)
+        assert len(result.rows) == len(SUBSET)
+        by_name = {row[0]: row for row in result.rows}
+        # bwaves groups far more of its writes than mcf does.
+        assert by_name["bwaves"][1] > by_name["mcf"][1] + 15.0
+        assert result.summary["mean_grouped_pct"] > 0.0
+
+    def test_dvfs_energy_endgame_ordering(self):
+        """The paper's pitch: 8T+WG+RB at its Vmin beats both the 6T
+        cache at its Vmin and the 8T+RMW configuration."""
+        result = reproduce_figure(
+            "dvfs_energy", accesses=3000, benchmarks=SUBSET
+        )
+        assert (
+            result.summary["mean_8t_wgrb_nj"]
+            < result.summary["mean_8t_rmw_nj"]
+            < result.summary["mean_6t_nj"]
+        )
+        assert result.summary["wgrb_vs_6t_saving_pct"] > 30.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_figure(self):
+        first = reproduce_figure("fig9", accesses=3000, benchmarks=("mcf",))
+        second = reproduce_figure("fig9", accesses=3000, benchmarks=("mcf",))
+        assert first.rows == second.rows

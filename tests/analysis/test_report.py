@@ -1,0 +1,59 @@
+"""Unit tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return generate_report(
+        accesses=2000, figure_ids=("fig5", "sec5.4", "reliability")
+    )
+
+
+class TestGenerateReport:
+    def test_contains_header_and_settings(self, small_report):
+        assert small_report.startswith("# Reproduction report")
+        assert "2000 accesses/benchmark" in small_report
+
+    def test_summary_table(self, small_report):
+        assert "| figure | metric | measured | paper |" in small_report
+        assert "| fig5 | mean_silent_pct |" in small_report
+        # Paper value present for fig5, dash for reliability metrics.
+        assert "| sec5.4 | tag_buffer_bits | 145.00 | 150.00 |" in small_report
+
+    def test_figure_sections(self, small_report):
+        assert "### fig5" in small_report
+        assert "### sec5.4" in small_report
+        assert "### reliability" in small_report
+
+    def test_subset_respected(self, small_report):
+        assert "### fig9" not in small_report
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", accesses=1500, figure_ids=("sec5.4",)
+        )
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()
+
+    def test_cli_integration(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        code = main(
+            [
+                "report",
+                str(out),
+                "--accesses",
+                "1500",
+                "--figures",
+                "sec5.4",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote reproduction report" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Unit tests for FigureResult rendering and CSV export."""
+
+from repro.analysis.export import figure_to_csv
+from repro.analysis.result import FigureResult
+
+
+def _result():
+    return FigureResult(
+        figure_id="figX",
+        title="Test figure",
+        headers=("benchmark", "value"),
+        rows=[("alpha", 1.234), ("beta", 5.0)],
+        summary={"mean": 3.117},
+        paper_values={"mean": 3.0},
+    )
+
+
+class TestRender:
+    def test_contains_title_and_rows(self):
+        text = _result().render()
+        assert "Test figure" in text
+        assert "alpha" in text
+        assert "1.23" in text
+
+    def test_summary_with_paper_value(self):
+        text = _result().render()
+        assert "measured 3.117 | paper 3.000" in text
+
+    def test_summary_without_paper_value(self):
+        result = _result()
+        result.summary["extra"] = 9.0
+        assert "extra: measured 9.000" in result.render()
+
+    def test_no_summary(self):
+        result = FigureResult(
+            figure_id="f", title="t", headers=("a",), rows=[("x",)]
+        )
+        # title + underline + header + separator + one row = 5 lines.
+        assert result.render().count("\n") == 4
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        count = figure_to_csv(_result(), path)
+        assert count == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "benchmark,value"
+        assert lines[1].startswith("alpha")

@@ -1,0 +1,87 @@
+"""Unit and property tests for address decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.address import AddressMapper
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(BASELINE_GEOMETRY)
+
+
+class TestDecomposition:
+    def test_address_zero(self, mapper):
+        assert mapper.set_index(0) == 0
+        assert mapper.tag(0) == 0
+        assert mapper.word_offset(0) == 0
+
+    def test_offset_bits(self, mapper):
+        # 32 B blocks: byte 24 is word 3 of block 0.
+        assert mapper.word_offset(24) == 3
+        assert mapper.set_index(24) == 0
+
+    def test_consecutive_blocks_different_sets(self, mapper):
+        assert mapper.set_index(0) == 0
+        assert mapper.set_index(32) == 1
+        assert mapper.set_index(64) == 2
+
+    def test_index_wraps_to_tag(self, mapper):
+        # 512 sets * 32 B = 16 KB aliasing distance.
+        assert mapper.set_index(16 * 1024) == 0
+        assert mapper.tag(16 * 1024) == 1
+
+    def test_block_address(self, mapper):
+        assert mapper.block_address(0x47) == 0x40
+        assert mapper.block_address(0x40) == 0x40
+
+
+class TestCompose:
+    def test_roundtrip_components(self, mapper):
+        address = mapper.compose(tag=5, set_index=17, word_offset=2)
+        assert mapper.tag(address) == 5
+        assert mapper.set_index(address) == 17
+        assert mapper.word_offset(address) == 2
+
+    def test_out_of_range_set(self, mapper):
+        with pytest.raises(ValueError, match="set_index"):
+            mapper.compose(tag=0, set_index=512)
+
+    def test_out_of_range_word(self, mapper):
+        with pytest.raises(ValueError, match="word_offset"):
+            mapper.compose(tag=0, set_index=0, word_offset=4)
+
+    @given(
+        tag=st.integers(min_value=0, max_value=2**34 - 1),
+        set_index=st.integers(min_value=0, max_value=511),
+        word=st.integers(min_value=0, max_value=3),
+    )
+    def test_compose_decompose_property(self, tag, set_index, word):
+        mapper = AddressMapper(BASELINE_GEOMETRY)
+        address = mapper.compose(tag, set_index, word)
+        assert mapper.tag(address) == tag
+        assert mapper.set_index(address) == set_index
+        assert mapper.word_offset(address) == word
+
+
+class TestAcrossGeometries:
+    @given(address=st.integers(min_value=0, max_value=2**40).map(lambda a: a * 8))
+    def test_fields_partition_address(self, address):
+        geometry = CacheGeometry(4096, 2, 64, address_bits=48)
+        mapper = AddressMapper(geometry)
+        rebuilt = (
+            mapper.tag(address)
+            << (geometry.offset_bits + geometry.index_bits)
+            | mapper.set_index(address) << geometry.offset_bits
+            | (address & (geometry.block_bytes - 1))
+        )
+        assert rebuilt == address
+
+    def test_single_set_geometry_has_zero_index(self):
+        geometry = CacheGeometry(256, 8, 32)
+        mapper = AddressMapper(geometry)
+        for address in (0, 32, 4096, 123456 * 8):
+            assert mapper.set_index(address) == 0

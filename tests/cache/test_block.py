@@ -1,0 +1,66 @@
+"""Unit tests for CacheBlock."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+
+
+class TestLifecycle:
+    def test_starts_invalid(self):
+        block = CacheBlock(4)
+        assert not block.valid
+        assert not block.dirty
+        assert block.tag is None
+
+    def test_fill(self):
+        block = CacheBlock(4)
+        block.fill(tag=9, data=[1, 2, 3, 4])
+        assert block.valid
+        assert not block.dirty
+        assert block.tag == 9
+        assert block.data == [1, 2, 3, 4]
+
+    def test_fill_copies_data(self):
+        source = [1, 2, 3, 4]
+        block = CacheBlock(4)
+        block.fill(tag=0, data=source)
+        source[0] = 99
+        assert block.data[0] == 1
+
+    def test_fill_wrong_size(self):
+        block = CacheBlock(4)
+        with pytest.raises(ValueError, match="words"):
+            block.fill(tag=0, data=[1, 2])
+
+    def test_invalidate(self):
+        block = CacheBlock(2)
+        block.fill(tag=1, data=[5, 6])
+        block.write_word(0, 7)
+        block.invalidate()
+        assert not block.valid
+        assert not block.dirty
+        assert block.tag is None
+
+
+class TestDataAccess:
+    def test_read_write(self):
+        block = CacheBlock(4)
+        block.fill(tag=0, data=[0, 0, 0, 0])
+        block.write_word(2, 42)
+        assert block.read_word(2) == 42
+        assert block.dirty
+
+    def test_read_invalid_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            CacheBlock(4).read_word(0)
+
+    def test_write_invalid_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            CacheBlock(4).write_word(0, 1)
+
+    def test_matches(self):
+        block = CacheBlock(4)
+        assert not block.matches(0)
+        block.fill(tag=3, data=[0] * 4)
+        assert block.matches(3)
+        assert not block.matches(4)

@@ -1,0 +1,59 @@
+"""Unit tests for CacheSet."""
+
+import pytest
+
+from repro.cache.cache_set import CacheSet
+from repro.cache.replacement import LRUPolicy
+
+
+def make_set(ways=2, words=4):
+    return CacheSet(ways, words, LRUPolicy(ways))
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        assert make_set().find_way(1) is None
+
+    def test_hit_after_fill(self):
+        cache_set = make_set()
+        cache_set.ways[1].fill(tag=9, data=[0] * 4)
+        assert cache_set.find_way(9) == 1
+
+    def test_invalid_way_found_first(self):
+        cache_set = make_set()
+        assert cache_set.find_invalid_way() == 0
+        cache_set.ways[0].fill(tag=1, data=[0] * 4)
+        assert cache_set.find_invalid_way() == 1
+
+    def test_full_set_has_no_invalid_way(self):
+        cache_set = make_set()
+        for way, tag in enumerate((1, 2)):
+            cache_set.ways[way].fill(tag=tag, data=[0] * 4)
+        assert cache_set.find_invalid_way() is None
+
+
+class TestFillChoice:
+    def test_prefers_invalid(self):
+        cache_set = make_set()
+        cache_set.ways[0].fill(tag=1, data=[0] * 4)
+        assert cache_set.choose_fill_way() == 1
+
+    def test_full_set_uses_policy(self):
+        cache_set = make_set()
+        cache_set.ways[0].fill(tag=1, data=[0] * 4)
+        cache_set.ways[1].fill(tag=2, data=[0] * 4)
+        cache_set.record_fill(0)
+        cache_set.record_fill(1)
+        cache_set.touch(0)  # way 1 is now LRU
+        assert cache_set.choose_fill_way() == 1
+
+
+class TestTags:
+    def test_valid_tags(self):
+        cache_set = make_set()
+        cache_set.ways[1].fill(tag=7, data=[0] * 4)
+        assert cache_set.valid_tags() == [None, 7]
+
+    def test_policy_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="ways"):
+            CacheSet(4, 4, LRUPolicy(2))

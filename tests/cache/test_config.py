@@ -1,0 +1,79 @@
+"""Unit tests for CacheGeometry."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import ConfigurationError
+
+
+class TestBaseline:
+    def test_paper_baseline(self):
+        assert BASELINE_GEOMETRY.size_bytes == 64 * 1024
+        assert BASELINE_GEOMETRY.associativity == 4
+        assert BASELINE_GEOMETRY.block_bytes == 32
+        assert BASELINE_GEOMETRY.address_bits == 48
+
+    def test_baseline_derived(self):
+        g = BASELINE_GEOMETRY
+        assert g.num_blocks == 2048
+        assert g.num_sets == 512
+        assert g.words_per_block == 4
+        assert g.words_per_set == 16
+        assert g.set_bytes == 128  # the paper's Set-Buffer size
+        assert g.offset_bits == 5
+        assert g.index_bits == 9
+        assert g.tag_bits == 34
+
+    def test_describe(self):
+        assert BASELINE_GEOMETRY.describe() == "64KB/4-way/32B"
+
+
+class TestDerivedForVariants:
+    def test_fig10_geometry(self):
+        g = CacheGeometry(32 * 1024, 4, 64)
+        assert g.num_sets == 128
+        assert g.words_per_block == 8
+        assert g.set_bytes == 256
+
+    def test_fig11_large(self):
+        g = CacheGeometry(128 * 1024, 4, 32)
+        assert g.num_sets == 1024
+
+    def test_direct_mapped(self):
+        g = CacheGeometry(1024, 1, 32)
+        assert g.num_sets == 32
+
+    def test_fully_associative_single_set(self):
+        g = CacheGeometry(256, 8, 32)
+        assert g.num_sets == 1
+        assert g.index_bits == 0
+
+
+class TestValidation:
+    def test_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError, match="size_bytes"):
+            CacheGeometry(48 * 1024, 4, 32)
+
+    def test_non_power_of_two_ways(self):
+        with pytest.raises(ConfigurationError, match="associativity"):
+            CacheGeometry(64 * 1024, 3, 32)
+
+    def test_block_smaller_than_word(self):
+        with pytest.raises(ConfigurationError, match="word size"):
+            CacheGeometry(1024, 1, 4)
+
+    def test_cache_smaller_than_one_set(self):
+        with pytest.raises(ConfigurationError, match="at least one set"):
+            CacheGeometry(64, 4, 32)
+
+    def test_address_bits_too_small(self):
+        with pytest.raises(ConfigurationError, match="tag"):
+            CacheGeometry(64 * 1024, 4, 32, address_bits=14)
+
+    def test_zero_address_bits(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1024, 1, 32, address_bits=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BASELINE_GEOMETRY.size_bytes = 1

@@ -1,0 +1,90 @@
+"""Unit tests for the two-level hierarchy."""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.cache.hierarchy import CacheBackedMemory, CacheHierarchy
+from repro.cache.cache import SetAssociativeCache
+from repro.core.registry import make_controller
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_random_trace, oracle_final_memory, oracle_read_values
+
+L1 = CacheGeometry(512, 2, 32)
+L2 = CacheGeometry(4 * 1024, 4, 32)
+
+
+class TestConstruction:
+    def test_valid(self):
+        hierarchy = CacheHierarchy(L1, L2)
+        assert hierarchy.describe() == "L1 512B/2-way/32B + L2 4KB/4-way/32B"
+        assert hierarchy.l1.geometry == L1
+        assert hierarchy.l2.geometry == L2
+
+    def test_l2_smaller_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least as large"):
+            CacheHierarchy(L2, L1)
+
+    def test_l2_blocks_smaller_rejected(self):
+        with pytest.raises(ConfigurationError, match="blocks"):
+            CacheHierarchy(
+                CacheGeometry(512, 2, 64), CacheGeometry(4 * 1024, 4, 32)
+            )
+
+
+class TestAdapter:
+    def test_block_roundtrip(self):
+        adapter = CacheBackedMemory(SetAssociativeCache(L2))
+        adapter.write_block(0x100, [1, 2, 3, 4])
+        assert adapter.read_block(0x100, 4) == [1, 2, 3, 4]
+        assert adapter.block_reads == 1
+        assert adapter.block_writes == 1
+
+    def test_words_default_zero(self):
+        adapter = CacheBackedMemory(SetAssociativeCache(L2))
+        assert adapter.read_word(0x4000) == 0
+
+
+class TestEndToEnd:
+    def test_controller_over_hierarchy_is_correct(self):
+        """The full stack — WG+RB over L1 over L2 over memory — still
+        satisfies the sequential-memory oracle."""
+        hierarchy = CacheHierarchy(L1, L2)
+        controller = make_controller("wg_rb", hierarchy.l1)
+        trace = make_random_trace(600, seed=8, word_span=300)
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+        hierarchy.drain()
+        snapshot = {
+            word: value
+            for word, value in hierarchy.memory.snapshot().items()
+            if value != 0
+        }
+        assert snapshot == oracle_final_memory(trace)
+
+    def test_l2_filters_memory_traffic(self):
+        """Most L1 misses hit the L2; flat memory sees far fewer block
+        transfers than the L1 generated."""
+        hierarchy = CacheHierarchy(L1, L2)
+        controller = make_controller("rmw", hierarchy.l1)
+        trace = make_random_trace(1500, seed=9, word_span=400)
+        controller.run(trace)
+        assert hierarchy.l1_to_l2_transfers > 0
+        assert hierarchy.l2.stats.hit_rate > 0.5
+        assert (
+            hierarchy.memory.block_reads
+            < hierarchy._l2_adapter.block_reads  # noqa: SLF001
+        )
+
+    def test_l2_hits_track_l1_misses(self):
+        hierarchy = CacheHierarchy(L1, L2)
+        controller = make_controller("conventional", hierarchy.l1)
+        trace = make_random_trace(800, seed=10, word_span=200)
+        controller.run(trace)
+        # Every L1 fill is an L2 block read.
+        assert hierarchy._l2_adapter.block_reads == (  # noqa: SLF001
+            hierarchy.l1.stats.misses
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for FunctionalMemory."""
+
+from repro.cache.memory import FunctionalMemory
+
+
+class TestWordAccess:
+    def test_default_zero(self):
+        memory = FunctionalMemory()
+        assert memory.read_word(0x1000) == 0
+
+    def test_write_then_read(self):
+        memory = FunctionalMemory()
+        memory.write_word(0x40, 77)
+        assert memory.read_word(0x40) == 77
+
+    def test_word_granularity(self):
+        memory = FunctionalMemory()
+        memory.write_word(0x40, 1)
+        # Bytes 0x40..0x47 share a word.
+        assert memory.read_word(0x47) == 1
+        assert memory.read_word(0x48) == 0
+
+
+class TestBlockTransfers:
+    def test_read_block(self):
+        memory = FunctionalMemory()
+        memory.write_word(0x20, 5)
+        memory.write_word(0x28, 6)
+        assert memory.read_block(0x20, 4) == [5, 6, 0, 0]
+
+    def test_write_block(self):
+        memory = FunctionalMemory()
+        memory.write_block(0x40, [1, 2, 3, 4])
+        assert memory.read_word(0x48) == 2
+
+    def test_transfer_counters(self):
+        memory = FunctionalMemory()
+        memory.read_block(0, 4)
+        memory.read_block(0, 4)
+        memory.write_block(0, [0] * 4)
+        assert memory.block_reads == 2
+        assert memory.block_writes == 1
+
+    def test_roundtrip(self):
+        memory = FunctionalMemory()
+        data = [10, 20, 30, 40]
+        memory.write_block(0x100, data)
+        assert memory.read_block(0x100, 4) == data
+
+
+class TestInspection:
+    def test_footprint(self):
+        memory = FunctionalMemory()
+        memory.write_word(0, 1)
+        memory.write_word(8, 1)
+        memory.write_word(0, 2)
+        assert memory.footprint_words == 2
+
+    def test_snapshot_is_copy(self):
+        memory = FunctionalMemory()
+        memory.write_word(0, 1)
+        snap = memory.snapshot()
+        snap[0] = 99
+        assert memory.read_word(0) == 1

@@ -1,0 +1,131 @@
+"""Unit and property tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.utils.rng import DeterministicRNG
+
+
+class TestLRU:
+    def test_initial_victim_is_way_zero(self):
+        assert LRUPolicy(4).victim() == 0
+
+    def test_access_moves_to_mru(self):
+        policy = LRUPolicy(4)
+        policy.on_access(0)
+        assert policy.victim() == 1
+
+    def test_classic_sequence(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3, 0, 1):
+            policy.on_access(way)
+        assert policy.victim() == 2
+
+    def test_recency_order_exposed(self):
+        policy = LRUPolicy(3)
+        policy.on_access(2)
+        assert policy.recency_order() == [0, 1, 2]
+
+    def test_bad_way_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(2).on_access(2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    def test_victim_is_least_recent_property(self, accesses):
+        policy = LRUPolicy(4)
+        last_touch = {way: -1 for way in range(4)}
+        for step, way in enumerate(accesses):
+            policy.on_access(way)
+            last_touch[way] = step
+        victim = policy.victim()
+        assert last_touch[victim] == min(last_touch.values())
+
+
+class TestFIFO:
+    def test_hits_do_not_reorder(self):
+        policy = FIFOPolicy(4)
+        policy.on_access(0)
+        policy.on_access(0)
+        assert policy.victim() == 0
+
+    def test_fill_moves_to_back(self):
+        policy = FIFOPolicy(2)
+        policy.on_fill(0)
+        assert policy.victim() == 1
+        policy.on_fill(1)
+        assert policy.victim() == 0
+
+
+class TestRandom:
+    def test_in_range(self):
+        policy = RandomPolicy(4, rng=DeterministicRNG(1))
+        for _ in range(100):
+            assert 0 <= policy.victim() < 4
+
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(4, rng=DeterministicRNG(5))
+        b = RandomPolicy(4, rng=DeterministicRNG(5))
+        assert [a.victim() for _ in range(20)] == [b.victim() for _ in range(20)]
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(4, rng=DeterministicRNG(2))
+        assert {policy.victim() for _ in range(200)} == {0, 1, 2, 3}
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(3)
+
+    def test_single_way(self):
+        policy = TreePLRUPolicy(1)
+        policy.on_access(0)
+        assert policy.victim() == 0
+
+    def test_victim_never_most_recent(self):
+        policy = TreePLRUPolicy(4)
+        for way in (0, 3, 1, 2, 0):
+            policy.on_access(way)
+            assert policy.victim() != way
+
+    def test_two_way_behaves_like_lru(self):
+        plru = TreePLRUPolicy(2)
+        lru = LRUPolicy(2)
+        for way in (0, 1, 0, 0, 1):
+            plru.on_access(way)
+            lru.on_access(way)
+            assert plru.victim() == lru.victim()
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_victim_in_range_property(self, accesses):
+        policy = TreePLRUPolicy(8)
+        for way in accesses:
+            policy.on_access(way)
+        assert 0 <= policy.victim() < 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_victim_is_not_last_access(self, accesses):
+        policy = TreePLRUPolicy(8)
+        for way in accesses:
+            policy.on_access(way)
+        assert policy.victim() != accesses[-1]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+        assert isinstance(make_policy("FIFO", 4), FIFOPolicy)
+        assert isinstance(make_policy("random", 4), RandomPolicy)
+        assert isinstance(make_policy("plru", 4), TreePLRUPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("clock", 4)

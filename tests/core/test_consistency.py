@@ -1,0 +1,152 @@
+"""Memory-consistency oracle: every controller is functionally
+equivalent to a flat sequential memory.
+
+This is the library's central correctness property.  WG and WG+RB defer
+and elide array traffic, but the *architectural* contract is untouched:
+every read returns the most recently written value and the final memory
+state matches sequential semantics.  Hypothesis drives randomized
+traces over a tiny cache so fills, evictions, buffer flushes, silent
+writes and premature write-backs all interleave.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.core.registry import (
+    ALL_CONTROLLER_NAMES,
+    CONTROLLER_NAMES,
+    make_controller,
+)
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace, oracle_final_memory, oracle_read_values
+
+TINY = CacheGeometry(512, 2, 32)
+
+# (is_write, word, value) triples; small word span to force aliasing.
+_operations = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=5),  # tiny value range => silent hits
+    ),
+    max_size=150,
+)
+
+
+def _to_trace(operations):
+    trace = []
+    for index, (is_write, word, value) in enumerate(operations):
+        if is_write:
+            trace.append(
+                MemoryAccess(
+                    icount=index,
+                    kind=AccessType.WRITE,
+                    address=word * 8,
+                    value=value,
+                )
+            )
+        else:
+            trace.append(
+                MemoryAccess(icount=index, kind=AccessType.READ, address=word * 8)
+            )
+    return trace
+
+
+class TestReadValueOracle:
+    @pytest.mark.parametrize("technique", ALL_CONTROLLER_NAMES)
+    @settings(max_examples=25, deadline=None)
+    @given(operations=_operations)
+    def test_reads_match_sequential_memory(self, technique, operations):
+        trace = _to_trace(operations)
+        controller = make_controller(technique, SetAssociativeCache(TINY))
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect, access
+
+    @pytest.mark.parametrize("technique", ALL_CONTROLLER_NAMES)
+    @settings(max_examples=25, deadline=None)
+    @given(operations=_operations)
+    def test_final_memory_matches_oracle(self, technique, operations):
+        trace = _to_trace(operations)
+        cache = SetAssociativeCache(TINY)
+        controller = make_controller(technique, cache)
+        controller.run(trace)
+        cache.flush_all_dirty()
+        snapshot = {
+            word: value
+            for word, value in cache.memory.snapshot().items()
+            if value != 0
+        }
+        assert snapshot == oracle_final_memory(trace)
+
+
+class TestCrossTechniqueEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_techniques_agree_on_random_traces(self, seed):
+        trace = make_random_trace(
+            500, seed=seed, word_span=160, write_share=0.45, silent_share=0.35
+        )
+        reference = None
+        for technique in ALL_CONTROLLER_NAMES:
+            controller = make_controller(technique, SetAssociativeCache(TINY))
+            outcomes = controller.run(trace)
+            values = [
+                outcome.value
+                for outcome, access in zip(outcomes, trace)
+                if access.is_read
+            ]
+            if reference is None:
+                reference = values
+            else:
+                assert values == reference, technique
+
+    @pytest.mark.parametrize("entries", [1, 2, 4])
+    def test_multi_entry_wg_remains_correct(self, entries):
+        trace = make_random_trace(400, seed=99, word_span=120)
+        cache = SetAssociativeCache(TINY)
+        controller = make_controller("wg", cache, entries=entries)
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+    def test_wg_rb_multi_entry_correct(self):
+        trace = make_random_trace(400, seed=7, word_span=120)
+        controller = make_controller(
+            "wg_rb", SetAssociativeCache(TINY), entries=3
+        )
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+
+class TestAccessCountInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_orderings_hold_on_random_traces(self, seed):
+        """conventional <= wg_rb <= wg <= rmw on array accesses."""
+        trace = make_random_trace(600, seed=seed, word_span=128)
+        accesses = {}
+        for technique in CONTROLLER_NAMES:
+            controller = make_controller(technique, SetAssociativeCache(TINY))
+            controller.run(trace)
+            accesses[technique] = controller.array_accesses
+        assert accesses["wg_rb"] <= accesses["wg"]
+        assert accesses["wg"] <= accesses["rmw"]
+        assert accesses["conventional"] <= accesses["rmw"]
+
+    def test_rmw_equals_reads_plus_twice_writes(self):
+        trace = make_random_trace(500, seed=1)
+        controller = make_controller("rmw", SetAssociativeCache(TINY))
+        controller.run(trace)
+        reads = sum(1 for a in trace if a.is_read)
+        writes = len(trace) - reads
+        assert controller.array_accesses == reads + 2 * writes

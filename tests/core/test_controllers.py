@@ -1,0 +1,115 @@
+"""Unit tests for the conventional and RMW controllers."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.conventional import ConventionalController
+from repro.core.outcomes import ServedFrom
+from repro.core.rmw import RMWController
+from repro.trace.record import AccessType, MemoryAccess
+
+
+def R(address, icount=0):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(address, value, icount=0):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+class TestConventional:
+    def test_read_costs_one_access(self, tiny_geometry):
+        controller = ConventionalController(SetAssociativeCache(tiny_geometry))
+        outcome = controller.process(R(0))
+        assert outcome.array_reads == 1
+        assert outcome.array_writes == 0
+        assert controller.array_accesses == 1
+
+    def test_write_costs_one_access(self, tiny_geometry):
+        controller = ConventionalController(SetAssociativeCache(tiny_geometry))
+        outcome = controller.process(W(0, 7))
+        assert outcome.array_writes == 1
+        assert controller.array_accesses == 1
+        assert controller.events.row_writes == 1
+        # Only the selected columns' driver fires in a 6T write.
+        assert controller.events.words_driven == 1
+
+    def test_values_flow(self, tiny_geometry):
+        controller = ConventionalController(SetAssociativeCache(tiny_geometry))
+        controller.process(W(0x10, 55))
+        assert controller.process(R(0x10)).value == 55
+
+    def test_finalize_idempotent(self, tiny_geometry):
+        controller = ConventionalController(SetAssociativeCache(tiny_geometry))
+        controller.process(R(0))
+        controller.finalize()
+        controller.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            controller.process(R(0))
+
+
+class TestRMW:
+    def test_read_costs_one(self, tiny_geometry):
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        controller.process(R(0))
+        assert controller.array_accesses == 1
+
+    def test_write_costs_two(self, tiny_geometry):
+        """The paper's core complaint: every write is read-row + write."""
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        outcome = controller.process(W(0, 1))
+        assert outcome.array_reads == 1
+        assert outcome.array_writes == 1
+        assert controller.array_accesses == 2
+        assert controller.counts.rmw_operations == 1
+
+    def test_rmw_reads_full_row(self, tiny_geometry):
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        controller.process(W(0, 1))
+        assert controller.events.words_routed == tiny_geometry.words_per_set
+        assert controller.events.words_driven == tiny_geometry.words_per_set
+
+    def test_access_count_formula(self, tiny_geometry):
+        """Total accesses == reads + 2 * writes."""
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        trace = [R(0, 0), W(8, 1, 1), R(16, 2), W(0, 2, 3), W(8, 3, 4)]
+        controller.run(trace)
+        assert controller.array_accesses == 2 + 2 * 3
+
+    def test_values_flow(self, tiny_geometry):
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        controller.process(W(0x40, 99))
+        assert controller.process(R(0x40)).value == 99
+
+    def test_served_from_array(self, tiny_geometry):
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        assert controller.process(R(0)).served_from is ServedFrom.ARRAY
+
+
+class TestMissTraffic:
+    def test_disabled_by_default(self, tiny_geometry):
+        controller = RMWController(SetAssociativeCache(tiny_geometry))
+        controller.process(R(0))  # a miss + fill
+        assert controller.array_accesses == 1  # fill not charged
+
+    def test_enabled_charges_fills(self, tiny_geometry):
+        controller = RMWController(
+            SetAssociativeCache(tiny_geometry), count_miss_traffic=True
+        )
+        controller.process(R(0))  # miss: fill = RMW (2) + request read (1)
+        assert controller.array_accesses == 3
+
+    def test_enabled_charges_dirty_evictions(self, tiny_geometry):
+        controller = RMWController(
+            SetAssociativeCache(tiny_geometry), count_miss_traffic=True
+        )
+        stride = tiny_geometry.num_sets * tiny_geometry.block_bytes
+        controller.process(W(0, 5))
+        before = controller.events.row_reads
+        # Two more fills to the same set evict the dirty block.
+        controller.process(R(stride))
+        controller.process(R(2 * stride))
+        # The second fill evicted the dirty block: one extra row read.
+        assert controller.events.row_reads > before + 2

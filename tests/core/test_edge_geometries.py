@@ -1,0 +1,138 @@
+"""Controller behaviour at geometry extremes.
+
+Degenerate shapes shake out hidden assumptions: one-word blocks (no
+same-block second word to group), a single-set cache (every access is
+'same set'), direct-mapped, and fully-associative.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.core.registry import ALL_CONTROLLER_NAMES, make_controller
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace, oracle_read_values
+
+ONE_WORD_BLOCKS = CacheGeometry(256, 2, 8)       # 8 B blocks: 1 word each
+SINGLE_SET = CacheGeometry(128, 4, 32)           # 1 set, 4 ways
+DIRECT_MAPPED = CacheGeometry(256, 1, 32)        # 8 sets, 1 way
+FULLY_ASSOC = CacheGeometry(256, 8, 32)          # 1 set, 8 ways
+
+EDGE_GEOMETRIES = (ONE_WORD_BLOCKS, SINGLE_SET, DIRECT_MAPPED, FULLY_ASSOC)
+
+
+def W(icount, address, value):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+def R(icount, address):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+class TestOracleAtExtremes:
+    @pytest.mark.parametrize("technique", ALL_CONTROLLER_NAMES)
+    @pytest.mark.parametrize(
+        "geometry", EDGE_GEOMETRIES, ids=lambda g: g.describe()
+    )
+    def test_values_correct(self, technique, geometry):
+        span = 4 * geometry.num_blocks * geometry.words_per_block
+        trace = make_random_trace(400, seed=3, word_span=span)
+        controller = make_controller(technique, SetAssociativeCache(geometry))
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+
+class TestSingleSetCache:
+    def test_every_access_same_set_tag_buffer_rarely_misses(self):
+        """With one set, the Tag-Buffer covers the whole cache: every
+        resident write after the first groups."""
+        controller = make_controller("wg", SetAssociativeCache(SINGLE_SET))
+        # Four distinct blocks fill the 4 ways; then writes group.
+        for i in range(4):
+            controller.process(W(i, i * 32, i + 1))
+        outcome = controller.process(W(10, 0, 99))
+        assert outcome.grouped
+
+    def test_wg_reduction_near_maximum(self):
+        """Once the set is resident, N writes cost WG exactly 1 fill
+        read + 1 final write-back."""
+        controller = make_controller("wg", SetAssociativeCache(SINGLE_SET))
+        for block in range(4):  # warm all four blocks of the lone set
+            controller.process(R(block, block * 32))
+        accesses_before = controller.array_accesses
+        for i in range(50):
+            controller.process(W(10 + i, (i % 16) * 8, i))
+        controller.finalize()
+        assert controller.array_accesses - accesses_before == 2
+
+
+class TestOneWordBlocks:
+    def test_wg_still_groups_repeat_writes(self):
+        """No spatial grouping possible — but temporal reuse of one
+        word still hits the Tag-Buffer."""
+        controller = make_controller(
+            "wg", SetAssociativeCache(ONE_WORD_BLOCKS)
+        )
+        controller.process(W(0, 0x40, 1))
+        outcome = controller.process(W(1, 0x40, 2))
+        assert outcome.grouped
+
+    def test_row_width_is_associativity_words(self):
+        assert ONE_WORD_BLOCKS.words_per_set == 2
+
+
+class TestDirectMapped:
+    def test_tag_buffer_holds_one_tag(self):
+        controller = make_controller(
+            "wg", SetAssociativeCache(DIRECT_MAPPED)
+        )
+        controller.process(W(0, 0x00, 1))
+        entry = controller.buffer_entries[-1]
+        assert len(entry.tag_buffer.tags) == 1
+
+    def test_conflict_alias_flushes_buffer(self):
+        """Two blocks aliasing to set 0 in a direct-mapped cache: the
+        second's fill must flush the buffered first."""
+        stride = DIRECT_MAPPED.num_sets * DIRECT_MAPPED.block_bytes
+        controller = make_controller(
+            "wg", SetAssociativeCache(DIRECT_MAPPED)
+        )
+        controller.process(W(0, 0x00, 7))
+        controller.process(W(1, stride, 8))  # aliases, evicts, refills
+        assert controller.counts.fill_flush_writebacks == 1
+        assert controller.process(R(2, 0x00)).value == 7
+
+
+class TestMoreBufferEntriesThanSets:
+    def test_wg_with_excess_entries(self):
+        """More buffer entries than cache sets is wasteful but legal."""
+        controller = make_controller(
+            "wg", SetAssociativeCache(SINGLE_SET), entries=4
+        )
+        trace = make_random_trace(200, seed=9, word_span=48)
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+
+class TestStreamingFeed:
+    def test_simulator_accepts_generator_input(self):
+        """feed() must not require a materialised list."""
+        from repro.sim.simulator import Simulator
+
+        def stream():
+            for i in range(100):
+                yield R(i, (i % 16) * 8)
+
+        simulator = Simulator("rmw", DIRECT_MAPPED)
+        simulator.feed(stream())
+        result = simulator.finish()
+        assert result.requests == 100

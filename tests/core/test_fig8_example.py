@@ -1,0 +1,114 @@
+"""The paper's Figure 8 worked example, end to end.
+
+Request stream (program order):
+    R_a, W_b, W_b, R_b, R_b, W_b, W_a(silent), R_b, R_a
+
+The paper walks WG through this stream; the expected array access
+counts fall straight out of Algorithm 1:
+
+* RMW: 5 reads + 2x4 writes = 13 accesses
+* WG:   9 accesses (grouping the W_b pair, eliding the silent W_a's
+        write-back, one premature and one eviction write-back)
+* WG+RB: 5 accesses (the three Tag-Buffer-hit reads are bypassed)
+* conventional: 9 (one per request)
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.registry import make_controller
+from repro.trace.record import AccessType, MemoryAccess
+
+SET_A = 0x00  # set 0
+SET_B = 0x20  # set 1
+
+
+def _stream():
+    def R(i, address):
+        return MemoryAccess(icount=i, kind=AccessType.READ, address=address)
+
+    def W(i, address, value):
+        return MemoryAccess(
+            icount=i, kind=AccessType.WRITE, address=address, value=value
+        )
+
+    return [
+        R(0, SET_A),
+        W(1, SET_B, 11),      # first W_b: fills the Set-Buffer
+        W(2, SET_B, 22),      # second W_b: grouped, non-silent -> Dirty
+        R(3, SET_B),          # forces premature write-back (WG)
+        R(4, SET_B),
+        W(5, SET_B, 33),      # third W_b: grouped again
+        W(6, SET_A, 0),       # W_a: silent (memory starts zeroed)
+        R(7, SET_B),
+        R(8, SET_A),          # TB hit; Dirty clear -> no write-back
+    ]
+
+
+@pytest.fixture
+def stream(tiny_geometry):
+    # Sanity: a and b really are different sets of the tiny cache.
+    from repro.cache.address import AddressMapper
+
+    mapper = AddressMapper(tiny_geometry)
+    assert mapper.set_index(SET_A) != mapper.set_index(SET_B)
+    return _stream()
+
+
+def _run(technique, geometry, stream):
+    controller = make_controller(technique, SetAssociativeCache(geometry))
+    outcomes = controller.run(stream)
+    return controller, outcomes
+
+
+class TestAccessCounts:
+    def test_conventional(self, tiny_geometry, stream):
+        controller, _ = _run("conventional", tiny_geometry, stream)
+        assert controller.array_accesses == 9
+
+    def test_rmw(self, tiny_geometry, stream):
+        controller, _ = _run("rmw", tiny_geometry, stream)
+        assert controller.array_accesses == 13
+
+    def test_wg(self, tiny_geometry, stream):
+        controller, _ = _run("wg", tiny_geometry, stream)
+        assert controller.array_accesses == 9
+        assert controller.counts.grouped_writes == 2
+        assert controller.counts.silent_writes_detected == 1
+        assert controller.counts.premature_writebacks == 1
+        assert controller.counts.eviction_writebacks == 1
+        assert controller.counts.final_writebacks == 0  # W_a was silent
+
+    def test_wg_rb(self, tiny_geometry, stream):
+        controller, _ = _run("wg_rb", tiny_geometry, stream)
+        assert controller.array_accesses == 5
+        assert controller.counts.bypassed_reads == 3
+
+    def test_reduction_ordering(self, tiny_geometry, stream):
+        accesses = {
+            technique: _run(technique, tiny_geometry, stream)[0].array_accesses
+            for technique in ("rmw", "wg", "wg_rb")
+        }
+        assert accesses["wg_rb"] < accesses["wg"] < accesses["rmw"]
+
+
+class TestValueCorrectness:
+    @pytest.mark.parametrize("technique", ["conventional", "rmw", "wg", "wg_rb"])
+    def test_reads_see_program_order_values(self, tiny_geometry, stream, technique):
+        _, outcomes = _run(technique, tiny_geometry, stream)
+        read_values = [
+            outcome.value
+            for outcome, access in zip(outcomes, stream)
+            if access.is_read
+        ]
+        # R_a, R_b, R_b, R_b, R_a: set b word 0 was last written 33.
+        assert read_values == [0, 22, 22, 33, 0]
+
+    def test_wg_detects_the_silent_wa(self, tiny_geometry, stream):
+        _, outcomes = _run("wg", tiny_geometry, stream)
+        silent_flags = [
+            outcome.silent
+            for outcome, access in zip(outcomes, stream)
+            if access.is_write
+        ]
+        assert silent_flags == [False, False, False, True]

@@ -1,0 +1,78 @@
+"""Unit tests for AccessOutcome and OperationCounts."""
+
+import pytest
+
+from repro.core.outcomes import AccessOutcome, OperationCounts, ServedFrom
+
+
+class TestAccessOutcome:
+    def test_array_accesses_sum(self):
+        outcome = AccessOutcome(
+            value=1,
+            cache_hit=True,
+            served_from=ServedFrom.ARRAY,
+            array_reads=2,
+            array_writes=1,
+        )
+        assert outcome.array_accesses == 3
+
+    def test_defaults(self):
+        outcome = AccessOutcome(
+            value=0, cache_hit=False, served_from=ServedFrom.SET_BUFFER
+        )
+        assert outcome.array_accesses == 0
+        assert not outcome.grouped
+        assert not outcome.silent
+        assert not outcome.bypassed
+        assert not outcome.forced_writeback
+
+    def test_frozen(self):
+        outcome = AccessOutcome(
+            value=0, cache_hit=False, served_from=ServedFrom.ARRAY
+        )
+        with pytest.raises(AttributeError):
+            outcome.value = 5
+
+
+class TestOperationCounts:
+    def test_requests(self):
+        counts = OperationCounts(read_requests=3, write_requests=2)
+        assert counts.requests == 5
+
+    def test_writebacks_sum_all_reasons(self):
+        counts = OperationCounts(
+            premature_writebacks=1,
+            eviction_writebacks=2,
+            fill_flush_writebacks=3,
+            final_writebacks=4,
+        )
+        assert counts.writebacks == 10
+
+    def test_fractions_guard_division_by_zero(self):
+        counts = OperationCounts()
+        assert counts.grouped_write_fraction == 0.0
+        assert counts.silent_write_fraction == 0.0
+        assert counts.bypassed_read_fraction == 0.0
+        assert counts.mean_dirty_residency == 0.0
+
+    def test_fractions(self):
+        counts = OperationCounts(
+            read_requests=10,
+            write_requests=8,
+            grouped_writes=4,
+            silent_writes_detected=2,
+            bypassed_reads=5,
+        )
+        assert counts.grouped_write_fraction == pytest.approx(0.5)
+        assert counts.silent_write_fraction == pytest.approx(0.25)
+        assert counts.bypassed_read_fraction == pytest.approx(0.5)
+
+    def test_mean_dirty_residency(self):
+        counts = OperationCounts(dirty_residency_total=60, dirty_windows=3)
+        assert counts.mean_dirty_residency == pytest.approx(20.0)
+
+
+class TestServedFrom:
+    def test_values(self):
+        assert ServedFrom.ARRAY.value == "array"
+        assert ServedFrom.SET_BUFFER.value == "set_buffer"

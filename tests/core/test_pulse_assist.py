@@ -1,0 +1,85 @@
+"""Unit tests for the Kim et al. pulse-assist comparator."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.pulse_assist import (
+    WRITE_CYCLE_FACTOR,
+    PulseAssistController,
+)
+from repro.core.registry import ALL_CONTROLLER_NAMES, make_controller
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace, oracle_read_values
+
+
+def W(address, value, icount=0):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+def R(address, icount=0):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+class TestAccessCounts:
+    def test_registered(self):
+        assert "pulse_assist" in ALL_CONTROLLER_NAMES
+
+    def test_write_costs_one_access(self, tiny_geometry):
+        controller = PulseAssistController(SetAssociativeCache(tiny_geometry))
+        outcome = controller.process(W(0, 1))
+        assert outcome.array_accesses == 1
+        assert controller.assisted_writes == 1
+
+    def test_matches_conventional_access_counts(self, tiny_geometry):
+        trace = make_random_trace(300, seed=1)
+        assisted = make_controller(
+            "pulse_assist", SetAssociativeCache(tiny_geometry)
+        )
+        conventional = make_controller(
+            "conventional", SetAssociativeCache(tiny_geometry)
+        )
+        assisted.run(trace)
+        conventional.run(trace)
+        assert assisted.array_accesses == conventional.array_accesses
+
+    def test_energy_premium_recorded(self, tiny_geometry):
+        """The stretched pulse drives more per write than conventional."""
+        assisted = PulseAssistController(SetAssociativeCache(tiny_geometry))
+        conventional = make_controller(
+            "conventional", SetAssociativeCache(tiny_geometry)
+        )
+        assisted.process(W(0, 1))
+        conventional.process(W(0, 1))
+        assert assisted.events.words_driven > conventional.events.words_driven
+
+    def test_value_correctness(self, tiny_geometry):
+        trace = make_random_trace(300, seed=2)
+        controller = PulseAssistController(SetAssociativeCache(tiny_geometry))
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+
+class TestTimingPremium:
+    def test_stretched_write_occupies_port_longer(self, tiny_geometry):
+        from repro.perf.timing import TimingSimulator
+
+        trace = [W(0x00, 1, 0), W(0x20, 2, 1), W(0x40, 3, 2)]
+        assisted = TimingSimulator("pulse_assist", tiny_geometry).run(trace)
+        conventional = TimingSimulator("conventional", tiny_geometry).run(trace)
+        assert assisted.write_port_busy == (
+            WRITE_CYCLE_FACTOR * conventional.write_port_busy
+        )
+
+    def test_reads_unaffected(self, tiny_geometry):
+        from repro.perf.timing import TimingSimulator
+
+        trace = [R(0x00, 0), R(0x20, 5)]
+        assisted = TimingSimulator("pulse_assist", tiny_geometry).run(trace)
+        conventional = TimingSimulator("conventional", tiny_geometry).run(trace)
+        assert assisted.mean_read_latency == conventional.mean_read_latency

@@ -1,0 +1,100 @@
+"""Unit tests for the Set-Buffer."""
+
+import pytest
+
+from repro.core.set_buffer import SetBuffer
+
+
+@pytest.fixture
+def buffer():
+    sb = SetBuffer()
+    sb.fill(3, [[1, 2], [3, 4]])
+    return sb
+
+
+class TestLifecycle:
+    def test_starts_invalid(self):
+        sb = SetBuffer()
+        assert not sb.valid
+        assert not sb.holds(0)
+
+    def test_fill(self, buffer):
+        assert buffer.valid
+        assert buffer.holds(3)
+        assert not buffer.holds(4)
+        assert buffer.ways == 2
+        assert buffer.words_per_way == 2
+
+    def test_fill_copies(self):
+        data = [[1, 2]]
+        sb = SetBuffer()
+        sb.fill(0, data)
+        data[0][0] = 99
+        assert sb.read(0, 0) == 1
+
+    def test_fill_rejects_ragged(self):
+        with pytest.raises(ValueError, match="rectangular"):
+            SetBuffer().fill(0, [[1, 2], [3]])
+
+    def test_fill_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SetBuffer().fill(0, [])
+
+    def test_invalidate(self, buffer):
+        buffer.invalidate()
+        assert not buffer.valid
+        with pytest.raises(ValueError, match="empty"):
+            buffer.read(0, 0)
+
+
+class TestSilentDetection:
+    def test_silent_write_detected(self, buffer):
+        assert buffer.write(0, 0, 1) is True  # same value
+        assert not buffer.has_modifications
+
+    def test_non_silent_write(self, buffer):
+        assert buffer.write(0, 0, 42) is False
+        assert buffer.has_modifications
+        assert buffer.read(0, 0) == 42
+
+    def test_write_then_silent_rewrite(self, buffer):
+        buffer.write(1, 1, 9)
+        assert buffer.write(1, 1, 9) is True
+
+    def test_revert_is_not_silent(self, buffer):
+        """Writing back the original value after a change is still a
+        change relative to the buffer's current content."""
+        buffer.write(0, 0, 42)
+        assert buffer.write(0, 0, 1) is False
+
+
+class TestWriteBackPayload:
+    def test_take_modified(self, buffer):
+        buffer.write(0, 1, 7)
+        buffer.write(1, 0, 8)
+        payload = buffer.take_modified()
+        assert payload == {(0, 1): 7, (1, 0): 8}
+        assert not buffer.has_modifications
+
+    def test_take_modified_clears(self, buffer):
+        buffer.write(0, 0, 5)
+        buffer.take_modified()
+        assert buffer.take_modified() == {}
+
+    def test_silent_writes_not_in_payload(self, buffer):
+        buffer.write(0, 0, 1)  # silent
+        assert buffer.take_modified() == {}
+
+    def test_last_value_wins(self, buffer):
+        buffer.write(0, 0, 5)
+        buffer.write(0, 0, 6)
+        assert buffer.take_modified() == {(0, 0): 6}
+
+
+class TestRowSnapshot:
+    def test_way_major_order(self, buffer):
+        assert buffer.row_snapshot() == [1, 2, 3, 4]
+
+    def test_reflects_writes(self, buffer):
+        buffer.write(1, 0, 99)
+        assert buffer.row_snapshot() == [1, 2, 99, 4]

@@ -1,0 +1,81 @@
+"""Unit tests for the Tag-Buffer."""
+
+import pytest
+
+from repro.core.tag_buffer import TagBuffer
+
+
+@pytest.fixture
+def loaded():
+    tb = TagBuffer()
+    tb.load(5, [0x10, 0x20, None, 0x30])
+    return tb
+
+
+class TestLifecycle:
+    def test_starts_invalid(self):
+        tb = TagBuffer()
+        assert not tb.valid
+        assert not tb.dirty
+        assert not tb.probe(0, 0)
+
+    def test_load_clears_dirty(self, loaded):
+        loaded.set_dirty()
+        loaded.load(6, [1])
+        assert not loaded.dirty
+        assert loaded.set_index == 6
+
+    def test_invalidate(self, loaded):
+        loaded.invalidate()
+        assert not loaded.valid
+        assert loaded.tags == ()
+
+
+class TestProbe:
+    def test_hit(self, loaded):
+        assert loaded.probe(5, 0x20)
+
+    def test_wrong_set_misses(self, loaded):
+        assert not loaded.probe(4, 0x20)
+
+    def test_wrong_tag_misses(self, loaded):
+        assert not loaded.probe(5, 0x99)
+
+    def test_tags_expose_invalid_ways_as_none(self, loaded):
+        assert loaded.tags == (0x10, 0x20, None, 0x30)
+
+    def test_matches_set(self, loaded):
+        assert loaded.matches_set(5)
+        assert not loaded.matches_set(0)
+
+
+class TestWayOf:
+    def test_finds_way(self, loaded):
+        assert loaded.way_of(0x10) == 0
+        assert loaded.way_of(0x30) == 3
+
+    def test_missing_tag(self, loaded):
+        with pytest.raises(ValueError, match="not in Tag-Buffer"):
+            loaded.way_of(0x99)
+
+    def test_empty_buffer(self):
+        with pytest.raises(ValueError, match="empty"):
+            TagBuffer().way_of(1)
+
+
+class TestDirtyBit:
+    def test_set_and_clear(self, loaded):
+        loaded.set_dirty()
+        assert loaded.dirty
+        loaded.clear_dirty()
+        assert not loaded.dirty
+
+    def test_cannot_dirty_empty(self):
+        with pytest.raises(ValueError):
+            TagBuffer().set_dirty()
+
+
+class TestStorageBits:
+    def test_baseline_budget(self, loaded):
+        # 9 index bits, 34-bit tags, 4 ways: 9 + 4*(34+1) + 2 = 151.
+        assert loaded.storage_bits(index_bits=9, tag_bits=34) == 151

@@ -1,0 +1,92 @@
+"""Unit tests for the WG+RB controller (read bypassing)."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.outcomes import ServedFrom
+from repro.core.wg_rb import WGRBController
+from repro.core.write_grouping import WriteGroupingController
+from repro.trace.record import AccessType, MemoryAccess
+
+
+def R(address, icount=0):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(address, value, icount=0):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+SET0 = 0x00
+SET0_W1 = 0x08
+SET1 = 0x20
+
+
+@pytest.fixture
+def wgrb(tiny_geometry):
+    return WGRBController(SetAssociativeCache(tiny_geometry))
+
+
+class TestBypass:
+    def test_read_hit_bypasses(self, wgrb):
+        wgrb.process(W(SET0, 1))
+        outcome = wgrb.process(R(SET0_W1))
+        assert outcome.bypassed
+        assert outcome.served_from is ServedFrom.SET_BUFFER
+        assert outcome.array_accesses == 0
+        assert wgrb.counts.bypassed_reads == 1
+
+    def test_bypass_avoids_premature_writeback(self, wgrb):
+        """Unlike WG, a read hit needs no write-back — the RB mux routes
+        the buffer straight to the output (Figure 7)."""
+        wgrb.process(W(SET0, 1))
+        outcome = wgrb.process(R(SET0))
+        assert not outcome.forced_writeback
+        assert wgrb.counts.premature_writebacks == 0
+
+    def test_bypassed_value_is_newest(self, wgrb):
+        wgrb.process(W(SET0, 1))
+        wgrb.process(W(SET0, 2))
+        assert wgrb.process(R(SET0)).value == 2
+
+    def test_bypassed_value_for_unmodified_word(self, wgrb):
+        """Words the buffer holds but the program never wrote come from
+        the fill (the row read) and must match the cache."""
+        wgrb.process(W(SET0, 5))
+        outcome = wgrb.process(R(SET0_W1))
+        assert outcome.bypassed
+        assert outcome.value == 0
+
+    def test_read_miss_goes_to_array(self, wgrb):
+        wgrb.process(W(SET0, 1))
+        outcome = wgrb.process(R(SET1))
+        assert not outcome.bypassed
+        assert outcome.array_reads == 1
+
+    def test_grouping_continues_after_bypass(self, wgrb):
+        wgrb.process(W(SET0, 1))
+        wgrb.process(R(SET0))  # bypassed, dirty preserved
+        outcome = wgrb.process(W(SET0_W1, 2))
+        assert outcome.grouped
+
+
+class TestDominance:
+    def test_never_more_accesses_than_wg(self, tiny_geometry):
+        """On any trace WG+RB costs at most as many array accesses as WG."""
+        from tests.conftest import make_random_trace
+
+        for seed in range(5):
+            trace = make_random_trace(300, seed=seed, word_span=96)
+            wg = WriteGroupingController(SetAssociativeCache(tiny_geometry))
+            wgrb = WGRBController(SetAssociativeCache(tiny_geometry))
+            wg.run(trace)
+            wgrb.run(trace)
+            assert wgrb.array_accesses <= wg.array_accesses
+
+    def test_inherits_wg_write_path(self, wgrb):
+        wgrb.process(W(SET0, 1))
+        outcome = wgrb.process(W(SET0_W1, 2))
+        assert outcome.grouped
+        assert wgrb.counts.grouped_writes == 1

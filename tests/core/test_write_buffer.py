@@ -1,0 +1,128 @@
+"""Unit tests for the coalescing write-buffer comparator."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.write_buffer import WriteBufferController
+from repro.core.write_grouping import WriteGroupingController
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace, oracle_read_values
+
+SET0 = 0x00
+SET0_W1 = 0x08
+SET1 = 0x20
+SET2 = 0x40
+SET3 = 0x60
+SET4 = 0x80
+
+
+def R(address, icount=0):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(address, value, icount=0):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+@pytest.fixture
+def wb(tiny_geometry):
+    return WriteBufferController(SetAssociativeCache(tiny_geometry), entries=2)
+
+
+class TestCoalescing:
+    def test_first_write_allocates_without_array_access(self, wb):
+        outcome = wb.process(W(SET0, 1))
+        assert outcome.array_accesses == 0
+        assert not outcome.grouped
+
+    def test_same_block_coalesces(self, wb):
+        wb.process(W(SET0, 1))
+        outcome = wb.process(W(SET0_W1, 2))
+        assert outcome.grouped
+        assert outcome.array_accesses == 0
+
+    def test_full_buffer_drains_lru_as_rmw(self, wb):
+        wb.process(W(SET0, 1))
+        wb.process(W(SET1, 2))
+        outcome = wb.process(W(SET2, 3))  # evicts the SET0 entry
+        assert outcome.forced_writeback
+        assert outcome.array_reads == 1   # drain = RMW read phase...
+        assert outcome.array_writes == 1  # ...plus row write
+        assert wb.counts.rmw_operations == 1
+
+    def test_drain_has_no_silent_elision(self, wb):
+        """Silent stores cost like any other: no pre-image to compare."""
+        wb.process(W(SET0, 0))  # writes the value already there (zero)
+        wb.process(W(SET1, 0))
+        outcome = wb.process(W(SET2, 1))
+        assert outcome.forced_writeback  # the drain still happened
+
+    def test_final_drain(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry)
+        wb = WriteBufferController(cache, entries=2)
+        wb.process(W(SET0, 9))
+        wb.finalize()
+        assert wb.counts.final_writebacks == 1
+        cache.flush_all_dirty()
+        assert cache.memory.read_word(SET0) == 9
+
+
+class TestForwarding:
+    def test_buffered_word_forwarded(self, wb):
+        wb.process(W(SET0, 42))
+        outcome = wb.process(R(SET0))
+        assert outcome.bypassed
+        assert outcome.value == 42
+        assert outcome.array_accesses == 0
+
+    def test_unbuffered_word_of_buffered_block_reads_array(self, wb):
+        wb.process(W(SET0, 42))
+        outcome = wb.process(R(SET0_W1))  # word 1 never written
+        assert not outcome.bypassed
+        assert outcome.value == 0
+        assert outcome.array_reads == 1
+
+
+class TestCorrectness:
+    def test_oracle_on_random_traces(self, tiny_geometry):
+        for seed in range(4):
+            trace = make_random_trace(500, seed=seed, word_span=120)
+            controller = WriteBufferController(
+                SetAssociativeCache(tiny_geometry), entries=4
+            )
+            outcomes = controller.run(trace)
+            expected = oracle_read_values(trace)
+            for access, outcome, expect in zip(trace, outcomes, expected):
+                if access.is_read:
+                    assert outcome.value == expect
+
+    def test_fill_flush_keeps_values_right(self, wb, tiny_geometry):
+        stride = tiny_geometry.num_sets * tiny_geometry.block_bytes
+        wb.process(W(SET0, 7))
+        wb.process(R(SET0 + stride))
+        wb.process(R(SET0 + 2 * stride))  # fills evict the written block
+        assert wb.counts.fill_flush_writebacks == 1
+        assert wb.process(R(SET0)).value == 7
+
+
+class TestVsWriteGrouping:
+    def test_wg_beats_equal_storage_write_buffer(self, tiny_geometry):
+        """The headline comparison: at equal storage (2-way tiny cache:
+        Set-Buffer = 2 blocks = 2 write-buffer entries), WG's
+        single-access write-backs and silent elision win on traces with
+        silent stores."""
+        trace = make_random_trace(
+            800, seed=5, word_span=96, write_share=0.45, silent_share=0.45
+        )
+        wg = WriteGroupingController(SetAssociativeCache(tiny_geometry))
+        wb = WriteBufferController(SetAssociativeCache(tiny_geometry), entries=2)
+        wg.run(trace)
+        wb.run(trace)
+        assert wg.array_accesses < wb.array_accesses
+
+    def test_entries_validated(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            WriteBufferController(SetAssociativeCache(tiny_geometry), entries=0)

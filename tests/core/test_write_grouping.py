@@ -1,0 +1,179 @@
+"""Unit tests for the Write Grouping controller (Algorithm 1)."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.write_grouping import WriteGroupingController
+from repro.trace.record import AccessType, MemoryAccess
+
+
+def R(address, icount=0):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(address, value, icount=0):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+@pytest.fixture
+def wg(tiny_geometry):
+    return WriteGroupingController(SetAssociativeCache(tiny_geometry))
+
+
+# Addresses: tiny geometry has 32 B blocks, 8 sets.
+SET0 = 0x00
+SET0_W1 = 0x08  # word 1 of the same block
+SET1 = 0x20
+SET2 = 0x40
+
+
+class TestWritePath:
+    def test_first_write_fills_buffer(self, wg):
+        outcome = wg.process(W(SET0, 1))
+        assert outcome.array_reads == 1  # fill = read row
+        assert outcome.array_writes == 0  # no immediate write-back
+        assert not outcome.grouped
+        assert wg.counts.set_buffer_fills == 1
+
+    def test_second_write_same_set_groups(self, wg):
+        wg.process(W(SET0, 1))
+        outcome = wg.process(W(SET0_W1, 2))
+        assert outcome.grouped
+        assert outcome.array_accesses == 0
+        assert wg.counts.grouped_writes == 1
+
+    def test_write_to_other_set_evicts_buffer(self, wg):
+        wg.process(W(SET0, 1))  # non-silent -> dirty
+        outcome = wg.process(W(SET1, 2))
+        assert outcome.forced_writeback
+        assert outcome.array_writes == 1  # eviction write-back
+        assert outcome.array_reads == 1  # refill with set 1
+        assert wg.counts.eviction_writebacks == 1
+
+    def test_clean_buffer_eviction_is_free(self, wg):
+        wg.process(W(SET0, 0))  # silent (memory starts zero)
+        outcome = wg.process(W(SET1, 2))
+        assert not outcome.forced_writeback
+        assert outcome.array_writes == 0
+        assert outcome.array_reads == 1
+
+    def test_grouping_survives_reads_to_other_sets(self, wg):
+        """Reads elsewhere don't evict the buffer — grouping is not
+        limited to strictly consecutive writes."""
+        wg.process(W(SET0, 1))
+        wg.process(R(SET1))
+        wg.process(R(SET2))
+        outcome = wg.process(W(SET0_W1, 2))
+        assert outcome.grouped
+
+
+class TestSilentWrites:
+    def test_silent_write_detected(self, wg):
+        wg.process(W(SET0, 5))
+        outcome = wg.process(W(SET0, 5))  # same value again
+        assert outcome.silent
+        assert wg.counts.silent_writes_detected == 1
+
+    def test_all_silent_group_never_writes_back(self, wg):
+        wg.process(W(SET0, 0))  # zero into zeroed memory: silent
+        wg.process(W(SET0_W1, 0))
+        outcome = wg.process(W(SET1, 1))  # evict buffer
+        assert not outcome.forced_writeback
+        assert wg.events.row_writes == 0
+
+    def test_detection_can_be_disabled(self, tiny_geometry):
+        wg = WriteGroupingController(
+            SetAssociativeCache(tiny_geometry), detect_silent_writes=False
+        )
+        wg.process(W(SET0, 0))  # would be silent
+        outcome = wg.process(W(SET1, 1))
+        assert outcome.forced_writeback  # dirty despite silence
+        assert wg.counts.silent_writes_detected == 0
+
+
+class TestReadPath:
+    def test_read_miss_in_tag_buffer_is_plain_read(self, wg):
+        wg.process(W(SET0, 1))
+        outcome = wg.process(R(SET1))
+        assert outcome.array_reads == 1
+        assert not outcome.forced_writeback
+
+    def test_read_hit_forces_premature_writeback(self, wg):
+        wg.process(W(SET0, 1))  # dirty buffer
+        outcome = wg.process(R(SET0_W1))
+        assert outcome.forced_writeback
+        assert outcome.array_writes == 1
+        assert outcome.array_reads == 1
+        assert wg.counts.premature_writebacks == 1
+
+    def test_read_hit_on_clean_buffer_no_writeback(self, wg):
+        wg.process(W(SET0, 1))
+        wg.process(R(SET0))  # premature write-back, buffer now clean
+        outcome = wg.process(R(SET0_W1))
+        assert not outcome.forced_writeback
+        assert outcome.array_accesses == 1
+
+    def test_read_returns_newest_value(self, wg):
+        wg.process(W(SET0, 42))
+        assert wg.process(R(SET0)).value == 42
+
+    def test_buffer_survives_premature_writeback(self, wg):
+        """After a premature write-back the set stays buffered, so the
+        next write to it still groups (Algorithm 1 keeps the data)."""
+        wg.process(W(SET0, 1))
+        wg.process(R(SET0))
+        outcome = wg.process(W(SET0_W1, 2))
+        assert outcome.grouped
+
+
+class TestFillInteraction:
+    def test_fill_to_buffered_set_flushes_first(self, wg, tiny_geometry):
+        """A cache miss mapping to the buffered set must drain and drop
+        the buffer before the fill replaces one of its blocks."""
+        stride = tiny_geometry.num_sets * tiny_geometry.block_bytes
+        wg.process(W(SET0, 7))  # buffer holds set 0, dirty
+        # Two reads that alias to set 0 with different tags evict.
+        wg.process(R(SET0 + stride))
+        wg.process(R(SET0 + 2 * stride))
+        assert wg.counts.fill_flush_writebacks == 1
+        # And memory/cache still return the right value.
+        assert wg.process(R(SET0)).value == 7
+
+    def test_final_drain(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry)
+        wg = WriteGroupingController(cache)
+        wg.process(W(SET0, 9))
+        wg.finalize()
+        assert wg.counts.final_writebacks == 1
+        cache.flush_all_dirty()
+        assert cache.memory.read_word(SET0) == 9
+
+
+class TestAccessCounting:
+    def test_grouped_sequence_beats_rmw(self, wg):
+        """Four writes to one set: 1 fill + 1 final write-back = 2
+        accesses where RMW would spend 8."""
+        for i, word in enumerate((0x00, 0x08, 0x10, 0x18)):
+            wg.process(W(word, i + 1))
+        wg.finalize()
+        assert wg.array_accesses == 2
+
+    def test_multi_entry_buffer_groups_across_two_sets(self, tiny_geometry):
+        wg = WriteGroupingController(SetAssociativeCache(tiny_geometry), entries=2)
+        wg.process(W(SET0, 1))
+        wg.process(W(SET1, 2))
+        # With two entries, returning to set 0 still groups.
+        outcome = wg.process(W(SET0_W1, 3))
+        assert outcome.grouped
+
+    def test_single_entry_thrashes_across_two_sets(self, wg):
+        wg.process(W(SET0, 1))
+        wg.process(W(SET1, 2))
+        outcome = wg.process(W(SET0_W1, 3))
+        assert not outcome.grouped
+
+    def test_entries_must_be_positive(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            WriteGroupingController(SetAssociativeCache(tiny_geometry), entries=0)

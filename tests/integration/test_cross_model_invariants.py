@@ -1,0 +1,99 @@
+"""Cross-model invariants: counters, energy and timing must agree.
+
+The access-count, energy and timing models are three views of the same
+event stream; these tests pin the relationships between them so a
+change to one model cannot silently diverge from the others.
+"""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.perf.timing import TimingSimulator
+from repro.power.energy import EnergyModel
+from repro.power.params import TECH_45NM
+from repro.sim.comparison import compare_techniques
+from repro.sram.geometry import ArrayGeometry
+
+from tests.conftest import make_random_trace
+
+GEOMETRY = CacheGeometry(4 * 1024, 4, 32)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    trace = make_random_trace(
+        900, seed=21, word_span=400, write_share=0.4, silent_share=0.4
+    )
+    return compare_techniques(
+        trace, GEOMETRY, techniques=("conventional", "rmw", "wg", "wg_rb")
+    )
+
+
+@pytest.fixture(scope="module")
+def energy_model():
+    return EnergyModel(TECH_45NM, ArrayGeometry.for_cache(GEOMETRY))
+
+
+class TestEnergyFollowsAccessCounts:
+    def test_wg_family_cheaper_than_rmw(self, comparison, energy_model):
+        """Fewer array accesses must mean less total energy — the buffer
+        energy never swamps the saved row activations."""
+        rmw_energy = energy_model.energy_of(
+            comparison.result("rmw").events
+        ).total_fj
+        for technique in ("wg", "wg_rb"):
+            energy = energy_model.energy_of(
+                comparison.result(technique).events
+            ).total_fj
+            assert energy < rmw_energy
+
+    def test_energy_ordering_tracks_access_ordering(
+        self, comparison, energy_model
+    ):
+        accesses = {
+            t: comparison.result(t).array_accesses for t in ("rmw", "wg", "wg_rb")
+        }
+        energies = {
+            t: energy_model.energy_of(comparison.result(t).events).total_fj
+            for t in ("rmw", "wg", "wg_rb")
+        }
+        assert (
+            sorted(accesses, key=accesses.get)
+            == sorted(energies, key=energies.get)
+        )
+
+    def test_row_events_consistent_with_counts(self, comparison):
+        """RMW's event log decomposes exactly: reads = read requests +
+        write requests (each write reads its row); writes = writes."""
+        result = comparison.result("rmw")
+        assert result.events.row_reads == (
+            result.counts.read_requests + result.counts.write_requests
+        )
+        assert result.events.row_writes == result.counts.write_requests
+
+    def test_wg_writebacks_match_row_writes(self, comparison):
+        """Every WG row write is one of the accounted write-backs."""
+        result = comparison.result("wg")
+        assert result.events.row_writes == result.counts.writebacks
+
+    def test_wg_fills_match_full_row_reads(self, comparison):
+        """WG's row reads are either single-word request reads or
+        full-row buffer fills; the words_routed total proves it."""
+        result = comparison.result("wg")
+        fills = result.counts.set_buffer_fills
+        request_reads = result.events.row_reads - fills
+        expected_words = (
+            request_reads * 1 + fills * GEOMETRY.words_per_set
+        )
+        assert result.events.words_routed == expected_words
+
+
+class TestTimingFollowsEvents:
+    def test_port_busy_tracks_array_accesses(self):
+        """More array operations cannot take less total port time."""
+        trace = make_random_trace(600, seed=22, word_span=300)
+        busy = {}
+        for technique in ("rmw", "wg", "wg_rb"):
+            perf = TimingSimulator(technique, GEOMETRY).run(trace)
+            busy[technique] = perf.read_port_busy + perf.write_port_busy
+        assert busy["wg_rb"] <= busy["wg"] <= busy["rmw"]

@@ -1,0 +1,98 @@
+"""End-to-end integration: kernels and benchmarks through the full stack."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.perf.timing import evaluate_performance
+from repro.power.energy import EnergyModel
+from repro.power.params import TECH_45NM
+from repro.sim.comparison import compare_techniques
+from repro.sram.geometry import ArrayGeometry
+from repro.trace.stream import materialize
+from repro.workload.generator import generate_trace
+from repro.workload.kernels import KERNEL_NAMES, run_kernel
+from repro.workload.spec2006 import get_profile
+
+from tests.conftest import oracle_read_values
+
+
+class TestKernelsThroughControllers:
+    """Real executed kernels drive the full controller stack."""
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_kernel_traces_benefit_ordering(self, kernel):
+        trace = run_kernel(kernel, words=768, seed=2)
+        geometry = CacheGeometry(4 * 1024, 4, 32)
+        comparison = compare_techniques(trace, geometry)
+        assert comparison.access_reduction("wg") >= 0.0
+        assert comparison.access_reduction("wg_rb") >= comparison.access_reduction(
+            "wg"
+        )
+
+    def test_stream_triad_groups_well(self):
+        """A pure streaming kernel is the WG best case: consecutive
+        writes land in the same block."""
+        trace = run_kernel("stream_triad", words=1536, seed=2)
+        comparison = compare_techniques(trace, CacheGeometry(4 * 1024, 4, 32))
+        assert comparison.access_reduction("wg") > 0.15
+
+    def test_histogram_bypasses_reads(self):
+        """Histogram's load-increment-store pairs hit the Set-Buffer."""
+        trace = run_kernel("histogram", words=512, seed=2)
+        comparison = compare_techniques(trace, CacheGeometry(4 * 1024, 4, 32))
+        wg_rb = comparison.result("wg_rb")
+        assert wg_rb.counts.bypassed_reads > 0
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_kernel_value_correctness_under_wg_rb(self, kernel):
+        trace = run_kernel(kernel, words=512, seed=5)
+        geometry = CacheGeometry(512, 2, 32)  # tiny: force evictions
+        from repro.cache.cache import SetAssociativeCache
+        from repro.core.registry import make_controller
+
+        controller = make_controller("wg_rb", SetAssociativeCache(geometry))
+        outcomes = controller.run(trace)
+        expected = oracle_read_values(trace)
+        for access, outcome, expect in zip(trace, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect
+
+
+class TestSyntheticBenchmarkEndToEnd:
+    @pytest.fixture(scope="class")
+    def bwaves_comparison(self):
+        trace = materialize(generate_trace(get_profile("bwaves"), 10_000))
+        return compare_techniques(trace, BASELINE_GEOMETRY)
+
+    def test_headline_reduction(self, bwaves_comparison):
+        """bwaves is the paper's showcase: ~47 % WG reduction."""
+        assert 0.40 <= bwaves_comparison.access_reduction("wg") <= 0.52
+
+    def test_energy_follows_accesses(self, bwaves_comparison):
+        model = EnergyModel(TECH_45NM, ArrayGeometry.for_cache(BASELINE_GEOMETRY))
+        saving = model.savings_vs(
+            bwaves_comparison.result("wg_rb").events,
+            bwaves_comparison.result("rmw").events,
+        )
+        assert saving > 0.35
+
+    def test_perf_model_agrees(self):
+        trace = materialize(generate_trace(get_profile("bwaves"), 5_000))
+        results = evaluate_performance(
+            trace, BASELINE_GEOMETRY, techniques=("rmw", "wg_rb")
+        )
+        assert (
+            results["wg_rb"].mean_read_latency
+            < results["rmw"].mean_read_latency
+        )
+
+    def test_cache_hit_rates_identical_across_techniques(
+        self, bwaves_comparison
+    ):
+        """The techniques change array traffic, never cache behaviour."""
+        hit_rates = {
+            name: result.cache_stats.hit_rate
+            for name, result in bwaves_comparison.results.items()
+        }
+        values = list(hit_rates.values())
+        assert all(v == pytest.approx(values[0]) for v in values)

@@ -1,0 +1,90 @@
+"""Unit tests for the port-contention timing model (Section 5.5)."""
+
+import pytest
+
+from repro.perf.timing import TimingSimulator, evaluate_performance
+from repro.sram.timing import PhaseTiming
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace
+
+
+def R(icount, address):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(icount, address, value):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+class TestBasicLatency:
+    def test_uncontended_read_latency(self, tiny_geometry):
+        result = TimingSimulator("rmw", tiny_geometry).run([R(0, 0)])
+        assert result.mean_read_latency == PhaseTiming().array_read_cycles
+
+    def test_rmw_write_blocks_following_read(self, tiny_geometry):
+        """RMW's read phase occupies the read port: a read arriving
+        right behind a write stalls (the paper's 1R/1W complaint)."""
+        trace = [W(0, 0x00, 1), R(1, 0x20)]
+        rmw = TimingSimulator("rmw", tiny_geometry).run(trace)
+        assert rmw.read_port_conflicts >= 1
+        assert rmw.mean_read_latency > PhaseTiming().array_read_cycles
+
+    def test_grouped_write_frees_read_port(self, tiny_geometry):
+        """Under WG the same pattern leaves the read port alone once the
+        set is buffered."""
+        trace = [W(0, 0x00, 1), W(2, 0x08, 2), R(3, 0x20)]
+        wg = TimingSimulator("wg", tiny_geometry).run(trace)
+        rmw = TimingSimulator("rmw", tiny_geometry).run(trace)
+        assert wg.read_port_busy < rmw.read_port_busy
+
+    def test_bypassed_read_is_fast(self, tiny_geometry):
+        trace = [W(0, 0x00, 1), R(5, 0x00)]
+        result = TimingSimulator("wg_rb", tiny_geometry).run(trace)
+        assert result.bypassed_reads == 1
+        # One array read (none for the bypass) plus the buffer latency.
+        assert result.total_read_latency == PhaseTiming().set_buffer_cycles
+
+
+class TestSuiteLevelDirections:
+    @pytest.fixture(scope="class")
+    def results(self, ):
+        from repro.cache.config import CacheGeometry
+
+        geometry = CacheGeometry(512, 2, 32)
+        trace = make_random_trace(800, seed=3, word_span=100, write_share=0.45)
+        return evaluate_performance(trace, geometry)
+
+    def test_wg_rb_has_lowest_read_latency(self, results):
+        """Section 5.5: WG+RB improves read latency."""
+        assert (
+            results["wg_rb"].mean_read_latency
+            <= results["wg"].mean_read_latency
+        )
+        assert (
+            results["wg_rb"].mean_read_latency
+            < results["rmw"].mean_read_latency
+        )
+
+    def test_wg_reduces_read_port_pressure(self, results):
+        assert results["wg"].read_port_busy < results["rmw"].read_port_busy
+
+    def test_conventional_is_fastest_reference(self, results):
+        assert (
+            results["conventional"].mean_read_latency
+            <= results["rmw"].mean_read_latency
+        )
+
+    def test_counts_consistent(self, results):
+        for result in results.values():
+            assert result.reads + result.writes == 800
+            assert result.elapsed_cycles > 0
+            assert 0.0 <= result.read_port_utilisation <= 1.0
+
+
+class TestRejectsIterator:
+    def test_one_shot_iterator_rejected(self, tiny_geometry):
+        with pytest.raises(TypeError, match="reusable"):
+            evaluate_performance(iter([]), tiny_geometry)

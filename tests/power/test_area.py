@@ -1,0 +1,88 @@
+"""Unit tests for the area model — Section 5.4's exact numbers."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.power.area import AreaModel
+
+
+@pytest.fixture
+def model():
+    return AreaModel(node_nm=45)
+
+
+class TestSection54:
+    def test_set_buffer_is_one_set(self, model):
+        """Paper: baseline set = 128 B, so the Set-Buffer is 1024 bits."""
+        assert BASELINE_GEOMETRY.set_bytes == 128
+        assert model.set_buffer_bits(BASELINE_GEOMETRY) == 1024
+
+    def test_set_buffer_under_0_2_percent(self, model):
+        report = model.report(BASELINE_GEOMETRY)
+        assert report.set_buffer_overhead < 0.002
+
+    def test_tag_buffer_under_150_bits(self, model):
+        """Paper: 'less than 150 bits assuming 48 bits physical address'
+        (9 index bits + 4 x 34-bit tags = 145)."""
+        bits = model.tag_buffer_bits(BASELINE_GEOMETRY)
+        assert bits == 145
+        assert bits < 150
+
+    def test_tag_buffer_with_state_bits(self, model):
+        # + 4 valid bits + buffer-valid + Dirty.
+        assert model.tag_buffer_bits_with_state(BASELINE_GEOMETRY) == 151
+
+    def test_total_overhead_small(self, model):
+        report = model.report(BASELINE_GEOMETRY)
+        assert report.total_overhead < 0.0025
+
+    def test_overhead_shrinks_with_cache_size(self, model):
+        small = model.report(CacheGeometry(32 * 1024, 4, 32))
+        large = model.report(CacheGeometry(128 * 1024, 4, 32))
+        assert large.set_buffer_overhead < small.set_buffer_overhead
+
+
+class TestECCOverhead:
+    def test_secded_is_hamming_72_64(self, model):
+        """Interleaving enables SEC-DED: 8 check bits per 64-bit word."""
+        assert model.ecc_overhead(BASELINE_GEOMETRY, "secded") == pytest.approx(
+            8 / 64
+        )
+
+    def test_multibit_costs_nearly_double(self, model):
+        """Chang's non-interleaved layout forces multi-bit correction."""
+        secded = model.ecc_bits(BASELINE_GEOMETRY, "secded")
+        multibit = model.ecc_bits(BASELINE_GEOMETRY, "multi_bit")
+        assert multibit == pytest.approx(secded * 14 / 8)
+
+    def test_bits_scale_with_capacity(self, model):
+        small = model.ecc_bits(CacheGeometry(32 * 1024, 4, 32), "secded")
+        large = model.ecc_bits(CacheGeometry(128 * 1024, 4, 32), "secded")
+        assert large == 4 * small
+
+    def test_unknown_scheme(self, model):
+        with pytest.raises(ValueError, match="unknown ECC scheme"):
+            model.ecc_bits(BASELINE_GEOMETRY, "raid5")
+
+
+class TestCellAreas:
+    def test_8t_denser_at_45nm_and_below(self):
+        """Morita et al.: 8T cells are more compact beyond 45 nm."""
+        assert AreaModel(node_nm=45).eight_t_denser()
+        assert AreaModel(node_nm=32).eight_t_denser()
+
+    def test_6t_denser_at_legacy_nodes(self):
+        assert not AreaModel(node_nm=65).eight_t_denser()
+
+    def test_area_um2_scales_with_node(self):
+        a45 = AreaModel(45).cell_area_um2("8T")
+        a32 = AreaModel(32).cell_area_um2("8T")
+        assert a32 < a45
+
+    def test_unknown_cell(self):
+        with pytest.raises(ValueError):
+            AreaModel(45).cell_area_f2("12T")
+
+    def test_node_validated(self):
+        with pytest.raises(ValueError):
+            AreaModel(0)

@@ -1,0 +1,89 @@
+"""Unit tests for the dynamic energy model."""
+
+import pytest
+
+from repro.power.energy import EnergyModel
+from repro.power.params import TECH_45NM
+from repro.sram.events import SRAMEventLog
+from repro.sram.geometry import ArrayGeometry
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(TECH_45NM, ArrayGeometry(rows=512, words_per_row=16))
+
+
+class TestPerOperationEnergies:
+    def test_row_write_dwarfs_buffer_word(self, model):
+        assert model.row_write_energy_fj() > 50 * model.buffer_word_energy_fj()
+
+    def test_full_row_read_costs_more_than_single_word(self, model):
+        assert model.row_read_energy_fj(16) > model.row_read_energy_fj(1)
+
+    def test_voltage_scaling_quadratic(self):
+        geometry = ArrayGeometry(rows=512, words_per_row=16)
+        nominal = EnergyModel(TECH_45NM, geometry)
+        scaled = EnergyModel(TECH_45NM, geometry, vdd_mv=500.0)
+        assert scaled.row_write_energy_fj() == pytest.approx(
+            0.25 * nominal.row_write_energy_fj()
+        )
+
+
+class TestEnergyOfRun:
+    def test_empty_log_is_zero(self, model):
+        breakdown = model.energy_of(SRAMEventLog())
+        assert breakdown.total_fj == 0.0
+
+    def test_rmw_write_doubles_cost(self, model):
+        """An RMW costs read + write; a grouped write costs one buffer word."""
+        rmw_log = SRAMEventLog()
+        rmw_log.record_rmw(row_words=16)
+        grouped_log = SRAMEventLog()
+        grouped_log.record_set_buffer_write(1)
+        rmw_energy = model.energy_of(rmw_log).total_fj
+        grouped_energy = model.energy_of(grouped_log).total_fj
+        assert rmw_energy > 100 * grouped_energy
+
+    def test_breakdown_components(self, model):
+        log = SRAMEventLog()
+        log.record_row_read(1)
+        log.record_row_write(16)
+        log.record_set_buffer_read(2)
+        breakdown = model.energy_of(log)
+        assert breakdown.read_fj > 0
+        assert breakdown.write_fj > 0
+        assert breakdown.buffer_fj > 0
+        assert breakdown.total_fj == pytest.approx(
+            breakdown.read_fj + breakdown.write_fj + breakdown.buffer_fj
+        )
+        assert breakdown.total_nj == pytest.approx(breakdown.total_fj * 1e-6)
+
+    def test_word_routing_charged_exactly(self, model):
+        one = SRAMEventLog()
+        one.record_row_read(1)
+        sixteen = SRAMEventLog()
+        sixteen.record_row_read(16)
+        delta = (
+            model.energy_of(sixteen).read_fj - model.energy_of(one).read_fj
+        )
+        assert delta == pytest.approx(15 * TECH_45NM.e_sense_per_word_fj)
+
+
+class TestSavings:
+    def test_fewer_accesses_save_energy(self, model):
+        baseline = SRAMEventLog()
+        for _ in range(10):
+            baseline.record_rmw(row_words=16)
+        improved = SRAMEventLog()
+        improved.record_rmw(row_words=16)
+        improved.record_set_buffer_write(9)
+        saving = model.savings_vs(improved, baseline)
+        assert 0.85 < saving < 1.0
+
+    def test_zero_baseline(self, model):
+        assert model.savings_vs(SRAMEventLog(), SRAMEventLog()) == 0.0
+
+    def test_identical_logs_save_nothing(self, model):
+        log = SRAMEventLog()
+        log.record_row_read(1)
+        assert model.savings_vs(log, log.copy()) == pytest.approx(0.0)

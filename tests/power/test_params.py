@@ -1,0 +1,50 @@
+"""Unit tests for technology parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.params import TECH_32NM, TECH_45NM, TechnologyParams
+
+
+class TestPresets:
+    def test_nodes(self):
+        assert TECH_45NM.node_nm == 45
+        assert TECH_32NM.node_nm == 32
+
+    def test_32nm_cheaper_per_event(self):
+        assert TECH_32NM.e_wordline_fj < TECH_45NM.e_wordline_fj
+
+    def test_32nm_leaks_more(self):
+        assert TECH_32NM.leak_per_cell_6t_pw > TECH_45NM.leak_per_cell_6t_pw
+
+    def test_8t_leaks_more_than_6t(self):
+        for tech in (TECH_45NM, TECH_32NM):
+            assert tech.leak_per_cell_8t_pw > tech.leak_per_cell_6t_pw
+
+
+class TestVoltageScale:
+    def test_nominal_is_unity(self):
+        assert TECH_45NM.voltage_scale(TECH_45NM.vdd_nominal_mv) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        assert TECH_45NM.voltage_scale(500.0) == pytest.approx(0.25)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TECH_45NM.voltage_scale(0.0)
+
+
+class TestValidation:
+    def test_bad_node(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(node_nm=0, vdd_nominal_mv=1000, vdd_levels_mv=(1000,))
+
+    def test_no_levels(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(node_nm=45, vdd_nominal_mv=1000, vdd_levels_mv=())
+
+    def test_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParams(
+                node_nm=45, vdd_nominal_mv=1000, vdd_levels_mv=(1000, -5)
+            )

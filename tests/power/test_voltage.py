@@ -1,0 +1,59 @@
+"""Unit tests for Vmin derivation and DVFS levels."""
+
+import pytest
+
+from repro.power.params import TECH_45NM
+from repro.power.voltage import DVFSController, DVFSLevel, vmin_mv
+
+
+class TestVmin:
+    def test_8t_scales_far_below_6t(self):
+        """The paper's motivation: 8T cells push Vmin down."""
+        assert vmin_mv("8T") < vmin_mv("6T") - 150.0
+
+    def test_6t_vmin_is_mid_range(self):
+        assert 450.0 <= vmin_mv("6T") <= 700.0
+
+    def test_8t_vmin_near_subthreshold(self):
+        """Verma & Chandrakasan run 8T arrays sub-threshold."""
+        assert vmin_mv("8T") <= 400.0
+
+
+class TestDVFSLevel:
+    def test_relative_power_monotonic_in_vdd(self):
+        low = DVFSLevel(vdd_mv=600.0, frequency_ghz=1.0)
+        high = DVFSLevel(vdd_mv=1000.0, frequency_ghz=1.0)
+        assert high.relative_dynamic_power > low.relative_dynamic_power
+
+
+class TestDVFSController:
+    def test_6t_loses_low_levels(self):
+        """A 6T cache forbids the deepest DVFS levels; 8T keeps them —
+        'the more the number of voltage levels the higher the chances
+        of operating at the optimal point'."""
+        six_t = DVFSController(TECH_45NM, "6T")
+        eight_t = DVFSController(TECH_45NM, "8T")
+        assert len(eight_t.available_levels()) > len(six_t.available_levels())
+
+    def test_levels_sorted_high_to_low(self):
+        controller = DVFSController(TECH_45NM, "8T")
+        voltages = [level.vdd_mv for level in controller.available_levels()]
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_all_levels_respect_vmin(self):
+        controller = DVFSController(TECH_45NM, "6T")
+        for level in controller.available_levels():
+            assert level.vdd_mv >= controller.vmin_mv
+
+    def test_lowest_level_power_win(self):
+        """At its floor level the 8T cache burns less dynamic power."""
+        six_t = DVFSController(TECH_45NM, "6T")
+        eight_t = DVFSController(TECH_45NM, "8T")
+        power_8t, power_6t = eight_t.power_at_lowest_vs(six_t)
+        assert power_8t < power_6t
+
+    def test_frequency_drops_with_voltage(self):
+        controller = DVFSController(TECH_45NM, "8T")
+        levels = controller.available_levels()
+        frequencies = [level.frequency_ghz for level in levels]
+        assert frequencies == sorted(frequencies, reverse=True)

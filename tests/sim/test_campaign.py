@@ -1,0 +1,70 @@
+"""Unit tests for the campaign runner (kept small and fast)."""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.sim.campaign import run_campaign, run_geometry_sweep
+from repro.sim.experiment import ExperimentConfig
+
+BENCHMARKS = ("bwaves", "mcf", "gcc")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        benchmarks=BENCHMARKS,
+        accesses_per_benchmark=4000,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign(config):
+    return run_campaign(config)
+
+
+class TestCampaign:
+    def test_one_row_per_benchmark(self, campaign):
+        assert [row.benchmark for row in campaign.rows] == list(BENCHMARKS)
+
+    def test_row_lookup(self, campaign):
+        assert campaign.row("mcf").benchmark == "mcf"
+        with pytest.raises(ValueError):
+            campaign.row("nope")
+
+    def test_reductions_sane(self, campaign):
+        for row in campaign.rows:
+            assert 0.0 <= row.access_reduction("wg") < 1.0
+            assert row.access_reduction("wg_rb") >= row.access_reduction("wg")
+
+    def test_mean_and_max(self, campaign):
+        reductions = [row.access_reduction("wg") for row in campaign.rows]
+        assert campaign.mean_reduction("wg") == pytest.approx(
+            sum(reductions) / len(reductions)
+        )
+        assert campaign.max_reduction("wg") == pytest.approx(max(reductions))
+
+    def test_best_benchmark(self, campaign):
+        assert campaign.best_benchmark("wg") == "bwaves"
+
+    def test_rmw_overhead_stats(self, campaign):
+        assert 0.0 < campaign.mean_rmw_overhead < 1.0
+        assert campaign.max_rmw_overhead >= campaign.mean_rmw_overhead
+
+    def test_warmup_excluded_from_requests(self, campaign, config):
+        expected = config.accesses_per_benchmark - config.warmup_accesses
+        for row in campaign.rows:
+            for result in row.results.values():
+                assert result.requests == expected
+
+
+class TestGeometrySweep:
+    def test_sweep_keys(self, config):
+        geometries = (
+            CacheGeometry(32 * 1024, 4, 32),
+            CacheGeometry(128 * 1024, 4, 32),
+        )
+        sweep = run_geometry_sweep(config, geometries)
+        assert set(sweep) == {"32KB/4-way/32B", "128KB/4-way/32B"}
+        for result in sweep.values():
+            assert len(result.rows) == len(BENCHMARKS)

@@ -1,0 +1,49 @@
+"""Unit tests for ExperimentConfig."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import ConfigurationError
+from repro.sim.experiment import ExperimentConfig
+
+
+class TestDefaults:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.geometry == BASELINE_GEOMETRY
+        assert len(config.benchmarks) == 25
+        assert "bwaves" in config.benchmarks
+        assert config.techniques == ("conventional", "rmw", "wg", "wg_rb")
+
+    def test_warmup_accesses(self):
+        config = ExperimentConfig(
+            accesses_per_benchmark=1000, warmup_fraction=0.25
+        )
+        assert config.warmup_accesses == 250
+
+
+class TestValidation:
+    def test_accesses_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(accesses_per_benchmark=0)
+
+    def test_warmup_fraction_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(warmup_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(warmup_fraction=-0.1)
+
+    def test_techniques_required(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(techniques=())
+
+
+class TestWithGeometry:
+    def test_copy_changes_only_geometry(self):
+        base = ExperimentConfig(accesses_per_benchmark=123, seed=77)
+        other_geometry = CacheGeometry(32 * 1024, 4, 64)
+        copy = base.with_geometry(other_geometry)
+        assert copy.geometry == other_geometry
+        assert copy.accesses_per_benchmark == 123
+        assert copy.seed == 77
+        assert copy.benchmarks == base.benchmarks

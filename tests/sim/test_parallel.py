@@ -1,0 +1,44 @@
+"""Unit tests for the parallel campaign runner."""
+
+import pytest
+
+from repro.sim.campaign import run_campaign
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.parallel import run_campaign_parallel
+
+CONFIG = ExperimentConfig(
+    benchmarks=("bwaves", "mcf", "gcc"),
+    techniques=("rmw", "wg"),
+    accesses_per_benchmark=2500,
+)
+
+
+class TestParallelCampaign:
+    def test_matches_sequential_exactly(self):
+        """Parallel execution must be bit-identical to sequential."""
+        sequential = run_campaign(CONFIG)
+        parallel = run_campaign_parallel(CONFIG, processes=2)
+        for seq_row, par_row in zip(sequential.rows, parallel.rows):
+            assert seq_row.benchmark == par_row.benchmark
+            for technique in CONFIG.techniques:
+                assert (
+                    seq_row.results[technique].array_accesses
+                    == par_row.results[technique].array_accesses
+                )
+                assert (
+                    seq_row.results[technique].counts
+                    == par_row.results[technique].counts
+                )
+
+    def test_single_process_fallback(self):
+        result = run_campaign_parallel(CONFIG, processes=1)
+        assert len(result.rows) == 3
+        assert result.mean_reduction("wg") > 0
+
+    def test_row_order_preserved(self):
+        result = run_campaign_parallel(CONFIG, processes=2)
+        assert [row.benchmark for row in result.rows] == list(CONFIG.benchmarks)
+
+    def test_processes_validated(self):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(CONFIG, processes=0)

@@ -1,0 +1,69 @@
+"""Unit tests for the simulation runner."""
+
+import pytest
+
+from repro.sim.simulator import Simulator, run_simulation
+
+from tests.conftest import make_random_trace
+
+
+class TestRunSimulation:
+    def test_basic_result(self, tiny_geometry):
+        trace = make_random_trace(200, seed=1)
+        result = run_simulation(trace, "rmw", tiny_geometry)
+        assert result.technique == "rmw"
+        assert result.requests == 200
+        assert result.array_accesses > 200  # writes cost double
+        assert result.cache_stats.accesses == 200
+
+    def test_accesses_per_request(self, tiny_geometry):
+        trace = make_random_trace(100, seed=2, write_share=0.0)
+        result = run_simulation(trace, "rmw", tiny_geometry)
+        assert result.accesses_per_request == pytest.approx(1.0)
+
+    def test_controller_kwargs_forwarded(self, tiny_geometry):
+        trace = make_random_trace(100, seed=3)
+        result = run_simulation(
+            trace, "wg", tiny_geometry, detect_silent_writes=False
+        )
+        assert result.counts.silent_writes_detected == 0
+
+    def test_events_are_snapshot(self, tiny_geometry):
+        simulator = Simulator("rmw", tiny_geometry)
+        simulator.feed(make_random_trace(50, seed=4))
+        result = simulator.finish()
+        before = result.events.array_accesses
+        # Further mutation of the controller must not affect the result.
+        simulator.controller.events.record_row_read(1)
+        assert result.events.array_accesses == before
+
+
+class TestWarmupReset:
+    def test_reset_zeroes_counters_keeps_state(self, tiny_geometry):
+        # Footprint (48 words) fits the tiny cache (64 words), so the
+        # warmed cache can serve the replayed slice almost entirely.
+        trace = make_random_trace(300, seed=5, word_span=48)
+        simulator = Simulator("wg", tiny_geometry)
+        simulator.feed(trace[:150])
+        warm_hits = simulator.cache.stats.hits
+        assert warm_hits > 0
+        simulator.reset_measurements()
+        assert simulator.cache.stats.hits == 0
+        assert simulator.controller.array_accesses == 0
+        # Cache content survived: replaying the same slice now hits a lot.
+        simulator.feed(trace[:150])
+        result = simulator.finish()
+        assert result.cache_stats.hit_rate > 0.9
+
+    def test_warmup_changes_measured_counts(self, tiny_geometry):
+        trace = make_random_trace(300, seed=6)
+        cold = Simulator("rmw", tiny_geometry)
+        cold.feed(trace)
+        cold_result = cold.finish()
+        warm = Simulator("rmw", tiny_geometry)
+        warm.feed(trace[:100])
+        warm.reset_measurements()
+        warm.feed(trace[100:])
+        warm_result = warm.finish()
+        assert warm_result.requests == 200
+        assert warm_result.array_accesses < cold_result.array_accesses

@@ -1,0 +1,113 @@
+"""Unit tests for the behavioural SRAM array (paper Figure 2 semantics)."""
+
+import pytest
+
+from repro.sram.array import HalfSelectViolation, SRAMArray
+from repro.sram.geometry import ArrayGeometry
+
+
+@pytest.fixture
+def array():
+    return SRAMArray(ArrayGeometry(rows=8, words_per_row=4))
+
+
+@pytest.fixture
+def flat_array():
+    """Non-interleaved array (Chang et al. style)."""
+    return SRAMArray(ArrayGeometry(rows=8, words_per_row=4, interleaved=False))
+
+
+class TestReads:
+    def test_read_row(self, array):
+        array.load_row(2, [10, 20, 30, 40])
+        assert array.read_row(2) == [10, 20, 30, 40]
+        assert array.events.row_reads == 1
+        assert array.events.words_routed == 4
+
+    def test_read_words_muxes_selection(self, array):
+        array.load_row(1, [5, 6, 7, 8])
+        assert array.read_words(1, [3, 0]) == [8, 5]
+        assert array.events.row_reads == 1
+        assert array.events.words_routed == 2
+
+    def test_read_row_returns_copy(self, array):
+        array.load_row(0, [1, 2, 3, 4])
+        data = array.read_row(0)
+        data[0] = 99
+        assert array.peek_word(0, 0) == 1
+
+    def test_row_bounds(self, array):
+        with pytest.raises(ValueError, match="row"):
+            array.read_row(8)
+
+    def test_column_bounds(self, array):
+        with pytest.raises(ValueError, match="word index"):
+            array.read_words(0, [4])
+
+
+class TestWrites:
+    def test_full_row_write_legal(self, array):
+        array.write_row(3, [1, 2, 3, 4])
+        assert array.peek_row(3) == [1, 2, 3, 4]
+        assert array.events.row_writes == 1
+        assert array.events.words_driven == 4
+
+    def test_wrong_width_rejected(self, array):
+        with pytest.raises(ValueError, match="words"):
+            array.write_row(0, [1, 2])
+
+    def test_partial_write_raises_on_interleaved(self, array):
+        """The column-selection hazard the whole paper exists for."""
+        with pytest.raises(HalfSelectViolation, match="half-selected"):
+            array.write_words(0, {1: 42})
+
+    def test_partial_write_legal_on_non_interleaved(self, flat_array):
+        flat_array.load_row(0, [1, 2, 3, 4])
+        flat_array.write_words(0, {1: 42})
+        assert flat_array.peek_row(0) == [1, 42, 3, 4]
+        assert flat_array.events.row_writes == 1
+        assert flat_array.events.words_driven == 1
+
+
+class TestRMW:
+    def test_rmw_preserves_half_selected_columns(self, array):
+        """Morita's sequence: unselected words survive a partial update."""
+        array.load_row(5, [100, 200, 300, 400])
+        array.read_modify_write(5, {2: 999})
+        assert array.peek_row(5) == [100, 200, 999, 400]
+
+    def test_rmw_returns_latched_row(self, array):
+        array.load_row(0, [7, 8, 9, 10])
+        latched = array.read_modify_write(0, {0: 0})
+        assert latched == [7, 8, 9, 10]
+
+    def test_rmw_costs_read_plus_write(self, array):
+        array.read_modify_write(0, {0: 1})
+        assert array.events.row_reads == 1
+        assert array.events.row_writes == 1
+        assert array.events.rmw_operations == 1
+        assert array.events.array_accesses == 2
+
+    def test_rmw_multi_word_update(self, array):
+        array.load_row(1, [0, 0, 0, 0])
+        array.read_modify_write(1, {0: 1, 3: 4})
+        assert array.peek_row(1) == [1, 0, 0, 4]
+
+    def test_rmw_bad_column(self, array):
+        with pytest.raises(ValueError):
+            array.read_modify_write(0, {9: 1})
+
+
+class TestLoadAndPeek:
+    def test_load_produces_no_events(self, array):
+        array.load_row(0, [1, 1, 1, 1])
+        assert array.events.array_accesses == 0
+
+    def test_peek_produces_no_events(self, array):
+        array.peek_row(0)
+        array.peek_word(0, 0)
+        assert array.events.array_accesses == 0
+
+    def test_load_wrong_width(self, array):
+        with pytest.raises(ValueError):
+            array.load_row(0, [1])

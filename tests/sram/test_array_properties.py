@@ -1,0 +1,134 @@
+"""Hypothesis property tests on the SRAM array and the protected array."""
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram.array import SRAMArray
+from repro.sram.geometry import ArrayGeometry
+from repro.sram.protected import ECCProtectedArray
+
+ROWS, WORDS = 4, 4
+
+# Operations: ("rmw", row, {col: value}) | ("write_row", row, values)
+# | ("read", row)
+_rmw_ops = st.tuples(
+    st.just("rmw"),
+    st.integers(min_value=0, max_value=ROWS - 1),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=WORDS - 1),
+        st.integers(min_value=0, max_value=999),
+        min_size=1,
+        max_size=WORDS,
+    ),
+)
+_row_ops = st.tuples(
+    st.just("write_row"),
+    st.integers(min_value=0, max_value=ROWS - 1),
+    st.lists(
+        st.integers(min_value=0, max_value=999),
+        min_size=WORDS,
+        max_size=WORDS,
+    ),
+)
+_ops = st.lists(st.one_of(_rmw_ops, _row_ops), max_size=40)
+
+
+class TestArrayVsDictModel:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=_ops)
+    def test_array_contents_match_model(self, operations):
+        """RMW and full-row writes behave exactly like a 2D dict."""
+        array = SRAMArray(ArrayGeometry(rows=ROWS, words_per_row=WORDS))
+        model: List[List[int]] = [[0] * WORDS for _ in range(ROWS)]
+        for operation in operations:
+            if operation[0] == "rmw":
+                _, row, updates = operation
+                array.read_modify_write(row, updates)
+                for column, value in updates.items():
+                    model[row][column] = value
+            else:
+                _, row, values = operation
+                array.write_row(row, values)
+                model[row] = list(values)
+        for row in range(ROWS):
+            assert array.peek_row(row) == model[row]
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_ops)
+    def test_event_accounting_is_exact(self, operations):
+        """row_reads/row_writes follow directly from the op mix."""
+        array = SRAMArray(ArrayGeometry(rows=ROWS, words_per_row=WORDS))
+        rmw_count = sum(1 for op in operations if op[0] == "rmw")
+        row_write_count = sum(1 for op in operations if op[0] == "write_row")
+        for operation in operations:
+            if operation[0] == "rmw":
+                array.read_modify_write(operation[1], operation[2])
+            else:
+                array.write_row(operation[1], operation[2])
+        assert array.events.rmw_operations == rmw_count
+        assert array.events.row_reads == rmw_count
+        assert array.events.row_writes == rmw_count + row_write_count
+
+
+class TestProtectedArrayProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=ROWS - 1),
+                st.integers(min_value=0, max_value=WORDS - 1),
+                st.integers(min_value=0, max_value=2**40),
+            ),
+            max_size=20,
+        ),
+        flip=st.tuples(
+            st.integers(min_value=0, max_value=ROWS - 1),
+            st.integers(min_value=0, max_value=WORDS - 1),
+            st.integers(min_value=0, max_value=71),
+        ),
+    )
+    def test_any_single_flip_is_transparent(self, writes, flip):
+        """After arbitrary writes, one bit flip anywhere never changes
+        the value a read returns."""
+        array = ECCProtectedArray(ArrayGeometry(rows=ROWS, words_per_row=WORDS))
+        model: Dict[Tuple[int, int], int] = {}
+        for row, word, value in writes:
+            array.write_word(row, word, value)
+            model[(row, word)] = value
+        flip_row, flip_word, flip_bit = flip
+        array.inject_bit_flips(flip_row, [(flip_word, flip_bit)])
+        for row in range(ROWS):
+            for word in range(WORDS):
+                assert array.read_word(row, word) == model.get((row, word), 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=ROWS - 1),
+                st.integers(min_value=0, max_value=WORDS - 1),
+                st.integers(min_value=0, max_value=71),
+            ),
+            unique=True,
+            max_size=12,
+        )
+    )
+    def test_scrub_heals_one_flip_per_word(self, flips):
+        """A scrub repairs any fault pattern with <= 1 flip per word."""
+        # Keep at most one flip per (row, word).
+        unique_words = {}
+        for row, word, bit in flips:
+            unique_words.setdefault((row, word), bit)
+        array = ECCProtectedArray(ArrayGeometry(rows=ROWS, words_per_row=WORDS))
+        for (row, word), bit in unique_words.items():
+            array.inject_bit_flips(row, [(word, bit)])
+        report = array.scrub()
+        assert report.clean
+        assert report.corrected_words == len(unique_words)
+        # And the data is intact (all zeros initially).
+        for row in range(ROWS):
+            for word in range(WORDS):
+                assert array.read_word(row, word) == 0

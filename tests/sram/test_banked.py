@@ -1,0 +1,102 @@
+"""Unit and property tests for the banked sub-array organisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram.array import SRAMArray
+from repro.sram.banked import BankedSRAMArray
+from repro.sram.geometry import ArrayGeometry
+
+GEOMETRY = ArrayGeometry(rows=16, words_per_row=4)
+
+
+@pytest.fixture
+def banked():
+    return BankedSRAMArray(GEOMETRY, banks=4)
+
+
+class TestConstruction:
+    def test_valid(self, banked):
+        assert banked.banks == 4
+        assert banked.geometry.rows == 16
+
+    def test_banks_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BankedSRAMArray(GEOMETRY, banks=3)
+
+    def test_banks_bounded_by_rows(self):
+        with pytest.raises(ValueError, match="exceed rows"):
+            BankedSRAMArray(GEOMETRY, banks=32)
+
+
+class TestRouting:
+    def test_low_order_striping(self, banked):
+        """Consecutive rows land in different banks (the property
+        Park's scheme needs to overlap accesses)."""
+        assert banked.bank_of(0) == 0
+        assert banked.bank_of(1) == 1
+        assert banked.bank_of(4) == 0
+        assert banked.bank_of(7) == 3
+
+    def test_row_bounds(self, banked):
+        with pytest.raises(ValueError):
+            banked.bank_of(16)
+
+
+class TestFlatEquivalence:
+    _ops = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.dictionaries(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=99),
+                min_size=1,
+                max_size=4,
+            ),
+        ),
+        max_size=30,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_ops)
+    def test_matches_flat_array(self, operations):
+        """Same RMW stream, same final contents as an unbanked array."""
+        banked = BankedSRAMArray(GEOMETRY, banks=4)
+        flat = SRAMArray(GEOMETRY)
+        for row, updates in operations:
+            banked.read_modify_write(row, updates)
+            flat.read_modify_write(row, updates)
+        for row in range(GEOMETRY.rows):
+            assert banked.peek_row(row) == flat.peek_row(row)
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_ops)
+    def test_aggregate_events_match_flat(self, operations):
+        banked = BankedSRAMArray(GEOMETRY, banks=2)
+        flat = SRAMArray(GEOMETRY)
+        for row, updates in operations:
+            banked.read_modify_write(row, updates)
+            flat.read_modify_write(row, updates)
+        assert banked.events.array_accesses == flat.events.array_accesses
+        assert banked.events.rmw_operations == flat.events.rmw_operations
+
+
+class TestPerBankObservation:
+    def test_events_attributed_to_the_right_bank(self, banked):
+        banked.read_modify_write(1, {0: 5})  # bank 1
+        assert banked.bank_events(1).rmw_operations == 1
+        assert banked.bank_events(0).rmw_operations == 0
+
+    def test_striped_sweep_balances_load(self, banked):
+        for row in range(16):
+            banked.read_row(row)
+        balance = banked.load_balance()
+        assert balance == [4, 4, 4, 4]
+
+    def test_data_operations(self, banked):
+        banked.write_row(5, [1, 2, 3, 4])
+        assert banked.read_row(5) == [1, 2, 3, 4]
+        assert banked.read_words(5, [2]) == [3]
+        banked.load_row(6, [9, 9, 9, 9])
+        assert banked.peek_row(6) == [9, 9, 9, 9]

@@ -1,0 +1,96 @@
+"""Unit tests for 6T/8T cell behaviour — the paper's Figures 1 motivation."""
+
+import pytest
+
+from repro.sram.cell import (
+    SNM_FAILURE_THRESHOLD_MV,
+    SRAMCell6T,
+    SRAMCell8T,
+    read_snm_mv,
+)
+
+
+class TestCell6T:
+    def test_write_read(self):
+        cell = SRAMCell6T()
+        cell.write(1)
+        assert cell.read() == 1
+        cell.write(0)
+        assert cell.read() == 0
+
+    def test_half_select_is_safe(self):
+        cell = SRAMCell6T(initial=1)
+        assert cell.half_select_during_write() == 1
+        assert cell.read() == 1
+        assert cell.half_select_safe
+
+    def test_one_bit_only(self):
+        with pytest.raises(ValueError):
+            SRAMCell6T(initial=2)
+        with pytest.raises(ValueError):
+            SRAMCell6T().write(5)
+
+    def test_transistor_count(self):
+        assert SRAMCell6T.transistors == 6
+
+
+class TestCell8T:
+    def test_write_read(self):
+        cell = SRAMCell8T()
+        cell.write(1)
+        assert cell.read() == 1
+
+    def test_rbl_discharges_on_zero(self):
+        # Paper Section 2: "If the cell holds zero (Q=0), M7 turns on
+        # and RBL discharges" — and keeps its charge for Q=1.
+        assert SRAMCell8T(initial=0).read_rbl(rbl_precharged=True) is True
+        assert SRAMCell8T(initial=1).read_rbl(rbl_precharged=True) is False
+
+    def test_read_requires_precharge(self):
+        with pytest.raises(ValueError, match="precharged"):
+            SRAMCell8T().read_rbl(rbl_precharged=False)
+
+    def test_read_is_nondestructive(self):
+        cell = SRAMCell8T(initial=1)
+        for _ in range(5):
+            cell.read()
+        assert cell.q == 1
+
+    def test_half_select_corrupts(self):
+        """The column-selection hazard: a half-selected 8T cell takes
+        whatever the shared write bit lines carry."""
+        cell = SRAMCell8T(initial=1)
+        cell.half_select_during_write(wbl_value=0)
+        assert cell.read() == 0  # data destroyed — hence RMW
+        assert not cell.half_select_safe
+
+    def test_transistor_count(self):
+        assert SRAMCell8T.transistors == 8
+
+
+class TestSNMModel:
+    def test_8t_beats_6t_at_every_voltage(self):
+        for vdd in (400, 600, 800, 1000, 1200):
+            assert read_snm_mv("8T", vdd) > read_snm_mv("6T", vdd)
+
+    def test_snm_shrinks_with_voltage(self):
+        assert read_snm_mv("6T", 1000) > read_snm_mv("6T", 600)
+        assert read_snm_mv("8T", 1000) > read_snm_mv("8T", 600)
+
+    def test_8t_stable_where_6t_fails(self):
+        """At some low Vdd the 6T margin is unsafe while 8T's is fine —
+        the paper's voltage-scaling motivation."""
+        vdd = 400.0
+        assert read_snm_mv("6T", vdd) < SNM_FAILURE_THRESHOLD_MV
+        assert read_snm_mv("8T", vdd) >= SNM_FAILURE_THRESHOLD_MV
+
+    def test_never_negative(self):
+        assert read_snm_mv("6T", 300) >= 0.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            read_snm_mv("10T", 800)
+
+    def test_voltage_range_checked(self):
+        with pytest.raises(ValueError):
+            read_snm_mv("6T", 100)

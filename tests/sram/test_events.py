@@ -1,0 +1,58 @@
+"""Unit tests for the SRAM event log."""
+
+from repro.sram.events import SRAMEventLog
+
+
+class TestRecording:
+    def test_row_read(self):
+        log = SRAMEventLog()
+        log.record_row_read(words_routed=1)
+        assert log.row_reads == 1
+        assert log.precharges == 1
+        assert log.rwl_pulses == 1
+        assert log.words_routed == 1
+        assert log.row_writes == 0
+
+    def test_row_write(self):
+        log = SRAMEventLog()
+        log.record_row_write(words_driven=16)
+        assert log.row_writes == 1
+        assert log.wwl_pulses == 1
+        assert log.words_driven == 16
+
+    def test_rmw_is_read_plus_write(self):
+        log = SRAMEventLog()
+        log.record_rmw(row_words=16)
+        assert log.rmw_operations == 1
+        assert log.row_reads == 1
+        assert log.row_writes == 1
+        assert log.array_accesses == 2
+
+    def test_buffer_events_do_not_count_as_array_accesses(self):
+        log = SRAMEventLog()
+        log.record_set_buffer_read(3)
+        log.record_set_buffer_write(2)
+        assert log.array_accesses == 0
+        assert log.set_buffer_reads == 3
+        assert log.set_buffer_writes == 2
+
+
+class TestCombinators:
+    def test_merge(self):
+        a = SRAMEventLog()
+        a.record_row_read(1)
+        b = SRAMEventLog()
+        b.record_row_write(16)
+        merged = a.merge(b)
+        assert merged.row_reads == 1
+        assert merged.row_writes == 1
+        # Originals untouched.
+        assert a.row_writes == 0
+
+    def test_copy_is_independent(self):
+        log = SRAMEventLog()
+        log.record_row_read(1)
+        copy = log.copy()
+        log.record_row_read(1)
+        assert copy.row_reads == 1
+        assert log.row_reads == 2

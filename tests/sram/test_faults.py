@@ -1,0 +1,91 @@
+"""Unit tests for the soft-error injection model."""
+
+import pytest
+
+from repro.sram.ecc import InterleavedRowLayout
+from repro.sram.faults import FaultInjector, ReliabilityReport, mean_burst_width
+from repro.utils.rng import DeterministicRNG
+
+
+class TestBurstWidthCurve:
+    def test_widens_as_voltage_drops(self):
+        assert mean_burst_width(400.0) > mean_burst_width(700.0)
+        assert mean_burst_width(700.0) > mean_burst_width(1000.0)
+
+    def test_nominal_near_single_cell(self):
+        assert 1.0 <= mean_burst_width(1000.0) <= 1.5
+
+    def test_low_voltage_multi_cell(self):
+        assert mean_burst_width(400.0) > 3.0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            mean_burst_width(100.0)
+
+
+class TestInjection:
+    def test_every_strike_classified(self):
+        layout = InterleavedRowLayout(words=8)
+        injector = FaultInjector(layout, DeterministicRNG(1))
+        report = injector.inject(500, vdd_mv=600.0)
+        assert report.corrected + report.uncorrectable == 500
+        assert 0.0 <= report.uncorrectable_fraction <= 1.0
+
+    def test_interleaving_helps(self):
+        rng = DeterministicRNG(2)
+        interleaved = FaultInjector(
+            InterleavedRowLayout(words=16), rng.fork("a")
+        ).inject(4000, vdd_mv=500.0)
+        flat = FaultInjector(
+            InterleavedRowLayout(words=1, bits_per_word=16 * 72), rng.fork("b")
+        ).inject(4000, vdd_mv=500.0)
+        assert interleaved.uncorrectable_fraction < flat.uncorrectable_fraction / 3
+
+    def test_low_voltage_is_worse(self):
+        layout = InterleavedRowLayout(words=2)
+        rng = DeterministicRNG(3)
+        high = FaultInjector(layout, rng.fork("high")).inject(4000, 1000.0)
+        low = FaultInjector(layout, rng.fork("low")).inject(4000, 400.0)
+        assert low.uncorrectable_fraction > high.uncorrectable_fraction
+
+    def test_wide_interleave_nearly_perfect_at_nominal(self):
+        layout = InterleavedRowLayout(words=16)
+        report = FaultInjector(layout, DeterministicRNG(4)).inject(4000, 1000.0)
+        assert report.uncorrectable_fraction < 0.01
+
+    def test_deterministic(self):
+        layout = InterleavedRowLayout(words=4)
+        a = FaultInjector(layout, DeterministicRNG(5)).inject(1000, 600.0)
+        b = FaultInjector(layout, DeterministicRNG(5)).inject(1000, 600.0)
+        assert a == b
+
+    def test_report_fields(self):
+        layout = InterleavedRowLayout(words=4)
+        report = FaultInjector(layout, DeterministicRNG(6)).inject(100, 800.0)
+        assert isinstance(report, ReliabilityReport)
+        assert report.vdd_mv == 800.0
+        assert report.interleaved
+        assert report.corrected_fraction == pytest.approx(
+            1.0 - report.uncorrectable_fraction
+        )
+
+    def test_strikes_positive(self):
+        layout = InterleavedRowLayout(words=4)
+        with pytest.raises(ValueError):
+            FaultInjector(layout, DeterministicRNG(7)).inject(0, 800.0)
+
+
+class TestReliabilityAnalysis:
+    def test_figure_shape(self):
+        from repro.analysis.reliability import reliability_vs_voltage
+
+        result = reliability_vs_voltage(strikes=2000)
+        assert len(result.rows) == 4
+        # Interleaved column always (weakly) better.
+        for row in result.rows:
+            assert row[1] <= row[2]
+        # Non-interleaved degrades sharply at low voltage.
+        assert (
+            result.summary["flat_uncorrectable_400mv"]
+            > result.summary["flat_uncorrectable_1000mv"]
+        )

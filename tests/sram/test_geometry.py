@@ -1,0 +1,46 @@
+"""Unit tests for SRAM array geometry."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import ConfigurationError
+from repro.sram.geometry import ArrayGeometry, BITS_PER_WORD
+
+
+class TestShape:
+    def test_basic(self):
+        geometry = ArrayGeometry(rows=512, words_per_row=16)
+        assert geometry.columns == 16 * BITS_PER_WORD
+        assert geometry.total_cells == 512 * 1024
+        assert geometry.interleaved
+
+    def test_interleave_factor(self):
+        assert ArrayGeometry(4, 8).interleave_factor == 8
+        assert ArrayGeometry(4, 8, interleaved=False).interleave_factor == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(rows=3, words_per_row=4)
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(rows=4, words_per_row=0)
+
+
+class TestForCache:
+    def test_baseline_mapping(self):
+        array = ArrayGeometry.for_cache(BASELINE_GEOMETRY)
+        # One row per set; a row holds the whole set (4 ways x 4 words).
+        assert array.rows == 512
+        assert array.words_per_row == 16
+
+    def test_row_capacity_equals_set_bytes(self):
+        for geometry in (
+            BASELINE_GEOMETRY,
+            CacheGeometry(32 * 1024, 4, 64),
+            CacheGeometry(128 * 1024, 4, 32),
+        ):
+            array = ArrayGeometry.for_cache(geometry)
+            assert array.words_per_row * 8 == geometry.set_bytes
+
+    def test_non_interleaved_variant(self):
+        array = ArrayGeometry.for_cache(BASELINE_GEOMETRY, interleaved=False)
+        assert not array.interleaved

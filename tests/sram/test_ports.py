@@ -1,0 +1,57 @@
+"""Unit tests for the 1R/1W port tracker."""
+
+import pytest
+
+from repro.sram.ports import PortKind, PortTracker
+
+
+class TestAcquire:
+    def test_free_port_starts_immediately(self):
+        ports = PortTracker()
+        assert ports.acquire(PortKind.READ, 10, 2) == 10
+        assert ports.free_at[PortKind.READ] == 12
+
+    def test_busy_port_delays(self):
+        ports = PortTracker()
+        ports.acquire(PortKind.READ, 0, 5)
+        start = ports.acquire(PortKind.READ, 2, 3)
+        assert start == 5
+        assert ports.conflicts[PortKind.READ] == 1
+
+    def test_ports_independent(self):
+        """The 8T selling point: one read and one write in parallel."""
+        ports = PortTracker()
+        ports.acquire(PortKind.READ, 0, 4)
+        start = ports.acquire(PortKind.WRITE, 0, 4)
+        assert start == 0
+        assert ports.conflicts[PortKind.WRITE] == 0
+
+    def test_busy_cycles_accumulate(self):
+        ports = PortTracker()
+        ports.acquire(PortKind.WRITE, 0, 3)
+        ports.acquire(PortKind.WRITE, 10, 2)
+        assert ports.busy_cycles[PortKind.WRITE] == 5
+
+    def test_zero_duration(self):
+        ports = PortTracker()
+        assert ports.acquire(PortKind.READ, 7, 0) == 7
+        assert ports.is_free(PortKind.READ, 7)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PortTracker().acquire(PortKind.READ, 0, -1)
+
+
+class TestQueries:
+    def test_is_free(self):
+        ports = PortTracker()
+        ports.acquire(PortKind.READ, 0, 5)
+        assert not ports.is_free(PortKind.READ, 4)
+        assert ports.is_free(PortKind.READ, 5)
+
+    def test_utilisation(self):
+        ports = PortTracker()
+        ports.acquire(PortKind.READ, 0, 25)
+        assert ports.utilisation(PortKind.READ, 100) == pytest.approx(0.25)
+        assert ports.utilisation(PortKind.READ, 0) == 0.0
+        assert ports.utilisation(PortKind.READ, 10) == 1.0  # clamped

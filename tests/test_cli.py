@@ -1,0 +1,160 @@
+"""Unit tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_geometry
+
+
+class TestParseGeometry:
+    def test_k_suffix(self):
+        geometry = parse_geometry("64K:4:32")
+        assert geometry.size_bytes == 64 * 1024
+        assert geometry.associativity == 4
+        assert geometry.block_bytes == 32
+
+    def test_m_suffix(self):
+        assert parse_geometry("1M:8:64").size_bytes == 1024 * 1024
+
+    def test_plain_bytes(self):
+        assert parse_geometry("512:2:32").size_bytes == 512
+
+    def test_bad_shape(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="SIZE:WAYS:BLOCK"):
+            parse_geometry("64K:4")
+
+    def test_bad_values(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_geometry("63K:4:32")  # not a power of two
+
+
+class TestSubcommands:
+    def test_figures_lists_ids(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "fig9" in output
+        assert "sec5.4" in output
+
+    def test_kernels_lists(self, capsys):
+        assert main(["kernels"]) == 0
+        assert "matmul" in capsys.readouterr().out
+
+    def test_benchmarks_lists(self, capsys):
+        assert main(["benchmarks"]) == 0
+        output = capsys.readouterr().out
+        assert "bwaves" in output
+        assert "lattice Boltzmann" in output
+
+    def test_figure_sec54(self, capsys):
+        assert main(["figure", "sec5.4"]) == 0
+        assert "Tag-Buffer" in capsys.readouterr().out
+
+    def test_figure_with_subset_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig5.csv"
+        code = main(
+            [
+                "figure",
+                "fig5",
+                "--accesses",
+                "2000",
+                "--benchmarks",
+                "bwaves",
+                "mcf",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "bwaves" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "mcf",
+                "--accesses",
+                "3000",
+                "--geometry",
+                "4K:4:32",
+                "--techniques",
+                "rmw",
+                "wg",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "array accesses" in output
+        assert "wg" in output
+
+    def test_trace_roundtrip_through_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.trc"
+        assert (
+            main(
+                [
+                    "trace",
+                    "gcc",
+                    str(trace_path),
+                    "--accesses",
+                    "2000",
+                    "--format",
+                    "text",
+                ]
+            )
+            == 0
+        )
+        assert main(["stats", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "silent writes" in output
+        assert "WW share" in output
+
+    def test_trace_binary(self, tmp_path):
+        trace_path = tmp_path / "t.bin"
+        assert (
+            main(
+                [
+                    "trace",
+                    "mcf",
+                    str(trace_path),
+                    "--accesses",
+                    "1000",
+                    "--format",
+                    "binary",
+                ]
+            )
+            == 0
+        )
+        assert main(["stats", str(trace_path)]) == 0
+
+    def test_fit_on_generated_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "f.trc"
+        assert (
+            main(["trace", "wrf", str(trace_path), "--accesses", "3000"]) == 0
+        )
+        assert main(["fit", str(trace_path), "--name", "wrf-fit"]) == 0
+        output = capsys.readouterr().out
+        assert "silent fraction" in output
+        assert "burst mean" in output
+
+    def test_figure_bars(self, capsys):
+        assert main(["figure", "sec5.4", "--bars"]) == 0
+        assert "█" in capsys.readouterr().out
+
+    def test_kernel_preview(self, capsys):
+        assert main(["kernel", "histogram", "--words", "256"]) == 0
+        output = capsys.readouterr().out
+        assert "accesses total" in output
+
+    def test_kernel_dump(self, tmp_path, capsys):
+        out = tmp_path / "k.trc"
+        assert main(["kernel", "stencil", str(out), "--words", "256"]) == 0
+        assert out.exists()
+
+    def test_unknown_figure_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro-8t"

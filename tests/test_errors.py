@@ -1,0 +1,52 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    PortConflictError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ConfigurationError,
+            TraceFormatError,
+            SimulationError,
+            PortConflictError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_port_conflict_is_simulation_error(self):
+        assert issubclass(PortConflictError, SimulationError)
+
+    def test_half_select_violation_in_hierarchy(self):
+        from repro.sram.array import HalfSelectViolation
+
+        assert issubclass(HalfSelectViolation, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("bad config")
+
+    def test_library_raises_its_own_types(self):
+        from repro.cache.config import CacheGeometry
+
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(100, 4, 32)
+
+        from repro.errors import TraceFormatError as TFE
+        from repro.trace.textio import read_text_trace
+
+        import tempfile, os
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bad.trc")
+            with open(path, "w") as handle:
+                handle.write("not a trace\n")
+            with pytest.raises(TFE):
+                list(read_text_trace(path))

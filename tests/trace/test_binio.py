@@ -1,0 +1,65 @@
+"""Unit and property tests for the binary trace format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.binio import MAGIC, read_binary_trace, write_binary_trace
+from repro.trace.record import AccessType, MemoryAccess
+
+_accesses = st.lists(
+    st.builds(
+        MemoryAccess,
+        icount=st.integers(min_value=0, max_value=2**40),
+        kind=st.sampled_from([AccessType.READ, AccessType.WRITE]),
+        address=st.integers(min_value=0, max_value=2**40).map(lambda x: x * 8),
+        value=st.integers(min_value=0, max_value=2**64 - 1),
+    ),
+    max_size=50,
+)
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        trace = [
+            MemoryAccess(icount=0, kind=AccessType.WRITE, address=8, value=1),
+            MemoryAccess(icount=2, kind=AccessType.READ, address=0),
+        ]
+        path = tmp_path / "t.bin"
+        assert write_binary_trace(path, trace) == 2
+        assert list(read_binary_trace(path)) == trace
+
+    @given(trace=_accesses)
+    def test_property_roundtrip(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("bin") / "t.bin"
+        write_binary_trace(path, trace)
+        assert list(read_binary_trace(path)) == trace
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 25)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            list(read_binary_trace(path))
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        path.write_bytes(MAGIC + b"\x00" * 10)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary_trace(path))
+
+    def test_bad_kind_byte(self, tmp_path):
+        import struct
+
+        path = tmp_path / "kind.bin"
+        record = struct.pack("<QBQQ", 0, 7, 0, 0)
+        path.write_bytes(MAGIC + record)
+        with pytest.raises(TraceFormatError, match="bad kind"):
+            list(read_binary_trace(path))
+
+    def test_empty_file_ok(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(MAGIC)
+        assert list(read_binary_trace(path)) == []

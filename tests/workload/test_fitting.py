@@ -1,0 +1,98 @@
+"""Unit and round-trip tests for profile fitting."""
+
+import pytest
+
+from repro.trace.stats import collect_statistics
+from repro.workload.fitting import fit_profile
+from repro.workload.generator import generate_trace
+from repro.workload.kernels import run_kernel
+from repro.workload.profile import StreamSpec, WorkloadProfile
+from repro.workload.spec2006 import get_profile
+
+
+class TestValidation:
+    def test_short_trace_rejected(self):
+        trace = run_kernel("histogram", words=64)[:50]
+        with pytest.raises(ValueError, match="at least 100"):
+            fit_profile(trace)
+
+    def test_read_only_trace_rejected(self):
+        trace = [a for a in run_kernel("binary_search", words=512) if a.is_read]
+        with pytest.raises(ValueError, match="both reads and writes"):
+            fit_profile(trace[:500])
+
+
+class TestEstimators:
+    def test_frequencies_recovered(self):
+        source = get_profile("gcc")
+        trace = generate_trace(source, 15_000, seed=5)
+        fitted = fit_profile(trace)
+        assert fitted.read_frequency == pytest.approx(
+            source.read_frequency, abs=0.06
+        )
+        assert fitted.write_frequency == pytest.approx(
+            source.write_frequency, abs=0.06
+        )
+
+    def test_silent_fraction_recovered(self):
+        source = get_profile("bwaves")  # 77 % silent
+        trace = generate_trace(source, 15_000, seed=6)
+        fitted = fit_profile(trace)
+        assert fitted.silent_fraction == pytest.approx(0.77, abs=0.05)
+
+    def test_burstiness_ordering_recovered(self):
+        """bwaves (burst 5.5) must fit as burstier than mcf (1.5)."""
+        bursty = fit_profile(generate_trace(get_profile("bwaves"), 12_000))
+        choppy = fit_profile(generate_trace(get_profile("mcf"), 12_000))
+        assert bursty.burst_mean > choppy.burst_mean + 1.0
+
+    def test_persistence_ordering_recovered(self):
+        sticky = fit_profile(generate_trace(get_profile("lbm"), 12_000))
+        loose = fit_profile(generate_trace(get_profile("sjeng"), 12_000))
+        assert sticky.type_persistence > loose.type_persistence
+
+    def test_spatial_mix_reflects_source(self):
+        """A streaming source fits with sequential-dominated streams."""
+        fitted = fit_profile(
+            generate_trace(get_profile("libquantum"), 12_000)
+        )
+        weights = {spec.kind: spec.weight for spec in fitted.streams}
+        assert weights["sequential"] > weights["random"]
+
+
+class TestRoundTrip:
+    def test_regenerated_trace_matches_key_statistics(self):
+        """Generate from the fitted profile; Figures 3/5-level stats
+        should land near the original's."""
+        source_trace = generate_trace(get_profile("wrf"), 15_000, seed=9)
+        fitted = fit_profile(source_trace, name="wrf-fit")
+        regenerated = generate_trace(fitted, 15_000, seed=10)
+        source_stats = collect_statistics(source_trace)
+        refit_stats = collect_statistics(regenerated)
+        assert refit_stats.write_share_of_accesses == pytest.approx(
+            source_stats.write_share_of_accesses, abs=0.08
+        )
+        assert refit_stats.silent_write_fraction == pytest.approx(
+            source_stats.silent_write_fraction, abs=0.08
+        )
+
+    def test_fits_kernel_traces(self):
+        """Kernel traces (the mechanistic source) are fittable too."""
+        trace = run_kernel("stream_triad", words=3000)
+        fitted = fit_profile(trace, name="triad-fit")
+        assert isinstance(fitted, WorkloadProfile)
+        assert fitted.name == "triad-fit"
+        # Triad writes 1/3 of accesses.
+        assert fitted.write_share == pytest.approx(1 / 3, abs=0.08)
+
+    def test_fitted_profile_is_usable(self):
+        """The fitted profile must drive the whole pipeline."""
+        from repro.cache.config import BASELINE_GEOMETRY
+        from repro.sim.comparison import compare_techniques
+
+        fitted = fit_profile(generate_trace(get_profile("hmmer"), 8_000))
+        trace = generate_trace(fitted, 5_000)
+        comparison = compare_techniques(
+            trace, BASELINE_GEOMETRY, techniques=("rmw", "wg")
+        )
+        assert comparison.access_reduction("wg") > 0.0

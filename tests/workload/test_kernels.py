@@ -1,0 +1,152 @@
+"""Unit tests for the instrumented real kernels."""
+
+import pytest
+
+from repro.trace.record import WORD_BYTES
+from repro.trace.stats import collect_statistics
+from repro.workload.kernels import (
+    InstrumentedMemory,
+    KERNEL_NAMES,
+    run_kernel,
+)
+
+
+class TestInstrumentedMemory:
+    def test_load_traces(self):
+        memory = InstrumentedMemory(16)
+        memory.poke(3, 42)
+        assert memory.load(3) == 42
+        assert len(memory.trace) == 1
+        assert memory.trace[0].is_read
+        assert memory.trace[0].address == 3 * WORD_BYTES
+
+    def test_store_traces_value(self):
+        memory = InstrumentedMemory(16)
+        memory.store(2, 7)
+        record = memory.trace[0]
+        assert record.is_write
+        assert record.value == 7
+        assert memory.peek(2) == 7
+
+    def test_poke_peek_untraced(self):
+        memory = InstrumentedMemory(8)
+        memory.poke(0, 5)
+        assert memory.peek(0) == 5
+        assert memory.trace == []
+
+    def test_icounts_increase(self):
+        memory = InstrumentedMemory(8)
+        memory.load(0)
+        memory.store(1, 1)
+        assert memory.trace[1].icount > memory.trace[0].icount
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            InstrumentedMemory(0)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_each_kernel_produces_valid_trace(self, name):
+        trace = run_kernel(name, words=512, seed=1)
+        assert len(trace) > 100
+        previous = -1
+        for access in trace:
+            assert access.address % WORD_BYTES == 0
+            assert access.icount > previous
+            previous = access.icount
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_kernels_deterministic(self, name):
+        assert run_kernel(name, words=256, seed=3) == run_kernel(
+            name, words=256, seed=3
+        )
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_kernel("quicksort")
+
+    def test_stream_triad_mix(self):
+        """Triad: 2 loads per store (after initialisation pokes)."""
+        stats = collect_statistics(run_kernel("stream_triad", words=900))
+        assert stats.reads == 2 * stats.writes
+
+    def test_insertion_sort_sorts(self):
+        """The kernel's memory side-effect is actually a sorted array."""
+        from repro.utils.rng import DeterministicRNG
+        from repro.workload.kernels import _insertion_sort
+
+        memory = InstrumentedMemory(256)
+        _insertion_sort(memory, DeterministicRNG(5))
+        values = [memory.peek(i) for i in range(256)]
+        assert values == sorted(values)
+
+    def test_insertion_sort_is_silent_rich(self):
+        """Nearly-sorted input with duplicates -> many silent stores,
+        the Figure 5 pattern."""
+        stats = collect_statistics(run_kernel("insertion_sort", words=512))
+        assert stats.silent_write_fraction > 0.2
+
+    def test_histogram_counts_correct(self):
+        from repro.utils.rng import DeterministicRNG
+        from repro.workload.kernels import _histogram
+
+        memory = InstrumentedMemory(256)
+        _histogram(memory, DeterministicRNG(2))
+        total = sum(memory.peek(i) for i in range(64))
+        assert total == 256  # one increment per sample
+
+    def test_linked_list_is_pointer_chasing(self):
+        """Consecutive reads jump around: low spatial locality."""
+        trace = run_kernel("linked_list", words=512)
+        reads = [a for a in trace if a.is_read]
+        jumps = [
+            abs(b.address - a.address) for a, b in zip(reads, reads[1:])
+        ]
+        big_jumps = sum(1 for j in jumps if j > 4 * WORD_BYTES)
+        assert big_jumps / len(jumps) > 0.5
+
+    def test_checkpoint_is_silent_dominated(self):
+        """Re-copying mostly-unchanged state is the canonical silent
+        store pattern: the large majority of checkpoint writes repeat
+        the value already in the shadow region."""
+        stats = collect_statistics(run_kernel("checkpoint", words=1024))
+        assert stats.silent_write_fraction > 0.5
+
+    def test_binary_search_is_read_dominated(self):
+        stats = collect_statistics(run_kernel("binary_search", words=1024))
+        assert stats.reads > 5 * stats.writes
+
+    def test_fifo_queue_conserves_items(self):
+        """Consumer never passes the producer: head <= tail always."""
+        from repro.utils.rng import DeterministicRNG
+        from repro.workload.kernels import _fifo_queue
+
+        memory = InstrumentedMemory(258)
+        _fifo_queue(memory, DeterministicRNG(3))
+        head = memory.peek(256)  # head slot = capacity
+        tail = memory.peek(257)
+        assert 0 <= head <= tail
+
+    def test_fifo_queue_counters_group_well(self):
+        """The hot head/tail counters produce Tag-Buffer write hits."""
+        from repro.cache.config import CacheGeometry
+        from repro.sim.simulator import run_simulation
+
+        trace = run_kernel("fifo_queue", words=512)
+        result = run_simulation(trace, "wg", CacheGeometry(4 * 1024, 4, 32))
+        assert result.counts.grouped_write_fraction > 0.1
+
+    def test_matmul_result_correct(self):
+        from repro.utils.rng import DeterministicRNG
+        from repro.workload.kernels import _matmul
+
+        memory = InstrumentedMemory(3 * 16)
+        _matmul(memory, DeterministicRNG(7))
+        n = 4
+        a = [[memory.peek(i * n + k) for k in range(n)] for i in range(n)]
+        b = [[memory.peek(n * n + k * n + j) for j in range(n)] for k in range(n)]
+        for i in range(n):
+            for j in range(n):
+                expected = sum(a[i][k] * b[k][j] for k in range(n))
+                assert memory.peek(2 * n * n + i * n + j) == expected

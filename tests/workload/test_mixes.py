@@ -1,0 +1,111 @@
+"""Unit tests for multiprogrammed trace mixes."""
+
+import pytest
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.workload.mixes import merge_traces
+
+
+def _trace(n, gap=1, base_address=0):
+    return [
+        MemoryAccess(
+            icount=i * gap,
+            kind=AccessType.READ,
+            address=base_address + 8 * i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestMergeBasics:
+    def test_all_accesses_preserved(self):
+        merged = merge_traces([_trace(10), _trace(7)], quantum_instructions=3)
+        assert len(merged) == 17
+
+    def test_single_trace_passthrough_order(self):
+        original = _trace(8)
+        merged = merge_traces([original], quantum_instructions=100)
+        assert [a.address for a in merged] == [a.address for a in original]
+
+    def test_icounts_strictly_increase(self):
+        merged = merge_traces(
+            [_trace(20, gap=2), _trace(15, gap=3)], quantum_instructions=5
+        )
+        icounts = [a.icount for a in merged]
+        assert all(b > a for a, b in zip(icounts, icounts[1:]))
+
+    def test_per_program_order_preserved(self):
+        merged = merge_traces(
+            [_trace(12), _trace(12, base_address=0)], quantum_instructions=4
+        )
+        # Program 1 addresses carry the 1 TiB offset.
+        program0 = [a.address for a in merged if a.address < (1 << 40)]
+        program1 = [a.address for a in merged if a.address >= (1 << 40)]
+        assert program0 == sorted(program0)
+        assert program1 == sorted(program1)
+
+    def test_round_robin_interleaving(self):
+        merged = merge_traces(
+            [_trace(6), _trace(6)], quantum_instructions=2
+        )
+        # First slice: program 0's first two accesses, then program 1's.
+        assert merged[0].address < (1 << 40)
+        assert merged[2].address >= (1 << 40)
+
+
+class TestAddressSpaces:
+    def test_separate_spaces_disjoint(self):
+        merged = merge_traces(
+            [_trace(5), _trace(5)], quantum_instructions=2
+        )
+        spaces = {a.address >> 40 for a in merged}
+        assert spaces == {0, 1}
+
+    def test_shared_space_option(self):
+        merged = merge_traces(
+            [_trace(5), _trace(5)],
+            quantum_instructions=2,
+            separate_address_spaces=False,
+        )
+        assert all(a.address < (1 << 40) for a in merged)
+
+
+class TestValidation:
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_traces([], quantum_instructions=10)
+
+    def test_quantum_positive(self):
+        with pytest.raises(ValueError):
+            merge_traces([_trace(3)], quantum_instructions=0)
+
+    def test_empty_program_ok(self):
+        merged = merge_traces([_trace(4), []], quantum_instructions=2)
+        assert len(merged) == 4
+
+
+class TestCorrectnessThroughControllers:
+    def test_merged_trace_is_value_consistent(self):
+        """The mixed stream still satisfies the memory oracle per
+        program (address spaces are disjoint, so globally too)."""
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.config import CacheGeometry
+        from repro.core.registry import make_controller
+        from repro.workload.generator import generate_trace
+        from repro.workload.spec2006 import get_profile
+
+        from tests.conftest import oracle_read_values
+
+        traces = [
+            generate_trace(get_profile("gcc"), 800, seed=1),
+            generate_trace(get_profile("mcf"), 800, seed=2),
+        ]
+        merged = merge_traces(traces, quantum_instructions=50)
+        controller = make_controller(
+            "wg_rb", SetAssociativeCache(CacheGeometry(4 * 1024, 4, 32))
+        )
+        outcomes = controller.run(merged)
+        expected = oracle_read_values(merged)
+        for access, outcome, expect in zip(merged, outcomes, expected):
+            if access.is_read:
+                assert outcome.value == expect

@@ -1,0 +1,82 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.profile import StreamSpec, WorkloadProfile
+
+
+def _profile(**overrides):
+    defaults = dict(
+        name="test",
+        read_frequency=0.26,
+        write_frequency=0.14,
+        silent_fraction=0.4,
+        burst_mean=3.0,
+        type_persistence=0.5,
+        streams=(StreamSpec("sequential", weight=1.0),),
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestStreamSpec:
+    def test_region_words(self):
+        assert StreamSpec("random", 1.0, region_kib=8).region_words == 1024
+
+    def test_weight_positive(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec("random", 0.0)
+
+    def test_region_positive(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec("random", 1.0, region_kib=0)
+
+    def test_write_bias_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec("random", 1.0, write_bias=-0.1)
+
+    def test_hotspot_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec("hotspot", 1.0, hot_words=0)
+        with pytest.raises(ConfigurationError):
+            StreamSpec("hotspot", 1.0, hot_probability=2.0)
+
+
+class TestWorkloadProfile:
+    def test_derived_quantities(self):
+        profile = _profile()
+        assert profile.memory_fraction == pytest.approx(0.40)
+        assert profile.write_share == pytest.approx(0.35)
+        assert profile.footprint_kib == 256
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            _profile(name="")
+
+    def test_frequencies_bounded(self):
+        with pytest.raises(ConfigurationError):
+            _profile(read_frequency=0.0)
+        with pytest.raises(ConfigurationError):
+            _profile(read_frequency=0.7, write_frequency=0.4)
+
+    def test_silent_fraction_bounded(self):
+        with pytest.raises(ConfigurationError):
+            _profile(silent_fraction=-0.1)
+
+    def test_burst_mean_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            _profile(burst_mean=0.5)
+
+    def test_persistence_bounded(self):
+        with pytest.raises(ConfigurationError):
+            _profile(type_persistence=1.1)
+
+    def test_needs_streams(self):
+        with pytest.raises(ConfigurationError):
+            _profile(streams=())
+
+    def test_frozen(self):
+        profile = _profile()
+        with pytest.raises(AttributeError):
+            profile.burst_mean = 5.0

@@ -1,0 +1,70 @@
+"""Unit tests for the store-value model."""
+
+import pytest
+
+from repro.utils.rng import DeterministicRNG
+from repro.workload.values import ValueModel
+
+
+class TestSilentRate:
+    def test_calibrated_rate(self):
+        model = ValueModel(0.4, DeterministicRNG(1))
+        for i in range(5000):
+            model.value_for_write((i % 50) * 8)
+        assert 0.36 < model.observed_silent_fraction < 0.44
+
+    def test_zero_rate(self):
+        model = ValueModel(0.0, DeterministicRNG(2))
+        for i in range(100):
+            model.value_for_write(0)
+        assert model.silent_writes == 0
+
+    def test_full_rate(self):
+        model = ValueModel(1.0, DeterministicRNG(3))
+        values = [model.value_for_write(0) for _ in range(10)]
+        assert values == [0] * 10  # memory starts zeroed
+        assert model.observed_silent_fraction == 1.0
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            ValueModel(1.5, DeterministicRNG(0))
+
+
+class TestSemantics:
+    def test_silent_write_repeats_current_value(self):
+        model = ValueModel(0.0, DeterministicRNG(4))
+        first = model.value_for_write(0x40)
+        assert model.current_value(0x40) == first
+        silent_model = ValueModel(1.0, DeterministicRNG(5))
+        assert silent_model.value_for_write(0x40) == 0
+
+    def test_fresh_values_are_distinct(self):
+        model = ValueModel(0.0, DeterministicRNG(6))
+        values = [model.value_for_write(i * 8) for i in range(50)]
+        assert len(set(values)) == 50
+
+    def test_silent_classification_matches_trace_stats(self):
+        """Values from the model reproduce its silent rate when measured
+        by TraceStatistics — the two silent definitions agree."""
+        from repro.trace.record import AccessType, MemoryAccess
+        from repro.trace.stats import collect_statistics
+
+        model = ValueModel(0.5, DeterministicRNG(7))
+        trace = []
+        for i in range(2000):
+            address = (i % 40) * 8
+            trace.append(
+                MemoryAccess(
+                    icount=i,
+                    kind=AccessType.WRITE,
+                    address=address,
+                    value=model.value_for_write(address),
+                )
+            )
+        stats = collect_statistics(trace)
+        assert stats.silent_writes == model.silent_writes
+
+    def test_empty_model(self):
+        model = ValueModel(0.5, DeterministicRNG(8))
+        assert model.observed_silent_fraction == 0.0
+        assert model.current_value(0) == 0
