@@ -35,6 +35,16 @@ from repro.sim import (
     run_geometry_sweep,
     run_simulation,
 )
+from repro.obs import (
+    ChromeTraceSink,
+    IntervalSampler,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    Telemetry,
+    Timer,
+    span,
+)
 from repro.trace import (
     AccessType,
     MemoryAccess,
@@ -68,6 +78,14 @@ __all__ = [
     "ExperimentConfig",
     "run_campaign",
     "run_geometry_sweep",
+    "Telemetry",
+    "MetricsRegistry",
+    "IntervalSampler",
+    "NullSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "Timer",
+    "span",
     "AccessType",
     "MemoryAccess",
     "collect_statistics",

@@ -1,14 +1,17 @@
-"""CSV export for reproduced figures."""
+"""File export: figure CSVs, metrics JSON, interval-snapshot CSVs."""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Union
 
 from repro.analysis.result import FigureResult
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import IntervalSnapshot
 
-__all__ = ["figure_to_csv"]
+__all__ = ["figure_to_csv", "metrics_to_json", "snapshots_to_csv"]
 
 
 def figure_to_csv(result: FigureResult, path: Union[str, Path]) -> int:
@@ -19,5 +22,64 @@ def figure_to_csv(result: FigureResult, path: Union[str, Path]) -> int:
         writer.writerow(result.headers)
         for row in result.rows:
             writer.writerow(row)
+            count += 1
+    return count
+
+
+def metrics_to_json(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write a registry's full state as pretty-printed JSON.
+
+    This is the ``--metrics-out`` payload: the exact
+    :meth:`MetricsRegistry.state_dict` shape, so a file written here
+    can be read back and merged into another registry with
+    ``MetricsRegistry.from_state(json.load(f))``.
+    """
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.state_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+#: Column order of :func:`snapshots_to_csv`.
+SNAPSHOT_HEADERS = (
+    "label",
+    "window_index",
+    "end_request",
+    "window_size",
+    "array_accesses",
+    "accesses_per_request",
+    "hits",
+    "misses",
+    "miss_rate",
+    "set_buffer_occupancy",
+)
+
+
+def snapshots_to_csv(
+    snapshots: Iterable[IntervalSnapshot], path: Union[str, Path]
+) -> int:
+    """Write interval snapshots (``--snapshots-out``); returns row count."""
+    count = 0
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SNAPSHOT_HEADERS)
+        for snap in snapshots:
+            writer.writerow(
+                (
+                    snap.label,
+                    snap.window_index,
+                    snap.end_request,
+                    snap.window_size,
+                    snap.array_accesses,
+                    f"{snap.accesses_per_request:.4f}",
+                    snap.hits,
+                    snap.misses,
+                    f"{snap.miss_rate:.4f}",
+                    snap.set_buffer_occupancy,
+                )
+            )
             count += 1
     return count

@@ -7,12 +7,13 @@ of EXPERIMENTS.md.  Used by ``repro-8t report``.
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.figures import FIGURE_IDS, reproduce_figure
 from repro.analysis.result import FigureResult
+from repro.obs.spans import span
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["generate_report", "write_report"]
 
@@ -25,22 +26,30 @@ def generate_report(
     accesses: int = 15_000,
     seed: int = 2012,
     figure_ids: Optional[Sequence[str]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> str:
-    """Reproduce every figure and render one markdown report."""
+    """Reproduce every figure and render one markdown report.
+
+    Each figure runs under a ``figure.<id>`` span; pass ``telemetry``
+    to land those phases in a metrics registry or on a trace timeline
+    (the per-figure timings in the report itself come from the same
+    spans).
+    """
     ids = list(figure_ids) if figure_ids else list(FIGURE_IDS)
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
     results: Dict[str, FigureResult] = {}
     timings: Dict[str, float] = {}
     for figure_id in ids:
-        started = time.perf_counter()
-        if figure_id in _PARAMETERLESS:
-            results[figure_id] = reproduce_figure(figure_id)
-        elif figure_id in _SEED_ONLY:
-            results[figure_id] = reproduce_figure(figure_id, seed=seed)
-        else:
-            results[figure_id] = reproduce_figure(
-                figure_id, accesses=accesses, seed=seed
-            )
-        timings[figure_id] = time.perf_counter() - started
+        with span(telem, f"figure.{figure_id}", category="figure") as timing:
+            if figure_id in _PARAMETERLESS:
+                results[figure_id] = reproduce_figure(figure_id)
+            elif figure_id in _SEED_ONLY:
+                results[figure_id] = reproduce_figure(figure_id, seed=seed)
+            else:
+                results[figure_id] = reproduce_figure(
+                    figure_id, accesses=accesses, seed=seed
+                )
+        timings[figure_id] = timing.elapsed
     return _render(results, timings, accesses, seed)
 
 
@@ -89,11 +98,17 @@ def write_report(
     accesses: int = 15_000,
     seed: int = 2012,
     figure_ids: Optional[Sequence[str]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Path:
     """Generate and save the report; returns the path."""
     path = Path(path)
     path.write_text(
-        generate_report(accesses=accesses, seed=seed, figure_ids=figure_ids),
+        generate_report(
+            accesses=accesses,
+            seed=seed,
+            figure_ids=figure_ids,
+            telemetry=telemetry,
+        ),
         encoding="utf-8",
     )
     return path

@@ -5,6 +5,8 @@ Installed as the ``repro-8t`` console script::
     repro-8t figures                      # list reproducible figures
     repro-8t figure fig9 --accesses 20000 # reproduce one figure
     repro-8t compare bwaves --geometry 64K:4:32
+    repro-8t compare bwaves --metrics-out m.json --trace-out t.jsonl
+    repro-8t profile bwaves               # phase timings + hot counters
     repro-8t trace bwaves out.trc --accesses 50000 --format binary
     repro-8t stats out.trc --geometry 64K:4:32
     repro-8t kernels                      # list instrumented kernels
@@ -13,6 +15,14 @@ Installed as the ``repro-8t`` console script::
 
 Every subcommand is a thin shell over the public library API, so the
 CLI doubles as executable documentation.
+
+Observability flags (``compare``, ``figure``, ``report``, ``profile``):
+``--metrics-out m.json`` dumps the metrics registry, ``--trace-out``
+writes a structured trace (``.jsonl`` for JSON Lines, anything else
+for Chrome ``trace_event`` JSON), ``--sample-window N`` turns on
+per-N-request interval snapshots and ``--snapshots-out s.csv`` saves
+them.  With none of these set, the simulation runs fully
+uninstrumented.
 """
 
 from __future__ import annotations
@@ -21,11 +31,13 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.export import figure_to_csv
+from repro.analysis.export import figure_to_csv, metrics_to_json, snapshots_to_csv
 from repro.analysis.figures import FIGURE_IDS, reproduce_figure
 from repro.cache.address import AddressMapper
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.core.registry import ALL_CONTROLLER_NAMES
+from repro.obs.spans import span
+from repro.obs.telemetry import Telemetry
 from repro.sim.comparison import compare_techniques
 from repro.trace.binio import read_binary_trace, write_binary_trace
 from repro.trace.stats import collect_statistics
@@ -71,6 +83,63 @@ def _read_trace(path: str):
     return read_text_trace(path)
 
 
+# -- observability plumbing --------------------------------------------------------
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    """The shared telemetry output flags."""
+    group = sub.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", help="write the metrics registry to this JSON path"
+    )
+    group.add_argument(
+        "--trace-out",
+        help=(
+            "write a structured trace (.jsonl => JSON Lines, otherwise "
+            "Chrome trace_event JSON for chrome://tracing / Perfetto)"
+        ),
+    )
+    group.add_argument(
+        "--sample-window",
+        type=int,
+        help="record interval snapshots every N requests",
+    )
+    group.add_argument(
+        "--snapshots-out",
+        help="write interval snapshots to this CSV path (implies sampling)",
+    )
+
+
+def _telemetry_from_args(args, force: bool = False) -> Optional[Telemetry]:
+    """Build a Telemetry matching the CLI flags (None => stay dark)."""
+    sample_window = args.sample_window
+    if args.snapshots_out and not sample_window:
+        sample_window = 1_000
+    telemetry = Telemetry.from_outputs(
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        sample_window=sample_window,
+    )
+    if telemetry is None and force:
+        telemetry = Telemetry.from_outputs(sample_window=sample_window or 1_000)
+    return telemetry
+
+
+def _finish_telemetry(telemetry: Optional[Telemetry], args) -> None:
+    """Write the requested output files and close the sink."""
+    if telemetry is None:
+        return
+    telemetry.close()
+    if args.metrics_out:
+        metrics_to_json(telemetry.registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out:
+        print(f"wrote trace to {args.trace_out}")
+    if args.snapshots_out and telemetry.sampler is not None:
+        rows = snapshots_to_csv(telemetry.sampler.snapshots, args.snapshots_out)
+        print(f"wrote {rows} interval snapshots to {args.snapshots_out}")
+
+
 # -- subcommand handlers ---------------------------------------------------------
 
 
@@ -90,7 +159,13 @@ def _cmd_figure(args) -> int:
         kwargs["seed"] = args.seed
         if args.benchmarks:
             kwargs["benchmarks"] = args.benchmarks
-    result = reproduce_figure(args.figure_id, **kwargs)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        with span(telemetry, f"figure.{args.figure_id}", category="figure"):
+            result = reproduce_figure(args.figure_id, **kwargs)
+        _finish_telemetry(telemetry, args)
+    else:
+        result = reproduce_figure(args.figure_id, **kwargs)
     if args.bars:
         from repro.analysis.bars import render_bars
 
@@ -104,11 +179,15 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    telemetry = _telemetry_from_args(args)
     trace = generate_trace(
         get_profile(args.benchmark), args.accesses, seed=args.seed
     )
     comparison = compare_techniques(
-        trace, args.geometry, techniques=tuple(args.techniques)
+        trace,
+        args.geometry,
+        techniques=tuple(args.techniques),
+        telemetry=telemetry,
     )
     rows = []
     for technique in args.techniques:
@@ -133,6 +212,7 @@ def _cmd_compare(args) -> int:
             title=f"{args.benchmark} on {args.geometry.describe()}",
         )
     )
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -225,13 +305,67 @@ def _cmd_kernels(_args) -> int:
 def _cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
+    telemetry = _telemetry_from_args(args)
     path = write_report(
         args.output,
         accesses=args.accesses,
         seed=args.seed,
         figure_ids=args.figures,
+        telemetry=telemetry,
     )
     print(f"wrote reproduction report to {path}")
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profiler import profile_benchmark
+
+    telemetry = _telemetry_from_args(args, force=True)
+    report = profile_benchmark(
+        args.benchmark,
+        geometry=args.geometry,
+        accesses=args.accesses,
+        seed=args.seed,
+        techniques=tuple(args.techniques),
+        telemetry=telemetry,
+    )
+    print(
+        format_table(
+            ("phase", "calls", "total s", "mean ms"),
+            [
+                (phase, calls, f"{total:.3f}", f"{mean_ms:.3f}")
+                for phase, calls, total, mean_ms in report.phase_rows()
+            ],
+            title=(
+                f"phase timings: {args.benchmark} x {len(args.techniques)} "
+                f"techniques, {args.accesses} accesses"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            ("technique", "array accesses", "requests", "hit rate %"),
+            report.technique_rows(),
+            title="per-technique results",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ("counter", "value"),
+            [(name, int(value)) for name, value in report.hot_counters()],
+            title="hot counters",
+        )
+    )
+    total = report.total_events
+    print(
+        f"\ntotal across techniques: {total.array_accesses} array accesses "
+        f"({total.row_reads} row reads, {total.row_writes} row writes, "
+        f"{total.rmw_operations} RMWs)"
+    )
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -281,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--bars", action="store_true", help="render as ASCII bar chart"
     )
+    _add_obs_flags(sub)
     sub.set_defaults(handler=_cmd_figure)
 
     sub = subparsers.add_parser(
@@ -298,7 +433,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=["conventional", "rmw", "wg", "wg_rb"],
         choices=ALL_CONTROLLER_NAMES,
     )
+    _add_obs_flags(sub)
     sub.set_defaults(handler=_cmd_compare)
+
+    sub = subparsers.add_parser(
+        "profile",
+        help="profile one benchmark: phase timings + hot counters",
+    )
+    sub.add_argument("benchmark", choices=benchmark_names())
+    sub.add_argument("--accesses", type=int, default=20_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.add_argument(
+        "--techniques",
+        nargs="+",
+        default=["conventional", "rmw", "wg", "wg_rb"],
+        choices=ALL_CONTROLLER_NAMES,
+    )
+    _add_obs_flags(sub)
+    sub.set_defaults(handler=_cmd_profile)
 
     sub = subparsers.add_parser("trace", help="synthesise a trace file")
     sub.add_argument("benchmark", choices=benchmark_names())
@@ -343,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--accesses", type=int, default=15_000)
     sub.add_argument("--seed", type=int, default=2012)
     sub.add_argument("--figures", nargs="*", choices=FIGURE_IDS)
+    _add_obs_flags(sub)
     sub.set_defaults(handler=_cmd_report)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")

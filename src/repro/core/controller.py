@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional
 
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.core.outcomes import AccessOutcome, OperationCounts
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
 
@@ -48,6 +49,61 @@ class CacheController(abc.ABC):
         self._row_words = cache.geometry.words_per_set
         self._finalized = False
         self._current_icount = 0
+        # Observability plane: off by default (one boolean test per
+        # request); Simulator/make_controller attach a live one.
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        self._obs = False
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Point this controller's instrumentation at ``telemetry``.
+
+        Pre-binds the per-request counters so the hot loop pays one
+        bound-method call per increment, never a registry lookup.
+        Passing None (or a disabled telemetry) turns instrumentation
+        back off.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._obs = self.telemetry.enabled
+        if self._obs:
+            registry = self.telemetry.registry
+            prefix = f"ctrl.{self.name}."
+            self._c_reads = registry.counter(prefix + "read_requests")
+            self._c_writes = registry.counter(prefix + "write_requests")
+            self._c_hits = registry.counter(prefix + "hits")
+            self._c_misses = registry.counter(prefix + "misses")
+
+    def _emit_point(self, name: str, **args) -> None:
+        """One named instrumentation point: counter + trace instant.
+
+        Call sites guard with ``if self._obs`` so the uninstrumented
+        path never even builds the arguments.
+        """
+        self.telemetry.registry.inc(f"ctrl.{self.name}.{name}")
+        sink = self.telemetry.sink
+        if sink.enabled:
+            args["icount"] = self._current_icount
+            sink.instant(f"{self.name}.{name}", category="controller", args=args)
+
+    def _observe(self, access: MemoryAccess, result: AccessResult) -> None:
+        """Per-request accounting on the metrics plane (obs on only)."""
+        if access.is_read:
+            self._c_reads.inc()
+        else:
+            self._c_writes.inc()
+        if result.hit:
+            self._c_hits.inc()
+        else:
+            self._c_misses.inc()
+        sampler = self.telemetry.sampler
+        if sampler is not None:
+            sampler.tick(self)
+
+    def set_buffer_occupancy(self) -> int:
+        """Modified words currently held outside the array (0 unless a
+        buffering controller overrides this)."""
+        return 0
 
     # -- public API -----------------------------------------------------------
 
@@ -67,8 +123,12 @@ class CacheController(abc.ABC):
             self._account_miss_traffic(result)
 
         if access.is_read:
-            return self._handle_read(access, result)
-        return self._handle_write(access, result)
+            outcome = self._handle_read(access, result)
+        else:
+            outcome = self._handle_write(access, result)
+        if self._obs:
+            self._observe(access, result)
+        return outcome
 
     def run(self, trace: Iterable[MemoryAccess]) -> List[AccessOutcome]:
         """Process a whole trace, finalize, and return per-access outcomes."""

@@ -44,12 +44,18 @@ def make_controller(
 
     Extra keyword arguments are forwarded to the controller constructor
     (e.g. ``detect_silent_writes=False`` or ``entries=4`` for WG-family
-    controllers, ``count_miss_traffic=True`` for any).
+    controllers, ``count_miss_traffic=True`` for any).  ``telemetry=``
+    is handled here and attached post-construction, so every registered
+    controller is instrumentable without widening its signature.
     """
+    telemetry = kwargs.pop("telemetry", None)
     try:
         factory = _FACTORIES[name.lower()]
     except KeyError:
         raise ValueError(
             f"unknown controller {name!r}; known: {list(CONTROLLER_NAMES)}"
         ) from None
-    return factory(cache, **kwargs)
+    controller = factory(cache, **kwargs)
+    if telemetry is not None:
+        controller.attach_telemetry(telemetry)
+    return controller

@@ -45,6 +45,8 @@ class RMWController(CacheController):
         # Read row into latches + write merged row back.
         self.events.record_rmw(row_words=self._row_words)
         self.counts.rmw_operations += 1
+        if self._obs:
+            self._emit_point("rmw_issued", set_index=result.set_index)
         self.cache.write_word(
             result.set_index, result.way, result.word_offset, access.value
         )

@@ -82,6 +82,11 @@ class SetBuffer:
         return bool(self._modified)
 
     @property
+    def modified_words(self) -> int:
+        """How many words currently differ from the array's copy."""
+        return len(self._modified)
+
+    @property
     def ways(self) -> int:
         return len(self._data)
 

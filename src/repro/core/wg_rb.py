@@ -34,6 +34,8 @@ class WGRBController(WriteGroupingController):
             value = entry.set_buffer.read(result.way, result.word_offset)
             self.events.record_set_buffer_read(1)
             self.counts.bypassed_reads += 1
+            if self._obs:
+                self._emit_point("read_bypass", set_index=result.set_index)
             return AccessOutcome(
                 value=value,
                 cache_hit=result.hit,

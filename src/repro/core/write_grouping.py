@@ -142,6 +142,10 @@ class WriteGroupingController(CacheController):
             self.counts.final_writebacks += 1
         else:
             raise ValueError(f"unknown write-back reason {reason!r}")
+        if self._obs:
+            self._emit_point(
+                f"sb_writeback_{reason}", set_index=entry.set_index
+            )
         return True
 
     def _fill_entry(self, entry: BufferEntry, set_index: int) -> None:
@@ -152,6 +156,8 @@ class WriteGroupingController(CacheController):
         entry.tag_buffer.load(set_index, tags)
         self.events.record_row_read(words_routed=self._row_words)
         self.counts.set_buffer_fills += 1
+        if self._obs:
+            self._emit_point("sb_fill", set_index=set_index)
 
     # -- residency hook ------------------------------------------------------------
 
@@ -220,6 +226,8 @@ class WriteGroupingController(CacheController):
             # Tag-Buffer hit: the whole RMW is elided.
             grouped = True
             self.counts.grouped_writes += 1
+            if self._obs:
+                self._emit_point("sb_hit", set_index=result.set_index)
         self._touch(entry)
 
         silent = entry.set_buffer.write(
@@ -228,6 +236,8 @@ class WriteGroupingController(CacheController):
         self.events.record_set_buffer_write(1)
         if self.detect_silent_writes and silent:
             self.counts.silent_writes_detected += 1
+            if self._obs:
+                self._emit_point("sb_silent_write", set_index=result.set_index)
         else:
             if not entry.tag_buffer.dirty:
                 entry.dirty_since = access.icount
@@ -256,3 +266,12 @@ class WriteGroupingController(CacheController):
     @property
     def buffer_entries(self) -> List[BufferEntry]:
         return list(self._entries)
+
+    def set_buffer_occupancy(self) -> int:
+        """Words whose newest value lives only in Set-Buffers right now
+        (the interval sampler's occupancy series)."""
+        return sum(
+            entry.set_buffer.modified_words
+            for entry in self._entries
+            if entry.valid
+        )

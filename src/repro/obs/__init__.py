@@ -1,0 +1,68 @@
+"""repro.obs — the observability plane of the simulator.
+
+Three collection surfaces behind one :class:`Telemetry` facade:
+
+``registry``
+    :class:`MetricsRegistry` — counters, gauges, fixed-bucket
+    histograms; hot-loop cheap and mergeable across process-pool
+    workers.
+``sinks``
+    Structured event tracing — :class:`NullSink` (zero-overhead
+    default), :class:`JsonlSink` (JSON Lines), and
+    :class:`ChromeTraceSink` (``chrome://tracing`` / Perfetto
+    timelines).
+``spans`` / ``sampler``
+    ``span()``/``timer()`` wall-clock phases, and
+    :class:`IntervalSampler` per-N-request snapshots of array
+    accesses, miss rate and Set-Buffer occupancy.
+
+Everything in the simulation stack takes ``telemetry=None`` and runs
+uninstrumented (one boolean test per request) unless a real
+:class:`Telemetry` is passed.  The benchmark profiler lives in
+:mod:`repro.obs.profiler` and is deliberately *not* re-exported here —
+it imports the sim stack, and this package must stay importable from
+``repro.core`` without cycles.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sampler import IntervalSampler, IntervalSnapshot
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    read_jsonl_trace,
+    sink_for_path,
+)
+from repro.obs.spans import Span, Timer, phase_timings, span, timer
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, obs_logger
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "IntervalSampler",
+    "IntervalSnapshot",
+    "TraceSink",
+    "NullSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "sink_for_path",
+    "read_jsonl_trace",
+    "Span",
+    "Timer",
+    "span",
+    "timer",
+    "phase_timings",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "obs_logger",
+]

@@ -1,0 +1,237 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the telemetry layer (the trace
+sinks in :mod:`repro.obs.sinks` are the event half).  Design goals, in
+order:
+
+1. **Hot-loop cheap.**  ``Counter.inc`` is one attribute add on a
+   ``__slots__`` object; instruments pre-bind their counters once so
+   the per-request cost is a bound-method call, not a dict lookup.
+2. **Mergeable.**  Campaign workers in :mod:`repro.sim.parallel` run in
+   separate processes; each builds its own registry and the parent
+   folds them together with :meth:`MetricsRegistry.merge` /
+   :meth:`MetricsRegistry.merge_state`.  Merge is associative and
+   commutative (counters/histograms add, gauges keep the max), so the
+   fold order never changes the result.
+3. **Serialisable.**  :meth:`MetricsRegistry.state_dict` is plain
+   JSON-compatible data — it crosses process boundaries and lands in
+   ``--metrics-out`` files unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+#: Default histogram bucket upper bounds for wall-clock durations in
+#: seconds (1 µs .. 30 s, roughly decade-and-a-half spaced).
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonic accumulator (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """Last-written value; merges by max (a peak across workers)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound, so ``counts`` has
+    ``len(bounds) + 1`` cells.  Bounds are fixed at creation — two
+    histograms only merge when their bounds match exactly.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, with cross-process merge."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS_S
+            )
+        elif bounds is not None and tuple(bounds) != metric.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{metric.bounds}, requested {tuple(bounds)}"
+            )
+        return metric
+
+    # -- convenience --------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    def value(self, name: str) -> float:
+        """Counter value by name (0 when the counter never fired)."""
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def counters(self) -> Iterable[Counter]:
+        return self._counters.values()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- merge --------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place; returns self."""
+        return self.merge_state(other.state_dict())
+
+    def merge_state(self, state: Dict) -> "MetricsRegistry":
+        """Fold a :meth:`state_dict` (e.g. from a worker process) in."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, payload in state.get("histograms", {}).items():
+            incoming_bounds = tuple(payload["bounds"])
+            histogram = self.histogram(name, incoming_bounds)
+            if histogram.bounds != incoming_bounds:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bounds differ"
+                )
+            for i, count in enumerate(payload["counts"]):
+                histogram.counts[i] += count
+            histogram.total += payload["total"]
+            histogram.count += payload["count"]
+        return self
+
+    # -- serialisation ------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """JSON-compatible snapshot (picklable across process pools)."""
+        return {
+            "counters": {c.name: c.value for c in self._counters.values()},
+            "gauges": {g.name: g.value for g in self._gauges.values()},
+            "histograms": {
+                h.name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for h in self._histograms.values()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MetricsRegistry":
+        return cls().merge_state(state)
+
+    def to_dict(self) -> Dict:
+        """Alias of :meth:`state_dict` — the ``--metrics-out`` payload."""
+        return self.state_dict()
+
+    def top_counters(self, n: int = 20) -> List[Tuple[str, float]]:
+        """The ``n`` largest counters, for the profiler's hot table."""
+        ranked = sorted(
+            ((c.name, c.value) for c in self._counters.values()),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        return ranked[:n]

@@ -1,0 +1,214 @@
+"""Structured trace sinks.
+
+A :class:`TraceSink` receives the event half of the telemetry layer:
+*instants* (a named point in time — an RMW issued, a Set-Buffer
+eviction, a pool-fallback warning) and *completes* (a named span with a
+duration — a campaign phase, one figure reproduction).
+
+Three implementations:
+
+``NullSink``
+    The zero-overhead default.  ``enabled`` is False, so instruments
+    skip even building the event payload.
+``JsonlSink``
+    One JSON object per line, streamed as events happen — greppable,
+    tail-able, and trivially parsed back (see ``read_jsonl_trace``).
+``ChromeTraceSink``
+    Buffers events and writes Chrome ``trace_event`` JSON on close, so
+    a campaign timeline opens directly in ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+
+Timestamps are microseconds of ``time.perf_counter`` relative to sink
+creation, which is what the Chrome trace viewer expects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = [
+    "TraceSink",
+    "NullSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "sink_for_path",
+    "read_jsonl_trace",
+]
+
+
+class TraceSink:
+    """Base sink: the protocol every sink implements.
+
+    ``enabled`` lets hot-loop instrumentation points skip payload
+    construction entirely when tracing is off; always check it before
+    doing per-event work that allocates.
+    """
+
+    enabled: bool = True
+
+    def instant(
+        self,
+        name: str,
+        category: str = "event",
+        args: Optional[Dict] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        category: str = "span",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a finished span.
+
+        ``start`` is an absolute ``time.perf_counter()`` reading and
+        ``duration`` is in seconds; the sink converts both to its
+        wire format.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discard everything; the default when tracing is not requested."""
+
+    enabled = False
+
+    def instant(self, name, category="event", args=None) -> None:
+        pass
+
+    def complete(self, name, start, duration, category="span", args=None) -> None:
+        pass
+
+
+class _FileSink(TraceSink):
+    """Shared open/close plumbing for file-backed sinks."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._handle: Optional[IO[str]] = target
+            self._owns_handle = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._owns_handle = True
+        self._origin = time.perf_counter()
+
+    def _ts_us(self, instant: Optional[float] = None) -> float:
+        at = time.perf_counter() if instant is None else instant
+        return (at - self._origin) * 1e6
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+
+class JsonlSink(_FileSink):
+    """One JSON object per line, written as events arrive."""
+
+    def _emit(self, record: Dict) -> None:
+        if self._handle is None:
+            raise ValueError("sink is closed")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def instant(self, name, category="event", args=None) -> None:
+        record = {"type": "instant", "name": name, "cat": category,
+                  "ts_us": round(self._ts_us(), 3)}
+        if args:
+            record["args"] = args
+        self._emit(record)
+
+    def complete(self, name, start, duration, category="span", args=None) -> None:
+        record = {
+            "type": "span",
+            "name": name,
+            "cat": category,
+            "ts_us": round(self._ts_us(start), 3),
+            "dur_us": round(duration * 1e6, 3),
+        }
+        if args:
+            record["args"] = args
+        self._emit(record)
+
+
+class ChromeTraceSink(_FileSink):
+    """Chrome ``trace_event`` JSON (open in chrome://tracing / Perfetto).
+
+    Events are buffered in memory and serialised once on :meth:`close`
+    (the format is a single JSON document, so streaming is not an
+    option).  All events share one pid/tid pair per process, which is
+    exactly right for this single-threaded simulator.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        super().__init__(target)
+        self._events: List[Dict] = []
+        self._pid = os.getpid()
+
+    def _base(self, name: str, category: str, args: Optional[Dict]) -> Dict:
+        event = {"name": name, "cat": category, "pid": self._pid, "tid": 1}
+        if args:
+            event["args"] = args
+        return event
+
+    def instant(self, name, category="event", args=None) -> None:
+        event = self._base(name, category, args)
+        event.update(ph="i", s="t", ts=round(self._ts_us(), 3))
+        self._events.append(event)
+
+    def complete(self, name, start, duration, category="span", args=None) -> None:
+        event = self._base(name, category, args)
+        event.update(
+            ph="X",
+            ts=round(self._ts_us(start), 3),
+            dur=round(duration * 1e6, 3),
+        )
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            json.dump(
+                {"traceEvents": self._events, "displayTimeUnit": "ms"},
+                self._handle,
+            )
+        super().close()
+
+
+def sink_for_path(path: Union[str, Path]) -> TraceSink:
+    """Pick a sink from a file extension.
+
+    ``.jsonl``/``.ndjson`` stream JSON Lines; anything else (``.json``,
+    ``.trace``) gets Chrome ``trace_event`` output.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return JsonlSink(path)
+    return ChromeTraceSink(path)
+
+
+def read_jsonl_trace(path: Union[str, Path]) -> List[Dict]:
+    """Parse a :class:`JsonlSink` file back into event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,137 @@
+"""Wall-clock timing: ``Timer``, ``Span`` and the ``span()`` helper.
+
+This is the API that replaces ad-hoc ``time.perf_counter()`` pairs.
+A :class:`Timer` just measures; a :class:`Span` additionally reports —
+on exit it feeds the duration into the telemetry registry (as
+``span.<name>.calls`` / ``span.<name>.total_s`` counters plus a
+``span.<name>.seconds`` histogram) and emits a complete event to the
+trace sink, so phases show up both in ``--metrics-out`` tables and on
+the Chrome-trace timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.telemetry import Telemetry
+
+__all__ = ["Timer", "Span", "span", "timer", "phase_timings"]
+
+#: Histogram bounds for phase durations (10 µs .. 60 s).
+SPAN_BUCKETS_S = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0)
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    ``elapsed`` is valid both inside the block (time so far) and after
+    it (final duration).
+    """
+
+    __slots__ = ("started", "_stopped")
+
+    def __init__(self) -> None:
+        self.started: Optional[float] = None
+        self._stopped: Optional[float] = None
+
+    def start(self) -> "Timer":
+        self.started = time.perf_counter()
+        self._stopped = None
+        return self
+
+    def stop(self) -> float:
+        if self.started is None:
+            raise ValueError("timer was never started")
+        self._stopped = time.perf_counter()
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self.started is not None and self._stopped is None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start (frozen once stopped)."""
+        if self.started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else time.perf_counter()
+        return end - self.started
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+class Span(Timer):
+    """A timer that reports to a :class:`~repro.obs.telemetry.Telemetry`."""
+
+    __slots__ = ("telemetry", "name", "category", "args")
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        name: str,
+        category: str = "phase",
+        args: Optional[Dict] = None,
+    ) -> None:
+        super().__init__()
+        self.telemetry = telemetry
+        self.name = name
+        self.category = category
+        self.args = args
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.stop()
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        registry = telemetry.registry
+        registry.inc(f"span.{self.name}.calls")
+        registry.inc(f"span.{self.name}.total_s", self.elapsed)
+        registry.observe(f"span.{self.name}.seconds", self.elapsed, SPAN_BUCKETS_S)
+        if telemetry.sink.enabled:
+            args = dict(self.args) if self.args else None
+            if exc_type is not None and args is not None:
+                args["error"] = exc_type.__name__
+            elif exc_type is not None:
+                args = {"error": exc_type.__name__}
+            telemetry.sink.complete(
+                self.name, self.started, self.elapsed, self.category, args
+            )
+
+
+def span(
+    telemetry: "Telemetry",
+    name: str,
+    category: str = "phase",
+    **args,
+) -> Span:
+    """``with span(telem, "measure", benchmark="bwaves"): ...``"""
+    return Span(telemetry, name, category, args or None)
+
+
+def timer() -> Timer:
+    """A plain stopwatch with no reporting attached."""
+    return Timer()
+
+
+def phase_timings(registry) -> List[Tuple[str, int, float, float]]:
+    """Extract ``(phase, calls, total_s, mean_ms)`` rows from a registry.
+
+    Reads the ``span.<name>.*`` counters that :class:`Span` maintains;
+    rows come back sorted by total time, longest first.
+    """
+    rows = []
+    for counter in registry.counters():
+        if counter.name.startswith("span.") and counter.name.endswith(".calls"):
+            name = counter.name[len("span."):-len(".calls")]
+            calls = int(counter.value)
+            total = registry.value(f"span.{name}.total_s")
+            mean_ms = (total / calls * 1e3) if calls else 0.0
+            rows.append((name, calls, total, mean_ms))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows

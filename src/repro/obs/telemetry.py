@@ -1,0 +1,111 @@
+"""The :class:`Telemetry` facade — one handle for the whole obs layer.
+
+A ``Telemetry`` bundles the three collection surfaces (metrics
+registry, trace sink, interval sampler) behind a single object that
+threads through the simulation stack.  Everything downstream accepts
+``telemetry=None`` and substitutes :data:`NULL_TELEMETRY`, whose
+``enabled`` flag is False — instrumented hot loops reduce to a single
+attribute test, which is what keeps the no-observer overhead inside the
+~5 % budget (see ``tests/obs/test_integration.py``).
+
+Construction shortcuts::
+
+    Telemetry()                          # metrics only, no tracing
+    Telemetry.from_outputs("m.json",     # what the CLI flags build
+                           "t.jsonl",
+                           sample_window=1000)
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import IntervalSampler
+from repro.obs.sinks import NullSink, TraceSink, sink_for_path
+
+__all__ = ["Telemetry", "NULL_TELEMETRY", "obs_logger"]
+
+#: All telemetry-layer log records go through this logger, so callers
+#: can silence/redirect the observability plane in one place.
+obs_logger = logging.getLogger("repro.obs")
+
+
+class Telemetry:
+    """Registry + sink + sampler, with a cheap global off switch."""
+
+    __slots__ = ("registry", "sink", "sampler", "enabled")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sink: Optional[TraceSink] = None,
+        sampler: Optional[IntervalSampler] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink if sink is not None else NullSink()
+        self.sampler = sampler
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The do-nothing telemetry; prefer :data:`NULL_TELEMETRY`."""
+        return cls(enabled=False)
+
+    @classmethod
+    def from_outputs(
+        cls,
+        metrics_out: Optional[Union[str, Path]] = None,
+        trace_out: Optional[Union[str, Path]] = None,
+        sample_window: Optional[int] = None,
+    ) -> Optional["Telemetry"]:
+        """Build telemetry matching the CLI's output flags.
+
+        Returns None when nothing was requested, so callers can keep
+        the zero-overhead default path.
+        """
+        if metrics_out is None and trace_out is None and sample_window is None:
+            return None
+        return cls(
+            sink=sink_for_path(trace_out) if trace_out else None,
+            sampler=IntervalSampler(sample_window) if sample_window else None,
+        )
+
+    # -- convenience pass-throughs ------------------------------------------
+
+    def instant(self, name: str, category: str = "event", **args) -> None:
+        """Emit a point event to the sink (no-op when disabled)."""
+        if self.enabled and self.sink.enabled:
+            self.sink.instant(name, category, args or None)
+
+    def warn(self, name: str, message: str, **args) -> None:
+        """A structured warning: log record + counter + trace instant.
+
+        Used for degradations that must not pass silently (e.g. the
+        parallel campaign falling back to sequential execution).
+        """
+        obs_logger.warning("%s: %s", name, message)
+        if self.enabled:
+            self.registry.inc(f"warning.{name}")
+            if self.sink.enabled:
+                self.sink.instant(
+                    name, category="warning", args={"message": message, **args}
+                )
+
+    def close(self) -> None:
+        """Flush the trace sink (metrics stay readable)."""
+        self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+#: Shared do-nothing instance; ``enabled`` False means no instrument
+#: ever writes through it, so sharing is safe.
+NULL_TELEMETRY = Telemetry.disabled()

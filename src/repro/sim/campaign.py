@@ -9,11 +9,14 @@ averages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cache.config import CacheGeometry
+from repro.obs.spans import span
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.simulator import SimulationResult, Simulator
+from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
 from repro.workload.generator import generate_trace
 from repro.workload.spec2006 import get_profile
@@ -90,31 +93,50 @@ class CampaignResult:
     def max_rmw_overhead(self) -> float:
         return max((row.rmw_overhead for row in self.rows), default=0.0)
 
+    def total_events(self, technique: str) -> SRAMEventLog:
+        """Suite-wide event log for one technique (``__add__``-folded)."""
+        return sum(
+            (row.results[technique].events for row in self.rows),
+            SRAMEventLog(),
+        )
+
 
 def _run_one(
     trace: Sequence[MemoryAccess],
     technique: str,
     config: ExperimentConfig,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
-    simulator = Simulator(technique, config.geometry)
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
+    simulator = Simulator(technique, config.geometry, telemetry=telemetry)
     warmup = config.warmup_accesses
     if warmup:
-        simulator.feed(trace[:warmup])
+        with span(telem, "warmup", technique=technique):
+            simulator.feed(trace[:warmup])
         simulator.reset_measurements()
-    simulator.feed(trace[warmup:])
+    with span(telem, "measure", technique=technique):
+        simulator.feed(trace[warmup:])
     return simulator.finish()
 
 
-def run_campaign(config: ExperimentConfig) -> CampaignResult:
-    """Run every benchmark through every technique."""
+def run_campaign(
+    config: ExperimentConfig, telemetry: Optional[Telemetry] = None
+) -> CampaignResult:
+    """Run every benchmark through every technique.
+
+    With ``telemetry``, each campaign phase (trace-gen, warm-up,
+    measure) runs under a span and the controllers are instrumented.
+    """
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
     rows: List[BenchmarkRow] = []
     for benchmark in config.benchmarks:
         profile = get_profile(benchmark)
-        trace = generate_trace(
-            profile, config.accesses_per_benchmark, seed=config.seed
-        )
+        with span(telem, "trace_gen", benchmark=benchmark):
+            trace = generate_trace(
+                profile, config.accesses_per_benchmark, seed=config.seed
+            )
         results = {
-            technique: _run_one(trace, technique, config)
+            technique: _run_one(trace, technique, config, telemetry)
             for technique in config.techniques
         }
         rows.append(BenchmarkRow(benchmark=benchmark, results=results))

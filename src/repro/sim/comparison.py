@@ -18,9 +18,11 @@ and the RMW-overhead claim of Section 1 is::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.cache.config import CacheGeometry
+from repro.obs.spans import span
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.simulator import SimulationResult, run_simulation
 from repro.trace.record import MemoryAccess
 
@@ -65,21 +67,26 @@ def compare_techniques(
     trace: Sequence[MemoryAccess],
     geometry: CacheGeometry,
     techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    telemetry: Optional[Telemetry] = None,
     **controller_kwargs,
 ) -> ComparisonResult:
     """Replay ``trace`` through each technique on a fresh cache.
 
     ``trace`` must be a materialised sequence (not a one-shot iterator),
-    because it is replayed once per technique.
+    because it is replayed once per technique.  With ``telemetry`` the
+    controllers are instrumented and each technique's replay runs under
+    a ``simulate.<technique>`` span.
     """
     if iter(trace) is trace:
         raise TypeError(
             "trace must be a reusable sequence; call "
             "repro.trace.materialize() on generators first"
         )
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
     results: Dict[str, SimulationResult] = {}
     for technique in techniques:
-        results[technique] = run_simulation(
-            trace, technique, geometry, **controller_kwargs
-        )
+        with span(telem, f"simulate.{technique}", requests=len(trace)):
+            results[technique] = run_simulation(
+                trace, technique, geometry, telemetry=telemetry, **controller_kwargs
+            )
     return ComparisonResult(geometry=geometry, results=results)

@@ -9,14 +9,26 @@ seeds derive from names, not from execution order.
 
 ``run_campaign_parallel`` returns exactly what
 :func:`repro.sim.campaign.run_campaign` returns; a sequential fallback
-keeps single-CPU and restricted environments working.
+keeps single-CPU and restricted environments working.  The fallback is
+*observable*: it logs through ``repro.obs``, bumps the
+``warning.parallel.pool_fallback`` counter and (when tracing) drops an
+instant on the timeline — a campaign silently running at 1/N speed is a
+bug, not a feature.
+
+Telemetry across the pool: trace sinks do not cross process
+boundaries, so each worker collects into a private metrics-only
+registry and ships its :meth:`MetricsRegistry.state_dict` back with the
+row; the parent folds the states into the caller's registry (merge is
+associative, so arrival order is irrelevant).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.campaign import BenchmarkRow, CampaignResult, _run_one
 from repro.sim.experiment import ExperimentConfig
 from repro.utils.validation import check_positive
@@ -25,39 +37,90 @@ from repro.workload.spec2006 import get_profile
 
 __all__ = ["run_campaign_parallel"]
 
+#: Worker result: the benchmark row plus the worker-local metrics state
+#: (None when the caller did not request telemetry).
+_WorkerResult = Tuple[BenchmarkRow, Optional[dict]]
 
-def _run_benchmark(args) -> BenchmarkRow:
+
+def _run_benchmark(args) -> _WorkerResult:
     """Worker: one benchmark through every technique (module-level so
     it pickles)."""
-    benchmark, config = args
+    benchmark, config, collect_metrics = args
+    telemetry = Telemetry(registry=MetricsRegistry()) if collect_metrics else None
     profile = get_profile(benchmark)
     trace = generate_trace(
         profile, config.accesses_per_benchmark, seed=config.seed
     )
     results = {
-        technique: _run_one(trace, technique, config)
+        technique: _run_one(trace, technique, config, telemetry)
         for technique in config.techniques
     }
-    return BenchmarkRow(benchmark=benchmark, results=results)
+    row = BenchmarkRow(benchmark=benchmark, results=results)
+    state = telemetry.registry.state_dict() if telemetry is not None else None
+    return row, state
 
 
 def run_campaign_parallel(
-    config: ExperimentConfig, processes: Optional[int] = None
+    config: ExperimentConfig,
+    processes: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CampaignResult:
     """Run the campaign with up to ``processes`` workers.
 
     ``processes=1`` (or a pool failure, e.g. a sandbox that forbids
-    fork) degrades to in-process execution with identical results.
+    fork) degrades to in-process execution with identical results; the
+    degradation is reported through ``telemetry.warn`` so it never
+    happens invisibly.
     """
     if processes is not None:
         check_positive("processes", processes)
-    jobs = [(benchmark, config) for benchmark in config.benchmarks]
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
+    collect_metrics = telem.enabled
+    jobs = [
+        (benchmark, config, collect_metrics) for benchmark in config.benchmarks
+    ]
     if processes == 1:
-        rows = [_run_benchmark(job) for job in jobs]
+        # Explicit request, not a degradation: run with the caller's
+        # full telemetry (sink included) in-process.
+        rows = [
+            _run_one_benchmark_sequential(job, telemetry) for job in jobs
+        ]
         return CampaignResult(config=config, rows=rows)
     try:
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            rows = list(pool.map(_run_benchmark, jobs))
-    except (OSError, PermissionError):
-        rows = [_run_benchmark(job) for job in jobs]
+            outputs = list(pool.map(_run_benchmark, jobs))
+    except (OSError, PermissionError) as exc:
+        telem.warn(
+            "parallel.pool_fallback",
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "running the campaign sequentially",
+            benchmarks=len(jobs),
+        )
+        rows = [
+            _run_one_benchmark_sequential(job, telemetry) for job in jobs
+        ]
+        return CampaignResult(config=config, rows=rows)
+    rows = []
+    for row, state in outputs:
+        rows.append(row)
+        if state is not None and collect_metrics:
+            telem.registry.merge_state(state)
+    if collect_metrics:
+        telem.registry.set_gauge("parallel.workers", processes or 0)
     return CampaignResult(config=config, rows=rows)
+
+
+def _run_one_benchmark_sequential(
+    job, telemetry: Optional[Telemetry]
+) -> BenchmarkRow:
+    """In-process version of the worker, with full caller telemetry."""
+    benchmark, config, _collect = job
+    profile = get_profile(benchmark)
+    trace = generate_trace(
+        profile, config.accesses_per_benchmark, seed=config.seed
+    )
+    results = {
+        technique: _run_one(trace, technique, config, telemetry)
+        for technique in config.techniques
+    }
+    return BenchmarkRow(benchmark=benchmark, results=results)

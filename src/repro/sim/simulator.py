@@ -12,6 +12,7 @@ from repro.cache.stats import CacheStats
 from repro.core.controller import CacheController
 from repro.core.outcomes import OperationCounts
 from repro.core.registry import make_controller
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
 
@@ -47,12 +48,14 @@ class Simulator:
         technique: str,
         geometry: CacheGeometry,
         memory: Optional[FunctionalMemory] = None,
+        telemetry: Optional[Telemetry] = None,
         **controller_kwargs,
     ) -> None:
         self.memory = memory if memory is not None else FunctionalMemory()
         self.cache = SetAssociativeCache(geometry, self.memory)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.controller: CacheController = make_controller(
-            technique, self.cache, **controller_kwargs
+            technique, self.cache, telemetry=telemetry, **controller_kwargs
         )
         self.geometry = geometry
         self._requests = 0
@@ -92,9 +95,10 @@ def run_simulation(
     trace: Iterable[MemoryAccess],
     technique: str,
     geometry: CacheGeometry,
+    telemetry: Optional[Telemetry] = None,
     **controller_kwargs,
 ) -> SimulationResult:
     """Convenience: build a simulator, run the trace, return the result."""
-    simulator = Simulator(technique, geometry, **controller_kwargs)
+    simulator = Simulator(technique, geometry, telemetry=telemetry, **controller_kwargs)
     simulator.feed(trace)
     return simulator.finish()

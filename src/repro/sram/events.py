@@ -89,6 +89,34 @@ class SRAMEventLog:
             )
         return merged
 
+    def __add__(self, other: object) -> "SRAMEventLog":
+        """``log_a + log_b`` — per-worker / per-phase logs fold with
+        ``sum(logs, SRAMEventLog())``; no field-by-field hand-rolling."""
+        if not isinstance(other, SRAMEventLog):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other: object) -> "SRAMEventLog":
+        # Lets ``sum()`` start from its default 0.
+        if other == 0:
+            return self.copy()
+        return self.__add__(other)
+
+    def __iadd__(self, other: "SRAMEventLog") -> "SRAMEventLog":
+        if not isinstance(other, SRAMEventLog):
+            return NotImplemented
+        for field in fields(SRAMEventLog):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    def to_dict(self) -> dict:
+        """Field -> count mapping (the metrics/export wire format)."""
+        return {f.name: getattr(self, f.name) for f in fields(SRAMEventLog)}
+
     def copy(self) -> "SRAMEventLog":
         return SRAMEventLog(
             **{f.name: getattr(self, f.name) for f in fields(SRAMEventLog)}

@@ -1,0 +1,90 @@
+"""Profiler report + analysis-layer export of metrics and snapshots."""
+
+import csv
+import json
+
+from repro.analysis.export import metrics_to_json, snapshots_to_csv
+from repro.cache.config import CacheGeometry
+from repro.obs.profiler import profile_benchmark
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import IntervalSampler
+from repro.obs.telemetry import Telemetry
+
+SMALL = CacheGeometry(size_bytes=4096, associativity=2, block_bytes=32)
+
+
+class TestProfiler:
+    def test_profile_produces_phases_and_counters(self):
+        report = profile_benchmark(
+            "bwaves",
+            geometry=SMALL,
+            accesses=3_000,
+            techniques=("rmw", "wg"),
+        )
+        phases = {name for name, *_rest in report.phase_rows()}
+        assert phases == {
+            "trace_gen", "warmup.rmw", "warmup.wg", "measure.rmw", "measure.wg",
+        }
+        assert all(total >= 0 for _n, _c, total, _m in report.phase_rows())
+        hot = dict(report.hot_counters())
+        assert hot["ctrl.rmw.rmw_issued"] > 0
+        assert not any(name.startswith("span.") for name in hot)
+        # Techniques' logs aggregate through SRAMEventLog.__add__.
+        assert report.total_events.array_accesses == sum(
+            result.events.array_accesses for result in report.results.values()
+        )
+
+    def test_warmup_excluded_from_results(self):
+        report = profile_benchmark(
+            "mcf",
+            geometry=SMALL,
+            accesses=2_000,
+            techniques=("rmw",),
+            warmup_fraction=0.25,
+        )
+        assert report.results["rmw"].requests == 1_500
+
+    def test_caller_telemetry_is_used(self):
+        telem = Telemetry(sampler=IntervalSampler(500))
+        report = profile_benchmark(
+            "bwaves",
+            geometry=SMALL,
+            accesses=2_000,
+            techniques=("wg",),
+            warmup_fraction=0.0,
+            telemetry=telem,
+        )
+        assert report.telemetry is telem
+        assert len(telem.sampler.series("wg")) == 4
+
+
+class TestExport:
+    def test_metrics_to_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 3)
+        registry.set_gauge("g", 7)
+        registry.observe("h", 0.2, bounds=(0.5, 1.0))
+        path = metrics_to_json(registry, tmp_path / "m.json")
+        state = json.loads(path.read_text())
+        restored = MetricsRegistry.from_state(state)
+        assert restored.state_dict() == registry.state_dict()
+
+    def test_snapshots_to_csv(self, tmp_path):
+        telem = Telemetry(sampler=IntervalSampler(400))
+        profile_benchmark(
+            "bwaves",
+            geometry=SMALL,
+            accesses=1_600,
+            techniques=("wg",),
+            warmup_fraction=0.0,
+            telemetry=telem,
+        )
+        out = tmp_path / "snaps.csv"
+        rows = snapshots_to_csv(telem.sampler.snapshots, out)
+        assert rows == 4
+        with open(out, newline="") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 4
+        assert parsed[0]["label"] == "wg"
+        assert int(parsed[-1]["end_request"]) == 1_600
+        assert 0.0 <= float(parsed[0]["miss_rate"]) <= 1.0

@@ -1,0 +1,142 @@
+"""Unit tests for the metrics registry: counter/gauge/histogram math,
+merge semantics (associativity, commutativity), serialisation."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_float_amounts(self):
+        counter = Counter("t")
+        counter.inc(0.25)
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(0.75)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.counter("a").inc(3)
+        assert registry.value("a") == 3
+
+    def test_value_of_missing_counter_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.set(4)
+        assert gauge.value == 4
+
+    def test_merge_takes_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("depth", 3)
+        b.set_gauge("depth", 7)
+        a.merge(b)
+        assert a.gauge("depth").value == 7
+
+
+class TestHistogram:
+    def test_bucket_routing(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 99.0, 1000.0):
+            hist.observe(value)
+        # <=1, <=10, <=100, overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.mean == pytest.approx((0.5 + 1 + 5 + 99 + 1000) / 5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_conflicting_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1.0, 3.0))
+
+    def test_merge_requires_matching_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,))
+        b.histogram("h", bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+def _registry(counters=(), gauges=(), observations=()):
+    registry = MetricsRegistry()
+    for name, value in counters:
+        registry.inc(name, value)
+    for name, value in gauges:
+        registry.set_gauge(name, value)
+    for value in observations:
+        registry.observe("h", value, bounds=(0.5, 1.5))
+    return registry
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a = _registry(counters=[("x", 2), ("y", 1)])
+        b = _registry(counters=[("x", 3), ("z", 7)])
+        a.merge(b)
+        assert a.value("x") == 5
+        assert a.value("y") == 1
+        assert a.value("z") == 7
+
+    def test_merge_is_associative_and_commutative(self):
+        def fresh():
+            # Binary-exact observation values, so float addition is
+            # exactly associative and dicts compare equal.
+            return (
+                _registry(counters=[("c", 1)], gauges=[("g", 5)],
+                          observations=[0.25, 1.0]),
+                _registry(counters=[("c", 10)], gauges=[("g", 2)],
+                          observations=[2.0]),
+                _registry(counters=[("c", 100), ("d", 1)], gauges=[("g", 9)],
+                          observations=[0.75, 0.5]),
+            )
+
+        # (a + b) + c
+        a, b, c = fresh()
+        left = a.merge(b).merge(c).state_dict()
+        # a + (b + c)
+        a, b, c = fresh()
+        right = a.merge(b.merge(c)).state_dict()
+        assert left == right
+        # c + b + a (commutativity)
+        a, b, c = fresh()
+        reordered = c.merge(b).merge(a).state_dict()
+        assert left == reordered
+
+    def test_merge_via_state_dict_roundtrip(self):
+        a = _registry(
+            counters=[("x", 4)], gauges=[("g", 2)], observations=[0.1, 1.0]
+        )
+        restored = MetricsRegistry.from_state(a.state_dict())
+        assert restored.state_dict() == a.state_dict()
+
+    def test_state_dict_is_json_compatible(self):
+        import json
+
+        a = _registry(counters=[("x", 1)], observations=[0.3])
+        assert json.loads(json.dumps(a.state_dict())) == a.state_dict()
+
+
+class TestTopCounters:
+    def test_ranked_descending(self):
+        registry = _registry(counters=[("low", 1), ("high", 100), ("mid", 10)])
+        assert registry.top_counters(2) == [("high", 100), ("mid", 10)]

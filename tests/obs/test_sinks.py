@@ -1,0 +1,96 @@
+"""Trace sink tests: JSONL round-trip, Chrome trace validity, null sink."""
+
+import io
+import json
+
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    NullSink,
+    read_jsonl_trace,
+    sink_for_path,
+)
+
+
+class TestNullSink:
+    def test_disabled_and_inert(self):
+        sink = NullSink()
+        assert sink.enabled is False
+        sink.instant("x")
+        sink.complete("y", 0.0, 1.0)
+        sink.close()
+        sink.close()  # idempotent
+
+
+class TestJsonlSink:
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.instant("rmw_issued", category="controller", args={"set": 3})
+            sink.complete("measure", sink._origin, 0.25, args={"t": "wg"})
+        events = read_jsonl_trace(path)
+        assert [e["type"] for e in events] == ["instant", "span"]
+        instant, span_event = events
+        assert instant["name"] == "rmw_issued"
+        assert instant["cat"] == "controller"
+        assert instant["args"] == {"set": 3}
+        assert span_event["dur_us"] == 250_000.0
+        assert span_event["ts_us"] == 0.0
+
+    def test_streams_per_event(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.instant("a")
+        sink.instant("b")
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["type"] == "instant" for line in lines)
+
+    def test_timestamps_monotonic(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        for _ in range(5):
+            sink.instant("tick")
+        stamps = [json.loads(l)["ts_us"] for l in buffer.getvalue().splitlines()]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+
+
+class TestChromeTraceSink:
+    def test_writes_loadable_trace_event_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with ChromeTraceSink(path) as sink:
+            sink.instant("pool_fallback", category="warning")
+            sink.complete("measure", sink._origin, 0.001, args={"x": 1})
+        document = json.loads(path.read_text())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        assert len(events) == 2
+        instant = next(e for e in events if e["ph"] == "i")
+        complete = next(e for e in events if e["ph"] == "X")
+        # The fields the Chrome/Perfetto loader requires.
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        assert instant["s"] == "t"
+        assert complete["dur"] == 1000.0
+
+    def test_empty_trace_still_valid(self, tmp_path):
+        path = tmp_path / "empty.json"
+        ChromeTraceSink(path).close()
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestSinkForPath:
+    def test_extension_dispatch(self, tmp_path):
+        jsonl = sink_for_path(tmp_path / "a.jsonl")
+        ndjson = sink_for_path(tmp_path / "a.ndjson")
+        chrome = sink_for_path(tmp_path / "a.json")
+        trace = sink_for_path(tmp_path / "a.trace")
+        try:
+            assert isinstance(jsonl, JsonlSink)
+            assert isinstance(ndjson, JsonlSink)
+            assert isinstance(chrome, ChromeTraceSink)
+            assert isinstance(trace, ChromeTraceSink)
+        finally:
+            for sink in (jsonl, ndjson, chrome, trace):
+                sink.close()

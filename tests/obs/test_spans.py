@@ -1,0 +1,85 @@
+"""Timer/span tests: elapsed measurement, registry + sink reporting."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.sinks import JsonlSink
+from repro.obs.spans import Timer, phase_timings, span, timer
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with timer() as t:
+            assert t.running
+            sum(range(1000))
+        assert not t.running
+        assert t.elapsed > 0
+        frozen = t.elapsed
+        assert t.elapsed == frozen  # frozen after stop
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ValueError):
+            Timer().stop()
+
+    def test_unstarted_elapsed_is_zero(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestSpan:
+    def test_records_counters_and_histogram(self):
+        telem = Telemetry()
+        with span(telem, "measure"):
+            pass
+        with span(telem, "measure"):
+            pass
+        registry = telem.registry
+        assert registry.value("span.measure.calls") == 2
+        assert registry.value("span.measure.total_s") > 0
+        assert registry.histogram("span.measure.seconds").count == 2
+
+    def test_emits_complete_event_with_args(self):
+        buffer = io.StringIO()
+        telem = Telemetry(sink=JsonlSink(buffer))
+        with span(telem, "warmup", technique="wg"):
+            pass
+        event = json.loads(buffer.getvalue())
+        assert event["type"] == "span"
+        assert event["name"] == "warmup"
+        assert event["args"] == {"technique": "wg"}
+        assert event["dur_us"] >= 0
+
+    def test_error_annotated_and_reraised(self):
+        buffer = io.StringIO()
+        telem = Telemetry(sink=JsonlSink(buffer))
+        with pytest.raises(RuntimeError):
+            with span(telem, "broken"):
+                raise RuntimeError("boom")
+        event = json.loads(buffer.getvalue())
+        assert event["args"]["error"] == "RuntimeError"
+        # The failure still lands in the metrics plane.
+        assert telem.registry.value("span.broken.calls") == 1
+
+    def test_null_telemetry_records_nothing(self):
+        with span(NULL_TELEMETRY, "quiet") as s:
+            pass
+        assert s.elapsed > 0
+        assert len(NULL_TELEMETRY.registry) == 0
+
+
+class TestPhaseTimings:
+    def test_rows_sorted_by_total_time(self):
+        telem = Telemetry()
+        registry = telem.registry
+        registry.inc("span.fast.calls", 2)
+        registry.inc("span.fast.total_s", 0.2)
+        registry.inc("span.slow.calls", 1)
+        registry.inc("span.slow.total_s", 3.0)
+        registry.inc("unrelated.counter", 9)
+        rows = phase_timings(registry)
+        assert [row[0] for row in rows] == ["slow", "fast"]
+        slow, fast = rows
+        assert slow[1] == 1 and slow[2] == pytest.approx(3.0)
+        assert fast[3] == pytest.approx(100.0)  # 0.2s / 2 calls = 100 ms

@@ -56,3 +56,58 @@ class TestCombinators:
         log.record_row_read(1)
         assert copy.row_reads == 1
         assert log.row_reads == 2
+
+    def test_add_matches_merge(self):
+        a = SRAMEventLog()
+        a.record_rmw(row_words=16)
+        b = SRAMEventLog()
+        b.record_row_read(4)
+        b.record_set_buffer_write(2)
+        assert (a + b) == a.merge(b)
+        # Originals untouched.
+        assert b.row_reads == 1
+
+    def test_add_rejects_non_logs(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            SRAMEventLog() + 3
+
+    def test_sum_folds_logs(self):
+        logs = []
+        for words in (1, 2, 3):
+            log = SRAMEventLog()
+            log.record_row_read(words)
+            logs.append(log)
+        total = sum(logs)  # __radd__ handles the int 0 start
+        assert total.row_reads == 3
+        assert total.words_routed == 6
+
+    def test_sum_of_nothing_is_zero(self):
+        assert sum([], SRAMEventLog()) == SRAMEventLog()
+
+    def test_merge_is_associative(self):
+        def make(reads, writes):
+            log = SRAMEventLog()
+            for _ in range(reads):
+                log.record_row_read(1)
+            for _ in range(writes):
+                log.record_row_write(8)
+            return log
+
+        a, b, c = make(1, 0), make(2, 3), make(0, 5)
+        assert (a + b) + c == a + (b + c)
+
+    def test_iadd_accumulates_in_place(self):
+        total = SRAMEventLog()
+        part = SRAMEventLog()
+        part.record_row_write(8)
+        total += part
+        total += part
+        assert total.row_writes == 2
+        assert part.row_writes == 1
+
+    def test_to_dict_round_trip(self):
+        log = SRAMEventLog()
+        log.record_rmw(row_words=4)
+        assert SRAMEventLog(**log.to_dict()) == log

@@ -158,3 +158,88 @@ class TestSubcommands:
     def test_parser_builds(self):
         parser = build_parser()
         assert parser.prog == "repro-8t"
+
+
+class TestObservabilityFlags:
+    def test_compare_with_metrics_trace_and_snapshots(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        snapshots = tmp_path / "s.csv"
+        code = main(
+            [
+                "compare",
+                "bwaves",
+                "--accesses",
+                "3000",
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+                "--snapshots-out",
+                str(snapshots),
+                "--sample-window",
+                "1000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wrote metrics" in output
+        assert "interval snapshots" in output
+        state = json.loads(metrics.read_text())
+        assert state["counters"]["ctrl.rmw.rmw_issued"] > 0
+        assert state["counters"]["span.simulate.wg.calls"] == 1
+        lines = trace.read_text().splitlines()
+        assert all(json.loads(line)["name"] for line in lines)
+        assert snapshots.read_text().startswith("label,window_index")
+
+    def test_compare_chrome_trace_output(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.json"
+        code = main(
+            ["compare", "mcf", "--accesses", "2000", "--trace-out", str(trace)]
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert document["traceEvents"], "Chrome trace must not be empty"
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(
+            document["traceEvents"][0]
+        )
+
+    def test_compare_without_flags_stays_dark(self, capsys):
+        assert main(["compare", "bwaves", "--accesses", "2000"]) == 0
+        assert "wrote metrics" not in capsys.readouterr().out
+
+    def test_figure_with_metrics_out(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "figure",
+                "fig5",
+                "--accesses",
+                "1500",
+                "--benchmarks",
+                "bwaves",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        state = json.loads(metrics.read_text())
+        assert state["counters"]["span.figure.fig5.calls"] == 1
+
+    def test_profile_prints_tables(self, capsys):
+        code = main(
+            ["profile", "bwaves", "--accesses", "3000", "--techniques", "rmw", "wg"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "phase timings" in output
+        assert "measure.wg" in output
+        assert "hot counters" in output
+        assert "ctrl.rmw.rmw_issued" in output
+        assert "total across techniques" in output
