@@ -27,11 +27,17 @@ from repro.core import (
     make_controller,
 )
 from repro.sim import (
+    CheckpointStore,
     ComparisonResult,
+    ExecutionPolicy,
     ExperimentConfig,
+    FailedRow,
+    RetryPolicy,
     Simulator,
     compare_techniques,
+    execution_policy,
     run_campaign,
+    run_campaign_parallel,
     run_geometry_sweep,
     run_simulation,
 )
@@ -77,7 +83,13 @@ __all__ = [
     "compare_techniques",
     "ExperimentConfig",
     "run_campaign",
+    "run_campaign_parallel",
     "run_geometry_sweep",
+    "RetryPolicy",
+    "FailedRow",
+    "ExecutionPolicy",
+    "execution_policy",
+    "CheckpointStore",
     "Telemetry",
     "MetricsRegistry",
     "IntervalSampler",

@@ -23,6 +23,17 @@ for Chrome ``trace_event`` JSON), ``--sample-window N`` turns on
 per-N-request interval snapshots and ``--snapshots-out s.csv`` saves
 them.  With none of these set, the simulation runs fully
 uninstrumented.
+
+Resilience flags (``compare``, ``figure``, ``report``):
+``--checkpoint PATH`` journals completed work and resumes interrupted
+runs, ``--retries N``/``--worker-timeout S`` tune the retry policy,
+``--strict`` restores fail-fast, and ``--processes N`` (``figure``,
+``report``) runs campaigns on supervised worker processes.  See
+``docs/robustness.md``.
+
+Errors derived from :class:`ReproError` print a one-line message and
+exit with code 2 (usage/configuration) or 3 (runtime failure); pass
+``--debug`` (before the subcommand) for the full traceback.
 """
 
 from __future__ import annotations
@@ -36,9 +47,11 @@ from repro.analysis.figures import FIGURE_IDS, reproduce_figure
 from repro.cache.address import AddressMapper
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.core.registry import ALL_CONTROLLER_NAMES
+from repro.errors import ConfigurationError, ReproError
 from repro.obs.spans import span
 from repro.obs.telemetry import Telemetry
 from repro.sim.comparison import compare_techniques
+from repro.sim.resilience import ExecutionPolicy, RetryPolicy, execution_policy
 from repro.trace.binio import read_binary_trace, write_binary_trace
 from repro.trace.stats import collect_statistics
 from repro.trace.textio import read_text_trace, write_text_trace
@@ -140,6 +153,61 @@ def _finish_telemetry(telemetry: Optional[Telemetry], args) -> None:
         print(f"wrote {rows} interval snapshots to {args.snapshots_out}")
 
 
+# -- resilience plumbing -----------------------------------------------------------
+
+
+def _add_resilience_flags(sub: argparse.ArgumentParser, campaign: bool = True) -> None:
+    """The shared fault-tolerance flags (see docs/robustness.md)."""
+    group = sub.add_argument_group("resilience")
+    group.add_argument(
+        "--checkpoint",
+        help=(
+            "journal completed rows to this path and resume from it; "
+            "a .jsonl path holds one run, a directory holds one journal "
+            "per config fingerprint"
+        ),
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        help="attempts per benchmark before quarantine (default 3)",
+    )
+    if campaign:
+        group.add_argument(
+            "--worker-timeout",
+            type=float,
+            metavar="SECONDS",
+            help=(
+                "per-attempt wall-clock budget; hung workers are killed "
+                "and retried (needs --processes > 1)"
+            ),
+        )
+        group.add_argument(
+            "--strict",
+            action="store_true",
+            help="fail fast instead of quarantining failed benchmarks",
+        )
+        group.add_argument(
+            "--processes",
+            type=int,
+            help="run campaigns on this many supervised worker processes",
+        )
+
+
+def _policy_from_args(args) -> ExecutionPolicy:
+    """Build the ambient execution policy the CLI flags describe."""
+    retry = RetryPolicy(
+        max_attempts=args.retries if args.retries is not None else 3,
+        worker_timeout_s=getattr(args, "worker_timeout", None),
+    )
+    return ExecutionPolicy(
+        retry=retry,
+        strict=getattr(args, "strict", False),
+        checkpoint=args.checkpoint,
+        processes=getattr(args, "processes", None),
+    )
+
+
 # -- subcommand handlers ---------------------------------------------------------
 
 
@@ -160,12 +228,13 @@ def _cmd_figure(args) -> int:
         if args.benchmarks:
             kwargs["benchmarks"] = args.benchmarks
     telemetry = _telemetry_from_args(args)
-    if telemetry is not None:
-        with span(telemetry, f"figure.{args.figure_id}", category="figure"):
+    with execution_policy(_policy_from_args(args)):
+        if telemetry is not None:
+            with span(telemetry, f"figure.{args.figure_id}", category="figure"):
+                result = reproduce_figure(args.figure_id, **kwargs)
+            _finish_telemetry(telemetry, args)
+        else:
             result = reproduce_figure(args.figure_id, **kwargs)
-        _finish_telemetry(telemetry, args)
-    else:
-        result = reproduce_figure(args.figure_id, **kwargs)
     if args.bars:
         from repro.analysis.bars import render_bars
 
@@ -180,6 +249,7 @@ def _cmd_figure(args) -> int:
 
 def _cmd_compare(args) -> int:
     telemetry = _telemetry_from_args(args)
+    policy = _policy_from_args(args)
     trace = generate_trace(
         get_profile(args.benchmark), args.accesses, seed=args.seed
     )
@@ -188,6 +258,8 @@ def _cmd_compare(args) -> int:
         args.geometry,
         techniques=tuple(args.techniques),
         telemetry=telemetry,
+        retry=policy.retry,
+        checkpoint=policy.checkpoint,
     )
     rows = []
     for technique in args.techniques:
@@ -221,8 +293,13 @@ def _cmd_trace(args) -> int:
         get_profile(args.benchmark), args.accesses, seed=args.seed
     )
     if args.format == "binary":
-        count = write_binary_trace(args.output, trace)
+        count = write_binary_trace(args.output, trace, crc=args.crc)
     else:
+        if args.crc:
+            raise ConfigurationError(
+                "--crc requires --format binary (the text format has "
+                "no record checksums)"
+            )
         count = write_text_trace(args.output, trace)
     print(f"wrote {count} accesses to {args.output} ({args.format})")
     return 0
@@ -306,13 +383,14 @@ def _cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
     telemetry = _telemetry_from_args(args)
-    path = write_report(
-        args.output,
-        accesses=args.accesses,
-        seed=args.seed,
-        figure_ids=args.figures,
-        telemetry=telemetry,
-    )
+    with execution_policy(_policy_from_args(args)):
+        path = write_report(
+            args.output,
+            accesses=args.accesses,
+            seed=args.seed,
+            figure_ids=args.figures,
+            telemetry=telemetry,
+        )
     print(f"wrote reproduction report to {path}")
     _finish_telemetry(telemetry, args)
     return 0
@@ -401,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
             "for Caches Using 8T SRAM Cells' (MICRO 2012)."
         ),
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of one-line error summaries",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("figures", help="list reproducible figures")
@@ -416,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--bars", action="store_true", help="render as ASCII bar chart"
     )
     _add_obs_flags(sub)
+    _add_resilience_flags(sub)
     sub.set_defaults(handler=_cmd_figure)
 
     sub = subparsers.add_parser(
@@ -434,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ALL_CONTROLLER_NAMES,
     )
     _add_obs_flags(sub)
+    _add_resilience_flags(sub, campaign=False)
     sub.set_defaults(handler=_cmd_compare)
 
     sub = subparsers.add_parser(
@@ -461,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--accesses", type=int, default=50_000)
     sub.add_argument("--seed", type=int, default=2012)
     sub.add_argument("--format", choices=("text", "binary"), default="text")
+    sub.add_argument(
+        "--crc",
+        action="store_true",
+        help="write the integrity-checked RPTRACE2 format "
+        "(per-record CRC-32; binary only)",
+    )
     sub.set_defaults(handler=_cmd_trace)
 
     sub = subparsers.add_parser(
@@ -499,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--seed", type=int, default=2012)
     sub.add_argument("--figures", nargs="*", choices=FIGURE_IDS)
     _add_obs_flags(sub)
+    _add_resilience_flags(sub)
     sub.set_defaults(handler=_cmd_report)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
@@ -507,11 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit codes for :class:`ReproError` failures at the entry point.
+EXIT_USAGE = 2
+EXIT_RUNTIME = 3
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library failures (:class:`ReproError`) become a one-line message on
+    stderr with exit code 2 (configuration/usage) or 3 (runtime) —
+    users get actionable errors, not tracebacks.  ``--debug`` restores
+    the traceback for bug reports.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"repro-8t: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE if isinstance(exc, ConfigurationError) else EXIT_RUNTIME
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,10 @@ __all__ = [
     "TraceFormatError",
     "SimulationError",
     "PortConflictError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "CheckpointError",
+    "CampaignFailedError",
 ]
 
 
@@ -33,4 +37,51 @@ class SimulationError(ReproError):
 
 
 class PortConflictError(SimulationError):
-    """An SRAM port was scheduled for two operations in the same cycle."""
+    """An SRAM port was scheduled for two operations in the same cycle.
+
+    Raised by :meth:`repro.sram.ports.PortTracker.reserve`, the
+    no-stall variant of ``acquire``.
+    """
+
+
+class WorkerTimeoutError(SimulationError):
+    """A campaign worker exceeded its per-benchmark wall-clock budget.
+
+    Raised by :func:`repro.sim.resilience.run_supervised` after the
+    hung worker process has been terminated.  Retryable: the supervisor
+    counts it against the benchmark's :class:`RetryPolicy` budget.
+    """
+
+
+class WorkerCrashError(SimulationError):
+    """A campaign worker process died before returning a result.
+
+    Covers hard crashes — a killed process (SIGKILL/OOM), an injected
+    ``os._exit`` or an interpreter abort — where no exception could
+    cross the process boundary.  Raised by
+    :func:`repro.sim.resilience.run_supervised`; retryable.
+    """
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint file is unusable.
+
+    Raised by :mod:`repro.sim.checkpoint` when the journal header is
+    missing or malformed, or when its config fingerprint does not match
+    the campaign being resumed (a *stale* checkpoint — silently mixing
+    rows from different configs would corrupt results).
+    """
+
+
+class CampaignFailedError(SimulationError):
+    """A strict campaign had benchmarks exhaust their retry budget.
+
+    Only raised with ``strict=True``; the default policy quarantines
+    failed benchmarks into ``CampaignResult.failed_rows`` instead.
+    ``failed_rows`` on the exception carries the per-benchmark
+    :class:`repro.sim.resilience.FailedRow` records.
+    """
+
+    def __init__(self, message: str, failed_rows=()) -> None:
+        super().__init__(message)
+        self.failed_rows = tuple(failed_rows)

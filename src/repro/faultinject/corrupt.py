@@ -1,0 +1,59 @@
+"""Deterministic byte-level file corruption.
+
+Used by the integrity tests to prove that a truncated or bit-flipped
+trace/checkpoint file is *detected* (``TraceFormatError`` naming the
+byte offset, checkpoint records skipped) rather than silently parsed
+into garbage.  Corruption is in-place and exact — no randomness, so a
+failing test reproduces byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+__all__ = ["truncate_file", "flip_bit"]
+
+PathLike = Union[str, Path]
+
+
+def truncate_file(path: PathLike, keep_bytes: int) -> int:
+    """Cut ``path`` down to its first ``keep_bytes`` bytes.
+
+    Returns the number of bytes removed.  ``keep_bytes`` past the end
+    of the file is a no-op (returns 0).
+    """
+    if keep_bytes < 0:
+        raise ValueError(f"keep_bytes must be non-negative, got {keep_bytes}")
+    path = Path(path)
+    size = path.stat().st_size
+    if keep_bytes >= size:
+        return 0
+    with open(path, "rb+") as handle:
+        handle.truncate(keep_bytes)
+    return size - keep_bytes
+
+
+def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> int:
+    """Flip one bit in place; returns the new byte value.
+
+    ``byte_offset`` may be negative to index from the end of the file
+    (``-1`` = last byte).
+    """
+    if not 0 <= bit <= 7:
+        raise ValueError(f"bit must be in [0, 7], got {bit}")
+    path = Path(path)
+    size = path.stat().st_size
+    if byte_offset < 0:
+        byte_offset += size
+    if not 0 <= byte_offset < size:
+        raise ValueError(
+            f"byte_offset {byte_offset} outside file of {size} bytes"
+        )
+    with open(path, "rb+") as handle:
+        handle.seek(byte_offset)
+        original = handle.read(1)[0]
+        flipped = original ^ (1 << bit)
+        handle.seek(byte_offset)
+        handle.write(bytes([flipped]))
+    return flipped

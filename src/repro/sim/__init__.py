@@ -9,6 +9,12 @@
     :class:`ExperimentConfig` — everything one run depends on.
 ``campaign``
     Full benchmark-suite sweeps (the shape of Figures 9-11).
+``resilience``
+    Retry policies, supervised worker processes, ambient execution
+    policies — how long campaigns survive faults.
+``checkpoint``
+    JSONL journaling so interrupted campaigns resume instead of
+    restarting.
 """
 
 from repro.sim.simulator import SimulationResult, Simulator, run_simulation
@@ -19,6 +25,19 @@ from repro.sim.campaign import (
     CampaignResult,
     run_campaign,
     run_geometry_sweep,
+)
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    CheckpointStore,
+    config_fingerprint,
+)
+from repro.sim.parallel import run_campaign_parallel
+from repro.sim.resilience import (
+    ExecutionPolicy,
+    FailedRow,
+    RetryPolicy,
+    active_policy,
+    execution_policy,
 )
 from repro.sim.stability import StabilityResult, seed_stability
 
@@ -34,5 +53,14 @@ __all__ = [
     "BenchmarkRow",
     "CampaignResult",
     "run_campaign",
+    "run_campaign_parallel",
     "run_geometry_sweep",
+    "RetryPolicy",
+    "FailedRow",
+    "ExecutionPolicy",
+    "execution_policy",
+    "active_policy",
+    "CheckpointJournal",
+    "CheckpointStore",
+    "config_fingerprint",
 ]

@@ -4,24 +4,65 @@ A campaign synthesises one trace per benchmark, replays it through
 every technique (with a warm-up slice excluded from accounting) and
 collects the per-benchmark access-reduction numbers plus suite
 averages.
+
+Fault tolerance
+---------------
+Campaigns are the long-running shape of this codebase, so they are
+*recoverable*, not merely observable:
+
+* Each benchmark runs under the active :class:`RetryPolicy` —
+  transient failures are retried with backoff, and a benchmark that
+  exhausts its budget is **quarantined** into
+  ``CampaignResult.failed_rows`` instead of aborting the suite
+  (``strict=True`` restores fail-fast via
+  :class:`CampaignFailedError`).
+* With ``checkpoint=...`` every completed row is durably journaled as
+  it finishes; re-running the same config resumes from the journal and
+  only executes missing benchmarks (see :mod:`repro.sim.checkpoint`).
+* All degradation events flow through ``repro.obs`` counters
+  (``retry.attempt``, ``campaign.quarantined``,
+  ``checkpoint.resumed_rows``, ...).
+
+Per-benchmark *timeouts* need process isolation and therefore live in
+:func:`repro.sim.parallel.run_campaign_parallel`; the in-process runner
+here honours retries, quarantine and checkpointing with identical
+semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.config import CacheGeometry
+from repro.errors import CampaignFailedError, ReproError
+from repro.faultinject.plan import maybe_inject
 from repro.obs.spans import span
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.experiment import ExperimentConfig
+from repro.sim.resilience import (
+    ExecutionPolicy,
+    FailedRow,
+    RetryPolicy,
+    active_policy,
+    retry_call,
+)
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
 from repro.workload.generator import generate_trace
 from repro.workload.spec2006 import get_profile
 
-__all__ = ["BenchmarkRow", "CampaignResult", "run_campaign", "run_geometry_sweep"]
+__all__ = [
+    "BenchmarkRow",
+    "CampaignResult",
+    "run_campaign",
+    "run_geometry_sweep",
+]
+
+CheckpointArg = Union[str, Path, None]
 
 
 @dataclass(frozen=True)
@@ -50,16 +91,34 @@ class BenchmarkRow:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Suite-wide results for one geometry."""
+    """Suite-wide results for one geometry.
+
+    ``rows`` holds the benchmarks that completed; ``failed_rows`` the
+    ones quarantined after exhausting their retry budget (empty unless
+    a non-strict campaign hit persistent failures).  Aggregates are
+    computed over the completed rows only.
+    """
 
     config: ExperimentConfig
     rows: List[BenchmarkRow]
+    failed_rows: List[FailedRow] = field(default_factory=list)
+
+    @cached_property
+    def _rows_by_benchmark(self) -> Dict[str, BenchmarkRow]:
+        # Safe to cache on the frozen instance: rows are assembled once
+        # at construction and never mutated afterwards.
+        return {row.benchmark: row for row in self.rows}
+
+    @property
+    def complete(self) -> bool:
+        """True when no benchmark was quarantined."""
+        return not self.failed_rows
 
     def row(self, benchmark: str) -> BenchmarkRow:
-        for row in self.rows:
-            if row.benchmark == benchmark:
-                return row
-        raise ValueError(f"benchmark {benchmark!r} not in campaign")
+        try:
+            return self._rows_by_benchmark[benchmark]
+        except KeyError:
+            raise ValueError(f"benchmark {benchmark!r} not in campaign") from None
 
     def mean_reduction(self, technique: str, baseline: str = "rmw") -> float:
         """Arithmetic mean of per-benchmark reductions (the paper's avg)."""
@@ -119,28 +178,199 @@ def _run_one(
     return simulator.finish()
 
 
+def execute_row(
+    benchmark: str,
+    config: ExperimentConfig,
+    telemetry: Optional[Telemetry] = None,
+    attempt: int = 1,
+) -> BenchmarkRow:
+    """One benchmark through every technique (the unit of retry).
+
+    Consults the fault-injection hook first, so the harness can crash,
+    hang or transiently fail exactly this (benchmark, attempt).
+    """
+    maybe_inject("worker", benchmark=benchmark, attempt=attempt)
+    telem = telemetry if telemetry is not None else NULL_TELEMETRY
+    profile = get_profile(benchmark)
+    with span(telem, "trace_gen", benchmark=benchmark):
+        trace = generate_trace(
+            profile, config.accesses_per_benchmark, seed=config.seed
+        )
+    results = {
+        technique: _run_one(trace, technique, config, telemetry)
+        for technique in config.techniques
+    }
+    return BenchmarkRow(benchmark=benchmark, results=results)
+
+
+# -- checkpoint plumbing shared with the parallel runner ----------------------------
+
+
+def _open_campaign_journal(checkpoint: CheckpointArg, config: ExperimentConfig):
+    """(journal, resumed rows) for ``checkpoint`` (None -> (None, {}))."""
+    if checkpoint is None:
+        return None, {}
+    from repro.sim import checkpoint as ckpt
+
+    store = ckpt.as_store(checkpoint)
+    journal = store.open_campaign(config)
+    resumed: Dict[str, BenchmarkRow] = {}
+    for key, payload in journal.rows.items():
+        if key in config.benchmarks:
+            resumed[key] = ckpt.deserialize_row(payload)
+    return journal, resumed
+
+
+def _journal_row(journal, row: BenchmarkRow) -> None:
+    if journal is not None:
+        from repro.sim import checkpoint as ckpt
+
+        journal.append(row.benchmark, ckpt.serialize_row(row))
+
+
+def _report_resume(telem: Telemetry, journal, resumed_count: int) -> None:
+    if journal is None or not telem.enabled:
+        return
+    if resumed_count:
+        telem.registry.inc("checkpoint.resumed_rows", resumed_count)
+        telem.instant(
+            "checkpoint.resumed",
+            category="resilience",
+            rows=resumed_count,
+            path=str(journal.path),
+        )
+    if journal.skipped_records:
+        telem.registry.inc("checkpoint.skipped_records", journal.skipped_records)
+
+
+def emit_degradation(telem: Telemetry, name: str, **details) -> None:
+    """Route one degradation event through counters + trace instants."""
+    if not telem.enabled:
+        return
+    telem.registry.inc(name)
+    telem.instant(name, category="resilience", **details)
+
+
+def _resolve(
+    retry: Optional[RetryPolicy],
+    strict: Optional[bool],
+    checkpoint: CheckpointArg,
+) -> Tuple[RetryPolicy, bool, CheckpointArg, ExecutionPolicy]:
+    policy = active_policy()
+    return (
+        retry if retry is not None else policy.retry,
+        strict if strict is not None else policy.strict,
+        checkpoint if checkpoint is not None else policy.checkpoint,
+        policy,
+    )
+
+
 def run_campaign(
-    config: ExperimentConfig, telemetry: Optional[Telemetry] = None
+    config: ExperimentConfig,
+    telemetry: Optional[Telemetry] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    strict: Optional[bool] = None,
+    checkpoint: CheckpointArg = None,
 ) -> CampaignResult:
-    """Run every benchmark through every technique.
+    """Run every benchmark through every technique, in process.
+
+    Parameters left as None fall back to the ambient
+    :class:`ExecutionPolicy` (see :func:`execution_policy`); if that
+    policy requests multiple processes, execution is delegated to
+    :func:`repro.sim.parallel.run_campaign_parallel`.
 
     With ``telemetry``, each campaign phase (trace-gen, warm-up,
     measure) runs under a span and the controllers are instrumented.
     """
+    retry, strict, checkpoint, policy = _resolve(retry, strict, checkpoint)
+    if policy.processes is not None and policy.processes > 1:
+        from repro.sim.parallel import run_campaign_parallel
+
+        return run_campaign_parallel(
+            config,
+            processes=policy.processes,
+            telemetry=telemetry,
+            retry=retry,
+            strict=strict,
+            checkpoint=checkpoint,
+        )
     telem = telemetry if telemetry is not None else NULL_TELEMETRY
-    rows: List[BenchmarkRow] = []
-    for benchmark in config.benchmarks:
-        profile = get_profile(benchmark)
-        with span(telem, "trace_gen", benchmark=benchmark):
-            trace = generate_trace(
-                profile, config.accesses_per_benchmark, seed=config.seed
+    journal, resumed = _open_campaign_journal(checkpoint, config)
+    try:
+        _report_resume(telem, journal, len(resumed))
+        completed, failed = _run_rows_resilient(
+            [b for b in config.benchmarks if b not in resumed],
+            config,
+            telemetry,
+            retry,
+            strict,
+            journal,
+            telem,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    completed.update(resumed)
+    rows = [
+        completed[benchmark]
+        for benchmark in config.benchmarks
+        if benchmark in completed
+    ]
+    return CampaignResult(config=config, rows=rows, failed_rows=failed)
+
+
+def _run_rows_resilient(
+    benchmarks: Sequence[str],
+    config: ExperimentConfig,
+    telemetry: Optional[Telemetry],
+    retry: RetryPolicy,
+    strict: bool,
+    journal,
+    telem: Telemetry,
+) -> Tuple[Dict[str, BenchmarkRow], List[FailedRow]]:
+    """Sequential resilient execution of ``benchmarks`` (shared with
+    the parallel runner's ``processes=1`` path)."""
+    completed: Dict[str, BenchmarkRow] = {}
+    failed: List[FailedRow] = []
+
+    def on_event(name: str, **details) -> None:
+        emit_degradation(telem, name, **details)
+
+    for benchmark in benchmarks:
+        try:
+            row = retry_call(
+                lambda attempt, _b=benchmark: execute_row(
+                    _b, config, telemetry, attempt
+                ),
+                policy=retry,
+                seed=config.seed,
+                name=benchmark,
+                on_event=on_event,
             )
-        results = {
-            technique: _run_one(trace, technique, config, telemetry)
-            for technique in config.techniques
-        }
-        rows.append(BenchmarkRow(benchmark=benchmark, results=results))
-    return CampaignResult(config=config, rows=rows)
+        except ReproError as exc:
+            failure = FailedRow(
+                benchmark=benchmark,
+                attempts=retry.max_attempts,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            )
+            if strict:
+                raise CampaignFailedError(
+                    f"campaign failed (strict): {failure.describe()}",
+                    failed_rows=[failure],
+                ) from exc
+            failed.append(failure)
+            emit_degradation(
+                telem,
+                "campaign.quarantined",
+                benchmark=benchmark,
+                error=failure.error_type,
+            )
+            continue
+        completed[benchmark] = row
+        _journal_row(journal, row)
+    return completed, failed
 
 
 def run_geometry_sweep(
@@ -148,7 +378,9 @@ def run_geometry_sweep(
 ) -> Dict[str, CampaignResult]:
     """Run the campaign once per geometry (Figures 10/11).
 
-    Returns results keyed by ``geometry.describe()``.
+    Returns results keyed by ``geometry.describe()``.  Each geometry's
+    campaign is an independent config, so under a directory-mode
+    checkpoint every geometry journals (and resumes) separately.
     """
     return {
         geometry.describe(): run_campaign(config.with_geometry(geometry))

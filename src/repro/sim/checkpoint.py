@@ -1,0 +1,385 @@
+"""Checkpoint/resume journaling for campaigns and comparisons.
+
+Completed benchmark rows are appended to a JSON-Lines journal *as they
+finish*, so an interrupted campaign — crashed driver, killed worker,
+power loss — resumes by re-running only the missing benchmarks.
+
+File format
+-----------
+Line 1 is a header object::
+
+    {"format": "repro8t-checkpoint", "version": 1,
+     "kind": "campaign", "fingerprint": "<sha256 hex>"}
+
+Every following line is one completed unit of work::
+
+    {"key": "<benchmark or technique>", "payload": {...}, "crc": "<crc32 hex>"}
+
+``crc`` covers the canonical JSON of ``payload``; a record whose CRC
+does not match (bit rot, interleaved writes from a buggy caller) is
+*skipped*, not trusted — the unit simply re-runs.  A truncated final
+line (the writer died mid-append) is likewise skipped.  A header whose
+``fingerprint`` does not match the resuming config raises
+:class:`CheckpointError`: the journal belongs to a different
+experiment, and silently mixing rows would corrupt results.
+
+Durability: each record is written as one ``write()`` of a complete
+line, flushed and ``fsync``'d, so a journal never contains a
+half-record followed by a full one.
+
+Path modes
+----------
+A checkpoint path naming a file (or ending in a suffix like
+``.jsonl``) holds exactly one journal; resuming it under a different
+config is an error.  A path naming a directory (or without a suffix)
+becomes a *store*: each distinct config journals to
+``<dir>/<fingerprint16>.jsonl``, which is what multi-campaign commands
+(``repro-8t report``, geometry sweeps) need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import zlib
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.cache.config import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.core.outcomes import OperationCounts
+from repro.errors import CheckpointError
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.simulator import SimulationResult
+from repro.sram.events import SRAMEventLog
+from repro.trace.record import MemoryAccess
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "CheckpointJournal",
+    "CheckpointStore",
+    "config_fingerprint",
+    "comparison_fingerprint",
+    "serialize_row",
+    "deserialize_row",
+    "serialize_result",
+    "deserialize_result",
+]
+
+FORMAT_NAME = "repro8t-checkpoint"
+FORMAT_VERSION = 1
+
+
+# -- fingerprints -------------------------------------------------------------------
+
+
+def _geometry_payload(geometry: CacheGeometry) -> Dict:
+    return {
+        "size_bytes": geometry.size_bytes,
+        "associativity": geometry.associativity,
+        "block_bytes": geometry.block_bytes,
+        "address_bits": geometry.address_bits,
+    }
+
+
+def _digest(payload: Dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Identity of a campaign: everything a row's value depends on.
+
+    Benchmark/technique *order* is excluded — rows are keyed by name
+    and each (benchmark, technique) simulation is independent, so a
+    reordered config legitimately resumes the same journal.
+    """
+    return _digest(
+        {
+            "geometry": _geometry_payload(config.geometry),
+            "benchmarks": sorted(config.benchmarks),
+            "techniques": sorted(config.techniques),
+            "accesses_per_benchmark": config.accesses_per_benchmark,
+            "warmup_fraction": config.warmup_fraction,
+            "seed": config.seed,
+        }
+    )
+
+
+def comparison_fingerprint(
+    trace: Sequence[MemoryAccess],
+    geometry: CacheGeometry,
+    techniques: Sequence[str],
+    controller_kwargs: Optional[Dict] = None,
+) -> str:
+    """Identity of a single-trace comparison (hashes the trace itself)."""
+    hasher = hashlib.sha256()
+    for access in trace:
+        hasher.update(
+            b"%d|%d|%d|%d;"
+            % (access.icount, 1 if access.is_write else 0, access.address, access.value)
+        )
+    return _digest(
+        {
+            "trace": hasher.hexdigest(),
+            "geometry": _geometry_payload(geometry),
+            "techniques": sorted(techniques),
+            "controller_kwargs": repr(sorted((controller_kwargs or {}).items())),
+        }
+    )
+
+
+# -- row serialisation --------------------------------------------------------------
+
+
+def serialize_result(result: SimulationResult) -> Dict:
+    """JSON payload for one (trace, technique) result — exact, all ints."""
+    return {
+        "technique": result.technique,
+        "geometry": _geometry_payload(result.geometry),
+        "requests": result.requests,
+        "events": result.events.to_dict(),
+        "counts": asdict(result.counts),
+        "cache_stats": asdict(result.cache_stats),
+    }
+
+
+def deserialize_result(payload: Dict) -> SimulationResult:
+    return SimulationResult(
+        technique=payload["technique"],
+        geometry=CacheGeometry(**payload["geometry"]),
+        requests=payload["requests"],
+        events=SRAMEventLog(**payload["events"]),
+        counts=OperationCounts(**payload["counts"]),
+        cache_stats=CacheStats(**payload["cache_stats"]),
+    )
+
+
+def serialize_row(row) -> Dict:
+    """JSON payload for one :class:`repro.sim.campaign.BenchmarkRow`."""
+    return {
+        "benchmark": row.benchmark,
+        "results": {
+            technique: serialize_result(result)
+            for technique, result in row.results.items()
+        },
+    }
+
+
+def deserialize_row(payload: Dict):
+    from repro.sim.campaign import BenchmarkRow
+
+    return BenchmarkRow(
+        benchmark=payload["benchmark"],
+        results={
+            technique: deserialize_result(result)
+            for technique, result in payload["results"].items()
+        },
+    )
+
+
+# -- the journal --------------------------------------------------------------------
+
+
+def _payload_crc(payload: Dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode()) & 0xFFFFFFFF, "08x")
+
+
+class CheckpointJournal:
+    """One append-only JSONL journal bound to a config fingerprint.
+
+    Open with :meth:`open`; the returned journal has already loaded
+    whatever completed rows survive in the file (``rows``) and counted
+    unusable lines (``skipped_records``).  ``append`` is thread-safe —
+    the parallel runner journals from supervisor threads.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        kind: str,
+        fingerprint: str,
+        rows: Dict[str, Dict],
+        skipped_records: int,
+        resumed: bool,
+    ) -> None:
+        self.path = path
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.rows = rows
+        self.skipped_records = skipped_records
+        self.resumed = resumed
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+        if not resumed:
+            self._write_line(
+                {
+                    "format": FORMAT_NAME,
+                    "version": FORMAT_VERSION,
+                    "kind": kind,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    @classmethod
+    def open(cls, path: Union[str, Path], kind: str, fingerprint: str) -> "CheckpointJournal":
+        """Create or resume the journal at ``path``.
+
+        Raises :class:`CheckpointError` when the file exists but its
+        header is unreadable, is for a different ``kind``, or carries a
+        different fingerprint (stale checkpoint).
+        """
+        path = Path(path)
+        rows: Dict[str, Dict] = {}
+        skipped = 0
+        resumed = False
+        if path.exists() and path.stat().st_size > 0:
+            resumed = True
+            with open(path, "r", encoding="utf-8") as handle:
+                header_line = handle.readline()
+                header = cls._parse_header(path, header_line)
+                if header.get("kind") != kind:
+                    raise CheckpointError(
+                        f"{path}: checkpoint is for kind "
+                        f"{header.get('kind')!r}, expected {kind!r}"
+                    )
+                if header.get("fingerprint") != fingerprint:
+                    raise CheckpointError(
+                        f"{path}: stale checkpoint — its config fingerprint "
+                        f"{str(header.get('fingerprint'))[:16]}... does not match "
+                        f"this run's {fingerprint[:16]}...; delete the file or "
+                        "point --checkpoint elsewhere"
+                    )
+                for line in handle:
+                    record = cls._parse_record(line)
+                    if record is None:
+                        skipped += 1
+                        continue
+                    key, payload = record
+                    rows[key] = payload
+        journal = cls(path, kind, fingerprint, rows, skipped, resumed)
+        return journal
+
+    @staticmethod
+    def _parse_header(path: Path, line: str) -> Dict:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{path}: checkpoint header is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+            raise CheckpointError(
+                f"{path}: not a {FORMAT_NAME} file "
+                f"(header {str(line)[:60]!r})"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint version "
+                f"{header.get('version')!r} (this build reads "
+                f"{FORMAT_VERSION})"
+            )
+        return header
+
+    @staticmethod
+    def _parse_record(line: str) -> Optional[Tuple[str, Dict]]:
+        """One record line -> (key, payload), or None if unusable."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None  # truncated trailing append — re-run that unit
+        if not isinstance(record, dict):
+            return None
+        key = record.get("key")
+        payload = record.get("payload")
+        if not isinstance(key, str) or not isinstance(payload, dict):
+            return None
+        if record.get("crc") != _payload_crc(payload):
+            return None  # corrupt — never trust it, just recompute
+        return key, payload
+
+    def append(self, key: str, payload: Dict) -> None:
+        """Durably record one completed unit of work."""
+        self._write_line(
+            {"key": key, "payload": payload, "crc": _payload_crc(payload)}
+        )
+        self.rows[key] = payload
+
+    def _write_line(self, obj: Dict) -> None:
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class CheckpointStore:
+    """Maps configs to journal files (see *Path modes* above)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @property
+    def directory_mode(self) -> bool:
+        if self.path.is_dir():
+            return True
+        if self.path.exists():
+            return False
+        return self.path.suffix == ""
+
+    def journal_path(self, fingerprint: str) -> Path:
+        if self.directory_mode:
+            self.path.mkdir(parents=True, exist_ok=True)
+            return self.path / f"{fingerprint[:16]}.jsonl"
+        parent = self.path.parent
+        if parent and not parent.exists():
+            parent.mkdir(parents=True, exist_ok=True)
+        return self.path
+
+    def open(self, kind: str, fingerprint: str) -> CheckpointJournal:
+        return CheckpointJournal.open(
+            self.journal_path(fingerprint), kind, fingerprint
+        )
+
+    def open_campaign(self, config: ExperimentConfig) -> CheckpointJournal:
+        return self.open("campaign", config_fingerprint(config))
+
+    def open_comparison(
+        self,
+        trace: Sequence[MemoryAccess],
+        geometry: CacheGeometry,
+        techniques: Sequence[str],
+        controller_kwargs: Optional[Dict] = None,
+    ) -> CheckpointJournal:
+        return self.open(
+            "comparison",
+            comparison_fingerprint(trace, geometry, techniques, controller_kwargs),
+        )
+
+
+def as_store(
+    checkpoint: Union[str, Path, CheckpointStore, None]
+) -> Optional[CheckpointStore]:
+    """Normalise a user-facing checkpoint argument."""
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)

@@ -1,11 +1,34 @@
-"""Multiprocess campaign execution.
+"""Multiprocess campaign execution with fault tolerance.
 
 A full campaign is embarrassingly parallel across benchmarks (each
 benchmark's trace generation + per-technique replay is independent), so
-this module fans the rows out over a process pool.  Each worker
+this module fans the rows out over worker processes.  Each worker
 synthesises its own trace from ``(benchmark, config)`` — nothing large
 crosses the process boundary, and determinism is untouched because
 seeds derive from names, not from execution order.
+
+Execution model
+---------------
+Every benchmark attempt runs in a **dedicated, supervised child
+process** (see :func:`repro.sim.resilience.run_supervised`), driven by
+a small pool of supervisor threads in the parent.  A dedicated child —
+unlike a slot in a shared ``ProcessPoolExecutor`` — can be killed, so a
+hung benchmark costs one ``worker_timeout_s`` instead of the campaign:
+
+* a child exceeding the :class:`RetryPolicy` timeout is terminated and
+  retried (``worker.timeout``);
+* a child that dies (SIGKILL, OOM, injected crash) is retried
+  (``worker.crash``);
+* transient exceptions are retried with deterministic backoff
+  (``retry.attempt``);
+* a benchmark exhausting its budget is quarantined into
+  ``CampaignResult.failed_rows`` (``campaign.quarantined``) — the rest
+  of the suite still completes unless ``strict=True``.
+
+Row order is pinned to ``config.benchmarks`` regardless of completion
+order, and with a ``checkpoint`` every finished row is journaled
+immediately, so an interrupted campaign resumes re-running only the
+missing benchmarks.
 
 ``run_campaign_parallel`` returns exactly what
 :func:`repro.sim.campaign.run_campaign` returns; a sequential fallback
@@ -18,22 +41,42 @@ bug, not a feature.
 Telemetry across the pool: trace sinks do not cross process
 boundaries, so each worker collects into a private metrics-only
 registry and ships its :meth:`MetricsRegistry.state_dict` back with the
-row; the parent folds the states into the caller's registry (merge is
-associative, so arrival order is irrelevant).
+row.  Supervisor threads never touch the caller's registry; each job's
+metrics state and degradation events are folded in by the main thread
+in benchmark order, so the merged output is deterministic (merge is
+associative and commutative anyway).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Tuple
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Event
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import CampaignFailedError, ReproError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.sim.campaign import BenchmarkRow, CampaignResult, _run_one
+from repro.sim.campaign import (
+    BenchmarkRow,
+    CampaignResult,
+    _open_campaign_journal,
+    _journal_row,
+    _report_resume,
+    _run_rows_resilient,
+    emit_degradation,
+    execute_row,
+)
 from repro.sim.experiment import ExperimentConfig
+from repro.sim.resilience import (
+    FailedRow,
+    RetryPolicy,
+    active_policy,
+    retry_call,
+    run_supervised,
+)
 from repro.utils.validation import check_positive
-from repro.workload.generator import generate_trace
-from repro.workload.spec2006 import get_profile
 
 __all__ = ["run_campaign_parallel"]
 
@@ -45,82 +88,217 @@ _WorkerResult = Tuple[BenchmarkRow, Optional[dict]]
 def _run_benchmark(args) -> _WorkerResult:
     """Worker: one benchmark through every technique (module-level so
     it pickles)."""
-    benchmark, config, collect_metrics = args
+    benchmark, config, collect_metrics, attempt = args
     telemetry = Telemetry(registry=MetricsRegistry()) if collect_metrics else None
-    profile = get_profile(benchmark)
-    trace = generate_trace(
-        profile, config.accesses_per_benchmark, seed=config.seed
-    )
-    results = {
-        technique: _run_one(trace, technique, config, telemetry)
-        for technique in config.techniques
-    }
-    row = BenchmarkRow(benchmark=benchmark, results=results)
+    row = execute_row(benchmark, config, telemetry, attempt=attempt)
     state = telemetry.registry.state_dict() if telemetry is not None else None
     return row, state
+
+
+@dataclass
+class _JobOutcome:
+    """Everything one supervisor thread hands back to the main thread."""
+
+    benchmark: str
+    row: Optional[BenchmarkRow] = None
+    metrics_state: Optional[dict] = None
+    failure: Optional[FailedRow] = None
+    events: List[Tuple[str, dict]] = field(default_factory=list)
+    pool_fallback: bool = False
+    skipped: bool = False
+
+
+def _supervise_job(
+    benchmark: str,
+    config: ExperimentConfig,
+    collect_metrics: bool,
+    retry: RetryPolicy,
+    journal,
+    abort: Event,
+) -> _JobOutcome:
+    """Run one benchmark to completion/quarantine from a parent thread.
+
+    Touches no shared telemetry: degradation events are buffered on the
+    outcome and replayed by the main thread in deterministic order.
+    The journal *is* written from here (it locks internally) so a row
+    is durable the moment it exists.
+    """
+    outcome = _JobOutcome(benchmark=benchmark)
+
+    def on_event(name: str, **details) -> None:
+        outcome.events.append((name, details))
+
+    if abort.is_set():
+        outcome.skipped = True
+        return outcome
+
+    def attempt_fn(attempt: int) -> _WorkerResult:
+        args = (benchmark, config, collect_metrics, attempt)
+        try:
+            return run_supervised(
+                _run_benchmark,
+                args,
+                timeout_s=retry.worker_timeout_s,
+                label=f"benchmark {benchmark}",
+                on_event=on_event,
+            )
+        except (OSError, PermissionError) as exc:
+            # Process creation itself failed (e.g. a sandbox that
+            # forbids fork): degrade to in-process execution for this
+            # job.  Timeouts cannot be enforced in-process; retries and
+            # quarantine still apply.
+            outcome.pool_fallback = True
+            on_event("parallel.pool_fallback", error=f"{type(exc).__name__}: {exc}")
+            return _run_benchmark(args)
+
+    try:
+        row, state = retry_call(
+            attempt_fn,
+            policy=retry,
+            seed=config.seed,
+            name=benchmark,
+            on_event=on_event,
+        )
+    except ReproError as exc:
+        outcome.failure = FailedRow(
+            benchmark=benchmark,
+            attempts=retry.max_attempts,
+            error_type=type(exc).__name__,
+            error=str(exc),
+        )
+        return outcome
+    outcome.row = row
+    outcome.metrics_state = state
+    _journal_row(journal, row)
+    return outcome
 
 
 def run_campaign_parallel(
     config: ExperimentConfig,
     processes: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    strict: Optional[bool] = None,
+    checkpoint=None,
 ) -> CampaignResult:
-    """Run the campaign with up to ``processes`` workers.
+    """Run the campaign with up to ``processes`` supervised workers.
 
-    ``processes=1`` (or a pool failure, e.g. a sandbox that forbids
-    fork) degrades to in-process execution with identical results; the
-    degradation is reported through ``telemetry.warn`` so it never
-    happens invisibly.
+    ``processes=1`` is an explicit request for in-process execution
+    with the caller's full telemetry (sink included); it still honours
+    retries, quarantine and checkpointing, but not worker timeouts.
+    Parameters left as None fall back to the ambient
+    :class:`ExecutionPolicy`.
     """
     if processes is not None:
         check_positive("processes", processes)
+    policy = active_policy()
+    retry = retry if retry is not None else policy.retry
+    strict = strict if strict is not None else policy.strict
+    checkpoint = checkpoint if checkpoint is not None else policy.checkpoint
     telem = telemetry if telemetry is not None else NULL_TELEMETRY
     collect_metrics = telem.enabled
-    jobs = [
-        (benchmark, config, collect_metrics) for benchmark in config.benchmarks
-    ]
-    if processes == 1:
-        # Explicit request, not a degradation: run with the caller's
-        # full telemetry (sink included) in-process.
-        rows = [
-            _run_one_benchmark_sequential(job, telemetry) for job in jobs
-        ]
-        return CampaignResult(config=config, rows=rows)
+
+    journal, resumed = _open_campaign_journal(checkpoint, config)
     try:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            outputs = list(pool.map(_run_benchmark, jobs))
-    except (OSError, PermissionError) as exc:
+        _report_resume(telem, journal, len(resumed))
+        pending = [b for b in config.benchmarks if b not in resumed]
+        if processes == 1:
+            completed, failed = _run_rows_resilient(
+                pending, config, telemetry, retry, strict, journal, telem
+            )
+        else:
+            completed, failed = _run_pool(
+                pending,
+                config,
+                collect_metrics,
+                retry,
+                strict,
+                journal,
+                telem,
+                processes,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    completed.update(resumed)
+    rows = [
+        completed[benchmark]
+        for benchmark in config.benchmarks
+        if benchmark in completed
+    ]
+    if collect_metrics and processes != 1:
+        telem.registry.set_gauge("parallel.workers", processes or 0)
+    return CampaignResult(config=config, rows=rows, failed_rows=failed)
+
+
+def _run_pool(
+    pending: List[str],
+    config: ExperimentConfig,
+    collect_metrics: bool,
+    retry: RetryPolicy,
+    strict: bool,
+    journal,
+    telem: Telemetry,
+    processes: Optional[int],
+) -> Tuple[Dict[str, BenchmarkRow], List[FailedRow]]:
+    """Fan ``pending`` out over supervisor threads; fold results back
+    in deterministic (submission) order."""
+    completed: Dict[str, BenchmarkRow] = {}
+    failed: List[FailedRow] = []
+    if not pending:
+        return completed, failed
+    workers = min(processes or os.cpu_count() or 1, len(pending))
+    abort = Event()
+    with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+        futures = [
+            pool.submit(
+                _supervise_job, benchmark, config, collect_metrics, retry,
+                journal, abort,
+            )
+            for benchmark in pending
+        ]
+        if strict:
+            # Fail fast: stop launching new jobs once any benchmark is
+            # lost for good.  Jobs already running finish their attempt.
+            for future in futures:
+                if future.result().failure is not None:
+                    abort.set()
+                    break
+        outcomes = [future.result() for future in futures]
+
+    pool_fallback_errors = []
+    for outcome in outcomes:  # deterministic: submission order
+        if outcome.skipped:
+            continue
+        for name, details in outcome.events:
+            if name == "parallel.pool_fallback":
+                pool_fallback_errors.append(details.get("error", ""))
+                continue
+            emit_degradation(telem, name, **details)
+        if outcome.failure is not None:
+            failed.append(outcome.failure)
+            emit_degradation(
+                telem,
+                "campaign.quarantined",
+                benchmark=outcome.benchmark,
+                error=outcome.failure.error_type,
+            )
+            continue
+        completed[outcome.benchmark] = outcome.row
+        if outcome.metrics_state is not None and collect_metrics:
+            telem.registry.merge_state(outcome.metrics_state)
+    if pool_fallback_errors:
         telem.warn(
             "parallel.pool_fallback",
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            "running the campaign sequentially",
-            benchmarks=len(jobs),
+            f"process pool unavailable ({pool_fallback_errors[0]}); "
+            "benchmarks ran in-process",
+            benchmarks=len(pool_fallback_errors),
         )
-        rows = [
-            _run_one_benchmark_sequential(job, telemetry) for job in jobs
-        ]
-        return CampaignResult(config=config, rows=rows)
-    rows = []
-    for row, state in outputs:
-        rows.append(row)
-        if state is not None and collect_metrics:
-            telem.registry.merge_state(state)
-    if collect_metrics:
-        telem.registry.set_gauge("parallel.workers", processes or 0)
-    return CampaignResult(config=config, rows=rows)
-
-
-def _run_one_benchmark_sequential(
-    job, telemetry: Optional[Telemetry]
-) -> BenchmarkRow:
-    """In-process version of the worker, with full caller telemetry."""
-    benchmark, config, _collect = job
-    profile = get_profile(benchmark)
-    trace = generate_trace(
-        profile, config.accesses_per_benchmark, seed=config.seed
-    )
-    results = {
-        technique: _run_one(trace, technique, config, telemetry)
-        for technique in config.techniques
-    }
-    return BenchmarkRow(benchmark=benchmark, results=results)
+    if strict and failed:
+        raise CampaignFailedError(
+            "campaign failed (strict): "
+            + "; ".join(f.describe() for f in failed),
+            failed_rows=failed,
+        )
+    return completed, failed

@@ -1,0 +1,343 @@
+"""Fault-tolerant execution primitives for campaign runs.
+
+A full campaign sweeps 25 benchmarks x 4 techniques; at production
+trace lengths that is hours of embarrassingly-parallel work, and one
+hung worker or one transient exception must not discard everything
+already computed.  This module provides the three building blocks the
+campaign runners compose:
+
+:class:`RetryPolicy`
+    Bounded retry with exponential backoff and *deterministic* jitter
+    (seeded from the experiment seed and the benchmark name, so two
+    runs of the same campaign back off identically).
+
+:func:`retry_call`
+    Drives a callable through a policy, retrying :class:`ReproError`
+    failures and re-raising once the attempt budget is exhausted.
+    Programming errors (``TypeError`` & co.) are never retried.
+
+:func:`run_supervised`
+    Runs a function in a dedicated child process under a wall-clock
+    timeout.  A hung child is terminated and surfaces as
+    :class:`WorkerTimeoutError`; a child that dies without reporting
+    (SIGKILL, OOM, ``os._exit``) surfaces as
+    :class:`WorkerCrashError`.  Both are retryable.
+
+:class:`ExecutionPolicy` / :func:`execution_policy`
+    An ambient policy stack so the CLI can switch a whole command —
+    including campaigns started deep inside figure producers — to a
+    given retry/timeout/checkpoint configuration without threading
+    arguments through every layer.
+
+Degradation events (``retry.attempt``, ``worker.timeout``,
+``worker.crash``) are reported through ``on_event`` callbacks rather
+than written to telemetry directly: the parallel runner supervises
+jobs from threads, and replaying the events from the main thread keeps
+the metrics registry single-threaded and the merged output
+deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "RetryPolicy",
+    "FailedRow",
+    "ExecutionPolicy",
+    "execution_policy",
+    "active_policy",
+    "retry_call",
+    "run_supervised",
+]
+
+#: Event callback signature: ``on_event(name, **details)``.
+EventCallback = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attributes:
+        max_attempts: total tries per benchmark (1 = no retry).
+        base_delay_s: backoff before the second attempt.
+        max_delay_s: backoff ceiling.
+        multiplier: backoff growth factor per attempt.
+        jitter: +/- fraction applied to each delay; the draw is
+            deterministic in ``(seed, name, attempt)`` so reruns are
+            bit-repeatable.
+        worker_timeout_s: per-attempt wall-clock budget for supervised
+            workers (None = unlimited; only enforced for
+            process-isolated execution).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    worker_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ConfigurationError(
+                f"worker_timeout_s must be positive, got {self.worker_timeout_s}"
+            )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail on the first error — the pre-resilience behaviour."""
+        return cls(max_attempts=1)
+
+    def with_timeout(self, worker_timeout_s: Optional[float]) -> "RetryPolicy":
+        return replace(self, worker_timeout_s=worker_timeout_s)
+
+    def backoff_delay(self, attempt: int, seed: int = 0, name: str = "") -> float:
+        """Sleep before attempt ``attempt + 1`` (attempts count from 1)."""
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        raw = min(raw, self.max_delay_s)
+        if not self.jitter or not raw:
+            return raw
+        # Deterministic uniform draw in [1 - jitter, 1 + jitter].
+        unit = derive_seed(seed, "retry", name, str(attempt)) / float(2**64)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+@dataclass(frozen=True)
+class FailedRow:
+    """One benchmark quarantined after exhausting its retry budget."""
+
+    benchmark: str
+    attempts: int
+    error_type: str
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}: {self.error_type} after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Ambient campaign-execution configuration.
+
+    The CLI builds one from its flags and installs it with
+    :func:`execution_policy`; :func:`repro.sim.campaign.run_campaign`
+    and friends consult :func:`active_policy` for any parameter the
+    caller did not pass explicitly.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    strict: bool = False
+    checkpoint: Optional[Union[str, Path]] = None
+    processes: Optional[int] = None
+
+
+_DEFAULT_POLICY = ExecutionPolicy()
+_policy_stack: List[ExecutionPolicy] = []
+
+
+def active_policy() -> ExecutionPolicy:
+    """The innermost installed policy (or the defaults)."""
+    return _policy_stack[-1] if _policy_stack else _DEFAULT_POLICY
+
+
+@contextmanager
+def execution_policy(policy: ExecutionPolicy):
+    """Install ``policy`` as the ambient execution policy for a block."""
+    _policy_stack.append(policy)
+    try:
+        yield policy
+    finally:
+        _policy_stack.pop()
+
+
+def retry_call(
+    fn: Callable[[int], Any],
+    policy: RetryPolicy,
+    seed: int = 0,
+    name: str = "",
+    on_event: Optional[EventCallback] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Call ``fn(attempt)`` under ``policy``; attempts count from 1.
+
+    Retries any :class:`ReproError` (which includes worker timeouts and
+    crashes); anything else — a programming error — propagates
+    immediately.  The last failure is re-raised once the budget is
+    spent, so callers see the real error; the attempt count is
+    ``policy.max_attempts`` by construction.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn(attempt)
+        except ReproError as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.backoff_delay(attempt, seed=seed, name=name)
+            if on_event is not None:
+                on_event(
+                    "retry.attempt",
+                    target=name,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    backoff_s=round(delay, 6),
+                )
+            if delay:
+                sleep(delay)
+            attempt += 1
+
+
+# -- supervised child-process execution ---------------------------------------------
+
+
+def _child_entry(conn, target, args) -> None:
+    """Child-side shim: run ``target(args)`` and report over the pipe."""
+    try:
+        result = target(args)
+    except BaseException as exc:  # noqa: BLE001 - serialised, not swallowed
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def _rebuild_exception(type_name: str, message: str) -> Exception:
+    """Turn a worker's (type name, message) report back into an exception."""
+    import repro.errors as errors_module
+
+    cls = getattr(errors_module, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    try:
+        from repro.faultinject.plan import InjectedFaultError
+
+        if type_name == "InjectedFaultError":
+            return InjectedFaultError(message)
+    except ImportError:  # pragma: no cover - faultinject is in-tree
+        pass
+    return SimulationError(f"worker raised {type_name}: {message}")
+
+
+def run_supervised(
+    target: Callable[[Any], Any],
+    args: Any,
+    timeout_s: Optional[float] = None,
+    label: str = "worker",
+    on_event: Optional[EventCallback] = None,
+) -> Any:
+    """Run ``target(args)`` in a dedicated child process.
+
+    Unlike a shared process pool, a dedicated child can be *killed*:
+    when the wall clock passes ``timeout_s`` the child is terminated
+    (then SIGKILLed if it ignores SIGTERM) and
+    :class:`WorkerTimeoutError` is raised.  A child that exits without
+    sending a result raises :class:`WorkerCrashError` with its exit
+    code.  Exceptions the child caught and reported are rebuilt and
+    re-raised in the parent.
+
+    ``OSError``/``PermissionError`` from process creation propagate
+    unchanged so callers can fall back to in-process execution in
+    sandboxes that forbid fork.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_entry, args=(child_conn, target, args), daemon=True
+    )
+    try:
+        proc.start()
+    except BaseException:
+        parent_conn.close()
+        child_conn.close()
+        raise
+    child_conn.close()
+    try:
+        # Wake on either a result or child death, whichever is first —
+        # a crashed child must not cost the full timeout.
+        ready = _wait_connections([parent_conn, proc.sentinel], timeout=timeout_s)
+        if parent_conn in ready:
+            # Ready can also mean EOF: a child that died without
+            # sending (os._exit, SIGKILL) closes its end of the pipe.
+            status = _recv_or_none(parent_conn)
+            proc.join()
+        elif ready:
+            # Child died; give a racing result a moment to drain.
+            status = _recv_or_none(parent_conn) if parent_conn.poll(0.25) else None
+            proc.join()
+        else:
+            _terminate(proc)
+            if on_event is not None:
+                on_event(
+                    "worker.timeout", target=label, timeout_s=timeout_s, pid=proc.pid
+                )
+            raise WorkerTimeoutError(
+                f"{label}: worker (pid {proc.pid}) exceeded its "
+                f"{timeout_s:g}s budget and was terminated"
+            )
+    finally:
+        parent_conn.close()
+    if status is None:
+        if on_event is not None:
+            on_event("worker.crash", target=label, exit_code=proc.exitcode)
+        raise WorkerCrashError(
+            f"{label}: worker died with exit code {proc.exitcode} "
+            "before returning a result"
+        )
+    kind = status[0]
+    if kind == "ok":
+        return status[1]
+    _, type_name, message = status
+    raise _rebuild_exception(type_name, message)
+
+
+def _recv_or_none(conn) -> Optional[tuple]:
+    try:
+        return conn.recv()
+    except EOFError:
+        return None
+
+
+def _terminate(proc, grace_s: float = 2.0) -> None:
+    """Terminate, escalating to SIGKILL if the child ignores SIGTERM."""
+    proc.terminate()
+    proc.join(grace_s)
+    if proc.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
+        proc.kill()
+        proc.join(grace_s)

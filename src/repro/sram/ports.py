@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.errors import PortConflictError
+
 __all__ = ["PortKind", "PortTracker"]
 
 
@@ -56,6 +58,27 @@ class PortTracker:
         self.free_at[port] = actual_start + duration
         self.busy_cycles[port] += duration
         return actual_start
+
+    def reserve(self, port: PortKind, start_cycle: int, duration: int) -> int:
+        """Like :meth:`acquire`, but refuses to stall.
+
+        Schedulers that have already committed to a cycle (e.g. a
+        lock-step pipeline model) use this to assert exclusivity:
+        scheduling two operations onto one port in the same cycle
+        raises :class:`PortConflictError` instead of silently pushing
+        the second operation later.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if self.free_at[port] > start_cycle:
+            self.conflicts[port] += 1
+            raise PortConflictError(
+                f"{port.value} port is busy until cycle {self.free_at[port]}, "
+                f"cannot reserve it at cycle {start_cycle}"
+            )
+        self.free_at[port] = start_cycle + duration
+        self.busy_cycles[port] += duration
+        return start_cycle
 
     def is_free(self, port: PortKind, cycle: int) -> bool:
         """True when ``port`` is idle at ``cycle``."""

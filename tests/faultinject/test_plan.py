@@ -1,0 +1,138 @@
+"""Unit tests for the fault-injection harness (plans and corruptors)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faultinject import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_plan,
+    flip_bit,
+    inject,
+    maybe_inject,
+    truncate_file,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_bad_until_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="transient", until_attempt=0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="delay", seconds=-1.0)
+
+    def test_matching(self):
+        spec = FaultSpec(kind="transient", benchmark="mcf", until_attempt=2)
+        assert spec.matches("worker", "mcf", 1)
+        assert spec.matches("worker", "mcf", 2)
+        assert not spec.matches("worker", "mcf", 3)  # healed
+        assert not spec.matches("worker", "gcc", 1)  # other benchmark
+        assert not spec.matches("journal", "mcf", 1)  # other site
+
+    def test_wildcard_benchmark(self):
+        spec = FaultSpec(kind="transient")
+        assert spec.matches("worker", "anything", 1)
+        assert spec.matches("worker", None, 1)
+
+    def test_transient_fires_injected_error(self):
+        spec = FaultSpec(kind="transient")
+        with pytest.raises(InjectedFaultError, match="attempt=1"):
+            spec.fire("mcf", 1)
+
+    def test_delay_returns(self):
+        FaultSpec(kind="delay", seconds=0.0).fire("mcf", 1)
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="transient", benchmark="mcf"),
+                FaultSpec(kind="crash", until_attempt=99),
+            )
+        )
+        assert FaultPlan.parse(plan.to_json()) == plan
+
+    def test_parse_rejects_non_list(self):
+        with pytest.raises(ConfigurationError, match="JSON list"):
+            FaultPlan.parse('{"kind": "transient"}')
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.parse("{nope")
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="bad fault spec"):
+            FaultPlan.parse('[{"kind": "transient", "nope": 1}]')
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(specs=(FaultSpec(kind="transient"),))
+
+
+class TestEnvHook:
+    def test_no_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_plan() is None
+        maybe_inject("worker", benchmark="mcf", attempt=1)  # no-op
+
+    def test_inject_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with inject(FaultSpec(kind="transient", benchmark="mcf")) as plan:
+            assert json.loads(os.environ[ENV_VAR]) == json.loads(plan.to_json())
+            assert active_plan() == plan
+        assert ENV_VAR not in os.environ
+
+    def test_inject_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "[]")
+        with inject(FaultSpec(kind="transient")):
+            pass
+        assert os.environ[ENV_VAR] == "[]"
+
+    def test_maybe_inject_fires_matching_rule(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with inject(FaultSpec(kind="transient", benchmark="mcf")):
+            maybe_inject("worker", benchmark="gcc", attempt=1)  # filtered out
+            with pytest.raises(InjectedFaultError):
+                maybe_inject("worker", benchmark="mcf", attempt=1)
+            maybe_inject("worker", benchmark="mcf", attempt=2)  # healed
+
+
+class TestCorruptors:
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(range(100)))
+        removed = truncate_file(path, keep_bytes=60)
+        assert removed == 40
+        assert path.read_bytes() == bytes(range(60))
+
+    def test_truncate_noop_when_already_short(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"abc")
+        assert truncate_file(path, keep_bytes=10) == 0
+        assert path.read_bytes() == b"abc"
+
+    def test_flip_bit(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"\x00\x00\x00")
+        new_value = flip_bit(path, byte_offset=1, bit=3)
+        assert new_value == 0x08
+        assert path.read_bytes() == b"\x00\x08\x00"
+
+    def test_flip_bit_negative_offset(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"\x00\x00\xff")
+        new_value = flip_bit(path, byte_offset=-1, bit=0)
+        assert new_value == 0xFE
+        assert path.read_bytes() == b"\x00\x00\xfe"

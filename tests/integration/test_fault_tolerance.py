@@ -1,0 +1,223 @@
+"""End-to-end fault-tolerance tests: crash, hang, transient and resume.
+
+Every test asserts the *strong* property: a campaign that survived
+injected faults (or was interrupted and resumed) produces results
+bit-identical to an undisturbed run.  The serialisation layer is exact
+(all-integer payloads), so equality of serialised rows is equality of
+results.
+"""
+
+import signal
+import sys
+
+import pytest
+
+from repro.errors import CampaignFailedError
+from repro.faultinject import FaultSpec, inject
+from repro.obs import Telemetry
+from repro.sim.campaign import run_campaign
+from repro.sim.checkpoint import serialize_row
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.parallel import run_campaign_parallel
+from repro.sim.resilience import RetryPolicy
+
+BENCHMARKS = ("bwaves", "mcf", "gcc")
+
+#: Retries with zero backoff so fault-healing tests stay fast.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+@pytest.fixture(autouse=True)
+def no_leftover_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        benchmarks=BENCHMARKS,
+        techniques=("conventional", "rmw", "wg"),
+        accesses_per_benchmark=2000,
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean(config):
+    """Reference result from an undisturbed sequential run."""
+    return run_campaign(config)
+
+
+def payloads(result):
+    """Exact serialised form of every completed row, keyed by benchmark."""
+    return {row.benchmark: serialize_row(row) for row in result.rows}
+
+
+class TestTransientFaults:
+    def test_sequential_retry_heals_and_is_bit_identical(self, config, clean):
+        telemetry = Telemetry()
+        with inject(FaultSpec(kind="transient", benchmark="mcf")):
+            result = run_campaign(config, telemetry, retry=FAST_RETRY)
+        assert result.complete
+        assert payloads(result) == payloads(clean)
+        assert telemetry.registry.value("retry.attempt") >= 1
+
+    def test_parallel_retry_heals_and_is_bit_identical(self, config, clean):
+        telemetry = Telemetry()
+        with inject(FaultSpec(kind="transient", benchmark="mcf")):
+            result = run_campaign_parallel(
+                config, processes=2, telemetry=telemetry, retry=FAST_RETRY
+            )
+        assert result.complete
+        assert payloads(result) == payloads(clean)
+        assert telemetry.registry.value("retry.attempt") >= 1
+
+    def test_exhausted_retries_quarantine_not_raise(self, config, clean):
+        telemetry = Telemetry()
+        permanent = FaultSpec(kind="transient", benchmark="gcc", until_attempt=99)
+        with inject(permanent):
+            result = run_campaign(
+                config, telemetry, retry=RetryPolicy(max_attempts=2, base_delay_s=0.0)
+            )
+        assert not result.complete
+        assert [f.benchmark for f in result.failed_rows] == ["gcc"]
+        failure = result.failed_rows[0]
+        assert failure.error_type == "InjectedFaultError"
+        assert failure.attempts == 2
+        # The healthy benchmarks still completed, bit-identical.
+        reference = payloads(clean)
+        assert payloads(result) == {
+            name: reference[name] for name in ("bwaves", "mcf")
+        }
+        assert telemetry.registry.value("campaign.quarantined") == 1
+        with pytest.raises(ValueError):
+            result.row("gcc")
+
+    def test_strict_mode_raises(self, config):
+        permanent = FaultSpec(kind="transient", benchmark="gcc", until_attempt=99)
+        with inject(permanent):
+            with pytest.raises(CampaignFailedError) as excinfo:
+                run_campaign(
+                    config, retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+                    strict=True,
+                )
+        assert [f.benchmark for f in excinfo.value.failed_rows] == ["gcc"]
+
+
+class TestProcessDeath:
+    def test_crash_quarantined_and_counted(self, config, clean):
+        telemetry = Telemetry()
+        with inject(FaultSpec(kind="crash", benchmark="gcc", until_attempt=99)):
+            result = run_campaign_parallel(
+                config,
+                processes=2,
+                telemetry=telemetry,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+            )
+        assert [f.benchmark for f in result.failed_rows] == ["gcc"]
+        assert result.failed_rows[0].error_type == "WorkerCrashError"
+        reference = payloads(clean)
+        assert payloads(result) == {
+            name: reference[name] for name in ("bwaves", "mcf")
+        }
+        assert telemetry.registry.value("worker.crash") == 2
+        assert telemetry.registry.value("campaign.quarantined") == 1
+
+    def test_crash_healed_by_retry(self, config, clean):
+        with inject(FaultSpec(kind="crash", benchmark="mcf", until_attempt=1)):
+            result = run_campaign_parallel(config, processes=2, retry=FAST_RETRY)
+        assert result.complete
+        assert payloads(result) == payloads(clean)
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM") or sys.platform == "win32",
+        reason="hang teardown relies on POSIX signal semantics",
+    )
+    def test_hang_terminated_by_worker_timeout(self, config, clean):
+        telemetry = Telemetry()
+        with inject(FaultSpec(kind="hang", benchmark="mcf", until_attempt=99)):
+            result = run_campaign_parallel(
+                config,
+                processes=2,
+                telemetry=telemetry,
+                retry=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.0, worker_timeout_s=1.0
+                ),
+            )
+        assert [f.benchmark for f in result.failed_rows] == ["mcf"]
+        assert result.failed_rows[0].error_type == "WorkerTimeoutError"
+        assert telemetry.registry.value("worker.timeout") == 2
+        reference = payloads(clean)
+        assert payloads(result) == {
+            name: reference[name] for name in ("bwaves", "gcc")
+        }
+
+
+class TestCheckpointResume:
+    def test_interrupted_then_resumed_is_bit_identical(
+        self, config, clean, tmp_path
+    ):
+        checkpoint = tmp_path / "campaign.jsonl"
+        # First run: gcc permanently failing stands in for an interrupt —
+        # bwaves and mcf land in the journal, gcc does not.
+        with inject(
+            FaultSpec(kind="transient", benchmark="gcc", until_attempt=99)
+        ):
+            partial = run_campaign(
+                config,
+                retry=RetryPolicy.none(),
+                checkpoint=checkpoint,
+            )
+        assert not partial.complete
+        assert {row.benchmark for row in partial.rows} == {"bwaves", "mcf"}
+
+        # Second run: fault gone.  Only gcc re-runs; the journalled rows
+        # come back verbatim and the whole result matches a clean run.
+        telemetry = Telemetry()
+        resumed = run_campaign(config, telemetry, checkpoint=checkpoint)
+        assert resumed.complete
+        assert payloads(resumed) == payloads(clean)
+        assert telemetry.registry.value("checkpoint.resumed_rows") == 2
+
+    def test_parallel_resume_is_bit_identical(self, config, clean, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        with inject(
+            FaultSpec(kind="transient", benchmark="mcf", until_attempt=99)
+        ):
+            run_campaign_parallel(
+                config,
+                processes=2,
+                retry=RetryPolicy.none(),
+                checkpoint=checkpoint,
+            )
+        telemetry = Telemetry()
+        resumed = run_campaign_parallel(
+            config, processes=2, telemetry=telemetry, checkpoint=checkpoint
+        )
+        assert resumed.complete
+        assert payloads(resumed) == payloads(clean)
+        assert telemetry.registry.value("checkpoint.resumed_rows") == 2
+
+    def test_completed_checkpoint_reruns_nothing(self, config, clean, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        run_campaign(config, checkpoint=checkpoint)
+        # A permanent wildcard fault proves no benchmark actually re-runs.
+        with inject(FaultSpec(kind="transient", until_attempt=99)):
+            resumed = run_campaign(
+                config, retry=RetryPolicy.none(), checkpoint=checkpoint
+            )
+        assert resumed.complete
+        assert payloads(resumed) == payloads(clean)
+
+
+class TestDeterministicOrdering:
+    def test_parallel_rows_follow_config_order(self, config, clean):
+        # Delay the *first* benchmark so it finishes last; row order must
+        # still follow the config, not completion time.
+        with inject(
+            FaultSpec(
+                kind="delay", benchmark="bwaves", seconds=0.4, until_attempt=99
+            )
+        ):
+            result = run_campaign_parallel(config, processes=3)
+        assert [row.benchmark for row in result.rows] == list(BENCHMARKS)
+        assert payloads(result) == payloads(clean)

@@ -64,13 +64,13 @@ class TestTelemetryFacade:
 
 class TestWorkerMetrics:
     def test_worker_ships_metrics_state(self):
-        row, state = _run_benchmark(("bwaves", CONFIG, True))
+        row, state = _run_benchmark(("bwaves", CONFIG, True, 1))
         assert row.benchmark == "bwaves"
         assert state is not None
         assert state["counters"]["ctrl.rmw.read_requests"] > 0
 
     def test_worker_skips_metrics_when_dark(self):
-        _row, state = _run_benchmark(("bwaves", CONFIG, False))
+        _row, state = _run_benchmark(("bwaves", CONFIG, False, 1))
         assert state is None
 
     def test_parallel_campaign_merges_worker_registries(self):
@@ -99,12 +99,10 @@ class TestWorkerMetrics:
 
 class TestPoolFallbackObservability:
     def test_fallback_warns_and_counts(self, monkeypatch, caplog):
-        def broken_pool(*_args, **_kwargs):
+        def no_workers(*_args, **_kwargs):
             raise PermissionError("fork forbidden")
 
-        monkeypatch.setattr(
-            "repro.sim.parallel.ProcessPoolExecutor", broken_pool
-        )
+        monkeypatch.setattr("repro.sim.parallel.run_supervised", no_workers)
         telem = Telemetry()
         with caplog.at_level(logging.WARNING, logger="repro.obs"):
             result = run_campaign_parallel(CONFIG, processes=4, telemetry=telem)
@@ -114,16 +112,14 @@ class TestPoolFallbackObservability:
         # ...and the degradation is visible on every plane.
         assert telem.registry.value("warning.parallel.pool_fallback") == 1
         assert any(
-            "sequential" in record.message for record in caplog.records
+            "in-process" in record.message for record in caplog.records
         )
 
     def test_fallback_without_telemetry_still_logs(self, monkeypatch, caplog):
-        def broken_pool(*_args, **_kwargs):
+        def no_workers(*_args, **_kwargs):
             raise OSError("no pool for you")
 
-        monkeypatch.setattr(
-            "repro.sim.parallel.ProcessPoolExecutor", broken_pool
-        )
+        monkeypatch.setattr("repro.sim.parallel.run_supervised", no_workers)
         with caplog.at_level(logging.WARNING, logger="repro.obs"):
             result = run_campaign_parallel(CONFIG)
         assert len(result.rows) == 2

@@ -1,0 +1,217 @@
+"""Unit tests for the checkpoint journal and serialisation layer."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import CheckpointError
+from repro.sim.campaign import execute_row
+from repro.sim.checkpoint import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    CheckpointJournal,
+    CheckpointStore,
+    as_store,
+    comparison_fingerprint,
+    config_fingerprint,
+    deserialize_row,
+    serialize_row,
+)
+from repro.sim.experiment import ExperimentConfig
+from repro.workload import generate_trace, get_profile
+
+
+def small_config(**overrides):
+    defaults = dict(
+        geometry=BASELINE_GEOMETRY,
+        benchmarks=("bwaves", "mcf"),
+        techniques=("rmw", "wg"),
+        accesses_per_benchmark=1500,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self):
+        config = small_config()
+        assert config_fingerprint(config) == config_fingerprint(small_config())
+
+    def test_order_insensitive(self):
+        one = small_config(benchmarks=("bwaves", "mcf"), techniques=("rmw", "wg"))
+        two = small_config(benchmarks=("mcf", "bwaves"), techniques=("wg", "rmw"))
+        assert config_fingerprint(one) == config_fingerprint(two)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"seed": 12},
+            {"accesses_per_benchmark": 2000},
+            {"benchmarks": ("bwaves",)},
+            {
+                "geometry": CacheGeometry(
+                    size_bytes=16 * 1024, associativity=4, block_bytes=64
+                )
+            },
+        ],
+    )
+    def test_sensitive_to_config(self, overrides):
+        assert config_fingerprint(small_config()) != config_fingerprint(
+            small_config(**overrides)
+        )
+
+    def test_comparison_fingerprint_hashes_trace(self):
+        trace_a = generate_trace(get_profile("bwaves"), 200, seed=1)
+        trace_b = generate_trace(get_profile("bwaves"), 200, seed=2)
+        fp = comparison_fingerprint(trace_a, BASELINE_GEOMETRY, ("rmw",))
+        assert fp == comparison_fingerprint(trace_a, BASELINE_GEOMETRY, ("rmw",))
+        assert fp != comparison_fingerprint(trace_b, BASELINE_GEOMETRY, ("rmw",))
+
+
+class TestRowSerialisation:
+    def test_roundtrip_is_exact(self):
+        config = small_config()
+        row = execute_row("bwaves", config)
+        payload = serialize_row(row)
+        # Must survive an actual JSON encode/decode, as the journal does.
+        restored = deserialize_row(json.loads(json.dumps(payload)))
+        assert restored.benchmark == row.benchmark
+        assert set(restored.results) == set(row.results)
+        for technique, result in row.results.items():
+            other = restored.results[technique]
+            assert dataclasses.asdict(other.counts) == dataclasses.asdict(
+                result.counts
+            )
+            assert other.events.to_dict() == result.events.to_dict()
+            assert dataclasses.asdict(other.cache_stats) == dataclasses.asdict(
+                result.cache_stats
+            )
+            assert other.geometry == result.geometry
+            assert other.requests == result.requests
+
+
+class TestCheckpointJournal:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            assert not journal.resumed
+            journal.append("mcf", {"x": 1})
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == FORMAT_NAME
+        assert header["version"] == FORMAT_VERSION
+        assert header["kind"] == "campaign"
+        assert header["fingerprint"] == "f" * 64
+
+    def test_resume_loads_rows(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            journal.append("mcf", {"x": 1})
+            journal.append("gcc", {"x": 2})
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            assert journal.resumed
+            assert journal.rows == {"mcf": {"x": 1}, "gcc": {"x": 2}}
+            assert journal.skipped_records == 0
+
+    def test_stale_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal.open(path, "campaign", "a" * 64).close()
+        with pytest.raises(CheckpointError, match="stale checkpoint"):
+            CheckpointJournal.open(path, "campaign", "b" * 64)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal.open(path, "comparison", "a" * 64).close()
+        with pytest.raises(CheckpointError, match="kind"):
+            CheckpointJournal.open(path, "campaign", "a" * 64)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            CheckpointJournal.open(path, "campaign", "a" * 64)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_NAME,
+                    "version": FORMAT_VERSION + 1,
+                    "kind": "campaign",
+                    "fingerprint": "a" * 64,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointJournal.open(path, "campaign", "a" * 64)
+
+    def test_truncated_tail_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            journal.append("mcf", {"x": 1})
+            journal.append("gcc", {"x": 2})
+        # Simulate a writer that died mid-append of the last record.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            assert journal.rows == {"mcf": {"x": 1}}
+            assert journal.skipped_records == 1
+
+    def test_crc_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            journal.append("mcf", {"x": 1})
+        # Flip the payload without updating the CRC.
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["payload"]["x"] = 999
+        path.write_text(lines[0] + "\n" + json.dumps(record) + "\n")
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            assert journal.rows == {}
+            assert journal.skipped_records == 1
+
+    def test_append_is_durable_line_at_a_time(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal.open(path, "campaign", "f" * 64) as journal:
+            journal.append("mcf", {"x": 1})
+            # Even before close, the record is fully on disk.
+            lines = path.read_text().splitlines()
+            assert len(lines) == 2
+            assert json.loads(lines[1])["key"] == "mcf"
+
+
+class TestCheckpointStore:
+    def test_file_mode(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.jsonl")
+        assert not store.directory_mode
+        assert store.journal_path("a" * 64) == tmp_path / "run.jsonl"
+
+    def test_directory_mode_one_journal_per_fingerprint(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        assert store.directory_mode
+        path_a = store.journal_path("a" * 64)
+        path_b = store.journal_path("b" * 64)
+        assert path_a != path_b
+        assert path_a.parent == tmp_path / "ckpts"
+        assert path_a.name == "a" * 16 + ".jsonl"
+
+    def test_open_campaign_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        config = small_config()
+        with store.open_campaign(config) as journal:
+            journal.append("mcf", {"x": 1})
+        with store.open_campaign(config) as journal:
+            assert journal.resumed
+            assert "mcf" in journal.rows
+
+    def test_as_store(self, tmp_path):
+        assert as_store(None) is None
+        store = CheckpointStore(tmp_path)
+        assert as_store(store) is store
+        built = as_store(str(tmp_path / "x.jsonl"))
+        assert isinstance(built, CheckpointStore)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faultinject import FaultSpec, inject
 from repro.sim.campaign import run_campaign
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.parallel import run_campaign_parallel
@@ -38,6 +39,25 @@ class TestParallelCampaign:
     def test_row_order_preserved(self):
         result = run_campaign_parallel(CONFIG, processes=2)
         assert [row.benchmark for row in result.rows] == list(CONFIG.benchmarks)
+
+    def test_row_order_pinned_against_scheduling(self):
+        """Completion order must not leak into row order.
+
+        An injected delay makes the *first* benchmark finish last; the
+        rows must still come back in config order.
+        """
+        with inject(
+            FaultSpec(
+                kind="delay", benchmark="bwaves", seconds=0.4, until_attempt=99
+            )
+        ):
+            result = run_campaign_parallel(CONFIG, processes=3)
+        assert [row.benchmark for row in result.rows] == list(CONFIG.benchmarks)
+
+    def test_row_lookup_is_cached(self):
+        result = run_campaign_parallel(CONFIG, processes=2)
+        assert result.row("mcf") is result.row("mcf")
+        assert result._rows_by_benchmark is result._rows_by_benchmark
 
     def test_processes_validated(self):
         with pytest.raises(ValueError):

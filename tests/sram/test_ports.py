@@ -55,3 +55,40 @@ class TestQueries:
         assert ports.utilisation(PortKind.READ, 100) == pytest.approx(0.25)
         assert ports.utilisation(PortKind.READ, 0) == 0.0
         assert ports.utilisation(PortKind.READ, 10) == 1.0  # clamped
+
+
+class TestReserve:
+    """reserve() is the no-stall acquire: conflicts raise instead of wait."""
+
+    def test_free_port_reserved_at_requested_cycle(self):
+        from repro.errors import PortConflictError  # noqa: F401 - documented pair
+
+        ports = PortTracker()
+        assert ports.reserve(PortKind.WRITE, 4, 3) == 4
+        assert ports.free_at[PortKind.WRITE] == 7
+        assert ports.busy_cycles[PortKind.WRITE] == 3
+
+    def test_busy_port_raises_port_conflict(self):
+        from repro.errors import PortConflictError
+
+        ports = PortTracker()
+        ports.reserve(PortKind.WRITE, 0, 5)
+        with pytest.raises(PortConflictError, match="busy until cycle 5"):
+            ports.reserve(PortKind.WRITE, 3, 1)
+        assert ports.conflicts[PortKind.WRITE] == 1
+        # The failed reservation must not extend the busy window.
+        assert ports.free_at[PortKind.WRITE] == 5
+
+    def test_back_to_back_reservations_legal(self):
+        ports = PortTracker()
+        ports.reserve(PortKind.READ, 0, 2)
+        assert ports.reserve(PortKind.READ, 2, 2) == 2
+
+    def test_ports_independent(self):
+        ports = PortTracker()
+        ports.reserve(PortKind.WRITE, 0, 4)
+        assert ports.reserve(PortKind.READ, 0, 4) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PortTracker().reserve(PortKind.READ, 0, -1)

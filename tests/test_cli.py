@@ -232,6 +232,27 @@ class TestObservabilityFlags:
         state = json.loads(metrics.read_text())
         assert state["counters"]["span.figure.fig5.calls"] == 1
 
+    def test_trace_crc_roundtrip_through_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.bin"
+        assert (
+            main(
+                [
+                    "trace",
+                    "mcf",
+                    str(trace_path),
+                    "--accesses",
+                    "1000",
+                    "--format",
+                    "binary",
+                    "--crc",
+                ]
+            )
+            == 0
+        )
+        assert trace_path.read_bytes()[:8] == b"RPTRACE2"
+        assert main(["stats", str(trace_path)]) == 0
+        assert "silent writes" in capsys.readouterr().out
+
     def test_profile_prints_tables(self, capsys):
         code = main(
             ["profile", "bwaves", "--accesses", "3000", "--techniques", "rmw", "wg"]
@@ -243,3 +264,162 @@ class TestObservabilityFlags:
         assert "hot counters" in output
         assert "ctrl.rmw.rmw_issued" in output
         assert "total across techniques" in output
+
+
+class TestErrorHandling:
+    """ReproError failures must be one-line messages, not tracebacks."""
+
+    def test_usage_error_exits_2(self, capsys, tmp_path):
+        # --crc is meaningless for the text format: ConfigurationError.
+        code = main(
+            [
+                "trace",
+                "mcf",
+                str(tmp_path / "t.trc"),
+                "--accesses",
+                "500",
+                "--format",
+                "text",
+                "--crc",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-8t: error:")
+        assert "Traceback" not in err
+
+    def test_runtime_error_exits_3(self, capsys, tmp_path):
+        trace_path = tmp_path / "bad.bin"
+        trace_path.write_bytes(b"WRONGMAG" + b"\x00" * 25)
+        code = main(["stats", str(trace_path)])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "bad magic" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_crc_trace_exits_3_naming_offset(self, capsys, tmp_path):
+        from repro.faultinject import flip_bit
+
+        trace_path = tmp_path / "t.bin"
+        assert (
+            main(
+                [
+                    "trace",
+                    "mcf",
+                    str(trace_path),
+                    "--accesses",
+                    "500",
+                    "--format",
+                    "binary",
+                    "--crc",
+                ]
+            )
+            == 0
+        )
+        flip_bit(trace_path, byte_offset=20, bit=1)
+        assert main(["stats", str(trace_path)]) == 3
+        assert "byte offset" in capsys.readouterr().err
+
+    def test_debug_restores_traceback(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "--debug",
+                    "trace",
+                    "mcf",
+                    str(tmp_path / "t.trc"),
+                    "--format",
+                    "text",
+                    "--crc",
+                ]
+            )
+
+    def test_stale_checkpoint_exits_3(self, capsys, tmp_path):
+        checkpoint = tmp_path / "run.jsonl"
+        base = [
+            "compare",
+            "mcf",
+            "--accesses",
+            "1000",
+            "--techniques",
+            "rmw",
+            "wg",
+            "--checkpoint",
+            str(checkpoint),
+        ]
+        assert main(base) == 0
+        # Same journal file, different config: stale.
+        code = main(
+            [
+                "compare",
+                "mcf",
+                "--accesses",
+                "2000",
+                "--techniques",
+                "rmw",
+                "wg",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 3
+        assert "stale checkpoint" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_compare_checkpoint_resume_identical_output(self, capsys, tmp_path):
+        checkpoint = tmp_path / "cmp.jsonl"
+        argv = [
+            "compare",
+            "bwaves",
+            "--accesses",
+            "2000",
+            "--techniques",
+            "rmw",
+            "wg",
+            "--checkpoint",
+            str(checkpoint),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert checkpoint.exists()
+
+    def test_figure_with_retries_and_checkpoint_dir(self, capsys, tmp_path):
+        checkpoint_dir = tmp_path / "ckpts"
+        argv = [
+            "figure",
+            "fig9",  # campaign-backed, so the checkpoint journals rows
+            "--accesses",
+            "1500",
+            "--benchmarks",
+            "bwaves",
+            "--retries",
+            "2",
+            "--checkpoint",
+            str(checkpoint_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(checkpoint_dir.glob("*.jsonl"))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_figure_with_processes_matches_sequential(self, capsys):
+        argv = [
+            "figure",
+            "fig9",
+            "--accesses",
+            "1500",
+            "--benchmarks",
+            "bwaves",
+            "mcf",
+        ]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--processes", "2", "--worker-timeout", "60"]) == 0
+        assert capsys.readouterr().out == sequential

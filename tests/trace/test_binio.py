@@ -5,7 +5,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import TraceFormatError
-from repro.trace.binio import MAGIC, read_binary_trace, write_binary_trace
+from repro.faultinject import flip_bit, truncate_file
+from repro.trace.binio import (
+    MAGIC,
+    MAGIC_CRC,
+    read_binary_trace,
+    write_binary_trace,
+)
 from repro.trace.record import AccessType, MemoryAccess
 
 _accesses = st.lists(
@@ -63,3 +69,85 @@ class TestErrors:
         path = tmp_path / "empty.bin"
         path.write_bytes(MAGIC)
         assert list(read_binary_trace(path)) == []
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(MAGIC[:3])
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            list(read_binary_trace(path))
+
+    def test_error_names_record_and_offset(self, tmp_path):
+        import struct
+
+        path = tmp_path / "kind.bin"
+        good = struct.pack("<QBQQ", 0, 1, 8, 0)
+        bad = struct.pack("<QBQQ", 1, 7, 8, 0)
+        path.write_bytes(MAGIC + good + bad)
+        with pytest.raises(
+            TraceFormatError, match=r"record #1 at byte offset 33"
+        ):
+            list(read_binary_trace(path))
+
+
+SAMPLE = [
+    MemoryAccess(icount=0, kind=AccessType.WRITE, address=8, value=1),
+    MemoryAccess(icount=2, kind=AccessType.READ, address=0),
+    MemoryAccess(icount=5, kind=AccessType.WRITE, address=16, value=99),
+]
+
+
+class TestCrcVariant:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.bin"
+        assert write_binary_trace(path, SAMPLE, crc=True) == 3
+        assert path.read_bytes()[:8] == MAGIC_CRC
+        assert list(read_binary_trace(path)) == SAMPLE
+
+    @given(trace=_accesses)
+    def test_property_roundtrip(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("crc") / "t.bin"
+        write_binary_trace(path, trace, crc=True)
+        assert list(read_binary_trace(path)) == trace
+
+    def test_records_are_29_bytes(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, SAMPLE, crc=True)
+        assert path.stat().st_size == 8 + 29 * len(SAMPLE)
+
+    def test_bit_rot_detected_with_offsets(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, SAMPLE, crc=True)
+        # Flip one bit inside the *body* of record #1 (offset 8 + 29 + 2).
+        flip_bit(path, byte_offset=8 + 29 + 2, bit=5)
+        with pytest.raises(
+            TraceFormatError, match=r"CRC mismatch in record #1 at byte offset 37"
+        ) as excinfo:
+            list(read_binary_trace(path))
+        assert "stored 0x" in str(excinfo.value)
+
+    def test_corrupt_crc_field_itself_detected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, SAMPLE, crc=True)
+        flip_bit(path, byte_offset=-1, bit=0)  # last CRC byte
+        with pytest.raises(TraceFormatError, match=r"record #2"):
+            list(read_binary_trace(path))
+
+    def test_truncation_detected_with_offsets(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, SAMPLE, crc=True)
+        truncate_file(path, keep_bytes=8 + 29 + 10)
+        with pytest.raises(
+            TraceFormatError,
+            match=r"truncated record #1 at byte offset 37 \(10 of 29 bytes\)",
+        ):
+            list(read_binary_trace(path))
+
+    def test_records_before_corruption_still_readable(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, SAMPLE, crc=True)
+        flip_bit(path, byte_offset=-1, bit=0)
+        reader = read_binary_trace(path)
+        assert next(reader) == SAMPLE[0]
+        assert next(reader) == SAMPLE[1]
+        with pytest.raises(TraceFormatError):
+            next(reader)
