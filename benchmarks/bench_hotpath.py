@@ -1,0 +1,87 @@
+"""Hot-path throughput benchmark — emits ``BENCH_hotpath.json``.
+
+Standalone script (not a pytest benchmark): the CI perf-smoke job runs
+it directly, uploads the JSON artifact, and fails the build when any
+technique's batched/scalar speedup drops below its pinned floor::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --out BENCH_hotpath.json
+
+The floors are deliberately conservative relative to what the batched
+engine achieves on a quiet developer machine (roughly 4x for
+conventional/rmw and 3x for wg/wg_rb): shared CI runners are noisy, and
+the job should only trip on a structural regression — a technique
+falling off its fast path — not on scheduler jitter.  Every run also
+cross-checks that both engines produce identical event logs, so this
+doubles as an end-to-end equivalence test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cache.config import BASELINE_GEOMETRY
+from repro.engine.bench import bench_report, run_hotpath_bench
+
+#: Minimum acceptable batched/scalar speedup per technique.  Structural
+#: floors, not performance targets — see the module docstring.
+SPEEDUP_FLOORS = {
+    "conventional": 2.0,
+    "rmw": 2.0,
+    "wg": 1.4,
+    "wg_rb": 1.4,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="bwaves")
+    parser.add_argument("--accesses", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json", help="report output path"
+    )
+    parser.add_argument(
+        "--no-floors",
+        action="store_true",
+        help="measure only; never fail on a speedup regression",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_hotpath_bench(
+        accesses=args.accesses,
+        benchmark=args.benchmark,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    floors = None if args.no_floors else SPEEDUP_FLOORS
+    report = bench_report(
+        results, args.benchmark, BASELINE_GEOMETRY, floors=floors
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for result in results:
+        print(
+            f"{result.technique:<14} scalar {result.scalar_aps:>12,.0f}/s   "
+            f"batched {result.batched_aps:>12,.0f}/s   "
+            f"speedup {result.speedup:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    if report["regressions"]:
+        for regression in report["regressions"]:
+            print(
+                f"REGRESSION: {regression['technique']} speedup "
+                f"{regression['speedup']:.2f}x is below the "
+                f"{regression['floor']:.2f}x floor",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

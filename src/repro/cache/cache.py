@@ -5,6 +5,25 @@ to the next level) and the data words themselves.  It deliberately knows
 nothing about 8T arrays or RMW: translating requests into SRAM array
 operations is the job of the controllers in :mod:`repro.core`, which sit
 on top of this model.
+
+Storage layout
+--------------
+Residency state lives in flat per-set arrays rather than per-block
+objects — this is the hot data structure of the whole simulator, and
+slot arrays keep the inner loops on C-level list primitives:
+
+* ``_tags[set]``  — one int per way; ``-1`` marks an invalid way (real
+  tags are non-negative, so ``list.index`` doubles as the lookup);
+* ``_dirty[set]`` — one bool per way;
+* ``_data[set]``  — the set's words, flat: ``way * words_per_block +
+  word_offset``;
+* ``_stamps[set]`` / ``_tick`` — monotonic last-touch stamps for LRU
+  (victim = argmin stamp; ``victim()`` is only consulted once every way
+  is valid, i.e. stamped, so this matches the list-based LRU exactly).
+
+Non-LRU policies (fifo/random/plru) keep per-set policy objects; the
+batched engine fast paths require stamp-LRU and check
+:attr:`engine_fast_ok` before engaging.
 """
 
 from __future__ import annotations
@@ -13,15 +32,18 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.address import AddressMapper
-from repro.cache.cache_set import CacheSet
 from repro.cache.config import CacheGeometry
 from repro.cache.memory import FunctionalMemory
-from repro.cache.replacement import make_policy
+from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 from repro.trace.record import MemoryAccess
 from repro.utils.rng import DeterministicRNG
 
 __all__ = ["SetAssociativeCache", "AccessResult"]
+
+#: Invalid-way sentinel in the tag slots.  Tags are masked to
+#: ``tag_bits`` bits and therefore never negative.
+_NO_TAG = -1
 
 
 @dataclass(frozen=True)
@@ -63,23 +85,54 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._replacement_name = replacement
         rng = rng if rng is not None else DeterministicRNG(0)
-        self._sets: List[CacheSet] = []
-        for set_index in range(geometry.num_sets):
-            if replacement == "random":
-                policy = make_policy(replacement, geometry.associativity)
-                policy._rng = rng.fork("replacement", str(set_index))  # noqa: SLF001
-            else:
-                policy = make_policy(replacement, geometry.associativity)
-            self._sets.append(
-                CacheSet(geometry.associativity, geometry.words_per_block, policy)
-            )
+
+        ways = geometry.associativity
+        wpb = geometry.words_per_block
+        num_sets = geometry.num_sets
+        self._ways = ways
+        self._wpb = wpb
+        self._codec = geometry.codec
+        self._tags: List[List[int]] = [[_NO_TAG] * ways for _ in range(num_sets)]
+        self._dirty: List[List[bool]] = [[False] * ways for _ in range(num_sets)]
+        self._data: List[List[int]] = [[0] * (ways * wpb) for _ in range(num_sets)]
+        self._stamps: List[List[int]] = [[0] * ways for _ in range(num_sets)]
+        self._tick = 1
+
+        self._policies: Optional[List[ReplacementPolicy]]
+        if replacement.lower() == "lru":
+            # LRU is modelled by the stamps alone; no policy objects.
+            self._policies = None
+        else:
+            self._policies = []
+            for set_index in range(num_sets):
+                policy = make_policy(replacement, ways)
+                if replacement == "random":
+                    policy._rng = rng.fork("replacement", str(set_index))  # noqa: SLF001
+                self._policies.append(policy)
+
+    # -- engine contract ----------------------------------------------------
+
+    @property
+    def engine_fast_ok(self) -> bool:
+        """True when batched fast paths may drive the slot arrays directly.
+
+        Fast paths replicate stamp-LRU inline; any other replacement
+        policy forces the scalar path (which goes through the policy
+        objects).
+        """
+        return self._policies is None
 
     # -- residency ----------------------------------------------------------
 
     def lookup(self, address: int) -> Optional[int]:
         """Way holding ``address``, or None on miss.  No side effects."""
-        set_index = self.mapper.set_index(address)
-        return self._sets[set_index].find_way(self.mapper.tag(address))
+        codec = self._codec
+        set_index = (address >> codec.index_shift) & codec.index_mask
+        tag = (address >> codec.tag_shift) & codec.tag_mask
+        try:
+            return self._tags[set_index].index(tag)
+        except ValueError:
+            return None
 
     def ensure_resident(self, access: MemoryAccess) -> AccessResult:
         """Make the block of ``access`` resident, filling on a miss.
@@ -88,39 +141,30 @@ class SetAssociativeCache:
         victims are written back to the next level.
         """
         address = access.address
-        set_index = self.mapper.set_index(address)
-        tag = self.mapper.tag(address)
-        word_offset = self.mapper.word_offset(address)
-        cache_set = self._sets[set_index]
+        codec = self._codec
+        set_index = (address >> codec.index_shift) & codec.index_mask
+        tag = (address >> codec.tag_shift) & codec.tag_mask
+        word_offset = (address & codec.offset_mask) >> codec.word_shift
+        stats = self.stats
 
-        way = cache_set.find_way(tag)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = None
         if way is not None:
-            self._record_hit(access)
-            cache_set.touch(way)
+            if access.is_read:
+                stats.read_hits += 1
+            else:
+                stats.write_hits += 1
+            self._touch(set_index, way)
             return AccessResult(
                 hit=True, set_index=set_index, way=way, word_offset=word_offset
             )
 
-        self._record_miss(access)
-        way = cache_set.choose_fill_way()
-        victim = cache_set.ways[way]
-        evicted_tag: Optional[int] = None
-        evicted_dirty = False
-        if victim.valid:
-            evicted_tag = victim.tag
-            evicted_dirty = victim.dirty
-            self.stats.evictions += 1
-            if victim.dirty:
-                self.stats.dirty_evictions += 1
-                victim_address = self.mapper.compose(victim.tag, set_index)
-                self.memory.write_block(victim_address, victim.data)
-
-        block_address = self.mapper.block_address(address)
-        fill_data = self.memory.read_block(
-            block_address, self.geometry.words_per_block
+        way, evicted_tag, evicted_dirty = self._fill(
+            set_index, tag, address, access.is_read
         )
-        victim.fill(tag, fill_data)
-        cache_set.record_fill(way)
         return AccessResult(
             hit=False,
             set_index=set_index,
@@ -131,37 +175,104 @@ class SetAssociativeCache:
             evicted_dirty=evicted_dirty,
         )
 
-    def _record_hit(self, access: MemoryAccess) -> None:
-        if access.is_read:
-            self.stats.read_hits += 1
-        else:
-            self.stats.write_hits += 1
+    def _fill(
+        self, set_index: int, tag: int, address: int, is_read: bool
+    ):
+        """Miss half of :meth:`ensure_resident`, shared with the batched
+        engine fast paths (which probe the tag slots themselves and call
+        this only on a verified miss).
 
-    def _record_miss(self, access: MemoryAccess) -> None:
-        if access.is_read:
-            self.stats.read_misses += 1
+        Records miss statistics, evicts the victim (writing a dirty one
+        back), fills from the next level and stamps the way.  Returns
+        ``(way, evicted_tag, evicted_dirty)``.
+        """
+        stats = self.stats
+        if is_read:
+            stats.read_misses += 1
         else:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
+        way = self._choose_fill_way(set_index)
+        tags = self._tags[set_index]
+        victim_tag = tags[way]
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        wpb = self._wpb
+        data = self._data[set_index]
+        base = way * wpb
+        if victim_tag != _NO_TAG:
+            evicted_tag = victim_tag
+            evicted_dirty = self._dirty[set_index][way]
+            stats.evictions += 1
+            if evicted_dirty:
+                stats.dirty_evictions += 1
+                victim_address = self.mapper.compose(victim_tag, set_index)
+                self.memory.write_block(victim_address, data[base : base + wpb])
+
+        block_address = self.mapper.block_address(address)
+        fill_data = self.memory.read_block(block_address, wpb)
+        data[base : base + wpb] = fill_data
+        tags[way] = tag
+        self._dirty[set_index][way] = False
+        self._record_fill(set_index, way)
+        return way, evicted_tag, evicted_dirty
+
+    # -- replacement plumbing -----------------------------------------------
+
+    def _touch(self, set_index: int, way: int) -> None:
+        if self._policies is None:
+            self._stamps[set_index][way] = self._tick
+            self._tick += 1
+        else:
+            self._policies[set_index].on_access(way)
+
+    def _record_fill(self, set_index: int, way: int) -> None:
+        if self._policies is None:
+            self._stamps[set_index][way] = self._tick
+            self._tick += 1
+        else:
+            self._policies[set_index].on_fill(way)
+
+    def _choose_fill_way(self, set_index: int) -> int:
+        tags = self._tags[set_index]
+        try:
+            return tags.index(_NO_TAG)
+        except ValueError:
+            pass
+        if self._policies is None:
+            stamps = self._stamps[set_index]
+            return stamps.index(min(stamps))
+        return self._policies[set_index].victim()
 
     # -- data plane ----------------------------------------------------------
 
     def read_word(self, set_index: int, way: int, word_offset: int) -> int:
         """Read a word from a resident block."""
-        return self._sets[set_index].ways[way].read_word(word_offset)
+        if self._tags[set_index][way] == _NO_TAG:
+            raise ValueError("read from an invalid block")
+        return self._data[set_index][way * self._wpb + word_offset]
 
     def write_word(
         self, set_index: int, way: int, word_offset: int, value: int
     ) -> None:
         """Write a word into a resident block (marks it dirty)."""
-        self._sets[set_index].ways[way].write_word(word_offset, value)
+        if self._tags[set_index][way] == _NO_TAG:
+            raise ValueError("write to an invalid block")
+        self._data[set_index][way * self._wpb + word_offset] = value
+        self._dirty[set_index][way] = True
 
     def read_set_data(self, set_index: int) -> List[List[int]]:
         """Copy of every way's data words — the Set-Buffer fill (read row)."""
-        return [list(block.data) for block in self._sets[set_index].ways]
+        data = self._data[set_index]
+        wpb = self._wpb
+        return [
+            data[way * wpb : (way + 1) * wpb] for way in range(self._ways)
+        ]
 
     def set_tags(self, set_index: int) -> List[Optional[int]]:
         """Tags resident in a set (None for invalid ways) — Tag-Buffer fill."""
-        return self._sets[set_index].valid_tags()
+        return [
+            tag if tag != _NO_TAG else None for tag in self._tags[set_index]
+        ]
 
     def flush_all_dirty(self) -> int:
         """Write every dirty block to memory (end-of-run drain for oracles).
@@ -169,12 +280,17 @@ class SetAssociativeCache:
         Returns the number of blocks written back.
         """
         written = 0
-        for set_index, cache_set in enumerate(self._sets):
-            for block in cache_set.ways:
-                if block.valid and block.dirty:
-                    address = self.mapper.compose(block.tag, set_index)
-                    self.memory.write_block(address, block.data)
-                    block.dirty = False
+        wpb = self._wpb
+        for set_index in range(self.geometry.num_sets):
+            tags = self._tags[set_index]
+            dirty = self._dirty[set_index]
+            data = self._data[set_index]
+            for way in range(self._ways):
+                if tags[way] != _NO_TAG and dirty[way]:
+                    address = self.mapper.compose(tags[way], set_index)
+                    base = way * wpb
+                    self.memory.write_block(address, data[base : base + wpb])
+                    dirty[way] = False
                     written += 1
         return written
 

@@ -9,12 +9,36 @@ sensitivity studies use 32 KB/64 B (Figure 10) and 32 KB & 128 KB with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 from repro.trace.record import WORD_BYTES
 from repro.utils.bitops import is_power_of_two, log2_exact
 
-__all__ = ["CacheGeometry", "BASELINE_GEOMETRY"]
+__all__ = ["AddressCodec", "CacheGeometry", "BASELINE_GEOMETRY"]
+
+
+class AddressCodec(NamedTuple):
+    """Shift/mask constants for splitting a byte address in one pass.
+
+    The batched execution engine decodes whole trace chunks with these
+    (``repro.engine.batch``), so they are computed once per geometry and
+    cached on the :class:`CacheGeometry` instance.  The decomposition is
+    exactly :class:`repro.cache.address.AddressMapper`'s::
+
+        set_index   = (address >> index_shift) & index_mask
+        tag         = (address >> tag_shift) & tag_mask
+        word_offset = (address & offset_mask) >> word_shift
+    """
+
+    index_shift: int
+    index_mask: int
+    tag_shift: int
+    tag_mask: int
+    offset_mask: int
+    word_shift: int
+    words_per_block: int
 
 
 @dataclass(frozen=True)
@@ -94,6 +118,24 @@ class CacheGeometry:
     @property
     def tag_bits(self) -> int:
         return self.address_bits - self.index_bits - self.offset_bits
+
+    @cached_property
+    def codec(self) -> AddressCodec:
+        """Shift/mask constants for batched address decoding.
+
+        Cached per geometry (the dataclass is frozen, so the derived
+        bit layout never changes after construction); the batch decoder
+        reads these once into locals before its inner loop.
+        """
+        return AddressCodec(
+            index_shift=self.offset_bits,
+            index_mask=self.num_sets - 1,
+            tag_shift=self.offset_bits + self.index_bits,
+            tag_mask=(1 << self.tag_bits) - 1,
+            offset_mask=self.block_bytes - 1,
+            word_shift=log2_exact(WORD_BYTES),
+            words_per_block=self.words_per_block,
+        )
 
     def describe(self) -> str:
         """Compact human-readable label, e.g. ``64KB/4-way/32B``."""

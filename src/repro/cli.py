@@ -9,6 +9,7 @@ Installed as the ``repro-8t`` console script::
     repro-8t profile bwaves               # phase timings + hot counters
     repro-8t trace bwaves out.trc --accesses 50000 --format binary
     repro-8t stats out.trc --geometry 64K:4:32
+    repro-8t bench --json BENCH_hotpath.json   # scalar vs batched engine
     repro-8t kernels                      # list instrumented kernels
     repro-8t kernel matmul out.trc
     repro-8t benchmarks                   # list workload profiles
@@ -447,6 +448,47 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.engine.bench import bench_report, run_hotpath_bench
+
+    results = run_hotpath_bench(
+        techniques=tuple(args.techniques),
+        accesses=args.accesses,
+        geometry=args.geometry,
+        benchmark=args.benchmark,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+    )
+    print(
+        format_table(
+            ("technique", "scalar acc/s", "batched acc/s", "speedup"),
+            [
+                (
+                    result.technique,
+                    f"{result.scalar_aps:,.0f}",
+                    f"{result.batched_aps:,.0f}",
+                    f"{result.speedup:.2f}x",
+                )
+                for result in results
+            ],
+            title=(
+                f"hot-path throughput: {args.benchmark}, "
+                f"{args.accesses} accesses on {args.geometry.describe()}"
+            ),
+        )
+    )
+    if args.json:
+        report = bench_report(results, args.benchmark, args.geometry)
+        with open(args.json, "w", encoding="ascii") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote benchmark report to {args.json}")
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     rows = [
         (
@@ -592,6 +634,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(sub)
     _add_resilience_flags(sub)
     sub.set_defaults(handler=_cmd_report)
+
+    sub = subparsers.add_parser(
+        "bench",
+        help="hot-path throughput: scalar vs batched engine",
+    )
+    sub.add_argument(
+        "benchmark", nargs="?", default="bwaves", choices=benchmark_names()
+    )
+    sub.add_argument("--accesses", type=int, default=200_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.add_argument(
+        "--techniques",
+        nargs="+",
+        default=["conventional", "rmw", "wg", "wg_rb"],
+        choices=ALL_CONTROLLER_NAMES,
+    )
+    sub.add_argument(
+        "--batch-size", type=int, help="records per batch (default 4096)"
+    )
+    sub.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per engine; the fastest is kept",
+    )
+    sub.add_argument(
+        "--json", help="also write the BENCH_hotpath.json document here"
+    )
+    sub.set_defaults(handler=_cmd_bench)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
     sub.set_defaults(handler=_cmd_benchmarks)

@@ -20,13 +20,16 @@ unchanged.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.core.outcomes import AccessOutcome, OperationCounts
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.batch import AccessBatch
 
 __all__ = ["CacheController"]
 
@@ -36,6 +39,14 @@ class CacheController(abc.ABC):
 
     #: Short registry name, set by subclasses.
     name: str = "abstract"
+
+    #: Registry name whose semantics the class's ``_process_batch_fast``
+    #: implements, or None when there is no batched fast path.  The gate
+    #: in :meth:`process_batch` requires ``self.name`` to match, so a
+    #: subclass that changes behaviour (and therefore ``name``) falls
+    #: back to the scalar loop instead of inheriting a fast path that no
+    #: longer matches its ``process()``.
+    _fast_path_name: Optional[str] = None
 
     def __init__(
         self,
@@ -73,6 +84,21 @@ class CacheController(abc.ABC):
             self._c_writes = registry.counter(prefix + "write_requests")
             self._c_hits = registry.counter(prefix + "hits")
             self._c_misses = registry.counter(prefix + "misses")
+
+    def reset_telemetry_counters(self) -> None:
+        """Zero this controller's pre-bound registry counters.
+
+        ``Simulator.reset_measurements`` calls this so warm-up requests
+        never leak into the measured slice on the metrics plane (the
+        event/count objects are *replaced* there, but registry counters
+        are shared live objects and must be reset in place).
+        """
+        if not self._obs:
+            return
+        prefix = f"ctrl.{self.name}."
+        for counter in self.telemetry.registry.counters():
+            if counter.name.startswith(prefix):
+                counter.value = 0
 
     def _emit_point(self, name: str, **args) -> None:
         """One named instrumentation point: counter + trace instant.
@@ -130,9 +156,77 @@ class CacheController(abc.ABC):
             self._observe(access, result)
         return outcome
 
-    def run(self, trace: Iterable[MemoryAccess]) -> List[AccessOutcome]:
-        """Process a whole trace, finalize, and return per-access outcomes."""
-        outcomes = [self.process(access) for access in trace]
+    def process_batch(self, batch: "AccessBatch") -> int:
+        """Handle one :class:`AccessBatch`; returns records consumed.
+
+        Bit-identical to replaying the batch through :meth:`process`
+        one record at a time — the differential suite in
+        ``tests/engine/`` enforces this.  Outcome objects are not
+        built, which is most of the speedup.
+
+        The specialised fast path engages only when *all* of these
+        hold; otherwise every record replays through the scalar path:
+
+        * the concrete class implements the semantics it advertises
+          (``name == _fast_path_name`` — subclasses that change
+          behaviour fall back automatically);
+        * the cache uses stamp-LRU (:attr:`SetAssociativeCache.
+          engine_fast_ok`);
+        * telemetry is off (``_obs``): per-request sampler ticks and
+          trace instants cannot be aggregated per batch without
+          changing observable output.
+        """
+        if self._finalized:
+            raise RuntimeError("controller already finalized")
+        if batch.geometry != self.cache.geometry:
+            raise ValueError(
+                f"batch decoded for {batch.geometry.describe()} fed to a "
+                f"{self.cache.geometry.describe()} cache"
+            )
+        n = len(batch)
+        if n == 0:
+            return 0
+        if (
+            self.name == self._fast_path_name
+            and not self._obs
+            and self.cache.engine_fast_ok
+        ):
+            self._process_batch_fast(batch)
+        else:
+            process = self.process
+            for access in batch.accesses():
+                process(access)
+        return n
+
+    def _process_batch_fast(self, batch: "AccessBatch") -> None:
+        """Batched fast path; only reached when the gate in
+        :meth:`process_batch` passed.  Base implementation replays the
+        scalar path (concrete techniques override)."""
+        process = self.process
+        for access in batch.accesses():
+            process(access)
+
+    def run(
+        self,
+        trace: Iterable[MemoryAccess],
+        collect_outcomes: bool = True,
+    ) -> Optional[List[AccessOutcome]]:
+        """Process a whole trace, finalize, and return per-access outcomes.
+
+        ``collect_outcomes=False`` streams instead: outcomes are
+        discarded as they are produced and the call returns None, so a
+        campaign-length trace costs O(1) memory here instead of one
+        retained :class:`AccessOutcome` per access.
+        """
+        if collect_outcomes:
+            outcomes: Optional[List[AccessOutcome]] = [
+                self.process(access) for access in trace
+            ]
+        else:
+            outcomes = None
+            process = self.process
+            for access in trace:
+                process(access)
         self.finalize()
         return outcomes
 

@@ -68,6 +68,18 @@ class SetBuffer:
         self._modified.add((way, word_offset))
         return False
 
+    def engine_views(self) -> Tuple[List[List[int]], Set[Tuple[int, int]]]:
+        """``(data, modified)`` internals for the batched engine.
+
+        The fast paths in :mod:`repro.core.write_grouping` mutate these
+        in place, replicating :meth:`write` without the per-word method
+        call.  The views go stale when the buffer is refilled or
+        drained (:meth:`fill`/:meth:`take_modified` rebind the set), so
+        callers must re-fetch them after any scalar fallback.
+        """
+        self._check_valid()
+        return self._data, self._modified
+
     def take_modified(self) -> Dict[Tuple[int, int], int]:
         """Return and clear the modified words (the write-back payload)."""
         self._check_valid()

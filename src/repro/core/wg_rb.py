@@ -21,6 +21,9 @@ class WGRBController(WriteGroupingController):
     """WG plus Set-Buffer read bypassing."""
 
     name = "wg_rb"
+    _fast_path_name = "wg_rb"
+    _rb_bypass = True  # the batched fast path serves probe-hit reads
+    # from the Set-Buffer, mirroring _handle_read below
 
     def _handle_read(
         self, access: MemoryAccess, result: AccessResult

@@ -1,0 +1,25 @@
+"""Batched execution engine.
+
+The throughput layer of the simulator: struct-of-arrays trace batches
+(:mod:`repro.engine.batch`) feed the controllers'
+``process_batch()`` fast paths, several times faster than the scalar
+``process()`` loop and bit-identical to it (see
+``docs/performance.md`` and the differential suite in
+``tests/engine/``).  :mod:`repro.engine.bench` measures the speedup.
+"""
+
+from repro.engine.batch import AccessBatch, DEFAULT_BATCH_SIZE, iter_batches
+from repro.engine.bench import (
+    BenchResult,
+    bench_report,
+    run_hotpath_bench,
+)
+
+__all__ = [
+    "AccessBatch",
+    "DEFAULT_BATCH_SIZE",
+    "iter_batches",
+    "BenchResult",
+    "bench_report",
+    "run_hotpath_bench",
+]

@@ -1,0 +1,182 @@
+"""Hot-path throughput benchmark: scalar vs batched engine.
+
+Replays one synthetic workload through every requested technique twice
+— once through the scalar ``process()`` loop, once through the batched
+``process_batch()`` engine — and reports accesses/second for each.  As
+a side effect every run cross-checks the two engines' event logs, so a
+benchmark run doubles as an end-to-end equivalence check on a real
+workload.
+
+Entry points: ``repro-8t bench`` (CLI) and
+``benchmarks/bench_hotpath.py`` (writes ``BENCH_hotpath.json`` for the
+CI perf-smoke job).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.core.registry import CONTROLLER_NAMES, make_controller
+from repro.engine.batch import iter_batches
+from repro.errors import ReproError
+from repro.trace.record import MemoryAccess
+from repro.workload.generator import generate_trace
+from repro.workload.spec2006 import get_profile
+
+__all__ = ["BenchResult", "run_hotpath_bench", "bench_report"]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Throughput of one technique under both engines."""
+
+    technique: str
+    accesses: int
+    scalar_seconds: float
+    batched_seconds: float
+
+    @property
+    def scalar_aps(self) -> float:
+        """Scalar accesses/second."""
+        return self.accesses / self.scalar_seconds if self.scalar_seconds else 0.0
+
+    @property
+    def batched_aps(self) -> float:
+        """Batched accesses/second."""
+        return self.accesses / self.batched_seconds if self.batched_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Batched over scalar throughput."""
+        return self.scalar_seconds / self.batched_seconds if self.batched_seconds else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "accesses": self.accesses,
+            "scalar_seconds": self.scalar_seconds,
+            "batched_seconds": self.batched_seconds,
+            "scalar_accesses_per_second": self.scalar_aps,
+            "batched_accesses_per_second": self.batched_aps,
+            "speedup": self.speedup,
+        }
+
+
+def _time_scalar(
+    technique: str, trace: Sequence[MemoryAccess], geometry: CacheGeometry
+):
+    controller = make_controller(technique, _fresh_cache(geometry))
+    process = controller.process
+    start = time.perf_counter()
+    for access in trace:
+        process(access)
+    elapsed = time.perf_counter() - start
+    controller.finalize()
+    return elapsed, controller.events
+
+
+def _time_batched(
+    technique: str,
+    trace: Sequence[MemoryAccess],
+    geometry: CacheGeometry,
+    batch_size: Optional[int],
+):
+    controller = make_controller(technique, _fresh_cache(geometry))
+    batches = list(iter_batches(trace, geometry, batch_size))
+    process_batch = controller.process_batch
+    start = time.perf_counter()
+    for batch in batches:
+        process_batch(batch)
+    elapsed = time.perf_counter() - start
+    controller.finalize()
+    return elapsed, controller.events
+
+
+def _fresh_cache(geometry: CacheGeometry):
+    from repro.cache.cache import SetAssociativeCache
+
+    return SetAssociativeCache(geometry)
+
+
+def run_hotpath_bench(
+    techniques: Optional[Sequence[str]] = None,
+    accesses: int = 200_000,
+    geometry: CacheGeometry = BASELINE_GEOMETRY,
+    benchmark: str = "bwaves",
+    seed: int = 2012,
+    batch_size: Optional[int] = None,
+    repeats: int = 3,
+) -> List[BenchResult]:
+    """Measure scalar vs batched throughput for each technique.
+
+    ``repeats`` runs of each engine are timed and the *fastest* kept
+    (standard microbenchmark practice: the minimum is the least noisy
+    estimator of the true cost).  Raises :class:`ReproError` if the two
+    engines ever disagree on the resulting event log.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    names = list(techniques) if techniques is not None else list(CONTROLLER_NAMES)
+    trace = generate_trace(get_profile(benchmark), accesses, seed=seed)
+    results: List[BenchResult] = []
+    for technique in names:
+        scalar_best = batched_best = float("inf")
+        scalar_events = batched_events = None
+        for _ in range(repeats):
+            elapsed, events = _time_scalar(technique, trace, geometry)
+            if elapsed < scalar_best:
+                scalar_best = elapsed
+            scalar_events = events
+            elapsed, events = _time_batched(technique, trace, geometry, batch_size)
+            if elapsed < batched_best:
+                batched_best = elapsed
+            batched_events = events
+        if scalar_events != batched_events:
+            raise ReproError(
+                f"engine mismatch for {technique!r}: scalar and batched "
+                "event logs differ — the batched fast path is broken"
+            )
+        results.append(
+            BenchResult(
+                technique=technique,
+                accesses=len(trace),
+                scalar_seconds=scalar_best,
+                batched_seconds=batched_best,
+            )
+        )
+    return results
+
+
+def bench_report(
+    results: Sequence[BenchResult],
+    benchmark: str,
+    geometry: CacheGeometry,
+    floors: Optional[Dict[str, float]] = None,
+) -> dict:
+    """The ``BENCH_hotpath.json`` document.
+
+    ``floors`` maps technique -> minimum acceptable speedup; techniques
+    below their floor are listed under ``"regressions"`` (CI fails when
+    that list is non-empty).
+    """
+    regressions = []
+    if floors:
+        for result in results:
+            floor = floors.get(result.technique)
+            if floor is not None and result.speedup < floor:
+                regressions.append(
+                    {
+                        "technique": result.technique,
+                        "speedup": result.speedup,
+                        "floor": floor,
+                    }
+                )
+    return {
+        "benchmark": benchmark,
+        "geometry": geometry.describe(),
+        "results": [result.to_dict() for result in results],
+        "regressions": regressions,
+    }

@@ -20,6 +20,11 @@ wg_rb            Set-Buffer hit: buffer latency, no port      same as wg
 Reads are on the critical path; the headline metric is mean read
 latency (arrival to data), plus read-port conflict counts showing the
 1R/1W parallelism RMW destroys and WG restores.
+
+This model deliberately drives the controller through the scalar
+``process()`` path: it consumes the per-access :class:`AccessOutcome`
+(which operations fired, in what order) that the batched engine
+(:mod:`repro.engine`) skips building.
 """
 
 from __future__ import annotations

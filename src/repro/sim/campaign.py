@@ -166,6 +166,12 @@ def _run_one(
     config: ExperimentConfig,
     telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
+    """One (trace, technique) run with warm-up.
+
+    Runs on the Simulator's default batched engine; with telemetry
+    enabled the controller transparently falls back to per-access
+    execution so samplers and trace sinks see every request.
+    """
     telem = telemetry if telemetry is not None else NULL_TELEMETRY
     simulator = Simulator(technique, config.geometry, telemetry=telemetry)
     warmup = config.warmup_accesses

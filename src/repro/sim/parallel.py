@@ -38,10 +38,16 @@ keeps single-CPU and restricted environments working.  The fallback is
 instant on the timeline — a campaign silently running at 1/N speed is a
 bug, not a feature.
 
+Workers execute rows through the Simulator's batched engine (see
+:mod:`repro.engine`); results are bit-identical to scalar execution, so
+parallelism and batching compose without affecting determinism.
+
 Telemetry across the pool: trace sinks do not cross process
 boundaries, so each worker collects into a private metrics-only
 registry and ships its :meth:`MetricsRegistry.state_dict` back with the
-row.  Supervisor threads never touch the caller's registry; each job's
+row.  A worker-local registry counts as live telemetry, which makes the
+controller take its per-access path — campaigns that want maximum
+throughput should run without ``--metrics-out``.  Supervisor threads never touch the caller's registry; each job's
 metrics state and degradation events are folded in by the main thread
 in benchmark order, so the merged output is deterministic (merge is
 associative and commutative anyway).

@@ -24,8 +24,16 @@ from repro.trace.stream import (
     skip_warmup,
 )
 from repro.trace.stats import ScenarioBreakdown, TraceStatistics, collect_statistics
-from repro.trace.textio import read_text_trace, write_text_trace
-from repro.trace.binio import read_binary_trace, write_binary_trace
+from repro.trace.textio import (
+    read_text_trace,
+    read_text_trace_batches,
+    write_text_trace,
+)
+from repro.trace.binio import (
+    read_binary_trace,
+    read_binary_trace_batches,
+    write_binary_trace,
+)
 
 __all__ = [
     "AccessType",
@@ -40,7 +48,9 @@ __all__ = [
     "ScenarioBreakdown",
     "collect_statistics",
     "read_text_trace",
+    "read_text_trace_batches",
     "write_text_trace",
     "read_binary_trace",
+    "read_binary_trace_batches",
     "write_binary_trace",
 ]

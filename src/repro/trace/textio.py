@@ -11,12 +11,16 @@ is mandatory for writes and optional (defaulting to 0) for reads.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
 from repro.trace.record import AccessType, MemoryAccess
 
-__all__ = ["read_text_trace", "write_text_trace"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.config import CacheGeometry
+    from repro.engine.batch import AccessBatch
+
+__all__ = ["read_text_trace", "read_text_trace_batches", "write_text_trace"]
 
 PathLike = Union[str, Path]
 
@@ -66,3 +70,22 @@ def read_text_trace(path: PathLike) -> Iterator[MemoryAccess]:
             if not line or line.startswith("#"):
                 continue
             yield _parse_line(line, line_number)
+
+
+def read_text_trace_batches(
+    path: PathLike,
+    geometry: "CacheGeometry",
+    batch_size: Optional[int] = None,
+) -> Iterator["AccessBatch"]:
+    """Parse a text trace into struct-of-arrays batches.
+
+    The text format is validation-heavy, so this simply chunks
+    :func:`read_text_trace` through
+    :func:`repro.engine.batch.iter_batches`; the speedup comes from the
+    batched controller paths downstream (for fast decode too, convert
+    to the binary format and use
+    :func:`repro.trace.read_binary_trace_batches`).
+    """
+    from repro.engine.batch import iter_batches
+
+    return iter_batches(read_text_trace(path), geometry, batch_size)

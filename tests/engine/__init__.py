@@ -1,0 +1,1 @@
+"""Tests for the batched execution engine (:mod:`repro.engine`)."""

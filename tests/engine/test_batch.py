@@ -1,0 +1,109 @@
+"""Unit tests for the struct-of-arrays batch decoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.address import AddressMapper
+from repro.cache.config import CacheGeometry
+from repro.engine.batch import AccessBatch, DEFAULT_BATCH_SIZE, iter_batches
+from repro.trace.record import AccessType, MemoryAccess
+
+from tests.conftest import make_random_trace
+
+_addresses = st.integers(min_value=0, max_value=2**40).map(lambda x: x * 8)
+
+
+class TestAddressSplit:
+    @given(address=_addresses)
+    def test_fields_match_the_address_mapper(self, address):
+        geometry = CacheGeometry(size_bytes=4 * 1024, associativity=4, block_bytes=32)
+        mapper = AddressMapper(geometry)
+        access = MemoryAccess(icount=0, kind=AccessType.READ, address=address)
+        batch = AccessBatch.from_accesses([access], geometry)
+        assert batch.set_indices[0] == mapper.set_index(address)
+        assert batch.tags[0] == mapper.tag(address)
+        assert batch.word_offsets[0] == mapper.word_offset(address)
+
+    def test_codec_is_geometry_specific(self):
+        a = CacheGeometry(size_bytes=512, associativity=2, block_bytes=32)
+        b = CacheGeometry(size_bytes=64 * 1024, associativity=4, block_bytes=32)
+        access = MemoryAccess(icount=0, kind=AccessType.READ, address=0x1F38)
+        split_a = AccessBatch.from_accesses([access], a)
+        split_b = AccessBatch.from_accesses([access], b)
+        assert (split_a.set_indices, split_a.tags) != (
+            split_b.set_indices,
+            split_b.tags,
+        )
+
+
+class TestRoundTrip:
+    def test_accesses_reconstruct_the_trace(self, tiny_geometry):
+        trace = make_random_trace(500, seed=1)
+        batch = AccessBatch.from_accesses(trace, tiny_geometry)
+        assert len(batch) == 500
+        assert list(batch.accesses()) == trace
+        assert batch.access(7) == trace[7]
+
+    def test_kind_encoding_matches_binary_format(self, tiny_geometry):
+        trace = [
+            MemoryAccess(icount=0, kind=AccessType.READ, address=0),
+            MemoryAccess(icount=1, kind=AccessType.WRITE, address=8, value=3),
+        ]
+        batch = AccessBatch.from_accesses(trace, tiny_geometry)
+        assert batch.kinds == [0, 1]
+
+    def test_all_columns_same_length(self, tiny_geometry):
+        batch = AccessBatch.from_accesses(
+            make_random_trace(37, seed=2), tiny_geometry
+        )
+        lengths = {
+            len(column)
+            for column in (
+                batch.icounts,
+                batch.kinds,
+                batch.addresses,
+                batch.values,
+                batch.set_indices,
+                batch.tags,
+                batch.word_offsets,
+            )
+        }
+        assert lengths == {37}
+
+
+class TestIterBatches:
+    def test_chunking(self, tiny_geometry):
+        trace = make_random_trace(10, seed=3)
+        batches = list(iter_batches(trace, tiny_geometry, batch_size=4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        flattened = [a for batch in batches for a in batch.accesses()]
+        assert flattened == trace
+
+    def test_exact_multiple_has_no_empty_tail(self, tiny_geometry):
+        trace = make_random_trace(8, seed=4)
+        batches = list(iter_batches(trace, tiny_geometry, batch_size=4))
+        assert [len(batch) for batch in batches] == [4, 4]
+
+    def test_empty_trace_yields_nothing(self, tiny_geometry):
+        assert list(iter_batches([], tiny_geometry)) == []
+
+    def test_default_batch_size(self, tiny_geometry):
+        trace = make_random_trace(DEFAULT_BATCH_SIZE + 1, seed=5)
+        batches = list(iter_batches(trace, tiny_geometry))
+        assert [len(batch) for batch in batches] == [DEFAULT_BATCH_SIZE, 1]
+
+    @pytest.mark.parametrize("bad", (0, -3))
+    def test_invalid_batch_size_rejected(self, bad, tiny_geometry):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_batches([], tiny_geometry, batch_size=bad))
+
+    def test_streaming_does_not_materialize(self, tiny_geometry):
+        # A generator trace must be consumable batch by batch.
+        def generate():
+            for access in make_random_trace(6, seed=6):
+                yield access
+
+        batches = iter_batches(generate(), tiny_geometry, batch_size=2)
+        assert len(next(batches)) == 2
+        assert len(next(batches)) == 2

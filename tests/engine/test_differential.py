@@ -1,0 +1,165 @@
+"""Differential suite: scalar vs batched execution must be bit-identical.
+
+The batched engine exists purely for throughput — it must never change
+a number.  Every test here replays the *same* randomized trace through
+``engine="scalar"`` and ``engine="batched"`` and asserts that the
+:class:`SRAMEventLog`, :class:`OperationCounts`, :class:`CacheStats`
+and the final :class:`FunctionalMemory` contents (after flushing every
+dirty line) are equal, across techniques, geometries, controller knobs
+and batch boundaries.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.core.registry import ALL_CONTROLLER_NAMES, CONTROLLER_NAMES, make_controller
+from repro.engine.batch import iter_batches
+from repro.sim.simulator import Simulator
+
+from tests.conftest import make_random_trace
+
+GEOMETRIES = {
+    "tiny": CacheGeometry(size_bytes=512, associativity=2, block_bytes=32),
+    "small": CacheGeometry(size_bytes=4 * 1024, associativity=4, block_bytes=32),
+    "wide": CacheGeometry(size_bytes=32 * 1024, associativity=8, block_bytes=64),
+}
+
+
+def run_engine(trace, technique, geometry, engine, batch_size=None, **kwargs):
+    """One full run; returns (result, post-flush memory snapshot)."""
+    simulator = Simulator(
+        technique, geometry, engine=engine, batch_size=batch_size, **kwargs
+    )
+    simulator.feed(trace)
+    result = simulator.finish()
+    # Flushing every dirty line folds the cache's data arrays and dirty
+    # bits into the memory image, so the snapshot comparison also
+    # proves the *cache contents* agree, not just the counters.
+    simulator.cache.flush_all_dirty()
+    return result, simulator.memory.snapshot()
+
+
+def assert_identical(trace, technique, geometry, batch_size=None, **kwargs):
+    scalar, scalar_memory = run_engine(
+        trace, technique, geometry, "scalar", **kwargs
+    )
+    batched, batched_memory = run_engine(
+        trace, technique, geometry, "batched", batch_size=batch_size, **kwargs
+    )
+    assert batched.requests == scalar.requests
+    assert batched.events == scalar.events
+    assert batched.counts == scalar.counts
+    assert batched.cache_stats == scalar.cache_stats
+    assert batched_memory == scalar_memory
+
+
+class TestAllTechniques:
+    @pytest.mark.parametrize("technique", ALL_CONTROLLER_NAMES)
+    @pytest.mark.parametrize("geometry", GEOMETRIES.values(), ids=GEOMETRIES)
+    def test_bit_identical(self, technique, geometry):
+        trace = make_random_trace(3_000, seed=11, word_span=700)
+        assert_identical(trace, technique, geometry)
+
+    @pytest.mark.parametrize("technique", CONTROLLER_NAMES)
+    def test_with_miss_traffic_accounting(self, technique, tiny_geometry):
+        trace = make_random_trace(2_000, seed=12, word_span=400)
+        assert_identical(
+            trace, technique, tiny_geometry, count_miss_traffic=True
+        )
+
+    @pytest.mark.parametrize("technique", CONTROLLER_NAMES)
+    def test_read_only_and_write_only(self, technique, tiny_geometry):
+        reads = make_random_trace(800, seed=13, write_share=0.0)
+        writes = make_random_trace(800, seed=14, write_share=1.0)
+        assert_identical(reads, technique, tiny_geometry)
+        assert_identical(writes, technique, tiny_geometry)
+
+
+class TestBatchBoundaries:
+    """A same-set write run split across batches must merge identically."""
+
+    @pytest.mark.parametrize("technique", ("conventional", "wg", "wg_rb"))
+    @pytest.mark.parametrize("batch_size", (1, 3, 7, 64, 4096))
+    def test_write_runs_split_across_batches(
+        self, technique, batch_size, tiny_geometry
+    ):
+        # Write-heavy + compact footprint: long consecutive same-set
+        # write runs that every batch size except 4096 will split.
+        trace = make_random_trace(
+            1_500, seed=15, word_span=64, write_share=0.85
+        )
+        assert_identical(trace, technique, tiny_geometry, batch_size=batch_size)
+
+    def test_single_record_trace(self, tiny_geometry):
+        trace = make_random_trace(1, seed=16)
+        for technique in CONTROLLER_NAMES:
+            assert_identical(trace, technique, tiny_geometry)
+
+    def test_empty_trace(self, tiny_geometry):
+        for technique in CONTROLLER_NAMES:
+            assert_identical([], technique, tiny_geometry)
+
+
+class TestControllerKnobs:
+    @pytest.mark.parametrize("technique", ("wg", "wg_rb"))
+    @pytest.mark.parametrize("entries", (2, 3))
+    def test_multi_entry_tag_buffer(self, technique, entries, tiny_geometry):
+        trace = make_random_trace(2_000, seed=17, word_span=256, write_share=0.6)
+        assert_identical(trace, technique, tiny_geometry, entries=entries)
+
+    @pytest.mark.parametrize("technique", ("wg", "wg_rb"))
+    def test_silent_detection_off(self, technique, tiny_geometry):
+        trace = make_random_trace(2_000, seed=18, word_span=256, silent_share=0.6)
+        assert_identical(
+            trace, technique, tiny_geometry, detect_silent_writes=False
+        )
+
+
+class TestFallbackPaths:
+    """Configurations the fast paths must refuse — and still match."""
+
+    @pytest.mark.parametrize("replacement", ("fifo", "random", "plru"))
+    def test_non_lru_replacement_falls_back(self, replacement, tiny_geometry):
+        trace = make_random_trace(1_500, seed=19, word_span=400)
+        results = []
+        for use_batches in (False, True):
+            cache = SetAssociativeCache(tiny_geometry, replacement=replacement)
+            assert not cache.engine_fast_ok
+            controller = make_controller("wg", cache)
+            if use_batches:
+                for batch in iter_batches(trace, tiny_geometry, 128):
+                    controller.process_batch(batch)
+            else:
+                for access in trace:
+                    controller.process(access)
+            controller.finalize()
+            results.append((controller.events, controller.counts, cache.stats))
+        assert results[0] == results[1]
+
+    def test_telemetry_forces_scalar_path_same_results(self, tiny_geometry):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.telemetry import Telemetry
+
+        trace = make_random_trace(1_000, seed=20, word_span=200)
+        plain, plain_memory = run_engine(trace, "wg", tiny_geometry, "scalar")
+        telemetry = Telemetry(registry=MetricsRegistry())
+        instrumented = Simulator(
+            "wg", tiny_geometry, telemetry=telemetry, engine="batched"
+        )
+        instrumented.feed(trace)
+        result = instrumented.finish()
+        instrumented.cache.flush_all_dirty()
+        assert result.events == plain.events
+        assert result.counts == plain.counts
+        assert instrumented.memory.snapshot() == plain_memory
+        # The per-access instrumentation really ran.
+        assert telemetry.registry.value("ctrl.wg.read_requests") > 0
+
+    def test_geometry_mismatch_rejected(self, tiny_geometry, small_geometry):
+        trace = make_random_trace(10, seed=21)
+        cache = SetAssociativeCache(tiny_geometry)
+        controller = make_controller("conventional", cache)
+        batch = next(iter_batches(trace, small_geometry))
+        with pytest.raises(ValueError, match="batch decoded for"):
+            controller.process_batch(batch)

@@ -1,0 +1,105 @@
+"""Tests for the batch-decoding trace readers (binio/textio)."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.faultinject import flip_bit, truncate_file
+from repro.trace.binio import (
+    read_binary_trace,
+    read_binary_trace_batches,
+    write_binary_trace,
+)
+from repro.trace.textio import (
+    read_text_trace,
+    read_text_trace_batches,
+    write_text_trace,
+)
+
+from tests.conftest import make_random_trace
+
+
+def flatten(batches):
+    return [access for batch in batches for access in batch.accesses()]
+
+
+class TestBinaryBatches:
+    @pytest.mark.parametrize("crc", (False, True))
+    def test_matches_scalar_reader(self, tmp_path, tiny_geometry, crc):
+        trace = make_random_trace(300, seed=1)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace, crc=crc)
+        scalar = list(read_binary_trace(path))
+        batched = flatten(read_binary_trace_batches(path, tiny_geometry, 64))
+        assert batched == scalar == trace
+
+    def test_batch_sizing_and_geometry(self, tmp_path, tiny_geometry):
+        trace = make_random_trace(10, seed=2)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace)
+        batches = list(read_binary_trace_batches(path, tiny_geometry, 4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        assert all(batch.geometry == tiny_geometry for batch in batches)
+
+    def test_empty_file(self, tmp_path, tiny_geometry):
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, [])
+        assert list(read_binary_trace_batches(path, tiny_geometry)) == []
+
+    def test_bad_kind_byte_keeps_record_index(self, tmp_path, tiny_geometry):
+        import struct
+
+        from repro.trace.binio import MAGIC
+
+        path = tmp_path / "kind.bin"
+        good = struct.pack("<QBQQ", 0, 1, 8, 0)
+        bad = struct.pack("<QBQQ", 1, 7, 8, 0)
+        path.write_bytes(MAGIC + good + bad)
+        with pytest.raises(
+            TraceFormatError, match=r"record #1 at byte offset 33"
+        ):
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+
+    def test_crc_bit_rot_detected(self, tmp_path, tiny_geometry):
+        trace = make_random_trace(5, seed=3)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace, crc=True)
+        flip_bit(path, byte_offset=8 + 29 + 2, bit=5)
+        with pytest.raises(TraceFormatError, match=r"CRC mismatch in record #1"):
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+
+    def test_truncated_record_detected(self, tmp_path, tiny_geometry):
+        trace = make_random_trace(5, seed=4)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace)
+        truncate_file(path, keep_bytes=8 + 25 * 2 + 10)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+
+    def test_records_before_corruption_still_readable(
+        self, tmp_path, tiny_geometry
+    ):
+        trace = make_random_trace(5, seed=5)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace, crc=True)
+        flip_bit(path, byte_offset=-1, bit=0)  # last record's CRC
+        reader = read_binary_trace_batches(path, tiny_geometry, 2)
+        assert list(next(reader).accesses()) == trace[:2]
+        assert list(next(reader).accesses()) == trace[2:4]
+        with pytest.raises(TraceFormatError):
+            next(reader)
+
+
+class TestTextBatches:
+    def test_matches_scalar_reader(self, tmp_path, tiny_geometry):
+        trace = make_random_trace(120, seed=6)
+        path = tmp_path / "t.trc"
+        write_text_trace(path, trace)
+        scalar = list(read_text_trace(path))
+        batched = flatten(read_text_trace_batches(path, tiny_geometry, 32))
+        assert batched == scalar == trace
+
+    def test_malformed_line_reported(self, tmp_path, tiny_geometry):
+        path = tmp_path / "bad.trc"
+        path.write_text("0 R 0x0\nnot a record\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            flatten(read_text_trace_batches(path, tiny_geometry))
