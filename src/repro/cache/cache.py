@@ -294,6 +294,76 @@ class SetAssociativeCache:
                     written += 1
         return written
 
+    # -- debug-mode structural audit -----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Audit the slot arrays; raises :class:`InvariantViolation`.
+
+        Part of the correctness tooling (see ``docs/correctness.md``):
+        the inline invariant checker calls this after every access when
+        a controller runs with ``enable_invariant_checks()``.  Checks
+        are read-only and cover tag uniqueness and range, dirty bits
+        only on valid ways, and stamp-LRU consistency (valid ways carry
+        distinct stamps strictly below the tick; never-filled ways stay
+        at stamp 0).
+        """
+        from repro.errors import InvariantViolation
+
+        tag_limit = 1 << self.geometry.tag_bits
+        check_stamps = self._policies is None
+        for set_index in range(self.geometry.num_sets):
+            tags = self._tags[set_index]
+            dirty = self._dirty[set_index]
+            valid_tags = [tag for tag in tags if tag != _NO_TAG]
+            if len(valid_tags) != len(set(valid_tags)):
+                raise InvariantViolation(
+                    f"set {set_index}: duplicate tag among ways {tags}"
+                )
+            for way, tag in enumerate(tags):
+                if tag != _NO_TAG and not 0 <= tag < tag_limit:
+                    raise InvariantViolation(
+                        f"set {set_index} way {way}: tag {tag:#x} outside "
+                        f"the {self.geometry.tag_bits}-bit tag space"
+                    )
+                if dirty[way] and tag == _NO_TAG:
+                    raise InvariantViolation(
+                        f"set {set_index} way {way}: dirty but invalid"
+                    )
+            if len(self._data[set_index]) != self._ways * self._wpb:
+                raise InvariantViolation(
+                    f"set {set_index}: data slot length "
+                    f"{len(self._data[set_index])} != ways*words "
+                    f"{self._ways * self._wpb}"
+                )
+            if check_stamps:
+                stamps = self._stamps[set_index]
+                valid_stamps = [
+                    stamps[way]
+                    for way, tag in enumerate(tags)
+                    if tag != _NO_TAG
+                ]
+                if any(
+                    not 1 <= stamp < self._tick for stamp in valid_stamps
+                ):
+                    raise InvariantViolation(
+                        f"set {set_index}: valid-way stamp outside "
+                        f"[1, {self._tick}): {stamps}"
+                    )
+                if len(valid_stamps) != len(set(valid_stamps)):
+                    raise InvariantViolation(
+                        f"set {set_index}: duplicate LRU stamps {stamps} "
+                        "(victim choice would be ambiguous)"
+                    )
+                if any(
+                    stamps[way] != 0
+                    for way, tag in enumerate(tags)
+                    if tag == _NO_TAG
+                ):
+                    raise InvariantViolation(
+                        f"set {set_index}: never-filled way carries a "
+                        f"nonzero stamp: {stamps}"
+                    )
+
     @property
     def replacement_name(self) -> str:
         return self._replacement_name

@@ -39,6 +39,12 @@ class CacheBackedMemory:
         self.block_reads = 0
         self.block_writes = 0
         self._icount = 0
+        # Byte stride between consecutive words of a block transfer,
+        # derived from the cache's geometry rather than assuming 8-byte
+        # words: a geometry with a different word size would otherwise
+        # silently read/write the wrong L2 locations.
+        geometry = cache.geometry
+        self._word_stride = geometry.block_bytes // geometry.words_per_block
 
     def _access(self, kind: AccessType, address: int, value: int = 0):
         self._icount += 1
@@ -62,14 +68,14 @@ class CacheBackedMemory:
     def read_block(self, block_address: int, words_per_block: int) -> List[int]:
         self.block_reads += 1
         return [
-            self.read_word(block_address + 8 * offset)
+            self.read_word(block_address + self._word_stride * offset)
             for offset in range(words_per_block)
         ]
 
     def write_block(self, block_address: int, data: List[int]) -> None:
         self.block_writes += 1
         for offset, value in enumerate(data):
-            self.write_word(block_address + 8 * offset, value)
+            self.write_word(block_address + self._word_stride * offset, value)
 
 
 class CacheHierarchy:

@@ -1,0 +1,148 @@
+"""Saved-corpus persistence for shrunk failing traces.
+
+Each failure the campaign finds is saved as one self-contained JSON
+document carrying everything needed to replay it: technique, geometry,
+batch size, controller knobs, the shrunk trace, and the divergences
+observed when it was recorded.  ``repro-8t check --corpus DIR --replay``
+re-runs every saved document and reports which still diverge — the
+regression-suite mode that keeps yesterday's bugs fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.cache.config import CacheGeometry
+from repro.errors import TraceFormatError
+from repro.trace.record import AccessType, MemoryAccess
+
+__all__ = ["CorpusEntry", "save_entry", "load_entry", "iter_corpus"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+class CorpusEntry:
+    """One saved repro: a failing case plus the divergences it showed."""
+
+    def __init__(
+        self,
+        technique: str,
+        geometry: CacheGeometry,
+        trace: Sequence[MemoryAccess],
+        batch_size: int,
+        knobs: Dict[str, object],
+        scenario: str = "unknown",
+        seed: int = 0,
+        iteration: int = 0,
+        divergences: Sequence[str] = (),
+    ) -> None:
+        self.technique = technique
+        self.geometry = geometry
+        self.trace: Tuple[MemoryAccess, ...] = tuple(trace)
+        self.batch_size = batch_size
+        self.knobs = dict(knobs)
+        self.scenario = scenario
+        self.seed = seed
+        self.iteration = iteration
+        self.divergences = list(divergences)
+
+    def file_name(self) -> str:
+        return (
+            f"repro_{self.technique}_{self.scenario}"
+            f"_s{self.seed}_i{self.iteration}.json"
+        )
+
+    def to_document(self) -> Dict[str, object]:
+        return {
+            "version": _FORMAT_VERSION,
+            "technique": self.technique,
+            "geometry": {
+                "size_bytes": self.geometry.size_bytes,
+                "associativity": self.geometry.associativity,
+                "block_bytes": self.geometry.block_bytes,
+                "address_bits": self.geometry.address_bits,
+            },
+            "batch_size": self.batch_size,
+            "knobs": self.knobs,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "iteration": self.iteration,
+            "divergences": self.divergences,
+            "trace": [
+                [access.icount, access.kind.value, access.address, access.value]
+                for access in self.trace
+            ],
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, object], where: str) -> "CorpusEntry":
+        try:
+            version = document["version"]
+            if version != _FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{where}: unsupported corpus version {version!r}"
+                )
+            geometry_doc = document["geometry"]
+            geometry = CacheGeometry(
+                size_bytes=geometry_doc["size_bytes"],
+                associativity=geometry_doc["associativity"],
+                block_bytes=geometry_doc["block_bytes"],
+                address_bits=geometry_doc.get("address_bits", 48),
+            )
+            trace = tuple(
+                MemoryAccess(
+                    icount=record[0],
+                    kind=AccessType.from_letter(record[1]),
+                    address=record[2],
+                    value=record[3],
+                )
+                for record in document["trace"]
+            )
+            return cls(
+                technique=document["technique"],
+                geometry=geometry,
+                trace=trace,
+                batch_size=document["batch_size"],
+                knobs=dict(document.get("knobs", {})),
+                scenario=document.get("scenario", "unknown"),
+                seed=document.get("seed", 0),
+                iteration=document.get("iteration", 0),
+                divergences=list(document.get("divergences", ())),
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"{where}: malformed corpus entry: {exc}") from exc
+
+
+def save_entry(corpus_dir: PathLike, entry: CorpusEntry) -> Path:
+    """Write one entry into ``corpus_dir`` (created if missing)."""
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry.file_name()
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(entry.to_document(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: PathLike) -> CorpusEntry:
+    """Read one saved repro back."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"{path}: unreadable corpus entry: {exc}") from exc
+    return CorpusEntry.from_document(document, str(path))
+
+
+def iter_corpus(corpus_dir: PathLike) -> Iterator[CorpusEntry]:
+    """Load every ``*.json`` entry in ``corpus_dir``, sorted by name."""
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        raise TraceFormatError(f"corpus directory {directory} does not exist")
+    for path in sorted(directory.glob("*.json")):
+        yield load_entry(path)

@@ -1,0 +1,220 @@
+"""Three-way differential check: oracle vs scalar engine vs batched engine.
+
+One :func:`run_differential` call replays a single trace through
+
+* the :class:`repro.check.oracle.ReferenceOracle` (independent model),
+* the scalar engine (``CacheController.process`` per record), and
+* the batched engine (``Simulator(engine="batched")``),
+
+then compares every observable the three models share: per-read values
+(oracle vs scalar, access by access), circuit events, operation counts,
+hit/miss statistics, and the final memory image after draining the
+controller and flushing every dirty line.  The return value is a flat
+list of human-readable divergence strings — empty means the models
+agree on everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheGeometry
+from repro.cache.memory import FunctionalMemory
+from repro.check.oracle import ORACLE_TECHNIQUES, OracleRun, ReferenceOracle
+from repro.core.registry import make_controller
+from repro.sim.simulator import Simulator
+from repro.trace.record import MemoryAccess
+
+__all__ = ["run_differential", "WG_FAMILY"]
+
+WG_FAMILY = ("wg", "wg_rb")
+"""Techniques that accept the Set-Buffer knobs."""
+
+
+def _controller_kwargs(
+    technique: str,
+    count_miss_traffic: bool,
+    detect_silent_writes: bool,
+    entries: int,
+) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {"count_miss_traffic": count_miss_traffic}
+    if technique in WG_FAMILY:
+        kwargs["detect_silent_writes"] = detect_silent_writes
+        kwargs["entries"] = entries
+    return kwargs
+
+
+def _run_scalar(
+    trace: Sequence[MemoryAccess],
+    technique: str,
+    geometry: CacheGeometry,
+    kwargs: Dict[str, object],
+    invariants: bool,
+):
+    """Scalar reference run; returns (controller, cache, outcomes, memory)."""
+    memory = FunctionalMemory()
+    cache = SetAssociativeCache(geometry, memory)
+    controller = make_controller(technique, cache, **kwargs)
+    if invariants:
+        controller.enable_invariant_checks()
+    outcomes = controller.run(list(trace))
+    cache.flush_all_dirty()
+    return controller, cache, outcomes, memory.snapshot()
+
+
+def _run_batched(
+    trace: Sequence[MemoryAccess],
+    technique: str,
+    geometry: CacheGeometry,
+    kwargs: Dict[str, object],
+    batch_size: Optional[int],
+):
+    simulator = Simulator(
+        technique, geometry, engine="batched", batch_size=batch_size, **kwargs
+    )
+    simulator.feed(list(trace))
+    result = simulator.finish()
+    simulator.cache.flush_all_dirty()
+    return result, simulator.memory.snapshot()
+
+
+def _diff_mapping(
+    label: str, reference: Dict[str, int], candidate: Dict[str, int]
+) -> List[str]:
+    return [
+        f"{label}.{name}: {reference[name]} != {candidate[name]}"
+        for name in sorted(reference)
+        if reference[name] != candidate.get(name)
+    ]
+
+
+def _as_dict(obj) -> Dict[str, int]:
+    return {
+        f.name: getattr(obj, f.name) for f in dataclass_fields(type(obj))
+    }
+
+
+def _nonzero(memory: Dict[int, int]) -> Dict[int, int]:
+    return {word: value for word, value in memory.items() if value != 0}
+
+
+def run_differential(
+    trace: Iterable[MemoryAccess],
+    technique: str,
+    geometry: CacheGeometry,
+    batch_size: Optional[int] = None,
+    count_miss_traffic: bool = False,
+    detect_silent_writes: bool = True,
+    entries: int = 1,
+    invariants: bool = False,
+) -> List[str]:
+    """Replay ``trace`` through all three models; returns divergences.
+
+    ``invariants=True`` additionally runs the scalar engine with the
+    inline invariant checker enabled (structural checks after every
+    access); an :class:`repro.errors.InvariantViolation` propagates so
+    the caller sees the exact broken invariant, not a downstream diff.
+    """
+    trace = list(trace)
+    kwargs = _controller_kwargs(
+        technique, count_miss_traffic, detect_silent_writes, entries
+    )
+
+    controller, cache, outcomes, scalar_memory = _run_scalar(
+        trace, technique, geometry, kwargs, invariants
+    )
+    batched, batched_memory = _run_batched(
+        trace, technique, geometry, kwargs, batch_size
+    )
+
+    divergences: List[str] = []
+
+    # -- scalar vs batched: must be bit-identical ---------------------------
+    divergences += _diff_mapping(
+        "scalar-vs-batched events",
+        controller.events.to_dict(),
+        batched.events.to_dict(),
+    )
+    divergences += _diff_mapping(
+        "scalar-vs-batched counts",
+        _as_dict(controller.counts),
+        _as_dict(batched.counts),
+    )
+    divergences += _diff_mapping(
+        "scalar-vs-batched stats",
+        _as_dict(cache.stats),
+        _as_dict(batched.cache_stats),
+    )
+    if scalar_memory != batched_memory:
+        delta = {
+            word
+            for word in set(scalar_memory) | set(batched_memory)
+            if scalar_memory.get(word, 0) != batched_memory.get(word, 0)
+        }
+        divergences.append(
+            "scalar-vs-batched memory: "
+            f"{len(delta)} word(s) differ, first at word "
+            f"{min(delta)}"
+        )
+
+    # -- oracle vs scalar ---------------------------------------------------
+    if technique in ORACLE_TECHNIQUES:
+        oracle_run = ReferenceOracle(
+            technique,
+            geometry,
+            count_miss_traffic=count_miss_traffic,
+            detect_silent_writes=detect_silent_writes,
+            entries=entries,
+        ).run(trace)
+        divergences += _diff_oracle(
+            oracle_run, trace, outcomes, controller, cache, scalar_memory
+        )
+    return divergences
+
+
+def _diff_oracle(
+    oracle_run: OracleRun,
+    trace: Sequence[MemoryAccess],
+    outcomes,
+    controller,
+    cache,
+    scalar_memory: Dict[int, int],
+) -> List[str]:
+    divergences: List[str] = []
+    for i, (access, outcome, expected) in enumerate(
+        zip(trace, outcomes, oracle_run.read_values)
+    ):
+        if access.is_read and outcome.value != expected:
+            divergences.append(
+                f"oracle-vs-scalar read value at access {i} "
+                f"({access.describe()}): expected {expected}, "
+                f"got {outcome.value}"
+            )
+            break  # one value divergence is enough to localise
+    divergences += _diff_mapping(
+        "oracle-vs-scalar events",
+        oracle_run.events,
+        controller.events.to_dict(),
+    )
+    divergences += _diff_mapping(
+        "oracle-vs-scalar counts",
+        oracle_run.counts,
+        _as_dict(controller.counts),
+    )
+    divergences += _diff_mapping(
+        "oracle-vs-scalar stats", oracle_run.stats, _as_dict(cache.stats)
+    )
+    scalar_nonzero = _nonzero(scalar_memory)
+    if oracle_run.memory != scalar_nonzero:
+        delta = {
+            word
+            for word in set(oracle_run.memory) | set(scalar_nonzero)
+            if oracle_run.memory.get(word, 0) != scalar_nonzero.get(word, 0)
+        }
+        divergences.append(
+            "oracle-vs-scalar memory: "
+            f"{len(delta)} word(s) differ, first at word {min(delta)}"
+        )
+    return divergences

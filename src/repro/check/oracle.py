@@ -1,0 +1,437 @@
+"""Reference oracle: a deliberately slow functional model of the paper.
+
+This module re-implements cache residency and the four techniques
+(conventional / RMW / WG / WG+RB) **independently** of
+:mod:`repro.core` and :mod:`repro.cache`, straight from the paper's
+Section 2 and Algorithm 1, using nothing but dicts and lists.  No code
+is shared with the engines beyond the frozen dataclasses they are
+compared through: where the production cache keeps flat slot arrays and
+stamp-LRU ticks, the oracle keeps one ``dict`` per set in LRU insertion
+order; where the production WG controller tracks ``(way, word)``
+coordinates, the oracle keys Set-Buffer words by ``(tag, word)``.  An
+agreement between the two is therefore evidence about the *semantics*,
+not about a shared bug.
+
+The oracle records the same observables the engines are measured by —
+circuit events, operation counts, hit/miss statistics, per-read values
+and the final memory image — so :mod:`repro.check.differential` can
+compare all three models field by field.
+
+Differential-validation of a fast model against an intentionally simple
+reference is the discipline hardware-modeling stacks like
+Accelergy/CACTI apply between abstract and reference estimators; this
+is the same idea applied to our simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.trace.record import MemoryAccess, WORD_BYTES
+
+__all__ = ["OracleRun", "ReferenceOracle", "ORACLE_TECHNIQUES"]
+
+ORACLE_TECHNIQUES = ("conventional", "rmw", "wg", "wg_rb")
+"""Techniques the oracle models (the paper's Figures 9-11 set)."""
+
+
+@dataclass
+class OracleRun:
+    """Everything one oracle run observed, in plain dict/list form."""
+
+    technique: str
+    #: value returned for each read, positionally; None for writes.
+    read_values: List[Optional[int]] = field(default_factory=list)
+    #: SRAMEventLog-equivalent circuit-event counters.
+    events: Dict[str, int] = field(default_factory=dict)
+    #: OperationCounts-equivalent controller counters.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: CacheStats-equivalent residency counters.
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: word index -> value after drain + full flush, zero words omitted.
+    memory: Dict[int, int] = field(default_factory=dict)
+
+
+class _OracleBlock:
+    """One resident cache block: its words and a dirty flag."""
+
+    __slots__ = ("words", "dirty")
+
+    def __init__(self, words: List[int]) -> None:
+        self.words = words
+        self.dirty = False
+
+
+class _OracleBuffer:
+    """One (Tag-Buffer, Set-Buffer) pair, keyed by tag instead of way."""
+
+    __slots__ = ("valid", "dirty", "set_index", "tags", "data", "modified",
+                 "dirty_since")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.set_index: Optional[int] = None
+        #: tags resident in the set at fill time (the Tag-Buffer snapshot).
+        self.tags: Set[int] = set()
+        #: (tag, word_offset) -> buffered value, for every snapshot tag.
+        self.data: Dict[Tuple[int, int], int] = {}
+        #: (tag, word_offset) pairs that differ from the array's copy.
+        self.modified: Set[Tuple[int, int]] = set()
+        self.dirty_since: Optional[int] = None
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.set_index = None
+        self.tags = set()
+        self.data = {}
+        self.modified = set()
+
+
+class ReferenceOracle:
+    """Functional model of one technique over one cache geometry.
+
+    Feed it a trace with :meth:`run` (or access-by-access with
+    :meth:`step`) and read the result off :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        technique: str,
+        geometry,
+        count_miss_traffic: bool = False,
+        detect_silent_writes: bool = True,
+        entries: int = 1,
+    ) -> None:
+        if technique not in ORACLE_TECHNIQUES:
+            raise ValueError(
+                f"oracle does not model {technique!r}; known: "
+                f"{ORACLE_TECHNIQUES}"
+            )
+        self.technique = technique
+        self.geometry = geometry
+        self.count_miss_traffic = count_miss_traffic
+        self.detect_silent_writes = detect_silent_writes
+
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._index_mask = geometry.num_sets - 1
+        self._offset_mask = geometry.block_bytes - 1
+        self._ways = geometry.associativity
+        self._wpb = geometry.words_per_block
+        self._row_words = geometry.words_per_set
+
+        #: set_index -> {tag -> _OracleBlock} in LRU order (first = LRU).
+        self._sets: Dict[int, Dict[int, _OracleBlock]] = {}
+        #: word index -> value; absent words read as zero.
+        self._memory: Dict[int, int] = {}
+        #: WG-family buffer pool, LRU order (first = victim candidate).
+        self._buffers: List[_OracleBuffer] = [
+            _OracleBuffer() for _ in range(entries)
+        ]
+        self._icount = 0
+        self._finished = False
+
+        self._run = OracleRun(technique=technique)
+        self._events = {
+            name: 0
+            for name in (
+                "row_reads", "row_writes", "rmw_operations", "precharges",
+                "rwl_pulses", "wwl_pulses", "words_routed", "words_driven",
+                "set_buffer_reads", "set_buffer_writes",
+            )
+        }
+        self._counts = {
+            name: 0
+            for name in (
+                "read_requests", "write_requests", "grouped_writes",
+                "silent_writes_detected", "bypassed_reads",
+                "set_buffer_fills", "premature_writebacks",
+                "eviction_writebacks", "fill_flush_writebacks",
+                "final_writebacks", "rmw_operations",
+                "dirty_residency_total", "dirty_residency_max",
+                "dirty_windows",
+            )
+        }
+        self._stats = {
+            name: 0
+            for name in (
+                "read_hits", "read_misses", "write_hits", "write_misses",
+                "evictions", "dirty_evictions",
+            )
+        }
+
+    # -- address helpers ----------------------------------------------------
+
+    def _split(self, address: int) -> Tuple[int, int, int]:
+        set_index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> (self._offset_bits + self._index_bits)
+        word_offset = (address & self._offset_mask) // WORD_BYTES
+        return set_index, tag, word_offset
+
+    def _block_word(self, set_index: int, tag: int) -> int:
+        """First word index of the block ``(set_index, tag)`` in memory."""
+        byte = (tag << (self._offset_bits + self._index_bits)) | (
+            set_index << self._offset_bits
+        )
+        return byte // WORD_BYTES
+
+    # -- circuit events -----------------------------------------------------
+
+    def _row_read(self, words_routed: int) -> None:
+        ev = self._events
+        ev["precharges"] += 1
+        ev["rwl_pulses"] += 1
+        ev["row_reads"] += 1
+        ev["words_routed"] += words_routed
+
+    def _row_write(self, words_driven: int) -> None:
+        ev = self._events
+        ev["wwl_pulses"] += 1
+        ev["row_writes"] += 1
+        ev["words_driven"] += words_driven
+
+    def _rmw(self) -> None:
+        self._events["rmw_operations"] += 1
+        self._row_read(self._row_words)
+        self._row_write(self._row_words)
+
+    # -- residency ----------------------------------------------------------
+
+    def _lookup(self, set_index: int, tag: int) -> Optional[_OracleBlock]:
+        return self._sets.get(set_index, {}).get(tag)
+
+    def _touch(self, set_index: int, tag: int) -> None:
+        blocks = self._sets[set_index]
+        blocks[tag] = blocks.pop(tag)  # move to most-recent position
+
+    def _ensure_resident(
+        self, set_index: int, tag: int, is_read: bool
+    ) -> Tuple[_OracleBlock, bool]:
+        """Make the block resident; returns ``(block, filled)``."""
+        blocks = self._sets.setdefault(set_index, {})
+        block = blocks.get(tag)
+        if block is not None:
+            self._stats["read_hits" if is_read else "write_hits"] += 1
+            self._touch(set_index, tag)
+            return block, False
+
+        self._stats["read_misses" if is_read else "write_misses"] += 1
+        evicted_dirty = False
+        if len(blocks) == self._ways:
+            victim_tag = next(iter(blocks))  # least recently used
+            victim = blocks.pop(victim_tag)
+            self._stats["evictions"] += 1
+            if victim.dirty:
+                self._stats["dirty_evictions"] += 1
+                evicted_dirty = True
+                self._write_block_to_memory(set_index, victim_tag, victim)
+        first_word = self._block_word(set_index, tag)
+        block = _OracleBlock(
+            [self._memory.get(first_word + i, 0) for i in range(self._wpb)]
+        )
+        blocks[tag] = block
+        if self.count_miss_traffic:
+            if evicted_dirty:
+                # Reading the victim block out of the array for write-back.
+                self._row_read(self._wpb)
+            # Installing the fill is a partial-row write => RMW.
+            self._rmw()
+            self._counts["rmw_operations"] += 1
+        return block, True
+
+    def _write_block_to_memory(
+        self, set_index: int, tag: int, block: _OracleBlock
+    ) -> None:
+        first_word = self._block_word(set_index, tag)
+        for i, value in enumerate(block.words):
+            self._memory[first_word + i] = value
+
+    # -- WG-family buffer pool ----------------------------------------------
+
+    def _buffer_for_set(self, set_index: int) -> Optional[_OracleBuffer]:
+        for buffer in self._buffers:
+            if buffer.valid and buffer.set_index == set_index:
+                return buffer
+        return None
+
+    def _touch_buffer(self, buffer: _OracleBuffer) -> None:
+        self._buffers.remove(buffer)
+        self._buffers.append(buffer)
+
+    def _victim_buffer(self) -> _OracleBuffer:
+        for buffer in self._buffers:
+            if not buffer.valid:
+                return buffer
+        return self._buffers[0]
+
+    def _write_back(self, buffer: _OracleBuffer, reason: str) -> bool:
+        """Drain a dirty buffer into the array; no-op when clean."""
+        if not buffer.dirty:
+            return False
+        blocks = self._sets.get(buffer.set_index, {})
+        for (tag, word_offset) in buffer.modified:
+            block = blocks[tag]
+            block.words[word_offset] = buffer.data[(tag, word_offset)]
+            block.dirty = True
+        buffer.modified = set()
+        self._row_write(self._row_words)
+        buffer.dirty = False
+        if buffer.dirty_since is not None:
+            residency = max(0, self._icount - buffer.dirty_since)
+            self._counts["dirty_residency_total"] += residency
+            self._counts["dirty_residency_max"] = max(
+                self._counts["dirty_residency_max"], residency
+            )
+            self._counts["dirty_windows"] += 1
+            buffer.dirty_since = None
+        self._counts[f"{reason}_writebacks"] += 1
+        return True
+
+    def _fill_buffer(self, buffer: _OracleBuffer, set_index: int) -> None:
+        """Load the buffer from the array with one full-row read."""
+        blocks = self._sets.get(set_index, {})
+        buffer.valid = True
+        buffer.dirty = False
+        buffer.set_index = set_index
+        buffer.tags = set(blocks)
+        buffer.data = {
+            (tag, word_offset): block.words[word_offset]
+            for tag, block in blocks.items()
+            for word_offset in range(self._wpb)
+        }
+        buffer.modified = set()
+        buffer.dirty_since = None
+        self._row_read(self._row_words)
+        self._counts["set_buffer_fills"] += 1
+
+    def _flush_buffered_set_before_fill(self, set_index: int) -> None:
+        """The pre-residency rule: a fill about to mutate the buffered
+        set drains and drops the buffer first."""
+        buffer = self._buffer_for_set(set_index)
+        if buffer is not None:
+            self._write_back(buffer, "fill_flush")
+            buffer.invalidate()
+
+    # -- per-technique request handling -------------------------------------
+
+    def step(self, access: MemoryAccess) -> Optional[int]:
+        """Process one access; returns the value read (None for writes)."""
+        if self._finished:
+            raise RuntimeError("oracle already finished")
+        self._icount = access.icount
+        set_index, tag, word_offset = self._split(access.address)
+        wg_family = self.technique in ("wg", "wg_rb")
+
+        if wg_family and self._lookup(set_index, tag) is None:
+            self._flush_buffered_set_before_fill(set_index)
+
+        if access.is_read:
+            self._counts["read_requests"] += 1
+            block, _ = self._ensure_resident(set_index, tag, True)
+            value = self._read(set_index, tag, word_offset, block)
+            self._run.read_values.append(value)
+            return value
+
+        self._counts["write_requests"] += 1
+        block, _ = self._ensure_resident(set_index, tag, False)
+        self._write(set_index, tag, word_offset, block, access.value)
+        self._run.read_values.append(None)
+        return None
+
+    def _read(
+        self, set_index: int, tag: int, word_offset: int, block: _OracleBlock
+    ) -> int:
+        technique = self.technique
+        if technique in ("conventional", "rmw"):
+            self._row_read(1)
+            return block.words[word_offset]
+
+        buffer = self._buffer_for_set(set_index)
+        buffered = buffer is not None and tag in buffer.tags
+        if buffered and technique == "wg_rb":
+            # Read bypass: serve from the Set-Buffer, no array access.
+            self._touch_buffer(buffer)
+            self._events["set_buffer_reads"] += 1
+            self._counts["bypassed_reads"] += 1
+            return buffer.data[(tag, word_offset)]
+        if buffered:
+            # WG: premature write-back so the array holds the newest data.
+            self._write_back(buffer, "premature")
+            self._touch_buffer(buffer)
+        self._row_read(1)
+        return block.words[word_offset]
+
+    def _write(
+        self,
+        set_index: int,
+        tag: int,
+        word_offset: int,
+        block: _OracleBlock,
+        value: int,
+    ) -> None:
+        technique = self.technique
+        if technique == "conventional":
+            self._row_write(1)
+            block.words[word_offset] = value
+            block.dirty = True
+            return
+        if technique == "rmw":
+            self._rmw()
+            self._counts["rmw_operations"] += 1
+            block.words[word_offset] = value
+            block.dirty = True
+            return
+
+        # WG / WG+RB: Algorithm 1's write path.
+        buffer = self._buffer_for_set(set_index)
+        if buffer is None:
+            buffer = self._victim_buffer()
+            self._write_back(buffer, "eviction")
+            self._fill_buffer(buffer, set_index)
+        else:
+            self._counts["grouped_writes"] += 1
+        self._touch_buffer(buffer)
+
+        self._events["set_buffer_writes"] += 1
+        key = (tag, word_offset)
+        silent = buffer.data[key] == value
+        if not silent:
+            buffer.data[key] = value
+            buffer.modified.add(key)
+        if self.detect_silent_writes and silent:
+            self._counts["silent_writes_detected"] += 1
+        else:
+            if not buffer.dirty:
+                buffer.dirty_since = self._icount
+            buffer.dirty = True
+
+    # -- whole-run drivers --------------------------------------------------
+
+    def run(self, trace: Iterable[MemoryAccess]) -> OracleRun:
+        for access in trace:
+            self.step(access)
+        return self.finish()
+
+    def finish(self) -> OracleRun:
+        """Drain buffers, flush dirty blocks, and return the run record."""
+        if not self._finished:
+            for buffer in self._buffers:
+                if buffer.valid:
+                    self._write_back(buffer, "final")
+            for set_index, blocks in self._sets.items():
+                for tag, block in blocks.items():
+                    if block.dirty:
+                        self._write_block_to_memory(set_index, tag, block)
+                        block.dirty = False
+            self._finished = True
+        run = self._run
+        run.events = dict(self._events)
+        run.counts = dict(self._counts)
+        run.stats = dict(self._stats)
+        run.memory = {
+            word: value for word, value in self._memory.items() if value != 0
+        }
+        return run

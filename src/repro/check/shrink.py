@@ -1,0 +1,68 @@
+"""Automatic trace shrinking: minimise a failing trace to a repro.
+
+Classic delta debugging (ddmin) over the access list: try removing
+progressively smaller chunks, keeping any removal after which the
+failure predicate still holds, until no single access can be removed.
+The result is 1-minimal — every access in the shrunk trace is necessary
+to reproduce the failure — which is what turns a 400-access fuzz case
+into a repro a human can step through by hand.
+
+The predicate is arbitrary (typically ``lambda t: bool(run_differential
+(t, ...))``), so the same shrinker minimises divergence repros and
+invariant-violation repros alike.  A budget caps predicate evaluations
+so a pathological case cannot stall a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["shrink_trace", "DEFAULT_SHRINK_BUDGET"]
+
+DEFAULT_SHRINK_BUDGET = 2_000
+"""Default cap on predicate evaluations during one shrink."""
+
+
+def shrink_trace(
+    trace: Sequence[T],
+    still_fails: Callable[[List[T]], bool],
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> List[T]:
+    """Return a 1-minimal sublist of ``trace`` on which the failure holds.
+
+    ``still_fails`` must be deterministic and must return True for
+    ``trace`` itself (otherwise the input is returned unchanged).  The
+    relative order of the surviving accesses is preserved — shrinking
+    only ever deletes, never reorders, so the repro is a genuine
+    subsequence of the original trace.
+    """
+    current = list(trace)
+    evaluations = 0
+
+    def fails(candidate: List[T]) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return still_fails(candidate)
+
+    if not current or not fails(current):
+        return current
+
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and evaluations < budget:
+        index = 0
+        removed_any = False
+        while index < len(current) and evaluations < budget:
+            candidate = current[:index] + current[index + chunk:]
+            # An empty candidate cannot exhibit a divergence; skip it.
+            if candidate and fails(candidate):
+                current = candidate
+                removed_any = True
+                # Keep index: the next chunk slid into this position.
+            else:
+                index += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+    return current

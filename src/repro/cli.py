@@ -13,6 +13,8 @@ Installed as the ``repro-8t`` console script::
     repro-8t kernels                      # list instrumented kernels
     repro-8t kernel matmul out.trc
     repro-8t benchmarks                   # list workload profiles
+    repro-8t check --seed 0 --iterations 200   # oracle-differential fuzzing
+    repro-8t check --corpus repros --replay    # re-run saved repros
 
 Every subcommand is a thin shell over the public library API, so the
 CLI doubles as executable documentation.
@@ -47,7 +49,7 @@ from repro.analysis.export import figure_to_csv, metrics_to_json, snapshots_to_c
 from repro.analysis.figures import FIGURE_IDS, reproduce_figure
 from repro.cache.address import AddressMapper
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
-from repro.core.registry import ALL_CONTROLLER_NAMES
+from repro.core.registry import ALL_CONTROLLER_NAMES, CONTROLLER_NAMES
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.spans import span
 from repro.obs.telemetry import Telemetry
@@ -489,6 +491,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import replay_corpus, run_check_campaign
+
+    if args.replay:
+        if not args.corpus:
+            raise ConfigurationError("--replay needs --corpus DIR to read from")
+        report = replay_corpus(args.corpus, invariants=not args.no_invariants)
+        mode = f"replaying corpus {args.corpus}"
+    else:
+        geometries = tuple(args.geometry) if args.geometry else None
+        report = run_check_campaign(
+            seed=args.seed,
+            iterations=args.iterations,
+            techniques=tuple(args.techniques),
+            max_accesses=args.accesses,
+            shrink=not args.no_shrink,
+            invariants=not args.no_invariants,
+            corpus_dir=args.corpus,
+            geometries=geometries,
+        )
+        mode = (
+            f"fuzzing {args.iterations} cases x "
+            f"{len(args.techniques)} technique(s)"
+        )
+    print(mode)
+    if report.scenario_cases:
+        print(
+            "scenarios: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(report.scenario_cases.items())
+            )
+        )
+    print(report.summary())
+    if report.failures:
+        for failure in report.failures:
+            print()
+            print(failure.describe())
+        return EXIT_RUNTIME
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     rows = [
         (
@@ -666,6 +710,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="also write the BENCH_hotpath.json document here"
     )
     sub.set_defaults(handler=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "check",
+        help="oracle-differential fuzz campaign (correctness tooling)",
+        description=(
+            "Fuzz deterministic adversarial traces through the reference "
+            "oracle, the scalar engine, and the batched engine, diffing "
+            "every observable.  Failures are shrunk to minimal repro "
+            "traces; --corpus saves them and --replay re-runs saved "
+            "repros as a regression gate.  Exit code 3 on divergence."
+        ),
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="fuzz cases; each runs under every requested technique",
+    )
+    sub.add_argument(
+        "--techniques",
+        nargs="+",
+        default=list(CONTROLLER_NAMES),
+        choices=CONTROLLER_NAMES,
+    )
+    sub.add_argument(
+        "--accesses",
+        type=int,
+        default=400,
+        help="max accesses per fuzzed trace",
+    )
+    sub.add_argument(
+        "--geometry",
+        type=parse_geometry,
+        action="append",
+        help=(
+            "restrict fuzzing to this SIZE:WAYS:BLOCK geometry "
+            "(repeatable; default: a built-in adversarial mix)"
+        ),
+    )
+    sub.add_argument(
+        "--corpus", metavar="DIR", help="save shrunk failing traces here"
+    )
+    sub.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-run the saved --corpus repros instead of fuzzing",
+    )
+    sub.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing traces unshrunk (faster on failure)",
+    )
+    sub.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip debug-mode structural invariant checks",
+    )
+    sub.set_defaults(handler=_cmd_check)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
     sub.set_defaults(handler=_cmd_benchmarks)

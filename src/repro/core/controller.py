@@ -64,6 +64,10 @@ class CacheController(abc.ABC):
         # request); Simulator/make_controller attach a live one.
         self.telemetry: Telemetry = NULL_TELEMETRY
         self._obs = False
+        # Debug plane: structural invariant checks after each access
+        # (repro.check.invariants); None keeps the hot path at a single
+        # is-None test per request.
+        self._invariant_checker = None
 
     # -- observability ---------------------------------------------------------
 
@@ -131,6 +135,29 @@ class CacheController(abc.ABC):
         buffering controller overrides this)."""
         return 0
 
+    # -- debug mode ------------------------------------------------------------
+
+    def enable_invariant_checks(self, every: int = 1):
+        """Audit structural invariants after every ``every``-th access.
+
+        Debug mode for the correctness tooling (``docs/correctness.md``):
+        each :meth:`process` call is followed by a full structural check
+        of the cache slot arrays and any WG-family buffers, raising
+        :class:`repro.errors.InvariantViolation` at the first access
+        that breaks one.  Checks are read-only — results are unchanged,
+        only slower: :meth:`process_batch` falls back to the scalar
+        loop so every access is audited individually.  Returns the
+        installed :class:`repro.check.invariants.InvariantChecker`.
+        """
+        from repro.check.invariants import InvariantChecker
+
+        self._invariant_checker = InvariantChecker(every=every)
+        return self._invariant_checker
+
+    def disable_invariant_checks(self) -> None:
+        """Turn debug-mode invariant checking back off."""
+        self._invariant_checker = None
+
     # -- public API -----------------------------------------------------------
 
     def process(self, access: MemoryAccess) -> AccessOutcome:
@@ -154,6 +181,8 @@ class CacheController(abc.ABC):
             outcome = self._handle_write(access, result)
         if self._obs:
             self._observe(access, result)
+        if self._invariant_checker is not None:
+            self._invariant_checker.after_access(self)
         return outcome
 
     def process_batch(self, batch: "AccessBatch") -> int:
@@ -174,7 +203,10 @@ class CacheController(abc.ABC):
           engine_fast_ok`);
         * telemetry is off (``_obs``): per-request sampler ticks and
           trace instants cannot be aggregated per batch without
-          changing observable output.
+          changing observable output;
+        * debug-mode invariant checks are off (:meth:`enable_invariant_
+          checks`): the checker audits state after *every* access, so
+          each record must replay through :meth:`process`.
         """
         if self._finalized:
             raise RuntimeError("controller already finalized")
@@ -189,6 +221,7 @@ class CacheController(abc.ABC):
         if (
             self.name == self._fast_path_name
             and not self._obs
+            and self._invariant_checker is None
             and self.cache.engine_fast_ok
         ):
             self._process_batch_fast(batch)

@@ -24,6 +24,8 @@ implemented here so the benchmark harness can put WG/WG+RB in context:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.core.controller import CacheController
 from repro.core.outcomes import AccessOutcome, ServedFrom
@@ -91,7 +93,7 @@ class LocalRMWController(RMWController):
         self,
         cache: SetAssociativeCache,
         count_miss_traffic: bool = False,
-        subarrays: int = None,
+        subarrays: Optional[int] = None,
     ) -> None:
         super().__init__(cache, count_miss_traffic=count_miss_traffic)
         if subarrays is None:

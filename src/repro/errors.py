@@ -12,6 +12,7 @@ __all__ = [
     "ConfigurationError",
     "TraceFormatError",
     "SimulationError",
+    "InvariantViolation",
     "PortConflictError",
     "WorkerTimeoutError",
     "WorkerCrashError",
@@ -34,6 +35,15 @@ class TraceFormatError(ReproError):
 
 class SimulationError(ReproError):
     """A simulation reached an impossible state (internal invariant broke)."""
+
+
+class InvariantViolation(SimulationError):
+    """A structural invariant of the cache or controller state broke.
+
+    Raised by the debug-mode checks in :mod:`repro.check.invariants`
+    (see :meth:`repro.core.controller.CacheController.
+    enable_invariant_checks`), naming the exact invariant and location.
+    """
 
 
 class PortConflictError(SimulationError):

@@ -16,6 +16,7 @@ smaller and hence more power efficient structure") made measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.power.params import TechnologyParams
 from repro.sram.events import SRAMEventLog
@@ -52,7 +53,7 @@ class EnergyModel:
         self,
         technology: TechnologyParams,
         array_geometry: ArrayGeometry,
-        vdd_mv: float = None,
+        vdd_mv: Optional[float] = None,
     ) -> None:
         self.technology = technology
         self.array_geometry = array_geometry

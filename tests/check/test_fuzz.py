@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic trace fuzzer."""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.check.fuzz import (
+    FUZZ_GEOMETRIES,
+    SCENARIO_NAMES,
+    FuzzCase,
+    TraceFuzzer,
+)
+from repro.trace.record import WORD_BYTES
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a = TraceFuzzer(seed=42).case(7)
+        b = TraceFuzzer(seed=42).case(7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TraceFuzzer(seed=1).case(0)
+        b = TraceFuzzer(seed=2).case(0)
+        assert a.trace != b.trace
+
+    def test_different_iterations_differ(self):
+        fuzzer = TraceFuzzer(seed=0)
+        # Same scenario slot, different iteration.
+        a = fuzzer.case(0)
+        b = fuzzer.case(len(SCENARIO_NAMES))
+        assert a.scenario == b.scenario
+        assert a.trace != b.trace
+
+    def test_case_is_pure(self):
+        fuzzer = TraceFuzzer(seed=5)
+        first = fuzzer.case(3)
+        fuzzer.case(9)  # interleaved generation must not perturb it
+        assert fuzzer.case(3) == first
+
+
+class TestCoverage:
+    def test_scenarios_round_robin(self):
+        fuzzer = TraceFuzzer(seed=0)
+        names = [fuzzer.case(i).scenario for i in range(len(SCENARIO_NAMES))]
+        assert names == list(SCENARIO_NAMES)
+
+    def test_icounts_strictly_increase(self):
+        for iteration in range(6):
+            trace = TraceFuzzer(seed=3).case(iteration).trace
+            icounts = [access.icount for access in trace]
+            assert icounts == sorted(icounts)
+            assert len(set(icounts)) == len(icounts)
+
+    def test_addresses_fit_geometry(self):
+        for iteration in range(6):
+            case = TraceFuzzer(seed=4).case(iteration)
+            limit = 1 << case.geometry.address_bits
+            assert all(0 <= a.address < limit for a in case.trace)
+            assert all(a.address % WORD_BYTES == 0 for a in case.trace)
+
+    def test_trace_length_bounded(self):
+        fuzzer = TraceFuzzer(seed=0, max_accesses=100)
+        for iteration in range(12):
+            case = fuzzer.case(iteration)
+            assert 0 < len(case.trace) <= 100
+
+
+class TestScenarioBias:
+    """Each generator must actually produce the corner it claims."""
+
+    def _case(self, scenario):
+        fuzzer = TraceFuzzer(seed=11)
+        index = SCENARIO_NAMES.index(scenario)
+        return fuzzer.case(index)
+
+    def test_write_runs_are_write_heavy(self):
+        case = self._case("write_runs")
+        writes = sum(1 for a in case.trace if a.is_write)
+        assert writes / len(case.trace) > 0.6
+
+    def test_silent_dirty_repeats_words(self):
+        case = self._case("silent_dirty")
+        words = {a.word for a in case.trace}
+        assert len(words) <= 4
+
+    def test_eviction_storm_overflows_ways(self):
+        case = self._case("eviction_storm")
+        g = case.geometry
+        tags_per_set = {}
+        for access in case.trace:
+            set_index = (access.address >> g.offset_bits) & (g.num_sets - 1)
+            tag = access.address >> (g.offset_bits + g.index_bits)
+            tags_per_set.setdefault(set_index, set()).add(tag)
+        assert any(len(tags) > g.associativity for tags in tags_per_set.values())
+
+    def test_way_alias_stays_in_one_set(self):
+        case = self._case("way_alias")
+        g = case.geometry
+        sets = {
+            (a.address >> g.offset_bits) & (g.num_sets - 1)
+            for a in case.trace
+        }
+        assert len(sets) == 1
+
+
+class TestConfiguration:
+    def test_geometry_restriction_respected(self):
+        only = (CacheGeometry(size_bytes=512, associativity=2, block_bytes=32),)
+        fuzzer = TraceFuzzer(seed=0, geometries=only)
+        assert all(fuzzer.case(i).geometry == only[0] for i in range(8))
+
+    def test_default_geometries(self):
+        fuzzer = TraceFuzzer(seed=0)
+        assert fuzzer.geometries == FUZZ_GEOMETRIES
+
+    def test_bad_max_accesses_rejected(self):
+        with pytest.raises(ValueError, match="max_accesses"):
+            TraceFuzzer(max_accesses=0)
+
+    def test_knobs_roundtrip(self):
+        case = TraceFuzzer(seed=0).case(0)
+        knobs = case.knobs()
+        assert set(knobs) == {
+            "count_miss_traffic",
+            "detect_silent_writes",
+            "entries",
+        }
+
+    def test_case_is_frozen(self):
+        case = TraceFuzzer(seed=0).case(0)
+        with pytest.raises(AttributeError):
+            case.scenario = "other"
+        assert isinstance(case, FuzzCase)

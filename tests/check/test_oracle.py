@@ -1,0 +1,141 @@
+"""Unit tests for the reference oracle itself.
+
+The oracle's job is to be *obviously* right, so these tests pin its
+behaviour against hand-computed micro-scenarios and the simple
+sequential-memory helpers in ``conftest`` — never against the engines
+(that comparison lives in the differential tests; agreeing with the
+engines is exactly what the oracle must not be defined by).
+"""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.check.oracle import ORACLE_TECHNIQUES, ReferenceOracle
+from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES
+
+from tests.conftest import (
+    make_random_trace,
+    oracle_final_memory,
+    oracle_read_values,
+)
+
+TINY = CacheGeometry(size_bytes=512, associativity=2, block_bytes=32)
+
+
+def read(icount, address):
+    return MemoryAccess(icount=icount, kind=AccessType.READ, address=address)
+
+
+def write(icount, address, value):
+    return MemoryAccess(
+        icount=icount, kind=AccessType.WRITE, address=address, value=value
+    )
+
+
+class TestConstruction:
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError, match="does not model"):
+            ReferenceOracle("8t_all", TINY)
+
+    @pytest.mark.parametrize("technique", ORACLE_TECHNIQUES)
+    def test_known_techniques_accepted(self, technique):
+        assert ReferenceOracle(technique, TINY).technique == technique
+
+
+class TestFunctionalSemantics:
+    """Whatever the technique, reads must see sequential memory."""
+
+    @pytest.mark.parametrize("technique", ORACLE_TECHNIQUES)
+    def test_read_values_follow_sequential_memory(self, technique):
+        trace = make_random_trace(500, seed=31, word_span=120)
+        run = ReferenceOracle(technique, TINY).run(trace)
+        assert run.read_values == oracle_read_values(trace)
+
+    @pytest.mark.parametrize("technique", ORACLE_TECHNIQUES)
+    def test_final_memory_after_drain(self, technique):
+        trace = make_random_trace(500, seed=32, word_span=120)
+        run = ReferenceOracle(technique, TINY).run(trace)
+        assert run.memory == oracle_final_memory(trace)
+
+    @pytest.mark.parametrize("technique", ORACLE_TECHNIQUES)
+    def test_write_read_same_word(self, technique):
+        run = ReferenceOracle(technique, TINY).run(
+            [write(1, 0x40, 7), read(2, 0x40)]
+        )
+        assert run.read_values == [None, 7]
+        assert run.memory == {0x40 // WORD_BYTES: 7}
+
+
+class TestEventAccounting:
+    def test_conventional_counts_each_request_as_row_access(self):
+        run = ReferenceOracle("conventional", TINY).run(
+            [write(1, 0x00, 1), write(2, 0x08, 2), read(3, 0x00)]
+        )
+        assert run.events["row_writes"] == 2
+        assert run.events["row_reads"] == 1
+
+    def test_rmw_write_is_read_plus_write(self):
+        run = ReferenceOracle("rmw", TINY).run([write(1, 0x00, 1)])
+        assert run.counts["rmw_operations"] == 1
+        # An RMW activates the row twice: full-row read + full-row write.
+        assert run.events["row_reads"] + run.events["row_writes"] == 2
+
+    def test_wg_groups_same_set_writes(self):
+        # Two writes to the same block: buffered, then one grouped
+        # write-back on drain.
+        run = ReferenceOracle("wg", TINY).run(
+            [write(1, 0x00, 1), write(2, 0x08, 2)]
+        )
+        assert run.counts["set_buffer_fills"] >= 1
+        assert run.counts["final_writebacks"] == 1
+        assert run.memory == {0: 1, 1: 2}
+
+    def test_wg_detects_silent_write(self):
+        run = ReferenceOracle("wg", TINY).run(
+            [write(1, 0x00, 5), write(2, 0x00, 5)]
+        )
+        assert run.counts["silent_writes_detected"] == 1
+
+    def test_wg_silent_detection_off(self):
+        run = ReferenceOracle(
+            "wg", TINY, detect_silent_writes=False
+        ).run([write(1, 0x00, 5), write(2, 0x00, 5)])
+        assert run.counts["silent_writes_detected"] == 0
+
+    def test_wg_rb_bypasses_buffered_read(self):
+        run = ReferenceOracle("wg_rb", TINY).run(
+            [write(1, 0x00, 9), read(2, 0x00)]
+        )
+        assert run.counts["bypassed_reads"] == 1
+        assert run.read_values == [None, 9]
+
+    def test_wg_without_rb_never_bypasses(self):
+        run = ReferenceOracle("wg", TINY).run(
+            [write(1, 0x00, 9), read(2, 0x00)]
+        )
+        assert run.counts["bypassed_reads"] == 0
+        assert run.read_values == [None, 9]
+
+
+class TestResidency:
+    def test_eviction_of_dirty_block_counted(self):
+        # Three distinct tags into a 2-way set force one eviction.
+        g = TINY
+        stride = 1 << (g.offset_bits + g.index_bits)
+        trace = [write(i + 1, tag * stride, tag + 1) for tag, i in
+                 zip(range(3), range(3))]
+        run = ReferenceOracle("conventional", g).run(trace)
+        assert run.stats["write_misses"] == 3
+        assert run.stats["evictions"] == 1
+        assert run.stats["dirty_evictions"] == 1
+
+    def test_miss_traffic_accounting_charges_fills(self):
+        plain = ReferenceOracle("conventional", TINY).run([write(1, 0x00, 1)])
+        charged = ReferenceOracle(
+            "conventional", TINY, count_miss_traffic=True
+        ).run([write(1, 0x00, 1)])
+        assert charged.counts["rmw_operations"] == 1
+        assert plain.counts["rmw_operations"] == 0
+        charged_rows = charged.events["row_reads"] + charged.events["row_writes"]
+        plain_rows = plain.events["row_reads"] + plain.events["row_writes"]
+        assert charged_rows > plain_rows

@@ -1,0 +1,66 @@
+"""Unit tests for ddmin trace shrinking."""
+
+from repro.check.shrink import DEFAULT_SHRINK_BUDGET, shrink_trace
+
+
+class TestShrinking:
+    def test_single_culprit(self):
+        trace = list(range(100))
+        result = shrink_trace(trace, lambda t: 57 in t)
+        assert result == [57]
+
+    def test_pair_of_culprits_order_preserved(self):
+        trace = list(range(100))
+        result = shrink_trace(trace, lambda t: 13 in t and 80 in t)
+        assert result == [13, 80]
+
+    def test_subsequence_dependency(self):
+        # Fails only when 3 appears somewhere before 7.
+        trace = [1, 3, 5, 7, 9]
+
+        def fails(t):
+            return 3 in t and 7 in t and t.index(3) < t.index(7)
+
+        assert shrink_trace(trace, fails) == [3, 7]
+
+    def test_result_is_one_minimal(self):
+        trace = list(range(40))
+        result = shrink_trace(trace, lambda t: sum(t) >= 100)
+        # 1-minimal: removing any single element breaks the predicate.
+        assert sum(result) >= 100
+        for i in range(len(result)):
+            assert sum(result[:i] + result[i + 1:]) < 100
+
+    def test_non_failing_input_returned_unchanged(self):
+        trace = [1, 2, 3]
+        assert shrink_trace(trace, lambda t: False) == trace
+
+    def test_empty_input(self):
+        assert shrink_trace([], lambda t: True) == []
+
+    def test_whole_trace_needed(self):
+        trace = [1, 2, 3, 4]
+        assert shrink_trace(trace, lambda t: len(t) >= 4) == trace
+
+
+class TestBudget:
+    def test_budget_caps_evaluations(self):
+        calls = []
+
+        def fails(t):
+            calls.append(1)
+            return 999 in t
+
+        trace = list(range(1000)) + [999]
+        shrink_trace(trace, fails, budget=25)
+        # The initial confirmation plus at most the budget of tries.
+        assert len(calls) <= 26
+
+    def test_default_budget_sane(self):
+        assert DEFAULT_SHRINK_BUDGET >= 100
+
+    def test_partial_shrink_still_fails(self):
+        # Even when the budget stops early, the result must still fail.
+        trace = list(range(600))
+        result = shrink_trace(trace, lambda t: 300 in t, budget=10)
+        assert 300 in result

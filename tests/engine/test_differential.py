@@ -91,6 +91,60 @@ class TestBatchBoundaries:
         )
         assert_identical(trace, technique, tiny_geometry, batch_size=batch_size)
 
+    @pytest.mark.parametrize("technique", ("wg", "wg_rb"))
+    @pytest.mark.parametrize("batch_size", (2, 3, 4))
+    def test_same_set_run_spans_boundary_with_dirty_buffer(
+        self, technique, batch_size, tiny_geometry
+    ):
+        """Pinned corner: a same-set write run crosses a batch boundary
+        while the Set-Buffer is dirty from the records before the cut.
+
+        The batched engine must treat the post-boundary writes as a
+        continuation of the buffered run — re-filling (or prematurely
+        flushing) at the boundary would change write-back counts and,
+        with a lost modification, the final memory image.
+        """
+        from repro.trace.record import AccessType, MemoryAccess
+
+        g = tiny_geometry
+        stride = 1 << (g.offset_bits + g.index_bits)
+
+        def addr(tag, word):
+            return tag * stride + word * 8  # set 0 throughout
+
+        trace = []
+        icount = 0
+        # Ten dirty writes into set 0 across two tags: whatever the
+        # batch size in (2, 3, 4), at least one boundary lands inside
+        # this run with modifications pending in the Set-Buffer.
+        for i in range(10):
+            icount += 1
+            trace.append(
+                MemoryAccess(
+                    icount=icount,
+                    kind=AccessType.WRITE,
+                    address=addr(i % 2, i % g.words_per_block),
+                    value=100 + i,
+                )
+            )
+        # Then a read of a buffered word and an eviction-forcing fill.
+        icount += 1
+        trace.append(
+            MemoryAccess(
+                icount=icount, kind=AccessType.READ, address=addr(0, 0)
+            )
+        )
+        icount += 1
+        trace.append(
+            MemoryAccess(
+                icount=icount,
+                kind=AccessType.WRITE,
+                address=addr(5, 0),
+                value=999,
+            )
+        )
+        assert_identical(trace, technique, g, batch_size=batch_size)
+
     def test_single_record_trace(self, tiny_geometry):
         trace = make_random_trace(1, seed=16)
         for technique in CONTROLLER_NAMES:

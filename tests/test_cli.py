@@ -423,3 +423,114 @@ class TestResilienceFlags:
         sequential = capsys.readouterr().out
         assert main(argv + ["--processes", "2", "--worker-timeout", "60"]) == 0
         assert capsys.readouterr().out == sequential
+
+
+class TestCheckSubcommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        argv = [
+            "check",
+            "--seed",
+            "0",
+            "--iterations",
+            "4",
+            "--accesses",
+            "80",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "OK" in output
+        assert "4 technique(s)" in output
+
+    def test_technique_subset(self, capsys):
+        argv = [
+            "check",
+            "--iterations",
+            "3",
+            "--accesses",
+            "60",
+            "--techniques",
+            "wg",
+        ]
+        assert main(argv) == 0
+        assert "1 technique(s)" in capsys.readouterr().out
+
+    def test_geometry_restriction(self, capsys):
+        argv = [
+            "check",
+            "--iterations",
+            "2",
+            "--accesses",
+            "60",
+            "--geometry",
+            "512:2:32",
+        ]
+        assert main(argv) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_divergence_exits_three_and_saves_corpus(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.core.write_grouping import WriteGroupingController
+
+        original = WriteGroupingController._process_batch_fast
+
+        def buggy(controller, batch):
+            original(controller, batch)
+            controller.counts.grouped_writes += 1
+
+        monkeypatch.setattr(
+            WriteGroupingController, "_process_batch_fast", buggy
+        )
+        corpus = tmp_path / "corpus"
+        argv = [
+            "check",
+            "--iterations",
+            "1",
+            "--accesses",
+            "120",
+            "--techniques",
+            "wg",
+            "--corpus",
+            str(corpus),
+        ]
+        assert main(argv) == 3
+        output = capsys.readouterr().out
+        assert "FAILURE" in output
+        assert "grouped_writes" in output
+        assert list(corpus.glob("*.json"))
+
+    def test_replay_mode(self, capsys, tmp_path, monkeypatch):
+        from repro.core.write_grouping import WriteGroupingController
+
+        original = WriteGroupingController._process_batch_fast
+
+        def buggy(controller, batch):
+            original(controller, batch)
+            controller.counts.grouped_writes += 1
+
+        corpus = tmp_path / "corpus"
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                WriteGroupingController, "_process_batch_fast", buggy
+            )
+            main(
+                [
+                    "check",
+                    "--iterations",
+                    "1",
+                    "--accesses",
+                    "120",
+                    "--techniques",
+                    "wg",
+                    "--corpus",
+                    str(corpus),
+                ]
+            )
+        capsys.readouterr()
+        # Bug gone: the saved repro must replay green.
+        assert main(["check", "--corpus", str(corpus), "--replay"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_replay_without_corpus_is_usage_error(self, capsys):
+        assert main(["check", "--replay"]) == 2
+        assert "needs --corpus" in capsys.readouterr().err
