@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.result import FigureResult
+from repro.errors import ValidationError
 
 __all__ = ["render_bars"]
 
@@ -38,7 +39,7 @@ def render_bars(result: FigureResult, width: int = 40) -> str:
     shared y-axis of the paper's charts).
     """
     if width < 4:
-        raise ValueError(f"width must be at least 4, got {width}")
+        raise ValidationError(f"width must be at least 4, got {width}")
     numeric_columns = [
         column
         for column in range(1, len(result.headers))

@@ -19,6 +19,7 @@ from repro.analysis.rmw_overhead import claim_rmw_overhead
 from repro.analysis.scenarios import figure4_scenarios
 from repro.analysis.silent import figure5_silent_writes
 from repro.analysis.traffic import traffic_anatomy
+from repro.errors import ValidationError
 
 __all__ = ["FIGURE_IDS", "reproduce_figure"]
 
@@ -47,7 +48,7 @@ def reproduce_figure(figure_id: str, **kwargs) -> FigureResult:
     try:
         producer = _PRODUCERS[figure_id]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown figure {figure_id!r}; known: {list(FIGURE_IDS)}"
         ) from None
     return producer(**kwargs)

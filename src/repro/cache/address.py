@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.cache.config import CacheGeometry
 from repro.trace.record import WORD_BYTES
 from repro.utils.bitops import extract_bits
+from repro.errors import ValidationError
 
 __all__ = ["AddressMapper"]
 
@@ -48,12 +49,12 @@ class AddressMapper:
     def compose(self, tag: int, set_index: int, word_offset: int = 0) -> int:
         """Rebuild a byte address from its components (inverse mapping)."""
         if not 0 <= set_index < self._geometry.num_sets:
-            raise ValueError(
+            raise ValidationError(
                 f"set_index {set_index} out of range "
                 f"[0, {self._geometry.num_sets})"
             )
         if not 0 <= word_offset < self._geometry.words_per_block:
-            raise ValueError(
+            raise ValidationError(
                 f"word_offset {word_offset} out of range "
                 f"[0, {self._geometry.words_per_block})"
             )

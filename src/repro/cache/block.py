@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from typing import List, Optional
+from repro.errors import ValidationError
 
 __all__ = ["CacheBlock"]
 
@@ -25,7 +26,7 @@ class CacheBlock:
     def fill(self, tag: int, data: List[int]) -> None:
         """Install a block fetched from the next level."""
         if len(data) != len(self.data):
-            raise ValueError(
+            raise ValidationError(
                 f"fill data has {len(data)} words, block holds {len(self.data)}"
             )
         self.valid = True
@@ -42,12 +43,12 @@ class CacheBlock:
 
     def read_word(self, word_offset: int) -> int:
         if not self.valid:
-            raise ValueError("read from an invalid block")
+            raise ValidationError("read from an invalid block")
         return self.data[word_offset]
 
     def write_word(self, word_offset: int, value: int) -> None:
         if not self.valid:
-            raise ValueError("write to an invalid block")
+            raise ValidationError("write to an invalid block")
         self.data[word_offset] = value
         self.dirty = True
 

@@ -38,6 +38,7 @@ from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 from repro.trace.record import MemoryAccess
 from repro.utils.rng import DeterministicRNG
+from repro.errors import ValidationError
 
 __all__ = ["SetAssociativeCache", "AccessResult"]
 
@@ -248,7 +249,7 @@ class SetAssociativeCache:
     def read_word(self, set_index: int, way: int, word_offset: int) -> int:
         """Read a word from a resident block."""
         if self._tags[set_index][way] == _NO_TAG:
-            raise ValueError("read from an invalid block")
+            raise ValidationError("read from an invalid block")
         return self._data[set_index][way * self._wpb + word_offset]
 
     def write_word(
@@ -256,7 +257,7 @@ class SetAssociativeCache:
     ) -> None:
         """Write a word into a resident block (marks it dirty)."""
         if self._tags[set_index][way] == _NO_TAG:
-            raise ValueError("write to an invalid block")
+            raise ValidationError("write to an invalid block")
         self._data[set_index][way * self._wpb + word_offset] = value
         self._dirty[set_index][way] = True
 

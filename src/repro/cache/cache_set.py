@@ -6,6 +6,7 @@ from typing import List, Optional
 
 from repro.cache.block import CacheBlock
 from repro.cache.replacement import ReplacementPolicy
+from repro.errors import ValidationError
 
 __all__ = ["CacheSet"]
 
@@ -19,7 +20,7 @@ class CacheSet:
         self, associativity: int, words_per_block: int, policy: ReplacementPolicy
     ) -> None:
         if policy.associativity != associativity:
-            raise ValueError(
+            raise ValidationError(
                 f"policy built for {policy.associativity} ways, set has "
                 f"{associativity}"
             )

@@ -8,7 +8,7 @@ sensitivity studies use 32 KB/64 B (Figure 10) and 32 KB & 128 KB with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import NamedTuple
 

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.utils.rng import DeterministicRNG
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = [
     "ReplacementPolicy",
@@ -50,7 +51,7 @@ class ReplacementPolicy(abc.ABC):
 
     def _check_way(self, way: int) -> None:
         if not 0 <= way < self.associativity:
-            raise ValueError(
+            raise ValidationError(
                 f"way {way} out of range [0, {self.associativity})"
             )
 
@@ -116,7 +117,7 @@ class TreePLRUPolicy(ReplacementPolicy):
     def __init__(self, associativity: int) -> None:
         super().__init__(associativity)
         if associativity & (associativity - 1):
-            raise ValueError(
+            raise ValidationError(
                 f"tree-PLRU requires power-of-two associativity, got {associativity}"
             )
         # One bit per internal node of a complete binary tree; bit 0 means
@@ -171,7 +172,7 @@ def make_policy(name: str, associativity: int) -> ReplacementPolicy:
     try:
         factory = _POLICIES[name.lower()]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown replacement policy {name!r}; "
             f"known: {sorted(_POLICIES)}"
         ) from None

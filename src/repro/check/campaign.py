@@ -21,7 +21,7 @@ from repro.check.differential import WG_FAMILY, run_differential
 from repro.check.fuzz import FuzzCase, TraceFuzzer
 from repro.check.shrink import DEFAULT_SHRINK_BUDGET, shrink_trace
 from repro.core.registry import CONTROLLER_NAMES
-from repro.errors import InvariantViolation
+from repro.errors import InvariantViolation, ValidationError
 from repro.trace.record import MemoryAccess
 
 __all__ = ["CheckFailure", "CheckReport", "run_check_campaign", "replay_corpus"]
@@ -134,7 +134,7 @@ def run_check_campaign(
     """
     for technique in techniques:
         if technique not in CONTROLLER_NAMES and technique not in WG_FAMILY:
-            raise ValueError(
+            raise ValidationError(
                 f"check campaign cannot model {technique!r}; "
                 f"known: {CONTROLLER_NAMES}"
             )

@@ -25,12 +25,13 @@ from a naive per-request loop:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.config import CacheGeometry
 from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES
 from repro.utils.rng import derive_seed
+from repro.errors import ValidationError
 
 __all__ = ["FuzzCase", "TraceFuzzer", "SCENARIO_NAMES", "FUZZ_GEOMETRIES"]
 
@@ -276,7 +277,7 @@ class TraceFuzzer:
         geometries: Optional[Tuple[CacheGeometry, ...]] = None,
     ) -> None:
         if max_accesses <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"max_accesses must be positive, got {max_accesses}"
             )
         self.seed = seed

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.errors import InvariantViolation
+from repro.errors import InvariantViolation, ValidationError
 
 __all__ = ["InvariantChecker", "check_controller_invariants"]
 
@@ -97,7 +97,7 @@ class InvariantChecker:
 
     def __init__(self, every: int = 1) -> None:
         if every <= 0:
-            raise ValueError(f"every must be positive, got {every}")
+            raise ValidationError(f"every must be positive, got {every}")
         self.every = every
         self.checks_run = 0
         self._since_last = 0

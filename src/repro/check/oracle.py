@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.trace.record import MemoryAccess, WORD_BYTES
+from repro.errors import StateError, ValidationError
 
 __all__ = ["OracleRun", "ReferenceOracle", "ORACLE_TECHNIQUES"]
 
@@ -106,7 +107,7 @@ class ReferenceOracle:
         entries: int = 1,
     ) -> None:
         if technique not in ORACLE_TECHNIQUES:
-            raise ValueError(
+            raise ValidationError(
                 f"oracle does not model {technique!r}; known: "
                 f"{ORACLE_TECHNIQUES}"
             )
@@ -320,7 +321,7 @@ class ReferenceOracle:
     def step(self, access: MemoryAccess) -> Optional[int]:
         """Process one access; returns the value read (None for writes)."""
         if self._finished:
-            raise RuntimeError("oracle already finished")
+            raise StateError("oracle already finished")
         self._icount = access.icount
         set_index, tag, word_offset = self._split(access.address)
         wg_family = self.technique in ("wg", "wg_rb")

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.export import figure_to_csv, metrics_to_json, snapshots_to_csv
 from repro.analysis.figures import FIGURE_IDS, reproduce_figure
@@ -533,6 +533,43 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import RULE_TYPES, run_lint
+
+    if args.list_rules:
+        rows = [
+            (rule_id, rule_type.name, str(rule_type.severity), rule_type.description)
+            for rule_id, rule_type in sorted(RULE_TYPES.items())
+        ]
+        print(
+            format_table(
+                ("id", "name", "severity", "description"),
+                rows,
+                title="repro-8t lint rule catalogue",
+            )
+        )
+        return 0
+    report = run_lint(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        baseline_path=args.baseline,
+    )
+    if args.write_baseline:
+        from repro.lint import Baseline
+
+        entries = Baseline.from_findings(report.raw_findings).save(
+            args.write_baseline
+        )
+        print(f"wrote {entries} baseline entries to {args.write_baseline}")
+        return 0
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_benchmarks(_args) -> int:
     rows = [
         (
@@ -769,6 +806,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip debug-mode structural invariant checks",
     )
     sub.set_defaults(handler=_cmd_check)
+
+    sub = subparsers.add_parser(
+        "lint",
+        help="project-aware static analysis (determinism, contracts)",
+        description=(
+            "AST-based lint enforcing this repo's contracts: seeded "
+            "randomness in sim paths, ReproError discipline, the "
+            "controller fast-path gate, the declared metric-name set, "
+            "and library hygiene.  Exit 1 on findings, 0 when clean; "
+            "see docs/static-analysis.md for the rule catalogue, "
+            "`# repro-lint: disable=RPRxxx` suppressions, and the "
+            "baseline workflow."
+        ),
+    )
+    sub.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    sub.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format",
+    )
+    sub.add_argument(
+        "--baseline",
+        help="JSON baseline of accepted findings to subtract",
+    )
+    sub.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a baseline and exit 0",
+    )
+    sub.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RPRxxx",
+        help="run only these rule ids",
+    )
+    sub.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="RPRxxx",
+        help="skip these rule ids",
+    )
+    sub.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    sub.set_defaults(handler=_cmd_lint)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
     sub.set_defaults(handler=_cmd_benchmarks)

@@ -27,8 +27,10 @@ from repro.core.outcomes import AccessOutcome, OperationCounts
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
+from repro.errors import StateError, ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.invariants import InvariantChecker
     from repro.engine.batch import AccessBatch
 
 __all__ = ["CacheController"]
@@ -82,12 +84,14 @@ class CacheController(abc.ABC):
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs = self.telemetry.enabled
         if self._obs:
+            # Spelled as whole f-strings (not prefix + tail) so the
+            # RPR131 metric-name cross-reference can resolve each name
+            # statically against repro/obs/names.py.
             registry = self.telemetry.registry
-            prefix = f"ctrl.{self.name}."
-            self._c_reads = registry.counter(prefix + "read_requests")
-            self._c_writes = registry.counter(prefix + "write_requests")
-            self._c_hits = registry.counter(prefix + "hits")
-            self._c_misses = registry.counter(prefix + "misses")
+            self._c_reads = registry.counter(f"ctrl.{self.name}.read_requests")
+            self._c_writes = registry.counter(f"ctrl.{self.name}.write_requests")
+            self._c_hits = registry.counter(f"ctrl.{self.name}.hits")
+            self._c_misses = registry.counter(f"ctrl.{self.name}.misses")
 
     def reset_telemetry_counters(self) -> None:
         """Zero this controller's pre-bound registry counters.
@@ -104,7 +108,7 @@ class CacheController(abc.ABC):
             if counter.name.startswith(prefix):
                 counter.value = 0
 
-    def _emit_point(self, name: str, **args) -> None:
+    def _emit_point(self, name: str, **args: object) -> None:
         """One named instrumentation point: counter + trace instant.
 
         Call sites guard with ``if self._obs`` so the uninstrumented
@@ -137,7 +141,7 @@ class CacheController(abc.ABC):
 
     # -- debug mode ------------------------------------------------------------
 
-    def enable_invariant_checks(self, every: int = 1):
+    def enable_invariant_checks(self, every: int = 1) -> "InvariantChecker":
         """Audit structural invariants after every ``every``-th access.
 
         Debug mode for the correctness tooling (``docs/correctness.md``):
@@ -163,7 +167,7 @@ class CacheController(abc.ABC):
     def process(self, access: MemoryAccess) -> AccessOutcome:
         """Handle one request end-to-end and return its outcome."""
         if self._finalized:
-            raise RuntimeError("controller already finalized")
+            raise StateError("controller already finalized")
         if access.is_read:
             self.counts.read_requests += 1
         else:
@@ -209,9 +213,9 @@ class CacheController(abc.ABC):
           each record must replay through :meth:`process`.
         """
         if self._finalized:
-            raise RuntimeError("controller already finalized")
+            raise StateError("controller already finalized")
         if batch.geometry != self.cache.geometry:
-            raise ValueError(
+            raise ValidationError(
                 f"batch decoded for {batch.geometry.describe()} fed to a "
                 f"{self.cache.geometry.describe()} cache"
             )

@@ -8,10 +8,15 @@ paper's ">32 % access-frequency increase" claim for RMW.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cache.cache import AccessResult
 from repro.core.controller import CacheController
 from repro.core.outcomes import AccessOutcome, ServedFrom
 from repro.trace.record import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.batch import AccessBatch
 
 __all__ = ["ConventionalController"]
 
@@ -22,7 +27,7 @@ class ConventionalController(CacheController):
     name = "conventional"
     _fast_path_name = "conventional"
 
-    def _process_batch_fast(self, batch) -> None:
+    def _process_batch_fast(self, batch: "AccessBatch") -> None:
         """Batched hot loop, fully inline: hits run on the cache's slot
         arrays, misses through the shared ``cache._fill`` (the same
         code ``ensure_resident`` runs), with all counters aggregated

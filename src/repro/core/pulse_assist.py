@@ -23,7 +23,7 @@ energy/latency premiums instead of ECC or buffer costs.
 
 from __future__ import annotations
 
-from repro.cache.cache import AccessResult
+from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.core.controller import CacheController
 from repro.core.outcomes import AccessOutcome, ServedFrom
 from repro.trace.record import MemoryAccess
@@ -51,7 +51,9 @@ class PulseAssistController(CacheController):
 
     name = "pulse_assist"
 
-    def __init__(self, cache, count_miss_traffic: bool = False) -> None:
+    def __init__(
+        self, cache: SetAssociativeCache, count_miss_traffic: bool = False
+    ) -> None:
         super().__init__(cache, count_miss_traffic=count_miss_traffic)
         self.assisted_writes = 0
 

@@ -13,6 +13,7 @@ from repro.core.rmw import RMWController
 from repro.core.wg_rb import WGRBController
 from repro.core.write_buffer import WriteBufferController
 from repro.core.write_grouping import WriteGroupingController
+from repro.errors import ValidationError
 
 __all__ = ["CONTROLLER_NAMES", "ALL_CONTROLLER_NAMES", "make_controller"]
 
@@ -38,7 +39,7 @@ alternative."""
 
 
 def make_controller(
-    name: str, cache: SetAssociativeCache, **kwargs
+    name: str, cache: SetAssociativeCache, **kwargs: object
 ) -> CacheController:
     """Instantiate a controller by registry name.
 
@@ -52,7 +53,7 @@ def make_controller(
     try:
         factory = _FACTORIES[name.lower()]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown controller {name!r}; known: {list(CONTROLLER_NAMES)}"
         ) from None
     controller = factory(cache, **kwargs)

@@ -32,6 +32,7 @@ from repro.core.outcomes import AccessOutcome, ServedFrom
 from repro.core.rmw import RMWController
 from repro.trace.record import MemoryAccess
 from repro.utils.validation import check_power_of_two
+from repro.errors import ValidationError
 
 __all__ = ["WordWriteController", "LocalRMWController"]
 
@@ -101,7 +102,7 @@ class LocalRMWController(RMWController):
             subarrays = min(8, cache.geometry.num_sets)
         check_power_of_two("subarrays", subarrays)
         if subarrays > cache.geometry.num_sets:
-            raise ValueError(
+            raise ValidationError(
                 f"subarrays ({subarrays}) cannot exceed the number of "
                 f"sets ({cache.geometry.num_sets})"
             )

@@ -12,10 +12,15 @@ and extra read energy.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cache.cache import AccessResult
 from repro.core.controller import CacheController
 from repro.core.outcomes import AccessOutcome, ServedFrom
 from repro.trace.record import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.batch import AccessBatch
 
 __all__ = ["RMWController"]
 
@@ -26,7 +31,7 @@ class RMWController(CacheController):
     name = "rmw"
     _fast_path_name = "rmw"
 
-    def _process_batch_fast(self, batch) -> None:
+    def _process_batch_fast(self, batch: "AccessBatch") -> None:
         """Batched hot loop, fully inline: hits run on the cache's slot
         arrays, misses through the shared ``cache._fill``; reads
         aggregate to one row read each, writes to one RMW each."""

@@ -10,6 +10,7 @@ the array as a single full-row write.
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
+from repro.errors import ValidationError
 
 __all__ = ["SetBuffer"]
 
@@ -32,7 +33,7 @@ class SetBuffer:
     def fill(self, set_index: int, set_data: List[List[int]]) -> None:
         """Load a whole set, as read from the array row."""
         if not set_data or any(len(way) != len(set_data[0]) for way in set_data):
-            raise ValueError("set data must be a non-empty rectangular array")
+            raise ValidationError("set data must be a non-empty rectangular array")
         self.valid = True
         self.set_index = set_index
         self._data = [list(way) for way in set_data]
@@ -113,4 +114,4 @@ class SetBuffer:
 
     def _check_valid(self) -> None:
         if not self.valid:
-            raise ValueError("Set-Buffer is empty")
+            raise ValidationError("Set-Buffer is empty")

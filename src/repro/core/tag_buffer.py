@@ -9,6 +9,7 @@ the area model in :mod:`repro.power` computes this exactly.
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
+from repro.errors import ValidationError
 
 __all__ = ["TagBuffer"]
 
@@ -50,16 +51,16 @@ class TagBuffer:
     def way_of(self, tag: int) -> int:
         """Way index whose tag is ``tag`` (must be present)."""
         if not self.valid:
-            raise ValueError("Tag-Buffer is empty")
+            raise ValidationError("Tag-Buffer is empty")
         for way, stored in enumerate(self._tags):
             if stored == tag:
                 return way
-        raise ValueError(f"tag {tag:#x} not in Tag-Buffer")
+        raise ValidationError(f"tag {tag:#x} not in Tag-Buffer")
 
     def set_dirty(self) -> None:
         """Set by the controller upon a non-silent write (Figure 6b)."""
         if not self.valid:
-            raise ValueError("cannot dirty an empty Tag-Buffer")
+            raise ValidationError("cannot dirty an empty Tag-Buffer")
         self.dirty = True
 
     def clear_dirty(self) -> None:

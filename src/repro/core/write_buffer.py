@@ -34,6 +34,7 @@ from repro.core.controller import CacheController
 from repro.core.outcomes import AccessOutcome, ServedFrom
 from repro.trace.record import MemoryAccess
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = ["WriteBufferController"]
 
@@ -123,7 +124,7 @@ class WriteBufferController(CacheController):
         elif reason == "final":
             self.counts.final_writebacks += 1
         else:
-            raise ValueError(f"unknown drain reason {reason!r}")
+            raise ValidationError(f"unknown drain reason {reason!r}")
         slot.close()
         return 2
 

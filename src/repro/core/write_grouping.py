@@ -30,7 +30,7 @@ is the paper's design.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.core.controller import CacheController
@@ -39,6 +39,10 @@ from repro.core.set_buffer import SetBuffer
 from repro.core.tag_buffer import TagBuffer
 from repro.trace.record import MemoryAccess
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.batch import AccessBatch
 
 __all__ = ["WriteGroupingController", "BufferEntry"]
 
@@ -146,7 +150,7 @@ class WriteGroupingController(CacheController):
         elif reason == "final":
             self.counts.final_writebacks += 1
         else:
-            raise ValueError(f"unknown write-back reason {reason!r}")
+            raise ValidationError(f"unknown write-back reason {reason!r}")
         if self._obs:
             self._emit_point(
                 f"sb_writeback_{reason}", set_index=entry.set_index
@@ -184,7 +188,7 @@ class WriteGroupingController(CacheController):
 
     # -- batched fast path -------------------------------------------------------
 
-    def _process_batch_fast(self, batch) -> None:
+    def _process_batch_fast(self, batch: "AccessBatch") -> None:
         """Batched WG hot loop with same-set write-run pre-grouping.
 
         A maximal run of consecutive same-set writes resolves its

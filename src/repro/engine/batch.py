@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, List, Optional
 
 from repro.cache.config import CacheGeometry
 from repro.trace.record import AccessType, MemoryAccess
+from repro.errors import ValidationError
 
 __all__ = ["AccessBatch", "DEFAULT_BATCH_SIZE", "iter_batches"]
 
@@ -149,7 +150,7 @@ def iter_batches(
     """
     size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
     if size <= 0:
-        raise ValueError(f"batch_size must be positive, got {size}")
+        raise ValidationError(f"batch_size must be positive, got {size}")
     batch = AccessBatch(geometry=geometry)
     append = _BatchAppender(batch)
     count = 0

@@ -16,15 +16,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.core.registry import CONTROLLER_NAMES, make_controller
 from repro.engine.batch import iter_batches
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.trace.record import MemoryAccess
 from repro.workload.generator import generate_trace
 from repro.workload.spec2006 import get_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import SetAssociativeCache
+    from repro.sram.events import SRAMEventLog
 
 __all__ = ["BenchResult", "run_hotpath_bench", "bench_report"]
 
@@ -67,7 +71,7 @@ class BenchResult:
 
 def _time_scalar(
     technique: str, trace: Sequence[MemoryAccess], geometry: CacheGeometry
-):
+) -> Tuple[float, "SRAMEventLog"]:
     controller = make_controller(technique, _fresh_cache(geometry))
     process = controller.process
     start = time.perf_counter()
@@ -83,7 +87,7 @@ def _time_batched(
     trace: Sequence[MemoryAccess],
     geometry: CacheGeometry,
     batch_size: Optional[int],
-):
+) -> Tuple[float, "SRAMEventLog"]:
     controller = make_controller(technique, _fresh_cache(geometry))
     batches = list(iter_batches(trace, geometry, batch_size))
     process_batch = controller.process_batch
@@ -95,7 +99,7 @@ def _time_batched(
     return elapsed, controller.events
 
 
-def _fresh_cache(geometry: CacheGeometry):
+def _fresh_cache(geometry: CacheGeometry) -> "SetAssociativeCache":
     from repro.cache.cache import SetAssociativeCache
 
     return SetAssociativeCache(geometry)
@@ -118,7 +122,7 @@ def run_hotpath_bench(
     engines ever disagree on the resulting event log.
     """
     if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
     names = list(techniques) if techniques is not None else list(CONTROLLER_NAMES)
     trace = generate_trace(get_profile(benchmark), accesses, seed=seed)
     results: List[BenchResult] = []

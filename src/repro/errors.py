@@ -7,9 +7,14 @@ programming errors like ``TypeError``.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "ValidationError",
+    "TypeContractError",
+    "StateError",
     "TraceFormatError",
     "SimulationError",
     "InvariantViolation",
@@ -18,6 +23,7 @@ __all__ = [
     "WorkerCrashError",
     "CheckpointError",
     "CampaignFailedError",
+    "LintConfigError",
 ]
 
 
@@ -27,6 +33,35 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """A cache/SRAM/workload configuration is internally inconsistent."""
+
+
+class ValidationError(ConfigurationError, ValueError):
+    """A caller passed an invalid value (bad range, unknown name, ...).
+
+    Dual-inherits :class:`ValueError` so ``except ValueError`` at call
+    sites (and third-party code) keeps working, while ``except
+    ReproError`` — the CLI and campaign-quarantine contract — now also
+    catches it.  Via :class:`ConfigurationError` it maps to exit code 2
+    (usage) at the CLI entry point.  This is the standard replacement
+    for ``raise ValueError`` in library code (lint rule RPR111).
+    """
+
+
+class TypeContractError(ReproError, TypeError):
+    """A caller passed a value of the wrong type.
+
+    Dual-inherits :class:`TypeError`; the replacement for ``raise
+    TypeError`` in library code (lint rule RPR111).
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """An object was used in a state that forbids the operation.
+
+    E.g. processing through a finalized controller or timing with a
+    never-started timer.  Dual-inherits :class:`RuntimeError`; the
+    replacement for ``raise RuntimeError`` in library code (RPR111).
+    """
 
 
 class TraceFormatError(ReproError):
@@ -92,6 +127,16 @@ class CampaignFailedError(SimulationError):
     :class:`repro.sim.resilience.FailedRow` records.
     """
 
-    def __init__(self, message: str, failed_rows=()) -> None:
+    def __init__(self, message: str, failed_rows: Iterable[object] = ()) -> None:
         super().__init__(message)
         self.failed_rows = tuple(failed_rows)
+
+
+class LintConfigError(ConfigurationError):
+    """A ``repro-8t lint`` invocation or artifact is unusable.
+
+    Covers unknown rule ids, unreadable paths, malformed baseline
+    files, and invalid rule registrations.  Distinct from findings:
+    findings are facts about the linted tree (exit code 1), this error
+    means the lint run itself could not be configured (exit code 2).
+    """

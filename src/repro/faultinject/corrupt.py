@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from pathlib import Path
 from typing import Union
+from repro.errors import ValidationError
 
 __all__ = ["truncate_file", "flip_bit"]
 
@@ -24,7 +25,7 @@ def truncate_file(path: PathLike, keep_bytes: int) -> int:
     of the file is a no-op (returns 0).
     """
     if keep_bytes < 0:
-        raise ValueError(f"keep_bytes must be non-negative, got {keep_bytes}")
+        raise ValidationError(f"keep_bytes must be non-negative, got {keep_bytes}")
     path = Path(path)
     size = path.stat().st_size
     if keep_bytes >= size:
@@ -41,13 +42,13 @@ def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> int:
     (``-1`` = last byte).
     """
     if not 0 <= bit <= 7:
-        raise ValueError(f"bit must be in [0, 7], got {bit}")
+        raise ValidationError(f"bit must be in [0, 7], got {bit}")
     path = Path(path)
     size = path.stat().st_size
     if byte_offset < 0:
         byte_offset += size
     if not 0 <= byte_offset < size:
-        raise ValueError(
+        raise ValidationError(
             f"byte_offset {byte_offset} outside file of {size} bytes"
         )
     with open(path, "rb+") as handle:

@@ -1,0 +1,37 @@
+"""``repro.lint`` — project-aware static analysis (``repro-8t lint``).
+
+An AST-based, single-pass rule engine with stable ``RPRxxx`` rule ids,
+``# repro-lint: disable=RPRxxx`` line suppressions, and a JSON baseline
+for incremental adoption.  The rules encode this repo's contracts —
+determinism of the sim path, the ReproError hierarchy, the batched
+fast-path gate, the declared metric-name set, and library hygiene — so
+whole classes of plausible-but-wrong reproduction bugs fail the build
+before any trace runs.  See ``docs/static-analysis.md`` for the rule
+catalogue and workflow.
+
+Public API::
+
+    from repro.lint import run_lint, lint_source
+
+    report = run_lint(["src/repro"])           # whole tree
+    findings = lint_source(snippet, module="repro.sim.x")   # one blob
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import RULE_TYPES, Rule, lint_source, register_rule
+from repro.lint.finding import Finding, Severity
+from repro.lint.runner import LintReport, discover_files, module_name_for, run_lint
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "RULE_TYPES",
+    "Rule",
+    "Severity",
+    "discover_files",
+    "lint_source",
+    "module_name_for",
+    "register_rule",
+    "run_lint",
+]

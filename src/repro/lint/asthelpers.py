@@ -1,0 +1,99 @@
+"""Small AST utilities shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "resolve_string_pattern",
+    "patterns_unify",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of the callable in a Call node, else None."""
+    return dotted_name(node.func)
+
+
+def resolve_string_pattern(node: ast.AST) -> Optional[str]:
+    """Resolve a string-valued expression to a glob-ish pattern.
+
+    Literals resolve to themselves; f-string interpolations become
+    ``*``; ``+`` concatenations of resolvable parts concatenate.
+    Anything else (a plain variable, a function call) is statically
+    unresolvable and returns None — callers skip those sites rather
+    than guess.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else None
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                if not isinstance(piece.value, str):
+                    return None
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append("*")
+            else:  # pragma: no cover - no other JoinedStr members exist
+                return None
+        return _collapse_stars("".join(parts))
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = resolve_string_pattern(node.left)
+        right = resolve_string_pattern(node.right)
+        if left is None or right is None:
+            return None
+        return _collapse_stars(left + right)
+    return None
+
+
+def _collapse_stars(pattern: str) -> str:
+    while "**" in pattern:
+        pattern = pattern.replace("**", "*")
+    return pattern
+
+
+def patterns_unify(a: str, b: str) -> bool:
+    """True when some concrete string matches both glob patterns.
+
+    ``*`` matches any run of characters (including empty) in either
+    pattern; the check is existential, so ``ctrl.*.hits`` unifies with
+    ``ctrl.wg.*`` (witness: ``ctrl.wg.hits``).  Iterative DP over the
+    two patterns — no recursion, no backtracking blowup.
+    """
+    len_a, len_b = len(a), len(b)
+    # reachable[j] == True: (i, j) reachable for current i
+    reachable = [False] * (len_b + 1)
+    reachable[0] = True
+    for j in range(1, len_b + 1):
+        reachable[j] = reachable[j - 1] and b[j - 1] == "*"
+    for i in range(1, len_a + 1):
+        previous = reachable
+        reachable = [False] * (len_b + 1)
+        reachable[0] = previous[0] and a[i - 1] == "*"
+        for j in range(1, len_b + 1):
+            char_a, char_b = a[i - 1], b[j - 1]
+            if char_a == "*" or char_b == "*":
+                # A star consumes the other side's character, matches
+                # empty, or both sides advance together.
+                reachable[j] = (
+                    previous[j] or reachable[j - 1] or previous[j - 1]
+                )
+            else:
+                reachable[j] = previous[j - 1] and char_a == char_b
+    return reachable[len_b]

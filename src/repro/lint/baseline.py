@@ -1,0 +1,116 @@
+"""JSON baseline for incremental lint adoption.
+
+A baseline records the *accepted* pre-existing findings so that a new
+rule can ship immediately and fail the build only on **new** debt.  An
+entry is count-based and line-number-agnostic — ``(rule, path, snippet)``
+with a multiplicity — so pure line shifts never invalidate it, while
+every newly introduced occurrence of the same pattern still fails.
+
+The repo's own goal state is an **empty** baseline (and the shipped
+tree lints clean with one); the mechanism exists for future rules and
+for downstream forks adopting the linter on a dirtier tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.errors import LintConfigError
+from repro.lint.finding import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int]) -> None:
+        self._counts = dict(counts)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = cls._key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintConfigError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise LintConfigError(
+                f"baseline {path} lacks a top-level 'findings' list"
+            )
+        version = payload.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise LintConfigError(
+                f"baseline {path} has version {version}; "
+                f"this linter reads version {BASELINE_VERSION}"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in payload["findings"]:
+            try:
+                key = (entry["rule"], entry["path"], entry["snippet"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise LintConfigError(
+                    f"baseline {path} has a malformed entry: {entry!r}"
+                ) from exc
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write the baseline; returns the number of entries."""
+        entries = [
+            {"rule": rule, "path": rel_path, "snippet": snippet, "count": count}
+            for (rule, rel_path, snippet), count in sorted(self._counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return len(entries)
+
+    # -- filtering ----------------------------------------------------------
+
+    @staticmethod
+    def _key(finding: Finding) -> Tuple[str, str, str]:
+        fp = finding.fingerprint()
+        return (fp["rule"], fp["path"], fp["snippet"])
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Drop baselined findings; returns (fresh findings, matched)."""
+        remaining = dict(self._counts)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = self._key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        return fresh, matched
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

@@ -1,0 +1,217 @@
+"""Rule protocol, rule registry, and the single-pass AST dispatcher.
+
+The framework parses each file once and walks its AST once.  Rules
+declare interest in node types by defining ``visit_<NodeType>`` methods
+(``visit_Call``, ``visit_Raise``, ...); the dispatcher builds a
+node-type -> handlers table up front so the walk costs one dict lookup
+per node regardless of how many rules are active.
+
+Rules are instantiated once per run and live across all files, which is
+what lets whole-project rules (the telemetry cross-reference) accumulate
+state in ``visit_*`` and report from :meth:`Rule.finish_run`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.errors import LintConfigError
+from repro.lint.finding import Finding, Severity
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "Rule",
+    "RULE_TYPES",
+    "register_rule",
+    "FileContext",
+    "RunContext",
+    "lint_source",
+]
+
+_RULE_ID_PATTERN = re.compile(r"^RPR\d{3}$")
+
+#: Every registered rule type, keyed by stable rule id.
+RULE_TYPES: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes below and implement any number
+    of ``visit_<NodeType>(node, ctx)`` methods.  ``finish_run(run)`` is
+    called once after every file has been visited — whole-project rules
+    report deferred findings there.
+    """
+
+    #: Stable identifier (``RPRxxx``); never renumber a shipped rule.
+    id: str = ""
+    #: Short kebab-case name used in docs and ``--format json``.
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line rationale shown in the rule catalogue.
+    description: str = ""
+    #: Other rule ids this rule reports under (a cross-reference rule
+    #: owning both directions of a check); keeps --select/--ignore
+    #: working for the satellite ids.
+    also_provides: Tuple[str, ...] = ()
+
+    def start_file(self, ctx: "FileContext") -> None:
+        """Hook before a file's AST walk (per-file state reset)."""
+
+    def finish_file(self, ctx: "FileContext") -> None:
+        """Hook after a file's AST walk."""
+
+    def finish_run(self, run: "RunContext") -> None:
+        """Hook after all files; deferred/cross-file reporting."""
+
+
+def register_rule(rule_type: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_PATTERN.match(rule_type.id):
+        raise LintConfigError(
+            f"rule id must match RPRxxx, got {rule_type.id!r}"
+        )
+    if rule_type.id in RULE_TYPES:
+        raise LintConfigError(f"duplicate rule id {rule_type.id}")
+    if not rule_type.name or not rule_type.description:
+        raise LintConfigError(
+            f"rule {rule_type.id} needs a name and a description"
+        )
+    RULE_TYPES[rule_type.id] = rule_type
+    return rule_type
+
+
+class FileContext:
+    """Everything a rule may need about the file being visited."""
+
+    def __init__(
+        self,
+        run: "RunContext",
+        path: str,
+        source: str,
+        tree: ast.AST,
+        module: Optional[str],
+    ) -> None:
+        self.run = run
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: Dotted module name (``repro.sim.campaign``) when the file
+        #: sits inside an ``__init__.py`` package chain, else None.
+        self.module = module
+        self.suppressions = SuppressionIndex.from_lines(self.lines)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the file's module sits under any dotted prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        """File a finding for ``node`` unless a comment suppresses it."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        if self.suppressions.is_suppressed(rule.id, line):
+            self.run.suppressed += 1
+            return
+        self.run.findings.append(
+            Finding(
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=self.path,
+                line=line,
+                column=column,
+                message=message,
+                snippet=self.source_line(line),
+            )
+        )
+
+
+class RunContext:
+    """Mutable state for one lint invocation (all files, all rules)."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.findings: List[Finding] = []
+        self.suppressed = 0
+        self.files_checked = 0
+        self._dispatch = self._build_dispatch(self.rules)
+
+    @staticmethod
+    def _build_dispatch(
+        rules: Tuple[Rule, ...],
+    ) -> Dict[str, List[Tuple[Rule, Callable[[ast.AST, FileContext], None]]]]:
+        table: Dict[str, List[Tuple[Rule, Callable]]] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    node_name = attr[len("visit_"):]
+                    table.setdefault(node_name, []).append(
+                        (rule, getattr(rule, attr))
+                    )
+        return table
+
+    def check_file(
+        self, path: str, source: str, module: Optional[str]
+    ) -> Optional[Finding]:
+        """Parse and walk one file; returns a syntax-error finding when
+        the file does not parse (rules never see unparsable files)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.files_checked += 1
+            finding = Finding(
+                rule_id="RPR001",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+            self.findings.append(finding)
+            return finding
+        ctx = FileContext(self, path, source, tree, module)
+        for rule in self.rules:
+            rule.start_file(ctx)
+        dispatch = self._dispatch
+        for node in ast.walk(tree):
+            handlers = dispatch.get(type(node).__name__)
+            if handlers:
+                for rule, handler in handlers:
+                    handler(node, ctx)
+        for rule in self.rules:
+            rule.finish_file(ctx)
+        self.files_checked += 1
+        return None
+
+    def finish(self) -> None:
+        """Run every rule's whole-project pass and order the findings."""
+        for rule in self.rules:
+            rule.finish_run(self)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source string (the unit-test entry point)."""
+    if rules is None:
+        rules = [rule_type() for rule_type in RULE_TYPES.values()]
+    run = RunContext(rules)
+    run.check_file(path, source, module)
+    run.finish()
+    return run.findings

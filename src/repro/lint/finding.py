@@ -1,0 +1,74 @@
+"""Finding and severity types for the ``repro-8t lint`` framework.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Findings are value objects: the runner produces them, the baseline and
+suppression layers filter them, and the CLI renders them.  The
+``fingerprint`` (rule id + relative path + stripped source line) is
+deliberately line-number-agnostic so a baseline survives unrelated
+edits above the flagged line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are correctness or contract violations (wrong
+    numbers, silently skipped fast-path gates); ``WARNING`` findings
+    are hygiene problems (prints, asserts, mutable defaults).  Both
+    fail the build — the split only affects presentation and lets a
+    future ``--severity`` filter exist without renumbering rules.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> Dict[str, str]:
+        """Baseline identity: stable across pure line-number shifts."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """The canonical one-line text format."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload for ``--format json`` output."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

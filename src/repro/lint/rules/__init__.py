@@ -1,0 +1,36 @@
+"""Project-specific rule catalogue.
+
+Importing this package registers every rule with
+:data:`repro.lint.engine.RULE_TYPES`.  Rule ids are stable API:
+
+=======  ==============================  ==========================
+id       name                            module
+=======  ==============================  ==========================
+RPR001   syntax-error                    (engine built-in)
+RPR101   wall-clock-in-sim-path          determinism
+RPR102   unseeded-global-random          determinism
+RPR111   raise-non-repro-error           errors_discipline
+RPR112   bare-except                     errors_discipline
+RPR121   controller-missing-scalar-api   controllers
+RPR122   fast-path-missing-gate          controllers
+RPR131   undeclared-metric-name          telemetry
+RPR132   unemitted-metric-declaration    telemetry
+RPR141   print-in-library                hygiene
+RPR142   mutable-default-argument        hygiene
+RPR143   assert-in-library               hygiene
+=======  ==============================  ==========================
+"""
+
+from repro.lint.rules import controllers as controllers
+from repro.lint.rules import determinism as determinism
+from repro.lint.rules import errors_discipline as errors_discipline
+from repro.lint.rules import hygiene as hygiene
+from repro.lint.rules import telemetry as telemetry
+
+__all__ = [
+    "controllers",
+    "determinism",
+    "errors_discipline",
+    "hygiene",
+    "telemetry",
+]

@@ -1,0 +1,142 @@
+"""Error-discipline rules (RPR111, RPR112).
+
+The CLI contract (``repro-8t ... ; echo $?``) and the campaign
+quarantine logic both hinge on one hierarchy: every library failure is
+a :class:`repro.errors.ReproError`, so ``except ReproError`` separates
+"the experiment is wrong" from "the code is wrong" (``TypeError`` et
+al. keep propagating).  A stray ``raise ValueError`` re-opens that gap
+— the retry layer would *not* retry it and the CLI would traceback
+instead of printing a one-line error.  ``repro.errors`` therefore
+provides builtin-compatible bridges (``ValidationError`` is also a
+``ValueError``; ``StateError`` is also a ``RuntimeError``;
+``TypeContractError`` is also a ``TypeError``) so call sites keep their
+builtin catchability while joining the hierarchy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.asthelpers import dotted_name
+from repro.lint.engine import FileContext, Rule, register_rule
+from repro.lint.finding import Severity
+
+__all__ = ["RaiseDisciplineRule", "BareExceptRule"]
+
+#: Builtin exceptions that must not be raised directly in library code.
+_FORBIDDEN_BUILTINS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "EOFError",
+        "BufferError",
+        "AssertionError",
+        "UnicodeError",
+        "OverflowError",
+        "NameError",
+    }
+)
+
+#: Builtins with a legitimate structural meaning that stay allowed:
+#: ``NotImplementedError`` marks interface stubs, ``StopIteration`` and
+#: ``StopAsyncIteration`` end generators, ``SystemExit``/``KeyboardInterrupt``
+#: are process control.  ``argparse.ArgumentTypeError`` is the argparse
+#: callback contract, so its dotted form never matches a bare builtin.
+_EXEMPT = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "SystemExit",
+        "KeyboardInterrupt",
+        "GeneratorExit",
+    }
+)
+
+
+def _raised_class(node: ast.Raise) -> Optional[str]:
+    """Name of the exception class being raised, when it is static.
+
+    ``raise X(...)`` and ``raise X`` resolve to ``X``; ``raise exc``
+    (a re-raise of a caught variable) and other dynamic forms return
+    None, because lowercase locals are not class references we can
+    judge statically.
+    """
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise inside an except block
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = dotted_name(exc)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    # A dotted raise (argparse.ArgumentTypeError) is judged by its full
+    # path only when the leaf alone is forbidden — raising
+    # ``somepkg.ValueError`` would still be builtin ValueError only if
+    # the receiver is the builtins module, which nobody writes; treat
+    # dotted names as project exceptions unless the root is `builtins`.
+    if "." in name and not name.startswith("builtins."):
+        return None
+    return leaf
+
+
+@register_rule
+class RaiseDisciplineRule(Rule):
+    id = "RPR111"
+    name = "raise-non-repro-error"
+    severity = Severity.ERROR
+    description = (
+        "library raise sites must use ReproError subclasses from "
+        "repro.errors (ValidationError/StateError/TypeContractError "
+        "bridge the builtin hierarchies), so the CLI exit-code and "
+        "campaign-quarantine contracts hold"
+    )
+
+    def visit_Raise(self, node: ast.Raise, ctx: FileContext) -> None:
+        leaf = _raised_class(node)
+        if leaf is None or leaf in _EXEMPT:
+            return
+        if leaf in _FORBIDDEN_BUILTINS:
+            ctx.report(
+                self,
+                node,
+                f"raise {leaf} in library code; use a ReproError "
+                f"subclass from repro.errors (ValidationError for bad "
+                f"values, StateError for wrong-state use, "
+                f"TypeContractError for wrong types)",
+            )
+
+
+@register_rule
+class BareExceptRule(Rule):
+    id = "RPR112"
+    name = "bare-except"
+    severity = Severity.ERROR
+    description = (
+        "bare `except:` swallows KeyboardInterrupt/SystemExit and hides "
+        "programming errors from the differential tooling; name the "
+        "exceptions (usually ReproError)"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except: catches everything including "
+                "KeyboardInterrupt; catch ReproError (or the narrowest "
+                "builtin) instead",
+            )

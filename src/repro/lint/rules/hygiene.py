@@ -1,0 +1,132 @@
+"""Library-hygiene rules (RPR141, RPR142, RPR143).
+
+These are the classic "plausible in a script, wrong in a library"
+patterns.  ``print`` bypasses the telemetry plane and corrupts the
+machine-readable stdout of CLI subcommands that pipe output;
+mutable default arguments alias state across calls (deadly for
+controllers that are constructed per technique per benchmark); and
+``assert`` disappears under ``python -O``, so a structural check
+written as an assert is a check the production configuration never
+runs — :class:`repro.errors.InvariantViolation` is the always-on
+spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.lint.engine import FileContext, Rule, register_rule
+from repro.lint.finding import Severity
+
+__all__ = ["LibraryPrintRule", "MutableDefaultRule", "LibraryAssertRule"]
+
+#: File basenames where print() IS the job.
+_PRINT_OK_BASENAMES = frozenset({"cli.py"})
+
+#: Any path component that marks a non-library context.
+_NON_LIBRARY_PARTS = frozenset(
+    {"scripts", "examples", "benchmarks", "tests", "docs"}
+)
+
+
+def _path_parts(ctx: FileContext) -> frozenset:
+    return frozenset(os.path.normpath(ctx.path).split(os.sep))
+
+
+def _is_library_file(ctx: FileContext) -> bool:
+    if os.path.basename(ctx.path) in _PRINT_OK_BASENAMES:
+        return False
+    if _NON_LIBRARY_PARTS & _path_parts(ctx):
+        return False
+    return not os.path.basename(ctx.path).startswith("test_")
+
+
+@register_rule
+class LibraryPrintRule(Rule):
+    id = "RPR141"
+    name = "print-in-library"
+    severity = Severity.WARNING
+    description = (
+        "library modules must not print(); route user-facing output "
+        "through the CLI layer and diagnostics through the telemetry "
+        "plane (Telemetry.warn or the obs logger)"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not _is_library_file(ctx):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self,
+                node,
+                "print() in library code; emit through "
+                "repro.obs (Telemetry.warn / logging) or return the "
+                "text to the CLI layer",
+            )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    id = "RPR142"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    description = (
+        "a mutable default argument is one shared object across every "
+        "call; default to None (or a tuple) and build the mutable "
+        "value inside the function"
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        defaults = list(node.args.defaults) + [
+            default
+            for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in {node.name}(); use "
+                    f"None and create the container in the body, or use "
+                    f"an immutable default",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "dict", "set", "bytearray")
+        return False
+
+
+@register_rule
+class LibraryAssertRule(Rule):
+    id = "RPR143"
+    name = "assert-in-library"
+    severity = Severity.ERROR
+    description = (
+        "assert statements vanish under `python -O`; structural checks "
+        "in library code must raise repro.errors.InvariantViolation "
+        "(asserts stay fine in tests)"
+    )
+
+    def visit_Assert(self, node: ast.Assert, ctx: FileContext) -> None:
+        if not _is_library_file(ctx):
+            return
+        ctx.report(
+            self,
+            node,
+            "assert in library code is compiled away under -O; raise "
+            "InvariantViolation (repro.errors) so the check always runs",
+        )

@@ -1,0 +1,277 @@
+"""Telemetry-hygiene rules (RPR131, RPR132).
+
+The metrics plane is only trustworthy if dashboards and tests can rely
+on a *closed* name set: a counter incremented under a name nobody
+declared is invisible debt (nothing reads it, or worse, a dashboard
+reads the old name), and a declared name nobody increments is drift in
+the other direction — a chart silently flatlining at zero.
+
+Declarations live in ``repro/obs/names.py`` as the module-level
+``METRIC_NAMES`` mapping of glob-ish name patterns (``*`` spans one or
+more dynamic characters, e.g. ``ctrl.*.hits``).  The rules statically
+resolve every emission site — ``registry.inc/counter/gauge/set_gauge/
+histogram/observe``, the controller ``_emit_point`` helper (which
+prefixes ``ctrl.<name>.``), ``Telemetry.warn`` (which prefixes
+``warning.``), and the ``emit_degradation``/``on_event`` resilience
+helpers — and cross-references the two sets after the whole run.
+F-string interpolations resolve to ``*``; a fully dynamic name (a bare
+variable) is statically unresolvable and is skipped, which keeps
+pass-through helpers like ``emit_degradation``'s own body out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.asthelpers import patterns_unify, resolve_string_pattern
+from repro.lint.engine import FileContext, Rule, RunContext, register_rule
+from repro.lint.finding import Severity
+
+__all__ = ["MetricDeclarationRule", "DECLARATION_NAME"]
+
+#: The module-level mapping that declares the metric name set.
+DECLARATION_NAME = "METRIC_NAMES"
+
+#: MetricsRegistry methods that take a metric name as first argument.
+_REGISTRY_METHODS = frozenset(
+    {"inc", "counter", "gauge", "set_gauge", "histogram", "observe"}
+)
+
+#: Helper callables: callable name -> (argument index, name prefix).
+_HELPER_CALLS: Dict[str, Tuple[int, str]] = {
+    "_emit_point": (0, "ctrl.*."),
+    "emit_degradation": (1, ""),
+    "on_event": (0, ""),
+}
+
+
+@dataclass
+class _Site:
+    """One statically resolved emission or declaration site."""
+
+    ctx: FileContext
+    node: ast.AST
+    pattern: str
+
+
+def _registry_receiver(func: ast.Attribute) -> bool:
+    """True when the call receiver is registry-shaped.
+
+    Accepts ``registry.inc``, ``telem.registry.inc``,
+    ``self.telemetry.registry.counter`` — anything whose final receiver
+    component is named ``registry``.  This keeps unrelated ``observe``
+    methods (e.g. ``TraceStatistics.observe``) out of scope.
+    """
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "registry"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "registry"
+    return False
+
+
+def _warn_receiver(func: ast.Attribute) -> bool:
+    """``telem.warn`` / ``telemetry.warn`` / ``self.telemetry.warn``."""
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id in ("telem", "telemetry")
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in ("telem", "telemetry")
+    return False
+
+
+@register_rule
+class MetricDeclarationRule(Rule):
+    """RPR131 (undeclared emission) + RPR132 (unemitted declaration).
+
+    One rule instance handles both directions because they share the
+    collected sites; RPR132 findings are emitted under the sibling
+    class's id via :class:`_UnusedDeclarationRule`, which exists so the
+    id has its own catalogue entry, severity, and select/ignore knob.
+    """
+
+    id = "RPR131"
+    name = "undeclared-metric-name"
+    also_provides = ("RPR132",)
+    severity = Severity.ERROR
+    description = (
+        "metric names emitted through the MetricsRegistry must match a "
+        "declared pattern in repro/obs/names.py (METRIC_NAMES); "
+        "undeclared names are invisible to dashboards and tests"
+    )
+
+    def __init__(self) -> None:
+        self.emissions: List[_Site] = []
+        self.declarations: List[_Site] = []
+        self._external_declarations: Optional[List[str]] = None
+
+    # -- collection ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _REGISTRY_METHODS and _registry_receiver(func):
+                self._collect(node, ctx, arg_index=0, prefix="")
+                return
+            if func.attr == "warn" and _warn_receiver(func):
+                self._collect(node, ctx, arg_index=0, prefix="warning.")
+                return
+            if func.attr in _HELPER_CALLS:
+                arg_index, prefix = _HELPER_CALLS[func.attr]
+                self._collect(node, ctx, arg_index=arg_index, prefix=prefix)
+                return
+        elif isinstance(func, ast.Name) and func.id in _HELPER_CALLS:
+            arg_index, prefix = _HELPER_CALLS[func.id]
+            self._collect(node, ctx, arg_index=arg_index, prefix=prefix)
+
+    def _collect(
+        self, node: ast.Call, ctx: FileContext, arg_index: int, prefix: str
+    ) -> None:
+        if len(node.args) <= arg_index:
+            return
+        pattern = resolve_string_pattern(node.args[arg_index])
+        if pattern is None:
+            return  # fully dynamic: a pass-through variable, not a name
+        self.emissions.append(_Site(ctx, node, prefix + pattern))
+
+    def visit_Assign(self, node: ast.Assign, ctx: FileContext) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == DECLARATION_NAME:
+                self._collect_declarations(node.value, ctx)
+
+    def _collect_declarations(self, value: ast.AST, ctx: FileContext) -> None:
+        if isinstance(value, ast.Call):
+            # frozenset({...}) / dict(...) wrappers
+            for arg in value.args:
+                self._collect_declarations(arg, ctx)
+            return
+        if isinstance(value, ast.Dict):
+            keys: List[ast.AST] = [k for k in value.keys if k is not None]
+        elif isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            keys = list(value.elts)
+        else:
+            return
+        for key in keys:
+            pattern = resolve_string_pattern(key)
+            if pattern is not None:
+                self.declarations.append(_Site(ctx, key, pattern))
+
+    # -- cross-reference ----------------------------------------------------
+
+    def finish_run(self, run: RunContext) -> None:
+        declared = [site.pattern for site in self.declarations]
+        external = self._load_external_declarations()
+        all_declared = declared + external
+        if not all_declared:
+            # No catalogue in sight (e.g. linting one rule fixture):
+            # nothing to cross-reference against, so stay silent rather
+            # than flagging every emission in the file.
+            return
+        for site in self.emissions:
+            if not any(
+                patterns_unify(site.pattern, pattern)
+                for pattern in all_declared
+            ):
+                site.ctx.report(
+                    self,
+                    site.node,
+                    f"metric name {site.pattern!r} is not declared in "
+                    f"{DECLARATION_NAME} (repro/obs/names.py); declare "
+                    f"it or fix the name",
+                )
+        # Drift in the other direction: only for declarations that were
+        # actually part of the linted file set (the external catalogue
+        # is context, not subject).
+        unused_rule = _UnusedDeclarationRule()
+        emitted = [site.pattern for site in self.emissions]
+        for site in self.declarations:
+            if not any(
+                patterns_unify(pattern, site.pattern) for pattern in emitted
+            ):
+                site.ctx.report(
+                    unused_rule,
+                    site.node,
+                    f"declared metric name {site.pattern!r} is never "
+                    f"emitted anywhere in the linted tree; delete the "
+                    f"declaration or wire up the emission",
+                )
+
+    def _load_external_declarations(self) -> List[str]:
+        """Find the in-repo catalogue when it is not in the lint set.
+
+        Linting a single module should not flag every emission just
+        because ``repro/obs/names.py`` was not named on the command
+        line, so walk up from each linted file looking for the
+        catalogue inside the owning ``repro`` package.
+        """
+        if self._external_declarations is not None:
+            return self._external_declarations
+        linted = {os.path.abspath(site.ctx.path) for site in self.emissions}
+        declared_files = {
+            os.path.abspath(site.ctx.path) for site in self.declarations
+        }
+        found: List[str] = []
+        seen_dirs = set()
+        for path in linted:
+            directory = os.path.dirname(path)
+            for _ in range(8):
+                if directory in seen_dirs:
+                    break
+                seen_dirs.add(directory)
+                candidate = os.path.join(directory, "obs", "names.py")
+                if (
+                    os.path.basename(directory) == "repro"
+                    and os.path.isfile(candidate)
+                    and os.path.abspath(candidate) not in declared_files
+                ):
+                    found.extend(_parse_catalogue(candidate))
+                parent = os.path.dirname(directory)
+                if parent == directory:
+                    break
+                directory = parent
+        self._external_declarations = found
+        return found
+
+
+def _parse_catalogue(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=path)
+    except (OSError, SyntaxError):
+        return []
+    patterns: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == DECLARATION_NAME
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    for key in node.value.keys:
+                        if key is not None:
+                            pattern = resolve_string_pattern(key)
+                            if pattern is not None:
+                                patterns.append(pattern)
+    return patterns
+
+
+@register_rule
+class _UnusedDeclarationRule(Rule):
+    """RPR132 — reported from :class:`MetricDeclarationRule.finish_run`.
+
+    Registered so the id appears in the catalogue and responds to
+    ``--select``/``--ignore``; it has no visitors of its own.
+    """
+
+    id = "RPR132"
+    name = "unemitted-metric-declaration"
+    severity = Severity.WARNING
+    description = (
+        "every METRIC_NAMES declaration must have at least one "
+        "statically visible emission; a never-incremented name is a "
+        "flatlined chart waiting to mislead"
+    )

@@ -1,0 +1,221 @@
+"""Lint orchestration: file discovery, rule selection, report shaping.
+
+This is the layer behind ``repro-8t lint``: it expands the requested
+paths into Python files, derives dotted module names from the
+``__init__.py`` chain (the determinism rules scope themselves by
+package), instantiates the active rules once, runs the single-pass
+engine over every file, and folds suppressions + the optional baseline
+into a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintConfigError
+from repro.lint import rules as _rules  # noqa: F401  (registers the rules)
+from repro.lint.baseline import Baseline
+from repro.lint.engine import RULE_TYPES, Rule, RunContext
+from repro.lint.finding import Finding
+
+__all__ = ["LintReport", "run_lint", "discover_files", "module_name_for"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    baselined: int
+    rules_run: Tuple[str, ...]
+    baseline_path: Optional[str] = None
+    #: All findings before baseline filtering — what --write-baseline saves.
+    raw_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        if self.ok:
+            extras = []
+            if self.suppressed:
+                extras.append(f"{self.suppressed} suppressed")
+            if self.baselined:
+                extras.append(f"{self.baselined} baselined")
+            tail = f" ({', '.join(extras)})" if extras else ""
+            return (
+                f"ok: {self.files_checked} files clean under "
+                f"{len(self.rules_run)} rules{tail}"
+            )
+        return (
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"files ({self.suppressed} suppressed, "
+            f"{self.baselined} baselined)"
+        )
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "files_checked": self.files_checked,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "rules": list(self.rules_run),
+                "ok": self.ok,
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    found: List[str] = []
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            candidates: Iterable[str] = [path]
+        elif os.path.isdir(path):
+            candidates = _walk_py(path)
+        else:
+            raise LintConfigError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            normalized = os.path.normpath(candidate)
+            if normalized not in seen:
+                seen.add(normalized)
+                found.append(normalized)
+    return sorted(found)
+
+
+def _walk_py(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            name
+            for name in dirnames
+            if name not in _SKIP_DIRS and not name.startswith(".")
+        ]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name from the ``__init__.py`` package chain.
+
+    ``src/repro/sim/campaign.py`` -> ``repro.sim.campaign``;
+    returns None for files outside any package.
+    """
+    absolute = os.path.abspath(path)
+    directory = os.path.dirname(absolute)
+    stem = os.path.splitext(os.path.basename(absolute))[0]
+    parts: List[str] = []
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    if not parts:
+        return None
+    parts.reverse()
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts)
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> Tuple[List[Rule], Tuple[str, ...]]:
+    known = set(RULE_TYPES)
+    provided: Dict[str, str] = {}
+    for rule_id, rule_type in RULE_TYPES.items():
+        for extra in rule_type.also_provides:
+            provided[extra] = rule_id
+    selected = set(_validate_ids(select, known) or known)
+    ignored = set(_validate_ids(ignore, known) or ())
+    active_ids = selected - ignored
+    # Instantiate the owning rule for every active id (a cross-reference
+    # rule may report under a provided satellite id).
+    to_instantiate = {provided.get(rule_id, rule_id) for rule_id in active_ids}
+    rules = [RULE_TYPES[rule_id]() for rule_id in sorted(to_instantiate)]
+    return rules, tuple(sorted(active_ids))
+
+
+def _validate_ids(
+    ids: Optional[Sequence[str]], known: set
+) -> Optional[List[str]]:
+    if not ids:
+        return None
+    provided = {
+        extra
+        for rule_type in RULE_TYPES.values()
+        for extra in rule_type.also_provides
+    }
+    validated = []
+    for rule_id in ids:
+        canonical = rule_id.strip().upper()
+        if canonical not in known and canonical not in provided:
+            raise LintConfigError(
+                f"unknown rule id {rule_id!r}; known: "
+                f"{', '.join(sorted(known | provided))}"
+            )
+        validated.append(canonical)
+    return validated
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the filtered report.
+
+    ``select``/``ignore`` take rule ids (``RPR101``); ``select`` limits
+    the run to those ids, ``ignore`` subtracts from whatever is
+    selected.  ``baseline_path`` filters findings through a
+    :class:`repro.lint.baseline.Baseline` file when it exists (a
+    missing baseline file is treated as empty so bootstrap runs work).
+    """
+    if not paths:
+        raise LintConfigError("lint needs at least one file or directory")
+    files = discover_files(paths)
+    rules, active_ids = _select_rules(select, ignore)
+    run = RunContext(rules)
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise LintConfigError(f"cannot read {path}: {exc}") from exc
+        run.check_file(path, source, module_name_for(path))
+    run.finish()
+    active = set(active_ids) | {"RPR001"}
+    raw = [f for f in run.findings if f.rule_id in active]
+    baselined = 0
+    findings = raw
+    if baseline_path is not None and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+        findings, baselined = baseline.filter(raw)
+    return LintReport(
+        findings=findings,
+        files_checked=run.files_checked,
+        suppressed=run.suppressed,
+        baselined=baselined,
+        rules_run=active_ids,
+        baseline_path=baseline_path,
+        raw_findings=raw,
+    )

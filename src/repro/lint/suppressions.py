@@ -1,0 +1,58 @@
+"""``# repro-lint: disable=RPRxxx`` suppression comments.
+
+A suppression comment silences the named rules **on its own physical
+line** — the idiom is an end-of-line annotation on the flagged
+statement::
+
+    value = eval(payload)  # repro-lint: disable=RPR141
+
+``disable=all`` silences every rule on the line.  Multiple ids are
+comma-separated.  Suppressions are deliberately line-scoped (no block
+or file scope): a violation either gets fixed, gets a visible per-line
+waiver, or goes in the baseline file — nothing disappears wholesale.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+__all__ = ["SuppressionIndex", "SUPPRESSION_PATTERN"]
+
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)"
+)
+
+
+class SuppressionIndex:
+    """Per-file map of line number -> suppressed rule ids."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def from_lines(cls, lines: Sequence[str]) -> "SuppressionIndex":
+        by_line: Dict[int, FrozenSet[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            if "repro-lint" not in text:
+                continue
+            match = SUPPRESSION_PATTERN.search(text)
+            if match is None:
+                continue
+            ids = frozenset(
+                token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if ids:
+                by_line[lineno] = ids
+        return cls(by_line)
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        ids = self._by_line.get(lineno)
+        if ids is None:
+            return False
+        return "ALL" in ids or rule_id.upper() in ids
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -1,0 +1,88 @@
+"""The declared metric-name set (``METRIC_NAMES``).
+
+Every counter/gauge/histogram name emitted through the
+:class:`repro.obs.registry.MetricsRegistry` must match one of the
+patterns below, and every pattern must have at least one statically
+visible emission — ``repro-8t lint`` cross-references both directions
+(rules RPR131/RPR132), so this file is the single source of truth for
+what the metrics plane can contain.  ``*`` spans a dynamic component
+(a controller name, a span name, a write-back reason).
+
+Keep the mapping sorted by name; the value is the human answer to
+"what does this number mean?" and doubles as dashboard documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["METRIC_NAMES"]
+
+METRIC_NAMES: Dict[str, str] = {
+    # -- campaign resilience (repro.sim.campaign / parallel / resilience) --
+    "campaign.quarantined": (
+        "benchmarks that exhausted their retry budget and were moved "
+        "to CampaignResult.failed_rows instead of failing the run"
+    ),
+    "checkpoint.resumed_rows": (
+        "completed benchmark rows loaded from a checkpoint journal "
+        "instead of being re-simulated"
+    ),
+    "checkpoint.skipped_records": (
+        "journal records dropped on resume (torn writes, CRC "
+        "mismatches); nonzero means the previous run died mid-append"
+    ),
+    "parallel.workers": (
+        "gauge: supervised worker processes backing the current "
+        "campaign (0 = in-process sequential execution)"
+    ),
+    "retry.attempt": (
+        "per-benchmark retry attempts after a retryable failure "
+        "(WorkerTimeoutError, WorkerCrashError, transient faults)"
+    ),
+    "worker.crash": (
+        "campaign worker processes that died without returning a "
+        "result (SIGKILL, OOM, interpreter abort)"
+    ),
+    "worker.timeout": (
+        "campaign workers terminated for exceeding the per-attempt "
+        "wall-clock budget (RetryPolicy.worker_timeout_s)"
+    ),
+    # -- controller instrumentation (repro.core.*) -------------------------
+    "ctrl.*.hits": "requests that hit in the cache, per technique",
+    "ctrl.*.misses": "requests that missed in the cache, per technique",
+    "ctrl.*.read_requests": "read requests processed, per technique",
+    "ctrl.*.read_bypass": (
+        "WG+RB reads served from the Set-Buffer via the RB output "
+        "multiplexer (no array access, no premature write-back)"
+    ),
+    "ctrl.*.rmw_issued": (
+        "read-modify-write row operations issued by the RMW-family "
+        "controllers (the paper's 2x write cost)"
+    ),
+    "ctrl.*.sb_fill": (
+        "Set-Buffer fills: whole-row reads that load the buffered set"
+    ),
+    "ctrl.*.sb_hit": "writes absorbed by an already-buffered set",
+    "ctrl.*.sb_silent_write": (
+        "writes dropped because the Set-Buffer already held the value "
+        "(silent-store elimination inside the buffer)"
+    ),
+    "ctrl.*.sb_writeback_*": (
+        "Set-Buffer write-backs by reason: premature, eviction, "
+        "fill_flush, or final (the WG cost the paper trades against)"
+    ),
+    "ctrl.*.write_requests": "write requests processed, per technique",
+    # -- span timing (repro.obs.spans) -------------------------------------
+    "span.*.calls": "times the named phase/span was entered",
+    "span.*.seconds": (
+        "histogram: wall-clock duration per span entry (SPAN_BUCKETS_S)"
+    ),
+    "span.*.total_s": "cumulative wall-clock seconds inside the span",
+    # -- structured warnings (Telemetry.warn) ------------------------------
+    "warning.*": (
+        "structured degradation warnings, one counter per warning "
+        "name (e.g. warning.parallel.pool_fallback); always paired "
+        "with a log record and a trace instant"
+    ),
+}

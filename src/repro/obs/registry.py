@@ -21,6 +21,7 @@ order:
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from repro.errors import ValidationError
 
 __all__ = [
     "Counter",
@@ -82,10 +83,10 @@ class Histogram:
 
     def __init__(self, name: str, bounds: Sequence[float]) -> None:
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValidationError("histogram needs at least one bucket bound")
         ordered = tuple(bounds)
         if list(ordered) != sorted(set(ordered)):
-            raise ValueError(
+            raise ValidationError(
                 f"histogram bounds must be strictly increasing, got {bounds}"
             )
         self.name = name
@@ -145,7 +146,7 @@ class MetricsRegistry:
                 name, bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS_S
             )
         elif bounds is not None and tuple(bounds) != metric.bounds:
-            raise ValueError(
+            raise ValidationError(
                 f"histogram {name!r} already exists with bounds "
                 f"{metric.bounds}, requested {tuple(bounds)}"
             )
@@ -192,7 +193,7 @@ class MetricsRegistry:
             incoming_bounds = tuple(payload["bounds"])
             histogram = self.histogram(name, incoming_bounds)
             if histogram.bounds != incoming_bounds:
-                raise ValueError(
+                raise ValidationError(
                     f"cannot merge histogram {name!r}: bounds differ"
                 )
             for i, count in enumerate(payload["counts"]):

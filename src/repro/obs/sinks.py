@@ -29,6 +29,7 @@ import os
 import time
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
+from repro.errors import ValidationError
 
 __all__ = [
     "TraceSink",
@@ -125,7 +126,7 @@ class JsonlSink(_FileSink):
 
     def _emit(self, record: Dict) -> None:
         if self._handle is None:
-            raise ValueError("sink is closed")
+            raise ValidationError("sink is closed")
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def instant(self, name, category="event", args=None) -> None:

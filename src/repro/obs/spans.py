@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from repro.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs.telemetry import Telemetry
@@ -43,7 +44,7 @@ class Timer:
 
     def stop(self) -> float:
         if self.started is None:
-            raise ValueError("timer was never started")
+            raise ValidationError("timer was never started")
         self._stopped = time.perf_counter()
         return self.elapsed
 

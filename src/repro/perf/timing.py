@@ -30,7 +30,7 @@ This model deliberately drives the controller through the scalar
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.cache.config import CacheGeometry
 from repro.core.outcomes import AccessOutcome
@@ -39,6 +39,7 @@ from repro.cache.cache import SetAssociativeCache
 from repro.sram.ports import PortKind, PortTracker
 from repro.sram.timing import PhaseTiming
 from repro.trace.record import MemoryAccess
+from repro.errors import TypeContractError
 
 __all__ = ["PerfResult", "TimingSimulator", "evaluate_performance"]
 
@@ -76,9 +77,10 @@ class TimingSimulator:
         self,
         technique: str,
         geometry: CacheGeometry,
-        timing: PhaseTiming = PhaseTiming(),
+        timing: Optional[PhaseTiming] = None,
         **controller_kwargs,
     ) -> None:
+        timing = PhaseTiming() if timing is None else timing
         self.cache = SetAssociativeCache(geometry)
         self.controller = make_controller(
             technique, self.cache, **controller_kwargs
@@ -198,11 +200,11 @@ def evaluate_performance(
     trace: Sequence[MemoryAccess],
     geometry: CacheGeometry,
     techniques: Sequence[str] = ("conventional", "rmw", "wg", "wg_rb"),
-    timing: PhaseTiming = PhaseTiming(),
+    timing: Optional[PhaseTiming] = None,
 ) -> dict:
     """Run the timing model for several techniques on one trace."""
     if iter(trace) is trace:
-        raise TypeError("trace must be a reusable sequence")
+        raise TypeContractError("trace must be a reusable sequence")
     return {
         technique: TimingSimulator(technique, geometry, timing).run(trace)
         for technique in techniques

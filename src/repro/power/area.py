@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import CacheGeometry
+from repro.errors import ValidationError
 
 __all__ = ["AreaModel", "AreaReport"]
 
@@ -55,7 +56,7 @@ class AreaModel:
 
     def __init__(self, node_nm: int = 45) -> None:
         if node_nm <= 0:
-            raise ValueError(f"node_nm must be positive, got {node_nm}")
+            raise ValidationError(f"node_nm must be positive, got {node_nm}")
         self.node_nm = node_nm
 
     def cell_area_f2(self, cell_kind: str) -> float:
@@ -66,7 +67,7 @@ class AreaModel:
             if self.node_nm > 45:
                 return _AREA_6T_F2_LEGACY
             return _AREA_6T_F2_SCALED
-        raise ValueError(f"unknown cell kind {cell_kind!r}")
+        raise ValidationError(f"unknown cell kind {cell_kind!r}")
 
     def cell_area_um2(self, cell_kind: str) -> float:
         feature_um = self.node_nm * 1e-3
@@ -101,7 +102,7 @@ class AreaModel:
         try:
             check_bits = _ECC_CHECK_BITS[scheme]
         except KeyError:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown ECC scheme {scheme!r}; known: "
                 f"{sorted(_ECC_CHECK_BITS)}"
             ) from None

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.power.params import TechnologyParams
 from repro.sram.geometry import ArrayGeometry
+from repro.errors import ValidationError
 
 __all__ = ["LeakageModel"]
 
@@ -37,13 +38,13 @@ class LeakageModel:
     def per_cell_pw(self, cell_kind: str, vdd_mv: float) -> float:
         """Leakage power of one cell at ``vdd_mv``, picowatts."""
         if vdd_mv <= 0:
-            raise ValueError(f"vdd_mv must be positive, got {vdd_mv}")
+            raise ValidationError(f"vdd_mv must be positive, got {vdd_mv}")
         if cell_kind == "6T":
             nominal = self.technology.leak_per_cell_6t_pw
         elif cell_kind == "8T":
             nominal = self.technology.leak_per_cell_8t_pw
         else:
-            raise ValueError(f"unknown cell kind {cell_kind!r}")
+            raise ValidationError(f"unknown cell kind {cell_kind!r}")
         ratio = vdd_mv / self.technology.vdd_nominal_mv
         return nominal * (ratio ** _LEAKAGE_VDD_EXPONENT)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 __all__ = ["TechnologyParams", "TECH_45NM", "TECH_32NM"]
 
@@ -66,7 +66,7 @@ class TechnologyParams:
     def voltage_scale(self, vdd_mv: float) -> float:
         """Dynamic-energy scale factor (Vdd/Vnominal)^2."""
         if vdd_mv <= 0:
-            raise ValueError(f"vdd_mv must be positive, got {vdd_mv}")
+            raise ValidationError(f"vdd_mv must be positive, got {vdd_mv}")
         ratio = vdd_mv / self.vdd_nominal_mv
         return ratio * ratio
 

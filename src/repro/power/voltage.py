@@ -18,6 +18,7 @@ from typing import List, Tuple
 
 from repro.power.params import TechnologyParams
 from repro.sram.cell import SNM_FAILURE_THRESHOLD_MV, read_snm_mv
+from repro.errors import ValidationError
 
 __all__ = ["vmin_mv", "DVFSLevel", "DVFSController"]
 
@@ -33,7 +34,7 @@ def vmin_mv(cell_kind: str) -> float:
         if read_snm_mv(cell_kind, vdd) >= SNM_FAILURE_THRESHOLD_MV:
             return vdd
         vdd += _SEARCH_STEP_MV
-    raise ValueError(f"{cell_kind} never reaches a safe read SNM")
+    raise ValidationError(f"{cell_kind} never reaches a safe read SNM")
 
 
 @dataclass(frozen=True)
@@ -80,7 +81,7 @@ class DVFSController:
         """The deepest legal operating point — what the cache's Vmin buys."""
         levels = self.available_levels()
         if not levels:
-            raise ValueError(
+            raise ValidationError(
                 f"no DVFS level satisfies Vmin={self.vmin_mv} mV for "
                 f"{self.cell_kind}"
             )

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.config import CacheGeometry
-from repro.errors import CampaignFailedError, ReproError
+from repro.errors import CampaignFailedError, ReproError, ValidationError
 from repro.faultinject.plan import maybe_inject
 from repro.obs.spans import span
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
@@ -118,7 +118,7 @@ class CampaignResult:
         try:
             return self._rows_by_benchmark[benchmark]
         except KeyError:
-            raise ValueError(f"benchmark {benchmark!r} not in campaign") from None
+            raise ValidationError(f"benchmark {benchmark!r} not in campaign") from None
 
     def mean_reduction(self, technique: str, baseline: str = "rmw") -> float:
         """Arithmetic mean of per-benchmark reductions (the paper's avg)."""
@@ -137,7 +137,7 @@ class CampaignResult:
     def best_benchmark(self, technique: str, baseline: str = "rmw") -> str:
         """Benchmark with the largest reduction for ``technique``."""
         if not self.rows:
-            raise ValueError("empty campaign")
+            raise ValidationError("empty campaign")
         return max(
             self.rows, key=lambda row: row.access_reduction(technique, baseline)
         ).benchmark

@@ -26,6 +26,7 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.resilience import RetryPolicy, active_policy, retry_call
 from repro.sim.simulator import SimulationResult, run_simulation
 from repro.trace.record import MemoryAccess
+from repro.errors import TypeContractError, ValidationError
 
 __all__ = ["ComparisonResult", "compare_techniques"]
 
@@ -43,7 +44,7 @@ class ComparisonResult:
         try:
             return self.results[technique]
         except KeyError:
-            raise ValueError(
+            raise ValidationError(
                 f"technique {technique!r} was not simulated; "
                 f"have {sorted(self.results)}"
             ) from None
@@ -88,7 +89,7 @@ def compare_techniques(
     on resume.  Both default from the ambient execution policy.
     """
     if iter(trace) is trace:
-        raise TypeError(
+        raise TypeContractError(
             "trace must be a reusable sequence; call "
             "repro.trace.materialize() on generators first"
         )

@@ -7,8 +7,8 @@ from Pin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.errors import ConfigurationError

@@ -45,7 +45,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, List, Optional, Union
 
 from repro.errors import (
     ConfigurationError,

@@ -30,6 +30,7 @@ from repro.engine.batch import AccessBatch, iter_batches
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
+from repro.errors import ValidationError
 
 __all__ = ["Simulator", "SimulationResult", "run_simulation"]
 
@@ -71,7 +72,7 @@ class Simulator:
         **controller_kwargs,
     ) -> None:
         if engine not in _ENGINES:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown engine {engine!r}; known: {_ENGINES}"
             )
         self.memory = memory if memory is not None else FunctionalMemory()

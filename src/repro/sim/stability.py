@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.sim.campaign import run_campaign
 from repro.sim.experiment import ExperimentConfig
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = ["StabilityResult", "seed_stability"]
 
@@ -59,7 +60,7 @@ def seed_stability(
     check_positive("number of seeds", len(seeds))
     missing = [t for t in ("rmw", *techniques) if t not in config.techniques]
     if missing:
-        raise ValueError(f"config.techniques is missing {missing}")
+        raise ValidationError(f"config.techniques is missing {missing}")
     per_seed: Dict[str, List[float]] = {t: [] for t in techniques}
     for seed in seeds:
         seeded = ExperimentConfig(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, ValidationError
 from repro.sram.events import SRAMEventLog
 from repro.sram.geometry import ArrayGeometry
 
@@ -48,11 +48,11 @@ class SRAMArray:
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.geometry.rows:
-            raise ValueError(f"row {row} out of range [0, {self.geometry.rows})")
+            raise ValidationError(f"row {row} out of range [0, {self.geometry.rows})")
 
     def _check_column(self, word_index: int) -> None:
         if not 0 <= word_index < self.geometry.words_per_row:
-            raise ValueError(
+            raise ValidationError(
                 f"word index {word_index} out of range "
                 f"[0, {self.geometry.words_per_row})"
             )
@@ -88,7 +88,7 @@ class SRAMArray:
         """
         self._check_row(row)
         if len(values) != self.geometry.words_per_row:
-            raise ValueError(
+            raise ValidationError(
                 f"row write needs {self.geometry.words_per_row} words, "
                 f"got {len(values)}"
             )
@@ -151,7 +151,7 @@ class SRAMArray:
         """Initialise a row without events (test fixture / fill mirror)."""
         self._check_row(row)
         if len(values) != self.geometry.words_per_row:
-            raise ValueError(
+            raise ValidationError(
                 f"row load needs {self.geometry.words_per_row} words, "
                 f"got {len(values)}"
             )

@@ -23,6 +23,7 @@ from repro.sram.array import SRAMArray
 from repro.sram.events import SRAMEventLog
 from repro.sram.geometry import ArrayGeometry
 from repro.utils.bitops import is_power_of_two
+from repro.errors import ValidationError
 
 __all__ = ["BankedSRAMArray"]
 
@@ -37,9 +38,9 @@ class BankedSRAMArray:
 
     def __init__(self, geometry: ArrayGeometry, banks: int) -> None:
         if not is_power_of_two(banks):
-            raise ValueError(f"banks must be a power of two, got {banks}")
+            raise ValidationError(f"banks must be a power of two, got {banks}")
         if banks > geometry.rows:
-            raise ValueError(
+            raise ValidationError(
                 f"banks ({banks}) cannot exceed rows ({geometry.rows})"
             )
         self.geometry = geometry
@@ -64,7 +65,7 @@ class BankedSRAMArray:
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.geometry.rows:
-            raise ValueError(
+            raise ValidationError(
                 f"row {row} out of range [0, {self.geometry.rows})"
             )
 

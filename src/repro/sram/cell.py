@@ -26,6 +26,7 @@ paper's DVFS motivation (8T keeps working below the 6T Vmin).
 from __future__ import annotations
 
 from repro.utils.validation import check_in_range
+from repro.errors import ValidationError
 
 __all__ = ["SRAMCell6T", "SRAMCell8T", "read_snm_mv"]
 
@@ -53,7 +54,7 @@ def read_snm_mv(cell_kind: str, vdd_mv: float) -> float:
         return max(0.0, _SNM_SLOPE_6T * vdd_mv + _SNM_OFFSET_6T)
     if cell_kind == "8T":
         return max(0.0, _SNM_SLOPE_8T * vdd_mv + _SNM_OFFSET_8T)
-    raise ValueError(f"unknown cell kind {cell_kind!r}")
+    raise ValidationError(f"unknown cell kind {cell_kind!r}")
 
 
 class SRAMCell6T:
@@ -64,13 +65,13 @@ class SRAMCell6T:
 
     def __init__(self, initial: int = 0) -> None:
         if initial not in (0, 1):
-            raise ValueError(f"cell stores one bit, got {initial!r}")
+            raise ValidationError(f"cell stores one bit, got {initial!r}")
         self.q = initial
 
     def write(self, bit: int) -> None:
         """Drive WBL/WBLB with the word line raised."""
         if bit not in (0, 1):
-            raise ValueError(f"cell stores one bit, got {bit!r}")
+            raise ValidationError(f"cell stores one bit, got {bit!r}")
         self.q = bit
 
     def read(self) -> int:
@@ -94,13 +95,13 @@ class SRAMCell8T:
 
     def __init__(self, initial: int = 0) -> None:
         if initial not in (0, 1):
-            raise ValueError(f"cell stores one bit, got {initial!r}")
+            raise ValidationError(f"cell stores one bit, got {initial!r}")
         self.q = initial
 
     def write(self, bit: int) -> None:
         """Full write: WWL raised, write drivers driving WBL/WBLB."""
         if bit not in (0, 1):
-            raise ValueError(f"cell stores one bit, got {bit!r}")
+            raise ValidationError(f"cell stores one bit, got {bit!r}")
         self.q = bit
 
     def read_rbl(self, rbl_precharged: bool = True) -> bool:
@@ -112,7 +113,7 @@ class SRAMCell8T:
         a floating RBL yields garbage.
         """
         if not rbl_precharged:
-            raise ValueError("RBL must be precharged before RWL rises")
+            raise ValidationError("RBL must be precharged before RWL rises")
         return self.q == 0
 
     def read(self) -> int:

@@ -24,9 +24,10 @@ quantitatively (used by tests and the interleaving ablation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.utils.validation import check_in_range, check_non_negative
+from repro.errors import InvariantViolation, ValidationError
 
 __all__ = [
     "DATA_BITS",
@@ -53,7 +54,11 @@ _DATA_POSITIONS = [
     for position in range(1, _HAMMING_POSITIONS + 1)
     if position not in _POWER_POSITIONS
 ]
-assert len(_DATA_POSITIONS) == DATA_BITS
+if len(_DATA_POSITIONS) != DATA_BITS:  # always-on structural check
+    raise InvariantViolation(
+        f"Hamming layout broke: {len(_DATA_POSITIONS)} data positions "
+        f"for {DATA_BITS} data bits"
+    )
 
 
 def _parity_of(value: int) -> int:
@@ -157,9 +162,9 @@ class InterleavedRowLayout:
 
     def __init__(self, words: int, bits_per_word: int = CODEWORD_BITS) -> None:
         if words < 1:
-            raise ValueError(f"words must be >= 1, got {words}")
+            raise ValidationError(f"words must be >= 1, got {words}")
         if bits_per_word < 1:
-            raise ValueError(f"bits_per_word must be >= 1, got {bits_per_word}")
+            raise ValidationError(f"bits_per_word must be >= 1, got {bits_per_word}")
         self.words = words
         self.bits_per_word = bits_per_word
 
@@ -175,7 +180,7 @@ class InterleavedRowLayout:
     def logical_position(self, column: int) -> Tuple[int, int]:
         """(word_index, bit_index) stored at a physical column."""
         if not 0 <= column < self.columns:
-            raise ValueError(f"column {column} out of range [0, {self.columns})")
+            raise ValidationError(f"column {column} out of range [0, {self.columns})")
         return column % self.words, column // self.words
 
     def upset_burst(self, first_column: int, width: int) -> List[Tuple[int, int]]:
@@ -219,10 +224,10 @@ class InterleavedRowLayout:
 
     def _check(self, word_index: int, bit_index: int) -> None:
         if not 0 <= word_index < self.words:
-            raise ValueError(
+            raise ValidationError(
                 f"word_index {word_index} out of range [0, {self.words})"
             )
         if not 0 <= bit_index < self.bits_per_word:
-            raise ValueError(
+            raise ValidationError(
                 f"bit_index {bit_index} out of range [0, {self.bits_per_word})"
             )

@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.errors import PortConflictError
+from repro.errors import PortConflictError, ValidationError
 
 __all__ = ["PortKind", "PortTracker"]
 
@@ -51,7 +51,7 @@ class PortTracker:
         Returns the actual start cycle after any stall.
         """
         if duration < 0:
-            raise ValueError(f"duration must be non-negative, got {duration}")
+            raise ValidationError(f"duration must be non-negative, got {duration}")
         actual_start = max(start_cycle, self.free_at[port])
         if actual_start > start_cycle:
             self.conflicts[port] += 1
@@ -69,7 +69,7 @@ class PortTracker:
         the second operation later.
         """
         if duration < 0:
-            raise ValueError(f"duration must be non-negative, got {duration}")
+            raise ValidationError(f"duration must be non-negative, got {duration}")
         if self.free_at[port] > start_cycle:
             self.conflicts[port] += 1
             raise PortConflictError(

@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.sram.array import SRAMArray
 from repro.sram.ecc import CODEWORD_BITS, decode, encode
 from repro.sram.geometry import ArrayGeometry
+from repro.errors import ValidationError
 
 __all__ = ["ECCProtectedArray", "ScrubReport"]
 
@@ -85,7 +86,7 @@ class ECCProtectedArray:
             self._array.read_modify_write(row, {word_index: encode(result.data)})
         elif result.status == "uncorrectable":
             self.uncorrectable_reads += 1
-            raise ValueError(
+            raise ValidationError(
                 f"uncorrectable ECC error at row {row} word {word_index}"
             )
         return result.data
@@ -102,7 +103,7 @@ class ECCProtectedArray:
         stored = self._array.peek_row(row)
         for word_index, bit_index in flips:
             if not 0 <= bit_index < CODEWORD_BITS:
-                raise ValueError(
+                raise ValidationError(
                     f"bit_index {bit_index} out of range [0, {CODEWORD_BITS})"
                 )
             stored[word_index] ^= 1 << bit_index

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = ["PhaseTiming"]
 
@@ -39,12 +40,12 @@ class PhaseTiming:
         check_positive("array_write_cycles", self.array_write_cycles)
         check_positive("set_buffer_cycles", self.set_buffer_cycles)
         if self.rmw_extra_cycles < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"rmw_extra_cycles must be non-negative, "
                 f"got {self.rmw_extra_cycles}"
             )
         if self.set_buffer_cycles > self.array_read_cycles:
-            raise ValueError(
+            raise ValidationError(
                 "the Set-Buffer must not be slower than the array "
                 "(Section 5.5 premise)"
             )

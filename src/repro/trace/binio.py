@@ -27,7 +27,7 @@ import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceFormatError, ValidationError
 from repro.trace.record import AccessType, MemoryAccess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -150,7 +150,7 @@ def read_binary_trace_batches(
 
     size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
     if size <= 0:
-        raise ValueError(f"batch_size must be positive, got {size}")
+        raise ValidationError(f"batch_size must be positive, got {size}")
     codec = geometry.codec
     index_shift = codec.index_shift
     index_mask = codec.index_mask

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from repro.errors import ValidationError
 
 __all__ = ["AccessType", "MemoryAccess", "WORD_BYTES", "word_address"]
 
@@ -45,7 +46,7 @@ class AccessType(enum.Enum):
         for member in cls:
             if member.value == normalized:
                 return member
-        raise ValueError(f"unknown access type letter {letter!r}")
+        raise ValidationError(f"unknown access type letter {letter!r}")
 
 
 def word_address(byte_address: int) -> int:
@@ -75,11 +76,11 @@ class MemoryAccess:
 
     def __post_init__(self) -> None:
         if self.icount < 0:
-            raise ValueError(f"icount must be non-negative, got {self.icount}")
+            raise ValidationError(f"icount must be non-negative, got {self.icount}")
         if self.address < 0:
-            raise ValueError(f"address must be non-negative, got {self.address}")
+            raise ValidationError(f"address must be non-negative, got {self.address}")
         if self.address % WORD_BYTES != 0:
-            raise ValueError(
+            raise ValidationError(
                 f"address must be {WORD_BYTES}-byte aligned, got {self.address:#x}"
             )
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.trace.record import AccessType, MemoryAccess
+from repro.errors import ValidationError
 
 __all__ = ["ScenarioBreakdown", "TraceStatistics", "collect_statistics"]
 
@@ -61,7 +62,7 @@ class ScenarioBreakdown:
             "WR": self.write_read,
         }
         if scenario not in counts:
-            raise ValueError(f"unknown scenario {scenario!r}")
+            raise ValidationError(f"unknown scenario {scenario!r}")
         if self.total_pairs == 0:
             return 0.0
         return counts[scenario] / self.total_pairs

@@ -7,6 +7,7 @@ truncating.
 """
 
 from __future__ import annotations
+from repro.errors import ValidationError
 
 __all__ = [
     "is_power_of_two",
@@ -29,7 +30,7 @@ def log2_exact(value: int) -> int:
         ValueError: if ``value`` is not a positive power of two.
     """
     if not is_power_of_two(value):
-        raise ValueError(f"expected a positive power of two, got {value!r}")
+        raise ValidationError(f"expected a positive power of two, got {value!r}")
     return value.bit_length() - 1
 
 
@@ -39,7 +40,7 @@ def bit_mask(width: int) -> int:
     ``bit_mask(0)`` is 0; negative widths are rejected.
     """
     if width < 0:
-        raise ValueError(f"mask width must be non-negative, got {width}")
+        raise ValidationError(f"mask width must be non-negative, got {width}")
     return (1 << width) - 1
 
 
@@ -51,7 +52,7 @@ def extract_bits(value: int, low: int, width: int) -> int:
         5
     """
     if low < 0:
-        raise ValueError(f"low bit index must be non-negative, got {low}")
+        raise ValidationError(f"low bit index must be non-negative, got {low}")
     return (value >> low) & bit_mask(width)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import random
 from typing import Optional, Sequence, TypeVar
+from repro.errors import TypeContractError
 
 T = TypeVar("T")
 
@@ -40,7 +41,7 @@ class DeterministicRNG:
 
     def __init__(self, seed: int) -> None:
         if not isinstance(seed, int):
-            raise TypeError(f"seed must be int, got {type(seed).__name__}")
+            raise TypeContractError(f"seed must be int, got {type(seed).__name__}")
         self._seed = seed
         self._random = random.Random(seed)
 

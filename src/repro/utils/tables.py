@@ -8,6 +8,7 @@ the paper's bar charts use.
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
+from repro.errors import ValidationError
 
 __all__ = ["format_table"]
 
@@ -32,7 +33,7 @@ def format_table(
     string_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
     for row in string_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells but table has {len(headers)} headers"
             )
     widths = [len(h) for h in headers]

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Tuple, Type, Union
 
 from repro.utils.bitops import is_power_of_two
+from repro.errors import TypeContractError, ValidationError
 
 __all__ = [
     "check_positive",
@@ -23,19 +24,19 @@ __all__ = [
 def check_positive(name: str, value: Union[int, float]) -> None:
     """Raise ``ValueError`` unless ``value`` is strictly positive."""
     if not value > 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
+        raise ValidationError(f"{name} must be positive, got {value!r}")
 
 
 def check_non_negative(name: str, value: Union[int, float]) -> None:
     """Raise ``ValueError`` unless ``value`` is >= 0."""
     if value < 0:
-        raise ValueError(f"{name} must be non-negative, got {value!r}")
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
 
 
 def check_power_of_two(name: str, value: int) -> None:
     """Raise ``ValueError`` unless ``value`` is a positive power of two."""
     if not is_power_of_two(value):
-        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+        raise ValidationError(f"{name} must be a positive power of two, got {value!r}")
 
 
 def check_in_range(
@@ -46,7 +47,7 @@ def check_in_range(
 ) -> None:
     """Raise ``ValueError`` unless ``low <= value <= high``."""
     if not low <= value <= high:
-        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
 
 
 def check_type(
@@ -58,13 +59,13 @@ def check_type(
     because a stray ``True`` in a size field is almost always a bug.
     """
     if expected is int and isinstance(value, bool):
-        raise TypeError(f"{name} must be int, got bool {value!r}")
+        raise TypeContractError(f"{name} must be int, got bool {value!r}")
     if not isinstance(value, expected):
         expected_names = (
             expected.__name__
             if isinstance(expected, type)
             else "/".join(t.__name__ for t in expected)
         )
-        raise TypeError(
+        raise TypeContractError(
             f"{name} must be {expected_names}, got {type(value).__name__} {value!r}"
         )

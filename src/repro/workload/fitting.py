@@ -30,6 +30,7 @@ from repro.trace.record import MemoryAccess
 from repro.trace.stats import collect_statistics
 from repro.utils.bitops import round_up_pow2
 from repro.workload.profile import StreamSpec, WorkloadProfile
+from repro.errors import ValidationError
 
 __all__ = ["fit_profile"]
 
@@ -102,12 +103,12 @@ def fit_profile(
     requires both).
     """
     if len(trace) < 100:
-        raise ValueError(
+        raise ValidationError(
             f"need at least 100 accesses to fit a profile, got {len(trace)}"
         )
     stats = collect_statistics(trace)
     if stats.reads == 0 or stats.writes == 0:
-        raise ValueError("trace must contain both reads and writes")
+        raise ValidationError("trace must contain both reads and writes")
 
     read_frequency = min(0.6, max(0.01, stats.read_frequency))
     write_frequency = min(0.6, max(0.01, stats.write_frequency))

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List
 from repro.trace.record import AccessType, MemoryAccess, WORD_BYTES
 from repro.utils.rng import DeterministicRNG
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = ["InstrumentedMemory", "KERNEL_NAMES", "run_kernel"]
 
@@ -260,7 +261,7 @@ def run_kernel(
     try:
         kernel = _KERNELS[name]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown kernel {name!r}; known: {list(KERNEL_NAMES)}"
         ) from None
     memory = InstrumentedMemory(words)

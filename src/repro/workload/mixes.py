@@ -24,6 +24,7 @@ from typing import List, Sequence
 
 from repro.trace.record import MemoryAccess
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = ["merge_traces"]
 
@@ -51,7 +52,7 @@ def merge_traces(
     """
     check_positive("quantum_instructions", quantum_instructions)
     if not traces:
-        raise ValueError("at least one trace is required")
+        raise ValidationError("at least one trace is required")
 
     cursors = [0] * len(traces)
     merged: List[MemoryAccess] = []

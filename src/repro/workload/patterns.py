@@ -15,6 +15,7 @@ from repro.trace.record import WORD_BYTES
 from repro.utils.rng import DeterministicRNG
 from repro.utils.bitops import is_power_of_two
 from repro.utils.validation import check_positive
+from repro.errors import ValidationError
 
 __all__ = [
     "AddressPattern",
@@ -38,7 +39,7 @@ class AddressPattern(abc.ABC):
     def __init__(self, base_address: int, region_words: int) -> None:
         check_positive("region_words", region_words)
         if base_address % WORD_BYTES != 0:
-            raise ValueError(
+            raise ValidationError(
                 f"base_address must be word aligned, got {base_address:#x}"
             )
         self.base_address = base_address
@@ -104,7 +105,7 @@ class PointerChasePattern(AddressPattern):
 
     def __init__(self, base_address: int, region_words: int) -> None:
         if not is_power_of_two(region_words):
-            raise ValueError(
+            raise ValidationError(
                 f"pointer chase needs a power-of-two region, got {region_words}"
             )
         super().__init__(base_address, region_words)
@@ -138,7 +139,7 @@ class HotspotPattern(AddressPattern):
         super().__init__(base_address, region_words)
         check_positive("hot_words", hot_words)
         if not 0.0 <= hot_probability <= 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"hot_probability must be in [0, 1], got {hot_probability}"
             )
         self.hot_words = min(hot_words, region_words)
@@ -166,7 +167,7 @@ def make_pattern(
     try:
         pattern_class = _PATTERN_KINDS[kind]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown pattern kind {kind!r}; known: {sorted(_PATTERN_KINDS)}"
         ) from None
     return pattern_class(base_address, region_words, **kwargs)

@@ -19,7 +19,7 @@ The knobs map to the paper's measured quantities as follows:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import ConfigurationError

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.workload.profile import StreamSpec, WorkloadProfile
+from repro.errors import ValidationError
 
 __all__ = ["SPEC2006_PROFILES", "benchmark_names", "get_profile"]
 
@@ -179,6 +180,6 @@ def get_profile(name: str) -> WorkloadProfile:
     try:
         return SPEC2006_PROFILES[name]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown benchmark {name!r}; known: {benchmark_names()}"
         ) from None

@@ -15,6 +15,7 @@ from typing import Dict
 
 from repro.trace.record import word_address
 from repro.utils.rng import DeterministicRNG
+from repro.errors import ValidationError
 
 __all__ = ["ValueModel"]
 
@@ -24,7 +25,7 @@ class ValueModel:
 
     def __init__(self, silent_fraction: float, rng: DeterministicRNG) -> None:
         if not 0.0 <= silent_fraction <= 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"silent_fraction must be in [0, 1], got {silent_fraction}"
             )
         self.silent_fraction = silent_fraction

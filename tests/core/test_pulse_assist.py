@@ -1,6 +1,5 @@
 """Unit tests for the Kim et al. pulse-assist comparator."""
 
-import pytest
 
 from repro.cache.cache import SetAssociativeCache
 from repro.core.pulse_assist import (

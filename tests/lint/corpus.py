@@ -1,0 +1,139 @@
+"""Inline fixture corpus for the package-agnostic lint rules.
+
+Each entry is one rule exercised through ``lint_source`` with a
+synthetic library path: ``bad`` must produce at least one finding under
+exactly that rule id (and no other), ``good`` must produce none.
+Package-scoped rules (determinism, controllers, telemetry) live in the
+on-disk tree under ``tests/lint/fixtures/`` instead, because they need
+a real ``__init__.py`` module chain or a metric catalogue.
+"""
+
+from textwrap import dedent
+
+#: rule id -> (synthetic path, bad source, good source)
+INLINE_CORPUS = {
+    "RPR111": (
+        "src/repro/fake/module.py",
+        dedent(
+            """
+            def check(value):
+                if value < 0:
+                    raise ValueError(f"bad value {value}")
+            """
+        ),
+        dedent(
+            """
+            from repro.errors import ValidationError
+
+            def check(value):
+                if value < 0:
+                    raise ValidationError(f"bad value {value}")
+
+            def stub():
+                raise NotImplementedError
+
+            def convert(text):
+                # argparse's callback contract: dotted, so not builtin.
+                raise argparse.ArgumentTypeError(text)
+
+            def reraise(exc):
+                try:
+                    risky()
+                except ReproError:
+                    raise
+            """
+        ),
+    ),
+    "RPR112": (
+        "src/repro/fake/module.py",
+        dedent(
+            """
+            def swallow(work):
+                try:
+                    work()
+                except:
+                    pass
+            """
+        ),
+        dedent(
+            """
+            from repro.errors import ReproError
+
+            def contain(work):
+                try:
+                    work()
+                except ReproError:
+                    pass
+            """
+        ),
+    ),
+    "RPR141": (
+        "src/repro/fake/module.py",
+        dedent(
+            """
+            def report(rows):
+                for row in rows:
+                    print(row)
+            """
+        ),
+        dedent(
+            """
+            def report(rows):
+                return "\\n".join(str(row) for row in rows)
+            """
+        ),
+    ),
+    "RPR142": (
+        "src/repro/fake/module.py",
+        dedent(
+            """
+            def collect(item, into=[]):
+                into.append(item)
+                return into
+
+            def index(key, table={}):
+                return table.setdefault(key, len(table))
+            """
+        ),
+        dedent(
+            """
+            def collect(item, into=None):
+                into = [] if into is None else into
+                into.append(item)
+                return into
+
+            def window(bounds=(0, 1)):
+                return bounds
+            """
+        ),
+    ),
+    "RPR143": (
+        "src/repro/fake/module.py",
+        dedent(
+            """
+            def install(layout):
+                assert layout.columns > 0, "layout collapsed"
+                return layout
+            """
+        ),
+        dedent(
+            """
+            from repro.errors import InvariantViolation
+
+            def install(layout):
+                if layout.columns <= 0:
+                    raise InvariantViolation("layout collapsed")
+                return layout
+            """
+        ),
+    ),
+}
+
+#: Non-library paths where RPR141/RPR143 must stay silent on the same
+#: source that fails above.
+EXEMPT_PATHS = (
+    "src/repro/cli.py",
+    "scripts/make_figures.py",
+    "benchmarks/bench_hotpath.py",
+    "tests/sim/test_campaign.py",
+)

@@ -1,0 +1,23 @@
+"""RPR122 positive: a ``process_batch`` override with no fallback gate.
+
+This is the acceptance-criteria fixture: the override never consults
+``engine_fast_ok`` (nor ``_obs``/``_invariant_checker``), so it would
+take the fast path with telemetry or debug-mode checks active.
+"""
+
+from repro.core.controller import CacheController
+
+
+class UngatedController(CacheController):
+    name = "ungated"
+
+    def _handle_read(self, access, result):
+        return None
+
+    def _handle_write(self, access, result):
+        return None
+
+    def process_batch(self, batch) -> int:
+        for access in batch.accesses():
+            self.process(access)
+        return len(batch)

@@ -1,0 +1,12 @@
+"""RPR121 positive: a concrete controller missing the scalar API."""
+
+from repro.core.controller import CacheController
+
+
+class HalfController(CacheController):
+    name = "half"
+
+    def _handle_read(self, access, result):
+        return None
+    # _handle_write missing: the oracle and scalar fallback would
+    # fall through to the abstract base.

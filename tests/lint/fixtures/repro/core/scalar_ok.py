@@ -1,0 +1,25 @@
+"""RPR121 negatives: complete concrete class, and an abstract base."""
+
+import abc
+
+from repro.core.controller import CacheController
+
+
+class FullController(CacheController):
+    name = "full"
+
+    def _handle_read(self, access, result):
+        return None
+
+    def _handle_write(self, access, result):
+        return None
+
+
+class AbstractFamily(CacheController):
+    """Abstract intermediates are exempt from the scalar-API check."""
+
+    name = "family"
+
+    @abc.abstractmethod
+    def family_knob(self) -> int:
+        raise NotImplementedError

@@ -1,0 +1,8 @@
+"""RPR102 negative: explicitly seeded randomness is legal."""
+
+import random
+
+
+def jitter(value: float, seed: int) -> float:
+    rng = random.Random(seed)
+    return value + rng.random()

@@ -1,0 +1,16 @@
+"""RPR102 positive: an unseeded global-RNG draw in a sim-path module.
+
+This is the acceptance-criteria fixture: a deliberately unseeded
+``random.random()`` on the simulation path must be flagged.
+"""
+
+import random
+
+
+def jitter(value: float) -> float:
+    return value + random.random()
+
+
+def fresh_rng():
+    # Unseeded constructor: seeds from the wall clock.
+    return random.Random()

@@ -1,0 +1,13 @@
+"""RPR101 positive: wall-clock reads inside a sim-path module."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(value: int) -> dict:
+    # Both reads below leak wall-clock state into simulation output.
+    return {
+        "value": value,
+        "at": time.time(),
+        "when": datetime.now().isoformat(),
+    }

@@ -1,0 +1,13 @@
+"""RPR101 negative: measurement clocks are legal in the sim path."""
+
+import time
+
+
+def measure(work) -> float:
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def pace() -> float:
+    return time.monotonic()

@@ -1,0 +1,93 @@
+"""Baseline round-trip, count semantics, and malformed-file handling."""
+
+import json
+
+import pytest
+
+from repro.errors import LintConfigError
+from repro.lint import Baseline, lint_source, run_lint
+
+BAD = 'raise ValueError("boom")\n'
+
+
+def _findings(source=BAD, path="src/repro/m.py"):
+    return lint_source(source, path=path)
+
+
+def test_round_trip(tmp_path):
+    findings = _findings()
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    assert baseline.save(str(path)) == 1
+    loaded = Baseline.load(str(path))
+    fresh, matched = loaded.filter(findings)
+    assert fresh == [] and matched == 1
+
+
+def test_line_shift_does_not_invalidate(tmp_path):
+    baseline = Baseline.from_findings(_findings())
+    shifted = _findings(source="\n\n\n" + BAD)
+    fresh, matched = baseline.filter(shifted)
+    assert fresh == [] and matched == 1
+
+
+def test_new_occurrence_of_same_pattern_still_fails():
+    baseline = Baseline.from_findings(_findings())
+    doubled = _findings(source=BAD + BAD)
+    fresh, matched = baseline.filter(doubled)
+    assert matched == 1
+    assert [f.rule_id for f in fresh] == ["RPR111"]
+
+
+def test_different_snippet_is_fresh():
+    baseline = Baseline.from_findings(_findings())
+    other = _findings(source='raise ValueError("other boom")\n')
+    fresh, matched = baseline.filter(other)
+    assert matched == 0 and len(fresh) == 1
+
+
+def test_run_lint_applies_baseline(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(BAD, encoding="utf-8")
+    dirty = run_lint([str(target)])
+    assert not dirty.ok
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(dirty.raw_findings).save(str(baseline_path))
+    clean = run_lint([str(target)], baseline_path=str(baseline_path))
+    assert clean.ok
+    assert clean.baselined == 1
+    # raw_findings still carry the debt for --write-baseline refreshes.
+    assert len(clean.raw_findings) == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(BAD, encoding="utf-8")
+    report = run_lint([str(target)], baseline_path=str(tmp_path / "nope.json"))
+    assert not report.ok and report.baselined == 0
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all",
+        json.dumps(["wrong", "shape"]),
+        json.dumps({"version": 1}),
+        json.dumps({"version": 99, "findings": []}),
+        json.dumps({"version": 1, "findings": [{"rule": "RPR111"}]}),
+    ],
+)
+def test_malformed_baseline_rejected(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload, encoding="utf-8")
+    with pytest.raises(LintConfigError):
+        Baseline.load(str(path))
+
+
+def test_empty_baseline_is_goal_state(tmp_path):
+    path = tmp_path / "baseline.json"
+    assert Baseline.empty().save(str(path)) == 0
+    loaded = Baseline.load(str(path))
+    fresh, matched = loaded.filter(_findings())
+    assert matched == 0 and len(fresh) == 1

@@ -1,0 +1,132 @@
+"""Framework mechanics: registry validation, dispatch, parse errors."""
+
+import ast
+
+import pytest
+
+from repro.errors import LintConfigError
+from repro.lint import RULE_TYPES, Rule, lint_source, register_rule
+from repro.lint.engine import RunContext
+from repro.lint.finding import Severity
+
+
+class CountingRule(Rule):
+    """Counts dispatched nodes; proves the single-pass walk."""
+
+    id = "RPR999"
+    name = "counting"
+    description = "test-only"
+
+    def __init__(self):
+        self.calls = 0
+        self.names = 0
+        self.started = 0
+        self.finished_files = 0
+        self.finished_run = 0
+
+    def visit_Call(self, node, ctx):
+        self.calls += 1
+
+    def visit_Name(self, node, ctx):
+        self.names += 1
+
+    def start_file(self, ctx):
+        self.started += 1
+
+    def finish_file(self, ctx):
+        self.finished_files += 1
+
+    def finish_run(self, run):
+        self.finished_run += 1
+
+
+class TestRegistry:
+    def test_malformed_id_rejected(self):
+        with pytest.raises(LintConfigError):
+
+            @register_rule
+            class BadId(Rule):
+                id = "XYZ1"
+                name = "bad"
+                description = "bad"
+
+    def test_duplicate_id_rejected(self):
+        taken = next(iter(RULE_TYPES))
+        with pytest.raises(LintConfigError):
+
+            @register_rule
+            class Duplicate(Rule):
+                id = taken
+                name = "dupe"
+                description = "dupe"
+
+    def test_description_required(self):
+        with pytest.raises(LintConfigError):
+
+            @register_rule
+            class NoDoc(Rule):
+                id = "RPR998"
+                name = "nodoc"
+                description = ""
+
+    def test_shipped_catalogue_is_wellformed(self):
+        for rule_id, rule_type in RULE_TYPES.items():
+            assert rule_id == rule_type.id
+            assert rule_type.name and rule_type.description
+            assert isinstance(rule_type.severity, Severity)
+
+
+class TestDispatch:
+    def test_visitors_fire_per_node_type(self):
+        rule = CountingRule()
+        source = "a = f(1)\nb = g(a)\nc = a\n"
+        lint_source(source, rules=[rule])
+        assert rule.calls == 2
+        # Names: f, g, a (arg), a (rhs) and the three store targets.
+        assert rule.names == ast.dump(ast.parse(source)).count("Name(")
+
+    def test_lifecycle_hooks(self):
+        rule = CountingRule()
+        run = RunContext([rule])
+        run.check_file("a.py", "x = 1\n", None)
+        run.check_file("b.py", "y = 2\n", None)
+        run.finish()
+        assert rule.started == 2
+        assert rule.finished_files == 2
+        assert rule.finished_run == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rpr001(self):
+        findings = lint_source("def broken(:\n", path="src/repro/x.py")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RPR001"
+        assert findings[0].severity is Severity.ERROR
+        assert "does not parse" in findings[0].message
+
+    def test_rules_never_see_unparsable_files(self):
+        rule = CountingRule()
+        lint_source("def broken(:\n", rules=[rule])
+        assert rule.calls == 0 and rule.started == 0
+
+
+class TestFindingShape:
+    def test_render_and_fingerprint(self):
+        (finding,) = lint_source(
+            "def f(x=[]):\n    return x\n", path="src/repro/m.py"
+        )
+        assert finding.rule_id == "RPR142"
+        rendered = finding.render()
+        assert rendered.startswith("src/repro/m.py:1:")
+        assert "RPR142" in rendered
+        fp = finding.fingerprint()
+        assert fp == {
+            "rule": "RPR142",
+            "path": "src/repro/m.py",
+            "snippet": "def f(x=[]):",
+        }
+
+    def test_findings_sorted_by_location(self):
+        source = "def g(y={}):\n    return y\n\ndef f(x=[]):\n    return x\n"
+        findings = lint_source(source, path="src/repro/m.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)

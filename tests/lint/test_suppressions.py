@@ -1,0 +1,73 @@
+"""``# repro-lint: disable=`` comment handling."""
+
+from repro.lint import lint_source, run_lint
+from repro.lint.suppressions import SuppressionIndex
+
+BAD_RAISE = 'raise ValueError("boom")'
+
+
+def test_same_line_suppression_silences_the_rule():
+    source = f"{BAD_RAISE}  # repro-lint: disable=RPR111\n"
+    assert lint_source(source, path="src/repro/m.py") == []
+
+
+def test_unsuppressed_line_still_fires():
+    source = f"{BAD_RAISE}\n"
+    findings = lint_source(source, path="src/repro/m.py")
+    assert [f.rule_id for f in findings] == ["RPR111"]
+
+
+def test_wrong_rule_id_does_not_suppress():
+    source = f"{BAD_RAISE}  # repro-lint: disable=RPR141\n"
+    findings = lint_source(source, path="src/repro/m.py")
+    assert [f.rule_id for f in findings] == ["RPR111"]
+
+
+def test_disable_all():
+    source = f"{BAD_RAISE}  # repro-lint: disable=all\n"
+    assert lint_source(source, path="src/repro/m.py") == []
+
+
+def test_comma_separated_ids_and_case():
+    source = (
+        "def f(x=[]):  # repro-lint: disable=rpr142, RPR999\n"
+        "    return x\n"
+    )
+    assert lint_source(source, path="src/repro/m.py") == []
+
+
+def test_suppression_is_line_scoped():
+    source = (
+        "# repro-lint: disable=RPR111\n"
+        f"{BAD_RAISE}\n"
+    )
+    findings = lint_source(source, path="src/repro/m.py")
+    assert [f.rule_id for f in findings] == ["RPR111"]
+
+
+def test_suppressed_count_surfaces_in_report(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(
+        f"{BAD_RAISE}  # repro-lint: disable=RPR111\n",
+        encoding="utf-8",
+    )
+    report = run_lint([str(target)])
+    assert report.ok
+    assert report.suppressed == 1
+    assert "suppressed" in report.summary()
+
+
+def test_index_parsing():
+    index = SuppressionIndex.from_lines(
+        [
+            "x = 1",
+            "y = 2  # repro-lint: disable=RPR101,RPR102",
+            "z = 3  # repro-lint: disable=all",
+        ]
+    )
+    assert not index.is_suppressed("RPR101", 1)
+    assert index.is_suppressed("RPR101", 2)
+    assert index.is_suppressed("rpr102", 2)
+    assert not index.is_suppressed("RPR103", 2)
+    assert index.is_suppressed("RPR103", 3)
+    assert len(index) == 2

@@ -1,0 +1,156 @@
+"""RPR131/RPR132: the metric-name cross-reference, both directions."""
+
+import textwrap
+
+from repro.lint import lint_source, run_lint
+
+CATALOGUE = textwrap.dedent(
+    """
+    METRIC_NAMES = {
+        "ctrl.*.hits": "row hits per controller",
+        "span.*.calls": "profiled call count",
+        "warning.clock_skew": "wall-clock disagreement",
+    }
+    """
+)
+
+
+def _make_tree(tmp_path, emitter_source, catalogue=CATALOGUE):
+    """A miniature repro package with an obs catalogue and one emitter."""
+    pkg = tmp_path / "repro"
+    (pkg / "obs").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "obs" / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "obs" / "names.py").write_text(catalogue, encoding="utf-8")
+    (pkg / "emit.py").write_text(
+        textwrap.dedent(emitter_source), encoding="utf-8"
+    )
+    return str(pkg)
+
+
+def test_declared_emissions_pass(tmp_path):
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                def attach(registry, name, telem):
+                    registry.inc(f"ctrl.{name}.hits")
+                    telem.warn("clock_skew")
+
+                def span(registry, label):
+                    registry.counter("span." + label + ".calls")
+                """,
+            )
+        ],
+        select=["RPR131"],
+    )
+    assert report.ok
+
+
+def test_undeclared_emission_flagged(tmp_path):
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                def attach(registry):
+                    registry.inc("ctrl.wg.bogus_counter")
+                """,
+            )
+        ],
+        select=["RPR131"],
+    )
+    assert [f.rule_id for f in report.findings] == ["RPR131"]
+    assert "ctrl.wg.bogus_counter" in report.findings[0].message
+
+
+def test_unemitted_declaration_flagged_as_warning(tmp_path):
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                def attach(registry, name, telem):
+                    registry.inc(f"ctrl.{name}.hits")
+                    telem.warn("clock_skew")
+                """,
+            )
+        ],
+        select=["RPR132"],
+    )
+    assert [f.rule_id for f in report.findings] == ["RPR132"]
+    finding = report.findings[0]
+    assert "span.*.calls" in finding.message
+    assert finding.severity.value == "warning"
+
+
+def test_dynamic_name_passthrough_is_skipped(tmp_path):
+    # A bare-variable name is statically unresolvable: the helper body
+    # itself must not be flagged (its call sites are judged instead).
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                def emit(registry, name):
+                    registry.inc(name)
+                """,
+            )
+        ],
+        select=["RPR131"],
+    )
+    assert report.ok
+
+
+def test_unrelated_observe_methods_out_of_scope(tmp_path):
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                def feed(stats):
+                    stats.observe("not.a.metric")
+                """,
+            )
+        ],
+        select=["RPR131"],
+    )
+    assert report.ok
+
+
+def test_silent_without_any_catalogue():
+    # Linting a lone snippet with no METRIC_NAMES anywhere in sight must
+    # not flag every emission.
+    # (The path must not sit under a real ``repro`` package dir, or the
+    # rule's upward catalogue discovery would find the shipped one.)
+    findings = lint_source(
+        "def f(registry):\n    registry.inc('ctrl.wg.bogus')\n",
+        path="elsewhere/emit.py",
+    )
+    assert findings == []
+
+
+def test_helper_prefixes(tmp_path):
+    # _emit_point prefixes ctrl.*. and warn prefixes warning.; a name
+    # that only matches WITH the prefix proves the prefix was applied.
+    report = run_lint(
+        [
+            _make_tree(
+                tmp_path,
+                """
+                class Controller:
+                    def tick(self):
+                        self._emit_point("hits")
+
+                def alarm(telemetry):
+                    telemetry.warn("hits")
+                """,
+            )
+        ],
+        select=["RPR131"],
+    )
+    # _emit_point("hits") -> ctrl.*.hits: declared.  warn("hits") ->
+    # warning.hits: NOT declared.
+    assert [f.rule_id for f in report.findings] == ["RPR131"]
+    assert "warning.hits" in report.findings[0].message

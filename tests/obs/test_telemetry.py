@@ -5,7 +5,6 @@ import io
 import json
 import logging
 
-import pytest
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import JsonlSink, NullSink

@@ -1,6 +1,5 @@
 """Unit tests for Vmin derivation and DVFS levels."""
 
-import pytest
 
 from repro.power.params import TECH_45NM
 from repro.power.voltage import DVFSController, DVFSLevel, vmin_mv

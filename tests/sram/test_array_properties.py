@@ -2,7 +2,6 @@
 
 from typing import Dict, List, Tuple
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

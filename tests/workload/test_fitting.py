@@ -6,7 +6,7 @@ from repro.trace.stats import collect_statistics
 from repro.workload.fitting import fit_profile
 from repro.workload.generator import generate_trace
 from repro.workload.kernels import run_kernel
-from repro.workload.profile import StreamSpec, WorkloadProfile
+from repro.workload.profile import WorkloadProfile
 from repro.workload.spec2006 import get_profile
 
 

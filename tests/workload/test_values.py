@@ -15,7 +15,7 @@ class TestSilentRate:
 
     def test_zero_rate(self):
         model = ValueModel(0.0, DeterministicRNG(2))
-        for i in range(100):
+        for _ in range(100):
             model.value_for_write(0)
         assert model.silent_writes == 0
 
