@@ -10,6 +10,9 @@ Installed as the ``repro-8t`` console script::
     repro-8t trace bwaves out.trc --accesses 50000 --format binary
     repro-8t stats out.trc --geometry 64K:4:32
     repro-8t bench --json BENCH_hotpath.json   # scalar vs batched engine
+    repro-8t bench --history              # append run to the bench ledger
+    repro-8t perf compare                 # gate against the rolling baseline
+    repro-8t perf report                  # render docs/perf-trend.md
     repro-8t kernels                      # list instrumented kernels
     repro-8t kernel matmul out.trc
     repro-8t benchmarks                   # list workload profiles
@@ -51,6 +54,7 @@ from repro.cache.address import AddressMapper
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.core.registry import ALL_CONTROLLER_NAMES, CONTROLLER_NAMES
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.perf import DEFAULT_LEDGER_PATH
 from repro.obs.spans import span
 from repro.obs.telemetry import Telemetry
 from repro.sim.comparison import compare_techniques
@@ -450,20 +454,7 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
-    import json
-
-    from repro.engine.bench import bench_report, run_hotpath_bench
-
-    results = run_hotpath_bench(
-        techniques=tuple(args.techniques),
-        accesses=args.accesses,
-        geometry=args.geometry,
-        benchmark=args.benchmark,
-        seed=args.seed,
-        batch_size=args.batch_size,
-        repeats=args.repeats,
-    )
+def _print_bench_table(args, results) -> None:
     print(
         format_table(
             ("technique", "scalar acc/s", "batched acc/s", "speedup"),
@@ -482,12 +473,191 @@ def _cmd_bench(args) -> int:
             ),
         )
     )
+
+
+def _write_bench_snapshot(args, results, env, timestamp) -> None:
+    """The ``--json`` latest-snapshot view (``BENCH_hotpath.json``)."""
+    import json
+
+    from repro.engine.bench import bench_report
+
+    report = bench_report(
+        results,
+        args.benchmark,
+        args.geometry,
+        environment=env,
+        timestamp=timestamp,
+    )
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote benchmark report to {args.json}")
+
+
+def _append_bench_history(args, results, env, timestamp) -> None:
+    """Append one run to the bench-history ledger (``--history``)."""
+    from repro.obs.perf import append_run, run_record
+
+    record = run_record(
+        results,
+        benchmark=args.benchmark,
+        geometry=args.geometry.describe(),
+        accesses=args.accesses,
+        seed=args.seed,
+        repeats=args.repeats,
+        env=env,
+        timestamp=timestamp,
+    )
+    path = append_run(args.history, record)
+    print(f"appended run to ledger {path}")
+
+
+def _cmd_bench(args) -> int:
+    from repro.engine.bench import run_hotpath_bench
+
+    results = run_hotpath_bench(
+        techniques=tuple(args.techniques),
+        accesses=args.accesses,
+        geometry=args.geometry,
+        benchmark=args.benchmark,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+    )
+    _print_bench_table(args, results)
+    env = timestamp = None
+    if args.json or args.history:
+        from repro.obs.perf import environment_fingerprint, utc_timestamp
+
+        env = environment_fingerprint()
+        timestamp = utc_timestamp()
     if args.json:
-        report = bench_report(results, args.benchmark, args.geometry)
-        with open(args.json, "w", encoding="ascii") as handle:
-            json.dump(report, handle, indent=2)
+        _write_bench_snapshot(args, results, env, timestamp)
+    if args.history:
+        _append_bench_history(args, results, env, timestamp)
+    return 0
+
+
+def _ledger_skip_warning(line_number: int, reason: str) -> None:
+    print(
+        f"warning: skipping unreadable ledger line {line_number}: {reason}",
+        file=sys.stderr,
+    )
+
+
+def _cmd_perf_compare(args) -> int:
+    import json
+
+    from repro.obs.perf import (
+        compare_to_baseline,
+        environment_fingerprint,
+        read_ledger,
+        utc_timestamp,
+    )
+
+    entries = read_ledger(args.ledger, on_skip=_ledger_skip_warning)
+    env = environment_fingerprint()
+    timestamp = utc_timestamp()
+    if args.current:
+        with open(args.current, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        results = snapshot["results"]
+        benchmark = snapshot["benchmark"]
+        geometry_desc = snapshot["geometry"]
+        accesses = results[0]["accesses"] if results else 0
+        print(f"gating existing snapshot {args.current}")
+    else:
+        from repro.engine.bench import run_hotpath_bench
+
+        bench_results = run_hotpath_bench(
+            techniques=tuple(args.techniques),
+            accesses=args.accesses,
+            benchmark=args.benchmark,
+            geometry=args.geometry,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        _print_bench_table(args, bench_results)
+        results = [result.to_dict() for result in bench_results]
+        benchmark = args.benchmark
+        geometry_desc = args.geometry.describe()
+        accesses = args.accesses
+        if args.json:
+            _write_bench_snapshot(args, bench_results, env, timestamp)
+    gate = compare_to_baseline(
+        results,
+        entries,
+        benchmark=benchmark,
+        geometry=geometry_desc,
+        accesses=accesses,
+        window=args.window,
+        sigma=args.sigma,
+        min_band=args.min_band,
+    )
+    print(
+        format_table(
+            ("technique", "speedup", "threshold", "basis", "verdict"),
+            [
+                (
+                    g.technique,
+                    f"{g.current_speedup:.2f}x",
+                    f"{g.threshold:.2f}x" if g.source != "none" else "-",
+                    (
+                        f"ledger mean {g.baseline_mean:.2f}x "
+                        f"+/- {g.baseline_std:.3f} (n={g.samples})"
+                        if g.source == "ledger"
+                        else f"static floor (n={g.samples})"
+                        if g.source == "floor"
+                        else "no baseline"
+                    ),
+                    "REGRESSION" if g.regressed else "ok",
+                )
+                for g in gate.gates
+            ],
+            title=(
+                f"perf gate: {benchmark} x {accesses} accesses, "
+                f"window {gate.window}, {gate.sigma:g}-sigma noise band"
+            ),
+        )
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(gate.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote benchmark report to {args.json}")
+        print(f"wrote gate report to {args.report}")
+    if args.append and not args.current:
+        from repro.obs.perf import append_run, run_record
+
+        append_run(
+            args.ledger,
+            run_record(
+                results,
+                benchmark=benchmark,
+                geometry=geometry_desc,
+                accesses=accesses,
+                seed=args.seed,
+                repeats=args.repeats,
+                env=env,
+                timestamp=timestamp,
+            ),
+        )
+        print(f"appended this run to ledger {args.ledger}")
+    if not gate.ok:
+        for regression in gate.regressions:
+            print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+        return EXIT_RUNTIME
+    print("perf gate passed")
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    from repro.obs.perf import read_ledger, write_trend_report
+
+    entries = read_ledger(args.ledger, on_skip=_ledger_skip_warning)
+    path = write_trend_report(
+        args.out, entries, window=args.window, recent_runs=args.recent
+    )
+    print(f"wrote trend report for {len(entries)} ledger run(s) to {path}")
     return 0
 
 
@@ -746,7 +916,124 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--json", help="also write the BENCH_hotpath.json document here"
     )
+    sub.add_argument(
+        "--history",
+        nargs="?",
+        const=str(DEFAULT_LEDGER_PATH),
+        default=None,
+        metavar="PATH",
+        help=(
+            "append this run to the bench-history ledger "
+            f"(default path: {DEFAULT_LEDGER_PATH})"
+        ),
+    )
     sub.set_defaults(handler=_cmd_bench)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="performance observatory: statistical gates and trend reports",
+        description=(
+            "Consume the bench-history ledger written by 'bench "
+            "--history'.  'perf compare' gates the current tree against "
+            "a rolling baseline with stability-derived noise bands "
+            "(exit 3 on regression); 'perf report' renders the "
+            "per-technique trajectory to markdown."
+        ),
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    sub = perf_sub.add_parser(
+        "compare",
+        help="gate current speedups against the rolling ledger baseline",
+    )
+    sub.add_argument(
+        "--ledger",
+        default=str(DEFAULT_LEDGER_PATH),
+        help="bench-history ledger to baseline against",
+    )
+    sub.add_argument(
+        "--current",
+        metavar="PATH",
+        help=(
+            "gate an existing BENCH_hotpath.json snapshot instead of "
+            "measuring afresh"
+        ),
+    )
+    sub.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="ledger entries in the rolling baseline",
+    )
+    sub.add_argument(
+        "--sigma",
+        type=float,
+        default=3.0,
+        help="noise-band width in standard deviations",
+    )
+    sub.add_argument(
+        "--min-band",
+        type=float,
+        default=0.10,
+        help="minimum noise band as a fraction of the baseline mean",
+    )
+    sub.add_argument(
+        "--report", metavar="PATH", help="write the gate verdict as JSON here"
+    )
+    sub.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write a BENCH_hotpath.json snapshot of this measurement",
+    )
+    sub.add_argument(
+        "--append",
+        action="store_true",
+        help="append this measurement to the ledger after gating",
+    )
+    sub.add_argument(
+        "--benchmark", default="bwaves", choices=benchmark_names()
+    )
+    sub.add_argument("--accesses", type=int, default=200_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.add_argument(
+        "--techniques",
+        nargs="+",
+        default=["conventional", "rmw", "wg", "wg_rb"],
+        choices=ALL_CONTROLLER_NAMES,
+    )
+    sub.add_argument("--repeats", type=int, default=3)
+    sub.set_defaults(handler=_cmd_perf_compare)
+
+    sub = perf_sub.add_parser(
+        "report",
+        help="render the per-technique trend report from the ledger",
+    )
+    sub.add_argument(
+        "--ledger",
+        default=str(DEFAULT_LEDGER_PATH),
+        help="bench-history ledger to read",
+    )
+    sub.add_argument(
+        "--out",
+        default="docs/perf-trend.md",
+        help="markdown file to write",
+    )
+    sub.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        help="entries in the rolling mean/std columns",
+    )
+    sub.add_argument(
+        "--recent",
+        type=int,
+        default=10,
+        help="runs shown in the recent-runs table",
+    )
+    sub.set_defaults(handler=_cmd_perf_report)
 
     sub = subparsers.add_parser(
         "check",

@@ -159,12 +159,18 @@ def bench_report(
     benchmark: str,
     geometry: CacheGeometry,
     floors: Optional[Dict[str, float]] = None,
+    environment: Optional[Dict[str, object]] = None,
+    timestamp: Optional[str] = None,
 ) -> dict:
     """The ``BENCH_hotpath.json`` document.
 
     ``floors`` maps technique -> minimum acceptable speedup; techniques
     below their floor are listed under ``"regressions"`` (CI fails when
-    that list is non-empty).
+    that list is non-empty).  ``environment`` and ``timestamp`` are
+    taken as parameters (this module is determinism-fenced and must not
+    read the wall clock itself); callers pass
+    ``repro.obs.perf.environment_fingerprint()`` / a UTC timestamp so
+    snapshots stay interpretable across machines.
     """
     regressions = []
     if floors:
@@ -178,9 +184,14 @@ def bench_report(
                         "floor": floor,
                     }
                 )
-    return {
+    report: dict = {
         "benchmark": benchmark,
         "geometry": geometry.describe(),
         "results": [result.to_dict() for result in results],
         "regressions": regressions,
     }
+    if environment is not None:
+        report["environment"] = dict(environment)
+    if timestamp is not None:
+        report["timestamp_utc"] = timestamp
+    return report

@@ -18,9 +18,11 @@ Three collection surfaces behind one :class:`Telemetry` facade:
 
 Everything in the simulation stack takes ``telemetry=None`` and runs
 uninstrumented (one boolean test per request) unless a real
-:class:`Telemetry` is passed.  The benchmark profiler lives in
-:mod:`repro.obs.profiler` and is deliberately *not* re-exported here —
-it imports the sim stack, and this package must stay importable from
+:class:`Telemetry` is passed.  The benchmark profiler
+(:mod:`repro.obs.profiler`) and the performance observatory
+(:mod:`repro.obs.perf` — bench-history ledger, statistical regression
+gates, trend reports) are deliberately *not* re-exported here — both
+import the sim stack, and this package must stay importable from
 ``repro.core`` without cycles.
 
 See ``docs/observability.md`` for the full tour.
@@ -38,6 +40,7 @@ from repro.obs.sinks import (
     JsonlSink,
     NullSink,
     TraceSink,
+    merge_chrome_traces,
     read_jsonl_trace,
     sink_for_path,
 )
@@ -57,6 +60,7 @@ __all__ = [
     "ChromeTraceSink",
     "sink_for_path",
     "read_jsonl_trace",
+    "merge_chrome_traces",
     "Span",
     "Timer",
     "span",

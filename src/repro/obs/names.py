@@ -40,6 +40,11 @@ METRIC_NAMES: Dict[str, str] = {
         "per-benchmark retry attempts after a retryable failure "
         "(WorkerTimeoutError, WorkerCrashError, transient faults)"
     ),
+    "worker.complete": (
+        "supervised campaign worker processes that finished and "
+        "returned a result; the anchor the per-worker metrics "
+        "breakdown (state_dict()['workers']) is reconciled against"
+    ),
     "worker.crash": (
         "campaign worker processes that died without returning a "
         "result (SIGKILL, OOM, interpreter abort)"

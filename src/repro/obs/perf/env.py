@@ -1,0 +1,115 @@
+"""Environment fingerprinting for benchmark records.
+
+A throughput number without its machine is noise: 500 k accesses/sec on
+a laptop and 300 k on a shared CI runner are both healthy, and
+comparing them as equals would fire (or mask) regressions that do not
+exist.  Every ledger entry therefore carries a fingerprint of where it
+was measured — commit, Python, CPU — so readers can group comparable
+runs and the trend report can annotate machine changes.
+
+Everything here degrades gracefully: a missing ``git`` binary, a
+detached worktree or an exotic platform yields ``"unknown"`` fields,
+never an exception — benchmarking must not fail because provenance
+collection did.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Dict, Optional, Union
+
+__all__ = ["environment_fingerprint", "git_commit", "cpu_model", "utc_timestamp"]
+
+
+def utc_timestamp() -> str:
+    """Second-resolution ISO-8601 UTC now (the ledger's timestamp form)."""
+    return datetime.now(timezone.utc).replace(microsecond=0).isoformat()
+
+#: Fallback for any fingerprint field that cannot be determined.
+UNKNOWN = "unknown"
+
+
+def git_commit(cwd: Optional[Union[str, "os.PathLike[str]"]] = None) -> str:
+    """The current commit hash, or ``"unknown"`` outside a git tree.
+
+    Appends ``+dirty`` when the worktree has uncommitted changes, so a
+    ledger entry can never silently claim to be a clean commit it is
+    not.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if commit.returncode != 0:
+            return UNKNOWN
+        sha = commit.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            return sha + "+dirty"
+        return sha
+    except (OSError, subprocess.SubprocessError):
+        return UNKNOWN
+
+
+def cpu_model() -> str:
+    """A human CPU description (``/proc/cpuinfo`` model name on Linux)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    _, _, value = line.partition(":")
+                    value = value.strip()
+                    if value:
+                        return value
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or UNKNOWN
+
+
+def environment_fingerprint(
+    cwd: Optional[Union[str, "os.PathLike[str]"]] = None,
+) -> Dict[str, Union[str, int]]:
+    """Everything needed to interpret a benchmark number later.
+
+    Keys are stable (they are the ledger's ``env`` schema):
+
+    ``commit``
+        git HEAD (``+dirty`` suffix for an unclean tree).
+    ``python`` / ``python_impl``
+        interpreter version and implementation (CPython vs PyPy changes
+        hot-path throughput by an order of magnitude).
+    ``cpu_count`` / ``cpu_model``
+        parallelism budget and the actual silicon.
+    ``hostname`` / ``platform``
+        which machine and OS produced the number.
+    """
+    try:
+        hostname = socket.gethostname() or UNKNOWN
+    except OSError:  # pragma: no cover - no hostname syscall failure in CI
+        hostname = UNKNOWN
+    return {
+        "commit": git_commit(cwd),
+        "python": platform.python_version(),
+        "python_impl": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 0,
+        "cpu_model": cpu_model(),
+        "hostname": hostname,
+        "platform": sys.platform,
+    }

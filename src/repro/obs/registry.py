@@ -114,14 +114,25 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, get-or-create, with cross-process merge."""
+    """Named metrics, get-or-create, with cross-process merge.
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    Besides the flat aggregate, a registry can keep **worker-labelled**
+    sub-states: :meth:`merge_worker_state` folds a worker's snapshot
+    into the aggregate *and* files it under its ``worker_id``, so a
+    campaign's ``--metrics-out`` shows both the suite totals and the
+    per-worker breakdown (``state_dict()["workers"]``).  The aggregate
+    is always exactly the sum of the labelled states plus whatever the
+    parent recorded directly — pinned bit-identically by
+    ``tests/obs/test_registry.py``.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_workers")
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._workers: Dict[str, "MetricsRegistry"] = {}
 
     # -- get-or-create ------------------------------------------------------
 
@@ -183,7 +194,12 @@ class MetricsRegistry:
         return self.merge_state(other.state_dict())
 
     def merge_state(self, state: Dict) -> "MetricsRegistry":
-        """Fold a :meth:`state_dict` (e.g. from a worker process) in."""
+        """Fold a :meth:`state_dict` (e.g. from a worker process) in.
+
+        A ``"workers"`` section (worker-labelled sub-states) merges
+        label-by-label, so round-tripping a labelled registry through
+        ``state_dict``/``from_state`` preserves the breakdown.
+        """
         for name, value in state.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in state.get("gauges", {}).items():
@@ -200,13 +216,60 @@ class MetricsRegistry:
                 histogram.counts[i] += count
             histogram.total += payload["total"]
             histogram.count += payload["count"]
+        for worker_id, worker_state in state.get("workers", {}).items():
+            self._worker(worker_id).merge_state(worker_state)
         return self
+
+    def merge_worker_state(
+        self, state: Dict, worker_id: str
+    ) -> "MetricsRegistry":
+        """Fold a worker's snapshot in under a ``worker_id`` label.
+
+        The counters/gauges/histograms land in the aggregate exactly as
+        :meth:`merge_state` would place them, *and* a per-worker copy
+        is kept so the serialised output can attribute metrics to the
+        worker that produced them.  Repeated merges under one id
+        accumulate (a retried benchmark's final attempt adds to its
+        earlier partial state, matching the aggregate's behaviour).
+        """
+        if not worker_id:
+            raise ValidationError("worker_id must be a non-empty string")
+        if "workers" in state:
+            raise ValidationError(
+                "cannot label an already worker-labelled state; merge it "
+                "with merge_state() instead"
+            )
+        self.merge_state(state)
+        self._worker(worker_id).merge_state(state)
+        return self
+
+    def _worker(self, worker_id: str) -> "MetricsRegistry":
+        registry = self._workers.get(worker_id)
+        if registry is None:
+            registry = self._workers[worker_id] = MetricsRegistry()
+        return registry
+
+    def worker_ids(self) -> List[str]:
+        """Labels seen by :meth:`merge_worker_state`, insertion-ordered."""
+        return list(self._workers)
+
+    def worker_state(self, worker_id: str) -> Dict:
+        """One worker's :meth:`state_dict` (raises on unknown id)."""
+        registry = self._workers.get(worker_id)
+        if registry is None:
+            raise ValidationError(f"no worker state labelled {worker_id!r}")
+        return registry.state_dict()
 
     # -- serialisation ------------------------------------------------------
 
     def state_dict(self) -> Dict:
-        """JSON-compatible snapshot (picklable across process pools)."""
-        return {
+        """JSON-compatible snapshot (picklable across process pools).
+
+        The ``"workers"`` key is only present when worker-labelled
+        states exist, so payloads from unlabelled registries keep their
+        historical three-key shape.
+        """
+        state = {
             "counters": {c.name: c.value for c in self._counters.values()},
             "gauges": {g.name: g.value for g in self._gauges.values()},
             "histograms": {
@@ -219,6 +282,12 @@ class MetricsRegistry:
                 for h in self._histograms.values()
             },
         }
+        if self._workers:
+            state["workers"] = {
+                worker_id: registry.state_dict()
+                for worker_id, registry in self._workers.items()
+            }
+        return state
 
     @classmethod
     def from_state(cls, state: Dict) -> "MetricsRegistry":

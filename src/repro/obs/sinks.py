@@ -38,6 +38,7 @@ __all__ = [
     "ChromeTraceSink",
     "sink_for_path",
     "read_jsonl_trace",
+    "merge_chrome_traces",
 ]
 
 
@@ -155,13 +156,32 @@ class ChromeTraceSink(_FileSink):
     Events are buffered in memory and serialised once on :meth:`close`
     (the format is a single JSON document, so streaming is not an
     option).  All events share one pid/tid pair per process, which is
-    exactly right for this single-threaded simulator.
+    exactly right for this single-threaded simulator.  A multi-worker
+    campaign can give each worker its own track by passing a
+    ``track`` label: the trace viewer then shows the workers stacked
+    as separately named processes (see :func:`merge_chrome_traces`).
     """
 
-    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        track: Optional[str] = None,
+    ) -> None:
         super().__init__(target)
         self._events: List[Dict] = []
         self._pid = os.getpid()
+        self._track = track
+        if track:
+            # Chrome metadata event: names this pid's row in the viewer.
+            self._events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": self._pid,
+                    "tid": 1,
+                    "args": {"name": track},
+                }
+            )
 
     def _base(self, name: str, category: str, args: Optional[Dict]) -> Dict:
         event = {"name": name, "cat": category, "pid": self._pid, "tid": 1}
@@ -202,6 +222,51 @@ def sink_for_path(path: Union[str, Path]) -> TraceSink:
     if suffix in (".jsonl", ".ndjson"):
         return JsonlSink(path)
     return ChromeTraceSink(path)
+
+
+def merge_chrome_traces(
+    inputs: Dict[str, Union[str, Path]],
+    output: Union[str, Path, IO[str]],
+) -> Dict:
+    """Merge per-worker Chrome traces into one multi-track document.
+
+    ``inputs`` maps a track label (e.g. ``"worker:bwaves"``) to that
+    worker's trace file.  Each input's events are rebased onto a fresh
+    synthetic pid — worker pids are meaningless after the processes
+    exit and can even collide when a supervisor respawns them — and a
+    ``process_name`` metadata event carries the label, so the viewer
+    shows one named row per worker.  Returns the merged document (also
+    written to ``output``).
+    """
+    if not inputs:
+        raise ValidationError("merge_chrome_traces needs at least one input")
+    merged: List[Dict] = []
+    for track_pid, (label, path) in enumerate(sorted(inputs.items()), start=1):
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        events = document.get("traceEvents", [])
+        merged.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": track_pid,
+                "tid": 1,
+                "args": {"name": label},
+            }
+        )
+        for event in events:
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                continue  # superseded by the label row above
+            rebased = dict(event)
+            rebased["pid"] = track_pid
+            merged.append(rebased)
+    document = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    if hasattr(output, "write"):
+        json.dump(document, output)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    return document
 
 
 def read_jsonl_trace(path: Union[str, Path]) -> List[Dict]:

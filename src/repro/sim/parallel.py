@@ -50,7 +50,12 @@ controller take its per-access path — campaigns that want maximum
 throughput should run without ``--metrics-out``.  Supervisor threads never touch the caller's registry; each job's
 metrics state and degradation events are folded in by the main thread
 in benchmark order, so the merged output is deterministic (merge is
-associative and commutative anyway).
+associative and commutative anyway).  States are merged with a
+``worker:<benchmark>`` label (:meth:`MetricsRegistry.merge_worker_state`),
+so ``--metrics-out`` reports the campaign aggregate *and* the
+per-worker breakdown, and every supervised completion bumps the
+``worker.complete`` counter — the reconciliation anchor for the
+breakdown.
 """
 
 from __future__ import annotations
@@ -293,7 +298,14 @@ def _run_pool(
             continue
         completed[outcome.benchmark] = outcome.row
         if outcome.metrics_state is not None and collect_metrics:
-            telem.registry.merge_state(outcome.metrics_state)
+            # Labelled merge: the aggregate gets the worker's counters
+            # and the state is also filed under its worker id, so
+            # --metrics-out carries the per-worker breakdown.  The id is
+            # the benchmark name — workers are per-benchmark processes,
+            # and pids would break run-to-run determinism.
+            telem.registry.merge_worker_state(
+                outcome.metrics_state, worker_id=f"worker:{outcome.benchmark}"
+            )
     if pool_fallback_errors:
         telem.warn(
             "parallel.pool_fallback",

@@ -322,6 +322,12 @@ def run_supervised(
         )
     kind = status[0]
     if kind == "ok":
+        if on_event is not None:
+            # The success-side twin of worker.crash/worker.timeout: the
+            # merged campaign metrics show how many supervised workers
+            # actually completed (the counter the per-worker telemetry
+            # breakdown is reconciled against).
+            on_event("worker.complete", target=label, pid=proc.pid)
         return status[1]
     _, type_name, message = status
     raise _rebuild_exception(type_name, message)

@@ -1,0 +1,64 @@
+"""Environment-fingerprint tests: schema, git states, graceful decay."""
+
+import subprocess
+
+from repro.obs.perf import environment_fingerprint, utc_timestamp
+from repro.obs.perf.env import UNKNOWN, cpu_model, git_commit
+
+FINGERPRINT_KEYS = {
+    "commit",
+    "python",
+    "python_impl",
+    "cpu_count",
+    "cpu_model",
+    "hostname",
+    "platform",
+}
+
+
+class TestFingerprint:
+    def test_schema_and_types(self):
+        env = environment_fingerprint()
+        assert set(env) == FINGERPRINT_KEYS
+        assert isinstance(env["cpu_count"], int)
+        for key in FINGERPRINT_KEYS - {"cpu_count"}:
+            assert isinstance(env[key], str) and env[key]
+
+    def test_fingerprint_is_json_serialisable(self):
+        import json
+
+        assert json.loads(json.dumps(environment_fingerprint()))
+
+
+class TestGitCommit:
+    def test_outside_a_repo_is_unknown(self, tmp_path):
+        assert git_commit(cwd=tmp_path) == UNKNOWN
+
+    def test_clean_and_dirty_repos(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+            )
+
+        git("init")
+        git("config", "user.email", "t@t")
+        git("config", "user.name", "t")
+        (tmp_path / "f.txt").write_text("x")
+        git("add", "f.txt")
+        git("commit", "-m", "seed")
+        clean = git_commit(cwd=tmp_path)
+        assert len(clean) == 40 and not clean.endswith("+dirty")
+        (tmp_path / "f.txt").write_text("changed")
+        assert git_commit(cwd=tmp_path) == clean + "+dirty"
+
+
+class TestCpuModelAndTimestamp:
+    def test_cpu_model_is_nonempty(self):
+        assert cpu_model()
+
+    def test_utc_timestamp_shape(self):
+        stamp = utc_timestamp()
+        # ISO-8601, second resolution, explicit UTC offset.
+        assert stamp.endswith("+00:00")
+        assert "." not in stamp
+        assert len(stamp) == len("2026-08-08T10:00:00+00:00")

@@ -3,6 +3,7 @@ merge semantics (associativity, commutativity), serialisation."""
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 
@@ -140,3 +141,93 @@ class TestTopCounters:
     def test_ranked_descending(self):
         registry = _registry(counters=[("low", 1), ("high", 100), ("mid", 10)])
         assert registry.top_counters(2) == [("high", 100), ("mid", 10)]
+
+
+class TestWorkerLabelledMerge:
+    def _worker_state(self, count, gauge=None):
+        registry = MetricsRegistry()
+        registry.inc("cache.requests", count)
+        if gauge is not None:
+            registry.set_gauge("buffer.peak", gauge)
+        return registry.state_dict()
+
+    def test_aggregate_and_breakdown(self):
+        parent = MetricsRegistry()
+        parent.merge_worker_state(self._worker_state(10), "worker:a")
+        parent.merge_worker_state(self._worker_state(32), "worker:b")
+        assert parent.value("cache.requests") == 42
+        assert parent.worker_ids() == ["worker:a", "worker:b"]
+        assert parent.worker_state("worker:a")["counters"] == {
+            "cache.requests": 10
+        }
+        assert parent.worker_state("worker:b")["counters"] == {
+            "cache.requests": 32
+        }
+
+    def test_aggregate_is_bit_identical_sum_of_workers(self):
+        parent = MetricsRegistry()
+        # Float amounts chosen to expose any double-count or ordering
+        # difference between aggregate and per-worker paths.
+        for worker_id, amount in (
+            ("worker:a", 0.1),
+            ("worker:b", 0.2),
+            ("worker:c", 0.30000000000000004),
+        ):
+            state = MetricsRegistry()
+            state.counter("t.seconds").inc(amount)
+            parent.merge_worker_state(state.state_dict(), worker_id)
+        total = sum(
+            parent.worker_state(w)["counters"]["t.seconds"]
+            for w in parent.worker_ids()
+        )
+        assert parent.value("t.seconds") == total  # exact, not approx
+
+    def test_repeated_merges_accumulate_per_worker(self):
+        parent = MetricsRegistry()
+        parent.merge_worker_state(self._worker_state(5), "worker:a")
+        parent.merge_worker_state(self._worker_state(7), "worker:a")
+        assert parent.value("cache.requests") == 12
+        assert parent.worker_state("worker:a")["counters"] == {
+            "cache.requests": 12
+        }
+
+    def test_gauges_keep_max_in_both_views(self):
+        parent = MetricsRegistry()
+        parent.merge_worker_state(self._worker_state(1, gauge=9), "worker:a")
+        parent.merge_worker_state(self._worker_state(1, gauge=4), "worker:b")
+        assert parent.gauge("buffer.peak").value == 9
+        assert parent.worker_state("worker:b")["gauges"] == {"buffer.peak": 4}
+
+    def test_rejects_empty_id_and_double_labelling(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            parent.merge_worker_state(self._worker_state(1), "")
+        labelled = MetricsRegistry()
+        labelled.merge_worker_state(self._worker_state(1), "worker:a")
+        with pytest.raises(ValidationError):
+            parent.merge_worker_state(labelled.state_dict(), "campaign")
+
+    def test_unknown_worker_id_raises(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().worker_state("worker:ghost")
+
+    def test_state_dict_shape(self):
+        plain = MetricsRegistry()
+        plain.inc("x")
+        assert set(plain.state_dict()) == {"counters", "gauges", "histograms"}
+        labelled = MetricsRegistry()
+        labelled.merge_worker_state(self._worker_state(3), "worker:a")
+        state = labelled.state_dict()
+        assert set(state) == {"counters", "gauges", "histograms", "workers"}
+        assert set(state["workers"]) == {"worker:a"}
+
+    def test_labelled_state_round_trips(self):
+        parent = MetricsRegistry()
+        parent.inc("parent.only", 2)
+        parent.merge_worker_state(self._worker_state(10), "worker:a")
+        parent.merge_worker_state(self._worker_state(20), "worker:b")
+        clone = MetricsRegistry.from_state(parent.state_dict())
+        assert clone.state_dict() == parent.state_dict()
+        # No double count: the aggregate already contains the workers.
+        assert clone.value("cache.requests") == 30
+        assert clone.value("parent.only") == 2

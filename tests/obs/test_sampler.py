@@ -92,3 +92,70 @@ class TestResetHandling:
         assert sampler.labels() == ["rmw", "wg"]
         assert len(sampler.series("rmw")) == 3
         assert len(sampler.series("wg")) == 3
+
+
+class _StubStats:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class _StubEvents:
+    def __init__(self):
+        self.array_accesses = 0
+
+
+class _StubController:
+    """Minimal controller surface the sampler reads at window edges."""
+
+    def __init__(self, name="stub"):
+        self.name = name
+        self.events = _StubEvents()
+
+        class _Cache:
+            pass
+
+        self.cache = _Cache()
+        self.cache.stats = _StubStats()
+
+    def set_buffer_occupancy(self):
+        return 0
+
+
+class TestEmptyWindows:
+    def test_trace_shorter_than_window_yields_no_snapshots(self):
+        _, sampler = _run(accesses=300, window=500)
+        assert len(sampler) == 0
+        assert sampler.labels() == []
+        assert sampler.series("wg") == []
+
+    def test_idle_window_snapshots_all_zero_deltas(self):
+        # A window can close with no cache activity at all (e.g. every
+        # request filtered upstream); deltas and derived rates must be
+        # zero, not a ZeroDivisionError.
+        sampler = IntervalSampler(10)
+        controller = _StubController()
+        for _ in range(10):
+            sampler.tick(controller)
+        assert len(sampler) == 1
+        snap = sampler.snapshots[0]
+        assert snap.array_accesses == 0
+        assert snap.hits == 0
+        assert snap.misses == 0
+        assert snap.miss_rate == 0.0
+        assert snap.accesses_per_request == 0.0
+
+    def test_idle_then_active_window_keeps_clean_deltas(self):
+        sampler = IntervalSampler(10)
+        controller = _StubController()
+        for _ in range(10):  # idle window
+            sampler.tick(controller)
+        controller.events.array_accesses = 7
+        controller.cache.stats.hits = 4
+        controller.cache.stats.misses = 3
+        for _ in range(10):  # active window
+            sampler.tick(controller)
+        idle, active = sampler.snapshots
+        assert (idle.array_accesses, idle.hits, idle.misses) == (0, 0, 0)
+        assert (active.array_accesses, active.hits, active.misses) == (7, 4, 3)
+        assert active.window_index == 1

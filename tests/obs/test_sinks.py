@@ -3,10 +3,14 @@
 import io
 import json
 
+import pytest
+
+from repro.errors import ValidationError
 from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
     NullSink,
+    merge_chrome_traces,
     read_jsonl_trace,
     sink_for_path,
 )
@@ -94,3 +98,83 @@ class TestSinkForPath:
         finally:
             for sink in (jsonl, ndjson, chrome, trace):
                 sink.close()
+
+
+class TestWorkerTracks:
+    def test_track_label_emits_process_name_metadata(self, tmp_path):
+        path = tmp_path / "worker.json"
+        with ChromeTraceSink(path, track="worker:bwaves") as sink:
+            sink.complete("row", sink._origin, 0.002)
+        events = json.loads(path.read_text())["traceEvents"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"] == {"name": "worker:bwaves"}
+
+    def test_untracked_sink_has_no_metadata(self, tmp_path):
+        path = tmp_path / "plain.json"
+        with ChromeTraceSink(path) as sink:
+            sink.instant("x")
+        events = json.loads(path.read_text())["traceEvents"]
+        assert not [e for e in events if e.get("ph") == "M"]
+
+
+class TestMergeChromeTraces:
+    def _worker_trace(self, path, label, spans):
+        with ChromeTraceSink(path, track=label) as sink:
+            for name, duration in spans:
+                sink.complete(name, sink._origin, duration)
+        return path
+
+    def test_merged_multi_worker_spans(self, tmp_path):
+        a = self._worker_trace(
+            tmp_path / "a.json", "worker:bwaves", [("row:fig9", 0.01)]
+        )
+        b = self._worker_trace(
+            tmp_path / "b.json",
+            "worker:mcf",
+            [("row:fig9", 0.02), ("row:fig10", 0.03)],
+        )
+        out = tmp_path / "merged.json"
+        document = merge_chrome_traces(
+            {"worker:bwaves": a, "worker:mcf": b}, out
+        )
+        assert json.loads(out.read_text()) == document
+        events = document["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        # All three spans survive, under exactly two labelled tracks.
+        assert len(spans) == 3
+        assert {e["args"]["name"] for e in meta} == {
+            "worker:bwaves", "worker:mcf",
+        }
+        # Workers get distinct synthetic pids even if the real worker
+        # pids collided, and every span's pid matches its track's.
+        pid_by_label = {e["args"]["name"]: e["pid"] for e in meta}
+        assert len(set(pid_by_label.values())) == 2
+        bwaves_spans = [
+            e for e in spans if e["pid"] == pid_by_label["worker:bwaves"]
+        ]
+        assert len(bwaves_spans) == 1
+
+    def test_input_process_name_metadata_is_superseded(self, tmp_path):
+        a = self._worker_trace(tmp_path / "a.json", "old-label", [("s", 0.01)])
+        document = merge_chrome_traces({"new-label": a}, tmp_path / "out.json")
+        meta = [e for e in document["traceEvents"] if e.get("ph") == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"] == {"name": "new-label"}
+
+    def test_merge_order_is_deterministic(self, tmp_path):
+        a = self._worker_trace(tmp_path / "a.json", "worker:a", [("s", 0.01)])
+        b = self._worker_trace(tmp_path / "b.json", "worker:b", [("s", 0.01)])
+        first = merge_chrome_traces(
+            {"worker:b": b, "worker:a": a}, io.StringIO()
+        )
+        second = merge_chrome_traces(
+            {"worker:a": a, "worker:b": b}, io.StringIO()
+        )
+        assert first == second  # sorted by label, not insertion order
+
+    def test_empty_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            merge_chrome_traces({}, tmp_path / "out.json")

@@ -62,3 +62,85 @@ class TestParallelCampaign:
     def test_processes_validated(self):
         with pytest.raises(ValueError):
             run_campaign_parallel(CONFIG, processes=0)
+
+
+class TestWorkerMetricsAggregation:
+    def _run_with_metrics(self, processes=2):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.telemetry import Telemetry
+
+        telem = Telemetry(registry=MetricsRegistry())
+        result = run_campaign_parallel(CONFIG, processes=processes, telemetry=telem)
+        return result, telem.registry
+
+    def test_aggregate_is_bit_identical_sum_of_worker_counters(self):
+        """--metrics-out must reflect all workers, exactly.
+
+        For every counter any worker reported, the campaign aggregate
+        equals the sum over the per-worker breakdowns — bit-identical
+        float equality, not approx.  Parent-only counters (supervision,
+        degradations) ride on top and are excluded by construction.
+        """
+        _, registry = self._run_with_metrics()
+        worker_states = {
+            worker_id: registry.worker_state(worker_id)
+            for worker_id in registry.worker_ids()
+        }
+        assert worker_states, "campaign with telemetry produced no workers"
+        counter_names = set()
+        for state in worker_states.values():
+            counter_names.update(state["counters"])
+        assert counter_names, "workers reported no counters"
+        for name in counter_names:
+            expected = sum(
+                state["counters"].get(name, 0)
+                for state in worker_states.values()
+            )
+            assert registry.value(name) == expected, name
+
+    def test_worker_ids_are_deterministic_benchmark_labels(self):
+        _, registry = self._run_with_metrics()
+        assert registry.worker_ids() == [
+            f"worker:{benchmark}" for benchmark in CONFIG.benchmarks
+        ]
+
+    def test_supervised_completions_are_counted(self):
+        _, registry = self._run_with_metrics()
+        if registry.value("warning.parallel.pool_fallback"):
+            pytest.skip("process creation unavailable; no supervision")
+        # One worker.complete per benchmark: the reconciliation anchor
+        # for the per-worker breakdown.
+        assert registry.value("worker.complete") == len(CONFIG.benchmarks)
+
+    def test_metrics_out_payload_carries_the_breakdown(self):
+        _, registry = self._run_with_metrics()
+        state = registry.state_dict()
+        assert set(state["workers"]) == {
+            f"worker:{benchmark}" for benchmark in CONFIG.benchmarks
+        }
+
+    def test_worker_counters_match_isolated_sequential_runs(self):
+        """Each worker's counters equal an isolated in-process run.
+
+        Workers are per-benchmark processes with private registries, so
+        every worker's deterministic counters must be bit-identical to
+        running that benchmark alone through execute_row with a fresh
+        registry.  (A *shared* sequential registry is not comparable:
+        each benchmark's warm-up reset wipes the previous benchmark's
+        ctrl.* counters — exactly the lossiness the labelled merge
+        fixes.)
+        """
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.telemetry import Telemetry
+        from repro.sim.campaign import execute_row
+
+        _, par_registry = self._run_with_metrics()
+        for benchmark in CONFIG.benchmarks:
+            telem = Telemetry(registry=MetricsRegistry())
+            execute_row(benchmark, CONFIG, telem)
+            expected = telem.registry.state_dict()["counters"]
+            actual = par_registry.worker_state(f"worker:{benchmark}")["counters"]
+            for name, value in expected.items():
+                if name.startswith("span."):  # wall-clock durations
+                    continue
+                assert actual.get(name) == value, (benchmark, name)

@@ -534,3 +534,124 @@ class TestCheckSubcommand:
     def test_replay_without_corpus_is_usage_error(self, capsys):
         assert main(["check", "--replay"]) == 2
         assert "needs --corpus" in capsys.readouterr().err
+
+
+class TestPerfObservatory:
+    BENCH = [
+        "--accesses", "1500", "--repeats", "1",
+        "--techniques", "conventional", "wg",
+    ]
+
+    def test_bench_history_appends_valid_jsonl(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert main(["bench", *self.BENCH, "--history", str(ledger)]) == 0
+        capsys.readouterr()
+        lines = ledger.read_text().strip().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["schema"] == 1
+        assert record["benchmark"] == "bwaves"
+        assert {"commit", "python", "hostname", "cpu_count"} <= set(
+            record["env"]
+        )
+        assert {r["technique"] for r in record["results"]} == {
+            "conventional", "wg",
+        }
+
+    def test_bench_json_snapshot_carries_environment(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "snap.json"
+        assert main(["bench", *self.BENCH, "--json", str(out)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text())
+        assert "environment" in snapshot
+        assert "timestamp_utc" in snapshot
+        assert snapshot["environment"]["python_impl"]
+
+    def test_perf_compare_passes_on_healthy_tree(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert main(["bench", *self.BENCH, "--history", str(ledger)]) == 0
+        # A wide noise band: this asserts the wiring (measure -> gate ->
+        # append), not the statistics — tiny traces on a shared box are
+        # noisy, and the band math has its own deterministic tests.
+        assert (
+            main(
+                [
+                    "perf", "compare", "--ledger", str(ledger),
+                    *self.BENCH, "--append",
+                    "--sigma", "6", "--min-band", "0.45",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "perf gate passed" in output
+        # --append grew the ledger to three runs.
+        assert len(ledger.read_text().strip().splitlines()) == 3
+
+    def test_perf_compare_fails_on_injected_regression(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        snap = tmp_path / "snap.json"
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "bench", *self.BENCH,
+                        "--history", str(ledger), "--json", str(snap),
+                    ]
+                )
+                == 0
+            )
+        # Inject a synthetic regression: batched as slow as scalar.
+        snapshot = json.loads(snap.read_text())
+        for result in snapshot["results"]:
+            result["batched_seconds"] = result["scalar_seconds"]
+            result["speedup"] = 1.0
+        snap.write_text(json.dumps(snapshot))
+        report = tmp_path / "gate.json"
+        code = main(
+            [
+                "perf", "compare", "--ledger", str(ledger),
+                "--current", str(snap), "--report", str(report),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "REGRESSION" in captured.err
+        verdict = json.loads(report.read_text())
+        assert verdict["ok"] is False
+
+    def test_perf_report_renders_markdown(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["bench", *self.BENCH, "--history", str(ledger)]) == 0
+        out = tmp_path / "trend.md"
+        assert (
+            main(["perf", "report", "--ledger", str(ledger), "--out", str(out)])
+            == 0
+        )
+        capsys.readouterr()
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("# Hot-path performance trend")
+        assert "| conventional |" in text
+
+    def test_perf_report_on_missing_ledger(self, capsys, tmp_path):
+        out = tmp_path / "trend.md"
+        assert (
+            main(
+                [
+                    "perf", "report",
+                    "--ledger", str(tmp_path / "none.jsonl"),
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "ledger is empty" in out.read_text(encoding="utf-8")
