@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.config import CacheGeometry
 from repro.check.corpus import CorpusEntry, iter_corpus, save_entry
@@ -21,7 +21,8 @@ from repro.check.differential import WG_FAMILY, run_differential
 from repro.check.fuzz import FuzzCase, TraceFuzzer
 from repro.check.shrink import DEFAULT_SHRINK_BUDGET, shrink_trace
 from repro.core.registry import CONTROLLER_NAMES
-from repro.errors import InvariantViolation, ValidationError
+from repro.errors import InvariantViolation, ReproError, ValidationError
+from repro.store import ResultStore
 from repro.trace.record import MemoryAccess
 
 __all__ = ["CheckFailure", "CheckReport", "run_check_campaign", "replay_corpus"]
@@ -76,6 +77,8 @@ class CheckReport:
     failures: List[CheckFailure] = field(default_factory=list)
     #: scenario name -> cases run under it.
     scenario_cases: Dict[str, int] = field(default_factory=dict)
+    #: replay verdicts served from a result store (see ``replay_corpus``).
+    cached_cases: int = 0
 
     @property
     def ok(self) -> bool:
@@ -240,8 +243,25 @@ def _to_corpus_entry(failure: CheckFailure) -> CorpusEntry:
 def replay_corpus(
     corpus_dir: str,
     invariants: bool = True,
+    result_cache: Optional[Union[str, Path, ResultStore]] = None,
 ) -> CheckReport:
-    """Re-run every saved repro; failures mean a bug has come back."""
+    """Re-run every saved repro; failures mean a bug has come back.
+
+    With ``result_cache`` pointing at a :class:`repro.store.ResultStore`
+    root (or an open store), each case's verdict is keyed on the corpus
+    document, the invariant setting, and the current code version —
+    replays are served from the store until the checker code changes,
+    at which point every key rotates and the corpus is re-checked for
+    real.  Store failures degrade to a plain recheck, never an error.
+    """
+    store: Optional[ResultStore] = None
+    if isinstance(result_cache, ResultStore):
+        store = result_cache
+    elif result_cache is not None:
+        try:
+            store = ResultStore(Path(result_cache))
+        except (ReproError, OSError):
+            store = None
     report = CheckReport(seed=0, iterations=0, techniques=())
     techniques = set()
     for entry in iter_corpus(corpus_dir):
@@ -251,14 +271,34 @@ def replay_corpus(
         report.scenario_cases[entry.scenario] = (
             report.scenario_cases.get(entry.scenario, 0) + 1
         )
-        divergences = _check_case(
-            entry.trace,
-            entry.technique,
-            entry.geometry,
-            entry.batch_size,
-            dict(entry.knobs),
-            invariants,
-        )
+        document = entry.to_document()
+        divergences: Optional[List[str]] = None
+        if store is not None:
+            try:
+                cached = store.get_verdict(document, invariants)
+            except (ReproError, OSError):
+                cached = None
+            if cached is not None:
+                raw = cached.get("divergences", [])
+                if isinstance(raw, list):
+                    divergences = [str(item) for item in raw]
+                    report.cached_cases += 1
+        if divergences is None:
+            divergences = _check_case(
+                entry.trace,
+                entry.technique,
+                entry.geometry,
+                entry.batch_size,
+                dict(entry.knobs),
+                invariants,
+            )
+            if store is not None:
+                try:
+                    store.put_verdict(
+                        document, invariants, {"divergences": divergences}
+                    )
+                except (ReproError, OSError):
+                    pass
         if divergences:
             report.failures.append(
                 CheckFailure(

@@ -18,6 +18,10 @@ Installed as the ``repro-8t`` console script::
     repro-8t benchmarks                   # list workload profiles
     repro-8t check --seed 0 --iterations 200   # oracle-differential fuzzing
     repro-8t check --corpus repros --replay    # re-run saved repros
+    repro-8t cache stats .cache           # result-store contents + counters
+    repro-8t cache verify .cache          # validate + quarantine (exit 3)
+    repro-8t cache gc .cache              # drop stale-code-version entries
+    repro-8t cache invalidate .cache --benchmark mcf
 
 Every subcommand is a thin shell over the public library API, so the
 CLI doubles as executable documentation.
@@ -32,9 +36,12 @@ uninstrumented.
 
 Resilience flags (``compare``, ``figure``, ``report``):
 ``--checkpoint PATH`` journals completed work and resumes interrupted
-runs, ``--retries N``/``--worker-timeout S`` tune the retry policy,
-``--strict`` restores fail-fast, and ``--processes N`` (``figure``,
-``report``) runs campaigns on supervised worker processes.  See
+runs, ``--result-cache DIR`` serves previously computed rows from a
+durable content-addressed store, ``--retries N``/``--worker-timeout S``
+tune the retry policy, ``--breaker-threshold N`` skips rows that keep
+failing, ``--heartbeat S`` detects frozen workers early, ``--strict``
+restores fail-fast, and ``--processes N`` (``figure``, ``report``)
+runs campaigns on supervised worker processes.  See
 ``docs/robustness.md``.
 
 Errors derived from :class:`ReproError` print a one-line message and
@@ -199,6 +206,42 @@ def _add_resilience_flags(sub: argparse.ArgumentParser, campaign: bool = True) -
             type=int,
             help="run campaigns on this many supervised worker processes",
         )
+        group.add_argument(
+            "--result-cache",
+            metavar="DIR",
+            help=(
+                "durable content-addressed result store: rows already "
+                "computed for this exact config + workload + code "
+                "version are served from here instead of re-simulated, "
+                "and new rows are committed back (see 'repro-8t cache')"
+            ),
+        )
+        group.add_argument(
+            "--result-cache-max-bytes",
+            type=int,
+            metavar="BYTES",
+            help="LRU size bound for --result-cache (default: unbounded)",
+        )
+        group.add_argument(
+            "--breaker-threshold",
+            type=int,
+            metavar="N",
+            help=(
+                "open a per-benchmark circuit breaker after N failures: "
+                "the row is skipped and quarantined instead of retried "
+                "(default: breakers off)"
+            ),
+        )
+        group.add_argument(
+            "--heartbeat",
+            type=float,
+            metavar="SECONDS",
+            help=(
+                "worker heartbeat interval; a worker silent for several "
+                "beats is killed as stalled before --worker-timeout "
+                "expires (needs --processes > 1)"
+            ),
+        )
 
 
 def _policy_from_args(args) -> ExecutionPolicy:
@@ -206,12 +249,16 @@ def _policy_from_args(args) -> ExecutionPolicy:
     retry = RetryPolicy(
         max_attempts=args.retries if args.retries is not None else 3,
         worker_timeout_s=getattr(args, "worker_timeout", None),
+        breaker_threshold=getattr(args, "breaker_threshold", None),
+        heartbeat_interval_s=getattr(args, "heartbeat", None),
     )
     return ExecutionPolicy(
         retry=retry,
         strict=getattr(args, "strict", False),
         checkpoint=args.checkpoint,
         processes=getattr(args, "processes", None),
+        result_cache=getattr(args, "result_cache", None),
+        result_cache_max_bytes=getattr(args, "result_cache_max_bytes", None),
     )
 
 
@@ -667,8 +714,17 @@ def _cmd_check(args) -> int:
     if args.replay:
         if not args.corpus:
             raise ConfigurationError("--replay needs --corpus DIR to read from")
-        report = replay_corpus(args.corpus, invariants=not args.no_invariants)
+        report = replay_corpus(
+            args.corpus,
+            invariants=not args.no_invariants,
+            result_cache=args.result_cache,
+        )
         mode = f"replaying corpus {args.corpus}"
+        if args.result_cache:
+            mode += (
+                f" ({report.cached_cases}/{report.cases_run} verdicts "
+                f"from {args.result_cache})"
+            )
     else:
         geometries = tuple(args.geometry) if args.geometry else None
         report = run_check_campaign(
@@ -700,6 +756,56 @@ def _cmd_check(args) -> int:
             print()
             print(failure.describe())
         return EXIT_RUNTIME
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        counters = stats.pop("counters")
+        rows = [(key, str(value)) for key, value in sorted(stats.items())]
+        rows += [
+            (f"counters.{key}", str(value))
+            for key, value in sorted(counters.items())
+        ]
+        print(
+            format_table(
+                ("field", "value"),
+                rows,
+                title=f"result store {args.store}",
+            )
+        )
+        return 0
+    if args.cache_command == "verify":
+        report = store.verify()
+        print(
+            f"verified {report['checked']} entr(ies): {report['ok']} ok, "
+            f"{len(report['corrupt'])} quarantined"
+        )
+        for item in report["corrupt"]:
+            print(f"  {item['key']}: {item['reason']}")
+        return EXIT_RUNTIME if report["corrupt"] else 0
+    if args.cache_command == "gc":
+        report = store.gc(prune_quarantine=args.prune_quarantine)
+        print(
+            f"gc: removed {report['removed']} stale entr(ies), "
+            f"freed {report['freed_bytes']} bytes, pruned "
+            f"{report['quarantine_pruned']} quarantined file(s) "
+            f"(code version {report['code_version']})"
+        )
+        return 0
+    # invalidate
+    if not (args.all or args.benchmark or args.kind):
+        raise ConfigurationError(
+            "cache invalidate needs --benchmark, --kind, or --all"
+        )
+    report = store.invalidate(
+        benchmark=args.benchmark, kind=args.kind, everything=args.all
+    )
+    print(f"invalidated {report['removed']} entr(ies)")
     return 0
 
 
@@ -1083,6 +1189,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the saved --corpus repros instead of fuzzing",
     )
     sub.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        help=(
+            "serve --replay verdicts from a content-addressed result "
+            "store; entries invalidate automatically when the checker "
+            "code version changes"
+        ),
+    )
+    sub.add_argument(
         "--no-shrink",
         action="store_true",
         help="report failing traces unshrunk (faster on failure)",
@@ -1144,6 +1259,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     sub.set_defaults(handler=_cmd_lint)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a --result-cache store",
+        description=(
+            "Administer a content-addressed result store (the directory "
+            "passed to --result-cache).  stats prints occupancy and "
+            "counters; verify validates every entry and quarantines "
+            "damage (exit 3 if any); gc drops entries from other code "
+            "versions; invalidate removes entries by selector."
+        ),
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    csub = cache_sub.add_parser("stats", help="store occupancy and counters")
+    csub.add_argument("store", metavar="DIR", help="result-store root")
+    csub.set_defaults(handler=_cmd_cache)
+
+    csub = cache_sub.add_parser(
+        "verify",
+        help="validate every entry, quarantining damage (exit 3 if any)",
+    )
+    csub.add_argument("store", metavar="DIR", help="result-store root")
+    csub.set_defaults(handler=_cmd_cache)
+
+    csub = cache_sub.add_parser(
+        "gc", help="drop entries written by a different code version"
+    )
+    csub.add_argument("store", metavar="DIR", help="result-store root")
+    csub.add_argument(
+        "--prune-quarantine",
+        action="store_true",
+        help="also empty the quarantine directory",
+    )
+    csub.set_defaults(handler=_cmd_cache)
+
+    csub = cache_sub.add_parser(
+        "invalidate", help="remove entries by benchmark/kind selector"
+    )
+    csub.add_argument("store", metavar="DIR", help="result-store root")
+    csub.add_argument("--benchmark", help="remove entries for this benchmark")
+    csub.add_argument(
+        "--kind",
+        choices=("campaign-row", "check-verdict"),
+        help="remove entries of this kind",
+    )
+    csub.add_argument(
+        "--all", action="store_true", help="remove every entry in the store"
+    )
+    csub.set_defaults(handler=_cmd_cache)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
     sub.set_defaults(handler=_cmd_benchmarks)

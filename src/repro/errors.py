@@ -21,7 +21,10 @@ __all__ = [
     "PortConflictError",
     "WorkerTimeoutError",
     "WorkerCrashError",
+    "BreakerOpenError",
     "CheckpointError",
+    "StoreError",
+    "StoreIntegrityError",
     "CampaignFailedError",
     "LintConfigError",
 ]
@@ -108,6 +111,21 @@ class WorkerCrashError(SimulationError):
     """
 
 
+class BreakerOpenError(SimulationError):
+    """A per-benchmark circuit breaker tripped; the row was skipped.
+
+    Raised by :func:`repro.sim.resilience.retry_call` once a
+    :class:`repro.sim.resilience.CircuitBreaker` has recorded its
+    failure threshold: instead of burning the remaining retry budget on
+    a row that keeps failing, the row is skipped and quarantined
+    (``FailedRow.breaker_skipped``), and the campaign degrades
+    gracefully.  Deliberately *not* retryable in spirit — the breaker
+    exists to stop retries — although it derives from
+    :class:`SimulationError` so the quarantine contract still catches
+    it.
+    """
+
+
 class CheckpointError(ReproError):
     """A campaign checkpoint file is unusable.
 
@@ -116,6 +134,33 @@ class CheckpointError(ReproError):
     the campaign being resumed (a *stale* checkpoint — silently mixing
     rows from different configs would corrupt results).
     """
+
+
+class StoreError(ReproError):
+    """A result-store operation could not be performed.
+
+    Covers unusable store roots (a file where a directory is needed),
+    malformed invalidation selectors, and commit failures that are not
+    plain OS errors.  Distinct from :class:`StoreIntegrityError`, which
+    classifies *entry* damage found on read.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """A result-store entry failed validation on read.
+
+    ``reason`` classifies the damage: ``"torn"`` (unparseable JSON — a
+    torn or truncated write), ``"schema"`` (wrong format name or schema
+    version), ``"skew"`` (header does not match the requested key — a
+    renamed file or a code/config version mismatch), or ``"crc"`` (the
+    payload checksum does not match).  The store never raises this to
+    campaign callers; it quarantines the entry and reports a miss so
+    the row is recomputed and re-stored (a self-healing read).
+    """
+
+    def __init__(self, message: str, reason: str = "corrupt") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class CampaignFailedError(SimulationError):

@@ -13,14 +13,22 @@ runners:
 
 ``corrupt``
     Byte-level file corruption helpers (truncation, bit flips) for
-    exercising the trace-format and checkpoint integrity checks.
+    exercising the trace-format and checkpoint integrity checks, plus
+    result-store entry corruptors (torn entry, bad CRC, version skew)
+    for the store's self-healing reads.
 
 Injection is a no-op unless a plan is explicitly installed; the hook
 in the worker hot path is one environment-variable lookup against a
 cached value.
 """
 
-from repro.faultinject.corrupt import flip_bit, truncate_file
+from repro.faultinject.corrupt import (
+    corrupt_entry_crc,
+    flip_bit,
+    skew_entry_code,
+    tear_entry,
+    truncate_file,
+)
 from repro.faultinject.plan import (
     ENV_VAR,
     FaultPlan,
@@ -41,4 +49,7 @@ __all__ = [
     "maybe_inject",
     "flip_bit",
     "truncate_file",
+    "tear_entry",
+    "corrupt_entry_crc",
+    "skew_entry_code",
 ]

@@ -5,15 +5,30 @@ trace/checkpoint file is *detected* (``TraceFormatError`` naming the
 byte offset, checkpoint records skipped) rather than silently parsed
 into garbage.  Corruption is in-place and exact — no randomness, so a
 failing test reproduces byte-for-byte.
+
+The ``*_entry`` helpers target result-store entries specifically, one
+per damage class the store's validated reads must classify and
+quarantine: :func:`tear_entry` (truncation mid-document → ``torn``),
+:func:`corrupt_entry_crc` (payload edited under an intact header →
+``crc``), and :func:`skew_entry_code` (recorded code version rewritten
+→ ``skew``).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Union
+
 from repro.errors import ValidationError
 
-__all__ = ["truncate_file", "flip_bit"]
+__all__ = [
+    "truncate_file",
+    "flip_bit",
+    "tear_entry",
+    "corrupt_entry_crc",
+    "skew_entry_code",
+]
 
 PathLike = Union[str, Path]
 
@@ -58,3 +73,75 @@ def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> int:
         handle.seek(byte_offset)
         handle.write(bytes([flipped]))
     return flipped
+
+
+# -- result-store entry corruptors ------------------------------------------
+
+
+def tear_entry(path: PathLike, fraction: float = 0.5) -> int:
+    """Tear a store entry: keep only the leading ``fraction`` of it.
+
+    Models a write interrupted mid-flight (power loss after a partial
+    flush).  The remainder is no longer valid JSON, so a validated
+    read classifies it ``torn``.  Returns bytes removed.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValidationError(f"fraction must be in [0, 1), got {fraction}")
+    size = Path(path).stat().st_size
+    return truncate_file(path, int(size * fraction))
+
+
+def _load_entry(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"{path} is not a readable JSON store entry: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ValidationError(f"{path} is not a JSON-object store entry")
+    return document
+
+
+def corrupt_entry_crc(path: PathLike, field: str = "") -> str:
+    """Silently edit a store entry's payload under its intact CRC.
+
+    Models media bit rot that escaped the filesystem: the document
+    still parses and the header still matches, but the payload no
+    longer checksums — the ``crc`` damage class.  Edits ``field``
+    (default: the first payload key) and returns its name.
+    """
+    path = Path(path)
+    document = _load_entry(path)
+    payload = document.get("payload")
+    if not isinstance(payload, dict) or not payload:
+        raise ValidationError(f"{path} has no payload to corrupt")
+    target = field or sorted(payload)[0]
+    if target not in payload:
+        raise ValidationError(f"{path}: payload has no field {target!r}")
+    value = payload[target]
+    payload[target] = (
+        value + 1 if isinstance(value, int) and not isinstance(value, bool)
+        else f"corrupted:{value}"
+    )
+    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return target
+
+
+def skew_entry_code(path: PathLike, code: str = "0000dead0000beef") -> str:
+    """Rewrite the code version a store entry claims it was built by.
+
+    Models version skew — an entry smuggled across a code upgrade (or
+    a hand-edited header).  The key no longer matches the meta digest,
+    so a validated read classifies it ``skew``.  Returns the previous
+    recorded version.
+    """
+    path = Path(path)
+    document = _load_entry(path)
+    meta = document.get("meta")
+    if not isinstance(meta, dict):
+        raise ValidationError(f"{path} has no meta header to skew")
+    previous = str(meta.get("code", ""))
+    meta["code"] = code
+    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return previous

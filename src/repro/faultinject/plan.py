@@ -24,6 +24,12 @@ Fault kinds:
 ``hang``
     Sleep ``seconds`` (default: effectively forever) so the worker
     timeout has something to kill.
+``freeze``
+    ``SIGSTOP`` the current process — a *frozen* worker (stopped, not
+    computing), the failure shape worker heartbeats detect long before
+    the wall-clock budget expires.  Note SIGTERM stays pending on a
+    stopped process; the supervisor's SIGKILL escalation is what
+    actually reaps it.
 ``delay``
     Sleep ``seconds`` then continue normally — for scheduling-
     determinism tests that need one benchmark to finish last.
@@ -57,7 +63,7 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_FAULTS"
-KINDS = ("transient", "crash", "hang", "delay")
+KINDS = ("transient", "crash", "hang", "freeze", "delay")
 
 #: Default hang long enough that any sane worker timeout fires first.
 _HANG_FOREVER_S = 3600.0
@@ -114,6 +120,11 @@ class FaultSpec:
         """Perform the fault.  May not return (crash/hang)."""
         if self.kind == "crash":
             os._exit(self.exit_code)
+        if self.kind == "freeze":
+            import signal
+
+            os.kill(os.getpid(), signal.SIGSTOP)
+            return
         if self.kind == "hang":
             time.sleep(self.seconds)
             return

@@ -20,6 +20,16 @@ __all__ = ["METRIC_NAMES"]
 
 METRIC_NAMES: Dict[str, str] = {
     # -- campaign resilience (repro.sim.campaign / parallel / resilience) --
+    "breaker.open": (
+        "per-benchmark circuit breakers tripped after "
+        "RetryPolicy.breaker_threshold distinct failures; further "
+        "attempts on that benchmark are refused"
+    ),
+    "breaker.skip": (
+        "benchmark rows abandoned because their circuit breaker was "
+        "open (quarantined as FailedRow.breaker_skipped instead of "
+        "burning the retry budget)"
+    ),
     "campaign.quarantined": (
         "benchmarks that exhausted their retry budget and were moved "
         "to CampaignResult.failed_rows instead of failing the run"
@@ -40,6 +50,23 @@ METRIC_NAMES: Dict[str, str] = {
         "per-benchmark retry attempts after a retryable failure "
         "(WorkerTimeoutError, WorkerCrashError, transient faults)"
     ),
+    "store.corrupt": (
+        "result-store entries that failed validation on read (torn "
+        "write, CRC mismatch, schema or version skew) and were "
+        "quarantined instead of served"
+    ),
+    "store.evict": (
+        "result-store entries evicted least-recently-used to keep the "
+        "store inside its --result-cache size bound"
+    ),
+    "store.hit": (
+        "campaign rows served from the content-addressed result store "
+        "without invoking the simulator"
+    ),
+    "store.miss": (
+        "result-store lookups that found no valid entry (absent, or "
+        "quarantined as corrupt) and fell through to recomputation"
+    ),
     "worker.complete": (
         "supervised campaign worker processes that finished and "
         "returned a result; the anchor the per-worker metrics "
@@ -49,9 +76,15 @@ METRIC_NAMES: Dict[str, str] = {
         "campaign worker processes that died without returning a "
         "result (SIGKILL, OOM, interpreter abort)"
     ),
+    "worker.heartbeat": (
+        "liveness beats received from supervised campaign workers "
+        "(RetryPolicy.heartbeat_interval_s); a worker that stops "
+        "beating is killed as stalled before its wall-clock budget"
+    ),
     "worker.timeout": (
         "campaign workers terminated for exceeding the per-attempt "
-        "wall-clock budget (RetryPolicy.worker_timeout_s)"
+        "wall-clock budget (RetryPolicy.worker_timeout_s) or for "
+        "missing heartbeats (stalled=True)"
     ),
     # -- controller instrumentation (repro.core.*) -------------------------
     "ctrl.*.hits": "requests that hit in the cache, per technique",

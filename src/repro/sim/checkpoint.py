@@ -190,6 +190,19 @@ def _payload_crc(payload: Dict) -> str:
     return format(zlib.crc32(canonical.encode()) & 0xFFFFFFFF, "08x")
 
 
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a writer-lock pid."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        # Exists but owned elsewhere (or unprobeable): assume alive —
+        # the safe direction for a mutual-exclusion check.
+        return True
+    return True
+
+
 class CheckpointJournal:
     """One append-only JSONL journal bound to a config fingerprint.
 
@@ -197,6 +210,15 @@ class CheckpointJournal:
     whatever completed rows survive in the file (``rows``) and counted
     unusable lines (``skipped_records``).  ``append`` is thread-safe —
     the parallel runner journals from supervisor threads.
+
+    *Across processes*, however, a journal admits exactly one writer:
+    opening takes a ``<path>.lock`` pidfile (atomic
+    ``O_CREAT|O_EXCL``), and a second opener gets a clear
+    :class:`CheckpointError` naming the owning pid instead of silently
+    interleaving appends with it.  A lock whose owner is dead (the
+    previous run crashed before :meth:`close`) is stale and is taken
+    over automatically.  Missing parent directories are created on
+    open.
     """
 
     def __init__(
@@ -215,7 +237,15 @@ class CheckpointJournal:
         self.skipped_records = skipped_records
         self.resumed = resumed
         self._lock = threading.Lock()
-        self._handle = open(path, "a", encoding="utf-8")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock_path = Path(f"{path}.lock")
+        self._locked = False
+        self._acquire_writer_lock()
+        try:
+            self._handle = open(path, "a", encoding="utf-8")
+        except BaseException:
+            self._release_writer_lock()
+            raise
         if not resumed:
             self._write_line(
                 {
@@ -226,15 +256,60 @@ class CheckpointJournal:
                 }
             )
 
+    def _acquire_writer_lock(self) -> None:
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None and _pid_alive(owner):
+                    raise CheckpointError(
+                        f"{self.path}: journal is already open for writing "
+                        f"by process {owner}; concurrent writers would "
+                        "interleave records.  Wait for that run to finish, "
+                        f"or remove {self._lock_path} if the process is "
+                        "gone."
+                    ) from None
+                # Stale lock: the previous writer died without closing.
+                try:
+                    self._lock_path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            self._locked = True
+            return
+
+    def _lock_owner(self) -> Optional[int]:
+        try:
+            return int(self._lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _release_writer_lock(self) -> None:
+        if not self._locked:
+            return
+        self._locked = False
+        try:
+            self._lock_path.unlink()
+        except OSError:
+            pass
+
     @classmethod
     def open(cls, path: Union[str, Path], kind: str, fingerprint: str) -> "CheckpointJournal":
         """Create or resume the journal at ``path``.
 
         Raises :class:`CheckpointError` when the file exists but its
-        header is unreadable, is for a different ``kind``, or carries a
-        different fingerprint (stale checkpoint).
+        header is unreadable, is for a different ``kind``, carries a
+        different fingerprint (stale checkpoint), or is already open
+        for writing by a live process.  Missing parent directories are
+        created.
         """
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         rows: Dict[str, Dict] = {}
         skipped = 0
         resumed = False
@@ -324,6 +399,7 @@ class CheckpointJournal:
         with self._lock:
             if not self._handle.closed:
                 self._handle.close()
+            self._release_writer_lock()
 
     def __enter__(self) -> "CheckpointJournal":
         return self

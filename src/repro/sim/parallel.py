@@ -66,21 +66,26 @@ from dataclasses import dataclass, field
 from threading import Event
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CampaignFailedError, ReproError
+from repro.errors import BreakerOpenError, CampaignFailedError, ReproError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.campaign import (
     BenchmarkRow,
+    CampaignHealth,
     CampaignResult,
     _open_campaign_journal,
+    _open_result_store,
     _journal_row,
     _report_resume,
     _run_rows_resilient,
+    _store_load_row,
+    _store_save_row,
     emit_degradation,
     execute_row,
 )
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.resilience import (
+    CircuitBreaker,
     FailedRow,
     RetryPolicy,
     active_policy,
@@ -126,13 +131,15 @@ def _supervise_job(
     retry: RetryPolicy,
     journal,
     abort: Event,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> _JobOutcome:
     """Run one benchmark to completion/quarantine from a parent thread.
 
     Touches no shared telemetry: degradation events are buffered on the
     outcome and replayed by the main thread in deterministic order.
     The journal *is* written from here (it locks internally) so a row
-    is durable the moment it exists.
+    is durable the moment it exists.  The circuit breaker is shared
+    across supervisor threads (it locks internally too).
     """
     outcome = _JobOutcome(benchmark=benchmark)
 
@@ -152,6 +159,7 @@ def _supervise_job(
                 timeout_s=retry.worker_timeout_s,
                 label=f"benchmark {benchmark}",
                 on_event=on_event,
+                heartbeat_interval_s=retry.heartbeat_interval_s,
             )
         except (OSError, PermissionError) as exc:
             # Process creation itself failed (e.g. a sandbox that
@@ -169,13 +177,20 @@ def _supervise_job(
             seed=config.seed,
             name=benchmark,
             on_event=on_event,
+            breaker=breaker,
         )
     except ReproError as exc:
+        skipped = isinstance(exc, BreakerOpenError)
         outcome.failure = FailedRow(
             benchmark=benchmark,
-            attempts=retry.max_attempts,
+            attempts=(
+                breaker.failures(benchmark)
+                if skipped and breaker is not None
+                else retry.max_attempts
+            ),
             error_type=type(exc).__name__,
             error=str(exc),
+            breaker_skipped=skipped,
         )
         return outcome
     outcome.row = row
@@ -192,6 +207,7 @@ def run_campaign_parallel(
     retry: Optional[RetryPolicy] = None,
     strict: Optional[bool] = None,
     checkpoint=None,
+    result_cache=None,
 ) -> CampaignResult:
     """Run the campaign with up to ``processes`` supervised workers.
 
@@ -200,6 +216,10 @@ def run_campaign_parallel(
     retries, quarantine and checkpointing, but not worker timeouts.
     Parameters left as None fall back to the ambient
     :class:`ExecutionPolicy`.
+
+    The result store is touched only from the coordinating thread:
+    lookups happen before any job is dispatched, commits after the
+    fold — supervisor threads and worker processes never see it.
     """
     if processes is not None:
         check_positive("processes", processes)
@@ -207,19 +227,43 @@ def run_campaign_parallel(
     retry = retry if retry is not None else policy.retry
     strict = strict if strict is not None else policy.strict
     checkpoint = checkpoint if checkpoint is not None else policy.checkpoint
+    result_cache = (
+        result_cache if result_cache is not None else policy.result_cache
+    )
     telem = telemetry if telemetry is not None else NULL_TELEMETRY
     collect_metrics = telem.enabled
 
+    store = _open_result_store(result_cache, policy, telem)
     journal, resumed = _open_campaign_journal(checkpoint, config)
+    cached: Dict[str, BenchmarkRow] = {}
+    healed = 0
     try:
         _report_resume(telem, journal, len(resumed))
         pending = [b for b in config.benchmarks if b not in resumed]
+        if store is not None:
+            still_pending = []
+            for benchmark in pending:
+                corrupt_before = store.counters["corrupt"]
+                row = _store_load_row(store, config, benchmark, telem)
+                healed += store.counters["corrupt"] - corrupt_before
+                if row is not None:
+                    cached[benchmark] = row
+                    _journal_row(journal, row)
+                else:
+                    still_pending.append(benchmark)
+            pending = still_pending
+        breaker = (
+            CircuitBreaker(retry.breaker_threshold)
+            if retry.breaker_threshold is not None
+            else None
+        )
         if processes == 1:
-            completed, failed = _run_rows_resilient(
-                pending, config, telemetry, retry, strict, journal, telem
+            executed, failed = _run_rows_resilient(
+                pending, config, telemetry, retry, strict, journal, telem,
+                breaker=breaker, store=store,
             )
         else:
-            completed, failed = _run_pool(
+            executed, failed = _run_pool(
                 pending,
                 config,
                 collect_metrics,
@@ -228,11 +272,16 @@ def run_campaign_parallel(
                 journal,
                 telem,
                 processes,
+                breaker=breaker,
+                store=store,
             )
     finally:
         if journal is not None:
             journal.close()
+    completed: Dict[str, BenchmarkRow] = {}
     completed.update(resumed)
+    completed.update(cached)
+    completed.update(executed)
     rows = [
         completed[benchmark]
         for benchmark in config.benchmarks
@@ -240,7 +289,18 @@ def run_campaign_parallel(
     ]
     if collect_metrics and processes != 1:
         telem.registry.set_gauge("parallel.workers", processes or 0)
-    return CampaignResult(config=config, rows=rows, failed_rows=failed)
+    health = CampaignHealth(
+        total=len(config.benchmarks),
+        cached=len(resumed) + len(cached),
+        recomputed=len(executed),
+        quarantined=sum(1 for f in failed if not f.breaker_skipped),
+        breaker_skipped=sum(1 for f in failed if f.breaker_skipped),
+        checkpoint_resumed=len(resumed),
+        healed=healed,
+    )
+    return CampaignResult(
+        config=config, rows=rows, failed_rows=failed, health=health
+    )
 
 
 def _run_pool(
@@ -252,6 +312,8 @@ def _run_pool(
     journal,
     telem: Telemetry,
     processes: Optional[int],
+    breaker: Optional[CircuitBreaker] = None,
+    store=None,
 ) -> Tuple[Dict[str, BenchmarkRow], List[FailedRow]]:
     """Fan ``pending`` out over supervisor threads; fold results back
     in deterministic (submission) order."""
@@ -265,7 +327,7 @@ def _run_pool(
         futures = [
             pool.submit(
                 _supervise_job, benchmark, config, collect_metrics, retry,
-                journal, abort,
+                journal, abort, breaker,
             )
             for benchmark in pending
         ]
@@ -289,14 +351,21 @@ def _run_pool(
             emit_degradation(telem, name, **details)
         if outcome.failure is not None:
             failed.append(outcome.failure)
-            emit_degradation(
-                telem,
-                "campaign.quarantined",
-                benchmark=outcome.benchmark,
-                error=outcome.failure.error_type,
-            )
+            if outcome.failure.breaker_skipped:
+                emit_degradation(
+                    telem, "breaker.skip", benchmark=outcome.benchmark
+                )
+            else:
+                emit_degradation(
+                    telem,
+                    "campaign.quarantined",
+                    benchmark=outcome.benchmark,
+                    error=outcome.failure.error_type,
+                )
             continue
         completed[outcome.benchmark] = outcome.row
+        if store is not None:
+            _store_save_row(store, config, outcome.row, telem)
         if outcome.metrics_state is not None and collect_metrics:
             # Labelled merge: the aggregate gets the worker's counters
             # and the state is also filed under its worker id, so

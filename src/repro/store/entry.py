@@ -1,0 +1,183 @@
+"""Result-store entry format: one validated JSON document per key.
+
+Layout of an entry file::
+
+    {"format": "repro8t-result", "schema": 1,
+     "key": "<sha256 hex>",
+     "meta": {"kind": ..., "benchmark": ..., "config": ...,
+              "workload": ..., "code": ...},
+     "crc": "<crc32 hex of canonical payload JSON>",
+     "payload": {...}}
+
+Reads are paranoid by construction — every failure mode maps to a
+:class:`repro.errors.StoreIntegrityError` with a classifying
+``reason``:
+
+``torn``
+    The file is not valid JSON or not an object: a torn write, a
+    truncation, bit rot inside the structure.
+``schema``
+    Wrong format name or schema version: written by an incompatible
+    build.
+``skew``
+    The stored ``key``/``meta`` do not match what the caller asked
+    for — a renamed file, a hand-edited header, or version skew
+    between the entry's recorded code version and the expectation.
+``crc``
+    The payload checksum does not match: the payload was damaged while
+    the header survived.
+
+The store turns any of these into quarantine + miss; nothing invalid
+is ever returned.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, Optional
+
+from repro.errors import StoreIntegrityError
+from repro.store.keys import canonical_json
+
+__all__ = [
+    "FORMAT_NAME",
+    "SCHEMA_VERSION",
+    "payload_crc",
+    "encode_entry",
+    "decode_entry",
+    "entry_header",
+]
+
+FORMAT_NAME = "repro8t-result"
+SCHEMA_VERSION = 1
+
+
+def payload_crc(payload: Dict) -> str:
+    return format(
+        zlib.crc32(canonical_json(payload).encode()) & 0xFFFFFFFF, "08x"
+    )
+
+
+def encode_entry(key: str, meta: Dict[str, object], payload: Dict) -> str:
+    """Serialise one entry (canonical JSON + trailing newline)."""
+    return (
+        canonical_json(
+            {
+                "format": FORMAT_NAME,
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "meta": meta,
+                "crc": payload_crc(payload),
+                "payload": payload,
+            }
+        )
+        + "\n"
+    )
+
+
+def _parse(text: str, where: str) -> Dict:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreIntegrityError(
+            f"{where}: entry is not valid JSON ({exc}); torn or truncated "
+            "write",
+            reason="torn",
+        ) from exc
+    if not isinstance(document, dict):
+        raise StoreIntegrityError(
+            f"{where}: entry is not a JSON object", reason="torn"
+        )
+    return document
+
+
+def _check_schema(document: Dict, where: str) -> None:
+    if document.get("format") != FORMAT_NAME:
+        raise StoreIntegrityError(
+            f"{where}: not a {FORMAT_NAME} entry "
+            f"(format={document.get('format')!r})",
+            reason="schema",
+        )
+    if document.get("schema") != SCHEMA_VERSION:
+        raise StoreIntegrityError(
+            f"{where}: unsupported schema version "
+            f"{document.get('schema')!r} (this build reads "
+            f"{SCHEMA_VERSION})",
+            reason="schema",
+        )
+
+
+def decode_entry(
+    text: str,
+    where: str,
+    key: Optional[str] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict:
+    """Parse + validate one entry; returns the payload.
+
+    With ``key``/``meta`` given, the stored header must match them
+    exactly — in particular the recorded ``code`` version — otherwise
+    the entry is *skewed* and must not be served.
+    """
+    document = _parse(text, where)
+    _check_schema(document, where)
+    stored_meta = document.get("meta")
+    payload = document.get("payload")
+    if not isinstance(stored_meta, dict) or not isinstance(payload, dict):
+        raise StoreIntegrityError(
+            f"{where}: entry is missing its meta/payload sections",
+            reason="torn",
+        )
+    if key is not None and document.get("key") != key:
+        raise StoreIntegrityError(
+            f"{where}: entry key {str(document.get('key'))[:16]}... does "
+            f"not match the requested key {key[:16]}...",
+            reason="skew",
+        )
+    if meta is not None and stored_meta != meta:
+        drift = sorted(
+            name
+            for name in set(stored_meta) | set(meta)
+            if stored_meta.get(name) != meta.get(name)
+        )
+        raise StoreIntegrityError(
+            f"{where}: entry meta diverges on {drift} (version skew); "
+            "refusing to serve it",
+            reason="skew",
+        )
+    if document.get("crc") != payload_crc(payload):
+        raise StoreIntegrityError(
+            f"{where}: payload CRC mismatch (stored "
+            f"{document.get('crc')!r}); entry is corrupt",
+            reason="crc",
+        )
+    return payload
+
+
+def entry_header(text: str, where: str) -> Dict:
+    """Parse an entry far enough to read its header (no key check).
+
+    Used by ``verify``/``gc``/``invalidate`` scans, which walk entries
+    without a specific expectation.  Schema and CRC are still enforced;
+    only the key/meta cross-check is skipped.  Returns
+    ``{"key": ..., "meta": {...}}``.
+    """
+    document = _parse(text, where)
+    _check_schema(document, where)
+    stored_meta = document.get("meta")
+    payload = document.get("payload")
+    if not isinstance(stored_meta, dict) or not isinstance(payload, dict):
+        raise StoreIntegrityError(
+            f"{where}: entry is missing its meta/payload sections",
+            reason="torn",
+        )
+    if not isinstance(document.get("key"), str):
+        raise StoreIntegrityError(
+            f"{where}: entry has no key", reason="torn"
+        )
+    if document.get("crc") != payload_crc(payload):
+        raise StoreIntegrityError(
+            f"{where}: payload CRC mismatch", reason="crc"
+        )
+    return {"key": document["key"], "meta": stored_meta}

@@ -1,0 +1,125 @@
+"""Content-addressed keys: ``(config, workload, code) -> key``.
+
+A store key is the sha256 of an entry's *meta* header — the complete
+identity of the unit of work it caches:
+
+* ``config`` — everything a row's value depends on from the
+  :class:`repro.sim.experiment.ExperimentConfig` **except** the
+  benchmark list (geometry, techniques, trace length, warm-up, seed).
+  Keying rows individually rather than per-campaign means adding a
+  26th benchmark reuses the 25 already cached.
+* ``workload`` — the benchmark's :class:`WorkloadProfile` knobs.  The
+  config only names the benchmark; the profile's calibrated numbers
+  live in code, and retuning ``bwaves`` must invalidate cached
+  ``bwaves`` rows without touching the rest.
+* ``code`` — :func:`repro.store.version.code_version`.  Same config +
+  same workload + different simulator is a different result.
+
+Because the key *is* the digest of the meta, the store can (and does)
+cross-check a loaded entry's stored meta against the expectation: any
+divergence — a renamed file, a hand-edited header, version skew — is
+quarantined, never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+from repro.store.version import code_version
+
+__all__ = [
+    "canonical_json",
+    "digest",
+    "row_key",
+    "row_config_fingerprint",
+    "workload_fingerprint",
+    "verdict_key",
+]
+
+#: Hex digits kept for the intermediate fingerprints inside a meta
+#: header (the full entry key stays a whole sha256).
+FINGERPRINT_LENGTH = 16
+
+
+def canonical_json(payload: Dict) -> str:
+    """The byte-stable JSON form everything here digests."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: Dict) -> str:
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def row_config_fingerprint(config) -> str:
+    """Identity of one row's config inputs, benchmark-list independent.
+
+    Unlike :func:`repro.sim.checkpoint.config_fingerprint` (which scopes
+    a *journal* to a whole campaign), this excludes ``benchmarks``: each
+    row is keyed by its own benchmark name, so campaigns that share
+    geometry/techniques/seed share cached rows.
+    """
+    geometry = config.geometry
+    return digest(
+        {
+            "geometry": {
+                "size_bytes": geometry.size_bytes,
+                "associativity": geometry.associativity,
+                "block_bytes": geometry.block_bytes,
+                "address_bits": geometry.address_bits,
+            },
+            "techniques": sorted(config.techniques),
+            "accesses_per_benchmark": config.accesses_per_benchmark,
+            "warmup_fraction": config.warmup_fraction,
+            "seed": config.seed,
+        }
+    )[:FINGERPRINT_LENGTH]
+
+
+def workload_fingerprint(benchmark: str) -> str:
+    """Digest of the benchmark's calibrated profile knobs."""
+    from repro.workload.spec2006 import get_profile
+
+    return digest(asdict(get_profile(benchmark)))[:FINGERPRINT_LENGTH]
+
+
+def row_key(
+    config, benchmark: str, code: Optional[str] = None
+) -> Tuple[str, Dict[str, object]]:
+    """(key, meta) for one cached campaign row."""
+    meta: Dict[str, object] = {
+        "kind": "campaign-row",
+        "benchmark": benchmark,
+        "config": row_config_fingerprint(config),
+        "workload": workload_fingerprint(benchmark),
+        "code": code if code is not None else code_version(),
+    }
+    return digest(meta), meta
+
+
+def verdict_key(
+    entry_document: Dict, invariants: bool, code: Optional[str] = None
+) -> Tuple[str, Dict[str, object]]:
+    """(key, meta) for one cached ``check`` corpus-replay verdict.
+
+    The case fingerprint hashes the saved repro document *minus* its
+    recorded divergences — those are the verdict being cached, not an
+    input to it.  ``code`` is part of the meta, so a replay after any
+    result-bearing code change misses and genuinely re-runs instead of
+    parroting a stale verdict.
+    """
+    case = {
+        key: value
+        for key, value in entry_document.items()
+        if key != "divergences"
+    }
+    meta: Dict[str, object] = {
+        "kind": "check-verdict",
+        "case": digest(case)[:FINGERPRINT_LENGTH],
+        "technique": entry_document.get("technique", ""),
+        "invariants": bool(invariants),
+        "code": code if code is not None else code_version(),
+    }
+    return digest(meta), meta

@@ -1,0 +1,100 @@
+"""Code-version fingerprint for result-store keys.
+
+A memoized ``CampaignResult`` is only valid while the code that
+produced it is the code that would reproduce it.  ``code_version()``
+digests the source bytes of every package whose behaviour a simulation
+result depends on — controllers, engine, cache model, SRAM model,
+trace/workload synthesis, and the sim layer itself — so any edit to
+result-bearing code changes the version, changes every store key, and
+turns the whole cache into misses.  Stale entries are never *served*;
+they are garbage-collected by ``repro-8t cache gc`` (or evicted by the
+LRU bound).
+
+The observability, analysis and lint layers are deliberately excluded:
+they read results, they do not make them, and invalidating a
+multi-hour campaign cache because a docstring moved in ``repro.obs``
+would be pure waste.  ``repro.store`` itself is *included* — a bug fix
+in entry validation should not keep trusting entries written by the
+buggy build.
+
+``REPRO_CODE_VERSION`` overrides the computed version (tests use it to
+simulate code drift without editing files).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["ENV_CODE_VERSION", "RESULT_CODE_PATHS", "code_version"]
+
+#: Environment override: when set and non-empty, its value *is* the
+#: code version (truncated to 16 chars for uniform key material).
+ENV_CODE_VERSION = "REPRO_CODE_VERSION"
+
+#: Paths (relative to the ``repro`` package root) whose source bytes
+#: define the result-bearing code surface.
+RESULT_CODE_PATHS = (
+    "errors.py",
+    "cache",
+    "core",
+    "engine",
+    "sram",
+    "store",
+    "trace",
+    "utils",
+    "workload",
+    "sim",
+)
+
+#: Hex digits kept from the sha256 digest — plenty against accidental
+#: collision, short enough to read in ``cache stats`` output.
+VERSION_LENGTH = 16
+
+_cache: Dict[str, str] = {}
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _iter_source_files(root: Path):
+    for rel in RESULT_CODE_PATHS:
+        target = root / rel
+        if target.is_file():
+            yield rel, target
+        elif target.is_dir():
+            for path in sorted(target.rglob("*.py")):
+                yield str(path.relative_to(root)), path
+
+
+def code_version(root: Optional[Union[str, Path]] = None) -> str:
+    """Digest of the result-bearing source tree (16 hex chars).
+
+    Deterministic in the file *contents* only — paths are hashed
+    relative to the package root, so two checkouts of the same tree
+    agree regardless of where they live.  The result is cached per
+    root; a long-running process keeps one stable version for its
+    lifetime (it runs one code build anyway).
+    """
+    override = os.environ.get(ENV_CODE_VERSION)
+    if override:
+        return override[:VERSION_LENGTH]
+    root = Path(root).resolve() if root is not None else _package_root()
+    cached = _cache.get(str(root))
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    for rel, path in _iter_source_files(root):
+        # Portable separators so the digest agrees across platforms.
+        hasher.update(rel.replace(os.sep, "/").encode())
+        hasher.update(b"\x00")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\x00")
+    version = hasher.hexdigest()[:VERSION_LENGTH]
+    _cache[str(root)] = version
+    return version

@@ -1,0 +1,102 @@
+"""Corpus replay through the result store: cached verdicts, code drift.
+
+A cached divergence verdict is only as trustworthy as the checker that
+produced it, so verdict keys carry the code-version fingerprint — the
+moment the code changes, every cached verdict misses and the corpus is
+re-checked for real.
+"""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.check.campaign import replay_corpus
+from repro.check.corpus import CorpusEntry, save_entry
+from repro.store import ResultStore
+from repro.store.version import ENV_CODE_VERSION
+from repro.trace.record import AccessType, MemoryAccess
+
+GEOMETRY = CacheGeometry(
+    size_bytes=1024, associativity=2, block_bytes=32, address_bits=16
+)
+
+
+def make_entry(value=5):
+    trace = (
+        MemoryAccess(icount=0, kind=AccessType.WRITE, address=64, value=value),
+        MemoryAccess(icount=1, kind=AccessType.READ, address=64, value=0),
+    )
+    return CorpusEntry(
+        technique="wg",
+        geometry=GEOMETRY,
+        trace=trace,
+        batch_size=4,
+        knobs={},
+        scenario="unit",
+        seed=3,
+        iteration=1,
+    )
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    save_entry(str(corpus_dir), make_entry())
+    return str(corpus_dir)
+
+
+def test_replay_without_cache_unchanged(corpus):
+    report = replay_corpus(corpus)
+    assert report.ok
+    assert report.cases_run == 1
+    assert report.cached_cases == 0
+
+
+def test_second_replay_served_from_store(corpus, tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_CODE_VERSION, "aaaaaaaaaaaaaaaa")
+    cache = tmp_path / "cache"
+    cold = replay_corpus(corpus, result_cache=cache)
+    assert cold.ok and cold.cached_cases == 0
+    warm = replay_corpus(corpus, result_cache=cache)
+    assert warm.ok
+    assert warm.cached_cases == warm.cases_run == 1
+    # Both replays reach the same verdict.
+    assert warm.accesses_checked == cold.accesses_checked
+
+
+def test_cached_verdict_invalidates_on_code_change(corpus, tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_CODE_VERSION, "aaaaaaaaaaaaaaaa")
+    cache = tmp_path / "cache"
+    replay_corpus(corpus, result_cache=cache)
+    monkeypatch.setenv(ENV_CODE_VERSION, "bbbbbbbbbbbbbbbb")
+    drifted = replay_corpus(corpus, result_cache=cache)
+    assert drifted.cached_cases == 0  # code changed: verdicts recomputed
+    again = replay_corpus(corpus, result_cache=cache)
+    assert again.cached_cases == 1  # stable again under the new version
+
+
+def test_cached_failure_verdict_roundtrips(tmp_path, monkeypatch):
+    """A stored *failing* verdict replays as the same failure."""
+    monkeypatch.setenv(ENV_CODE_VERSION, "aaaaaaaaaaaaaaaa")
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    save_entry(str(corpus_dir), make_entry())
+    cache = ResultStore(tmp_path / "cache")
+    # Poison the verdict to simulate a failure without needing a real
+    # divergence: the replay must trust (and report) the cached list.
+    document = make_entry().to_document()
+    cache.put_verdict(
+        document, True, {"divergences": ["synthetic divergence"]}
+    )
+    report = replay_corpus(str(corpus_dir), result_cache=cache)
+    assert report.cached_cases == 1
+    assert not report.ok
+    assert report.failures[0].divergences == ["synthetic divergence"]
+
+
+def test_unusable_cache_degrades_to_plain_replay(corpus, tmp_path):
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file, not a directory")
+    report = replay_corpus(corpus, result_cache=blocker)
+    assert report.ok
+    assert report.cached_cases == 0

@@ -1,0 +1,139 @@
+"""Circuit breakers: trip, refuse, reset — and their campaign wiring."""
+
+import pytest
+
+from repro.errors import BreakerOpenError, SimulationError
+from repro.faultinject import FaultSpec, inject
+from repro.sim.campaign import run_campaign
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.resilience import CircuitBreaker, RetryPolicy, retry_call
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+FAST = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert not breaker.record_failure("mcf")  # 1st failure: closed
+        assert not breaker.is_open("mcf")
+        assert breaker.record_failure("mcf")  # 2nd: the opening trip
+        assert breaker.is_open("mcf")
+        assert breaker.record_failure("mcf") is False  # already open
+        assert breaker.open_targets() == ["mcf"]
+
+    def test_targets_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("mcf")
+        assert breaker.is_open("mcf")
+        assert not breaker.is_open("gcc")
+
+    def test_success_resets_closed_breaker_only(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("mcf")
+        breaker.record_success("mcf")
+        assert breaker.failures("mcf") == 0
+        breaker.record_failure("gcc")
+        breaker.record_failure("gcc")
+        breaker.record_success("gcc")  # too late: stays open
+        assert breaker.is_open("gcc")
+
+    def test_threshold_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+
+
+class TestRetryCallWithBreaker:
+    def test_open_breaker_refuses_up_front(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("mcf")
+        calls = []
+        with pytest.raises(BreakerOpenError):
+            retry_call(
+                lambda attempt: calls.append(attempt),
+                FAST,
+                name="mcf",
+                breaker=breaker,
+            )
+        assert calls == []  # never even attempted
+
+    def test_failures_feed_breaker_and_trip_mid_retry(self):
+        breaker = CircuitBreaker(threshold=2)
+        events = []
+
+        def always_fails(attempt):
+            raise SimulationError(f"attempt {attempt}")
+
+        with pytest.raises(BreakerOpenError):
+            retry_call(
+                always_fails,
+                FAST,
+                name="mcf",
+                breaker=breaker,
+                on_event=lambda name, **details: events.append(name),
+            )
+        # Two failures opened the breaker; the third attempt never ran.
+        assert breaker.failures("mcf") == 2
+        assert "breaker.open" in events
+
+    def test_success_records_into_breaker(self):
+        breaker = CircuitBreaker(threshold=3)
+
+        def flaky(attempt):
+            if attempt == 1:
+                raise SimulationError("once")
+            return "fine"
+
+        assert (
+            retry_call(flaky, FAST, name="mcf", breaker=breaker) == "fine"
+        )
+        assert breaker.failures("mcf") == 0  # reset on success
+
+
+class TestCampaignBreaker:
+    def test_breaker_skip_quarantines_and_accounts(self):
+        config = ExperimentConfig(
+            benchmarks=("bwaves", "mcf"),
+            techniques=("conventional",),
+            accesses_per_benchmark=500,
+            seed=7,
+        )
+        retry = RetryPolicy(
+            max_attempts=5, base_delay_s=0.0, jitter=0.0, breaker_threshold=2
+        )
+        with inject(
+            FaultSpec(kind="transient", benchmark="mcf", until_attempt=99)
+        ):
+            result = run_campaign(config, retry=retry)
+        assert [row.benchmark for row in result.rows] == ["bwaves"]
+        (failure,) = result.failed_rows
+        assert failure.benchmark == "mcf"
+        assert failure.breaker_skipped
+        assert failure.attempts == 2  # threshold, not the retry budget
+        assert "breaker" in failure.describe()
+        health = result.health
+        assert health.breaker_skipped == 1
+        assert health.recomputed == 1
+        assert health.consistent
+
+    def test_no_breaker_without_threshold(self):
+        config = ExperimentConfig(
+            benchmarks=("bwaves",),
+            techniques=("conventional",),
+            accesses_per_benchmark=500,
+            seed=7,
+        )
+        with inject(
+            FaultSpec(kind="transient", benchmark="bwaves", until_attempt=99)
+        ):
+            result = run_campaign(config, retry=FAST)
+        (failure,) = result.failed_rows
+        assert not failure.breaker_skipped
+        assert failure.attempts == FAST.max_attempts

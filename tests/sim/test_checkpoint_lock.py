@@ -1,0 +1,83 @@
+"""Checkpoint hygiene: parent-dir creation and single-writer locking."""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import CheckpointJournal, CheckpointStore
+
+FP = "f" * 64
+
+
+def test_open_creates_missing_parent_dirs(tmp_path):
+    path = tmp_path / "deeply" / "nested" / "runs" / "c.jsonl"
+    journal = CheckpointJournal.open(path, "campaign", FP)
+    try:
+        journal.append("mcf", {"x": 1})
+    finally:
+        journal.close()
+    assert path.exists()
+    resumed = CheckpointJournal.open(path, "campaign", FP)
+    try:
+        assert resumed.rows == {"mcf": {"x": 1}}
+    finally:
+        resumed.close()
+
+
+def test_store_file_mode_creates_parents(tmp_path):
+    store = CheckpointStore(tmp_path / "a" / "b" / "run.jsonl")
+    journal = store.open("campaign", FP)
+    journal.close()
+    assert (tmp_path / "a" / "b" / "run.jsonl").exists()
+
+
+def test_concurrent_writer_rejected_with_clear_error(tmp_path):
+    path = tmp_path / "run.jsonl"
+    first = CheckpointJournal.open(path, "campaign", FP)
+    try:
+        with pytest.raises(CheckpointError) as err:
+            CheckpointJournal.open(path, "campaign", FP)
+        message = str(err.value)
+        assert str(os.getpid()) in message  # names the live owner
+        assert ".lock" in message
+    finally:
+        first.close()
+    # close() released the lock: reopening now works.
+    second = CheckpointJournal.open(path, "campaign", FP)
+    second.close()
+
+
+def test_stale_lock_from_dead_process_taken_over(tmp_path):
+    path = tmp_path / "run.jsonl"
+    # Forge a lock owned by a pid that cannot be alive (recycled
+    # immediately-reaped child), the shape a crashed run leaves behind.
+    dead = os.fork()
+    if dead == 0:
+        os._exit(0)
+    os.waitpid(dead, 0)
+    (tmp_path / "run.jsonl.lock").write_text(str(dead))
+    journal = CheckpointJournal.open(path, "campaign", FP)
+    try:
+        journal.append("mcf", {"x": 1})
+    finally:
+        journal.close()
+    assert not (tmp_path / "run.jsonl.lock").exists()
+
+
+def test_garbage_lock_content_treated_as_stale(tmp_path):
+    path = tmp_path / "run.jsonl"
+    (tmp_path / "run.jsonl.lock").write_text("not-a-pid")
+    journal = CheckpointJournal.open(path, "campaign", FP)
+    journal.close()
+
+
+def test_lock_released_even_when_header_rejects(tmp_path):
+    path = tmp_path / "run.jsonl"
+    journal = CheckpointJournal.open(path, "campaign", FP)
+    journal.close()
+    with pytest.raises(CheckpointError, match="stale checkpoint"):
+        CheckpointJournal.open(path, "campaign", "0" * 64)
+    # The fingerprint rejection must not leave a dangling lock.
+    retry = CheckpointJournal.open(path, "campaign", FP)
+    retry.close()

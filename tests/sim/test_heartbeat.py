@@ -1,0 +1,89 @@
+"""Worker heartbeats: stalled (frozen) workers die before the wall clock.
+
+The ``freeze`` fault SIGSTOPs the worker — the one failure shape a
+wall-clock timeout alone handles badly (you wait the whole budget for
+a process that stopped doing anything seconds in).  Heartbeats catch
+it at ~4x the beat interval.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.errors import WorkerTimeoutError
+from repro.faultinject import FaultSpec, inject
+from repro.sim.resilience import RetryPolicy, run_supervised
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="SIGSTOP semantics are POSIX"
+)
+
+
+def _beat_and_return(args):
+    time.sleep(0.3)
+    return ("done", args)
+
+
+def _freeze_self(_args):
+    from repro.faultinject import maybe_inject
+
+    maybe_inject("worker", "mcf")
+    return "never under a freeze rule"
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+def test_healthy_worker_beats_and_completes():
+    events = []
+    result = run_supervised(
+        _beat_and_return,
+        7,
+        timeout_s=30.0,
+        heartbeat_interval_s=0.05,
+        label="beater",
+        on_event=lambda name, **details: events.append(name),
+    )
+    assert result == ("done", 7)
+    assert events.count("worker.heartbeat") >= 2
+
+
+def test_frozen_worker_killed_as_stalled_before_wall_clock():
+    events = []
+    start = time.monotonic()
+    with inject(FaultSpec(kind="freeze", benchmark="mcf")):
+        with pytest.raises(WorkerTimeoutError, match="stalled"):
+            run_supervised(
+                _freeze_self,
+                None,
+                timeout_s=120.0,  # the wall clock alone would hang the test
+                heartbeat_interval_s=0.1,
+                label="frozen",
+                on_event=lambda name, **details: events.append(
+                    (name, details)
+                ),
+            )
+    elapsed = time.monotonic() - start
+    assert elapsed < 60.0  # stall detection, not the 120 s budget
+    timeout_events = [d for n, d in events if n == "worker.timeout"]
+    assert timeout_events and timeout_events[0].get("stalled") is True
+
+
+def test_stall_detection_without_wall_clock_budget():
+    """Heartbeats work on their own: no timeout_s configured at all."""
+    with inject(FaultSpec(kind="freeze", benchmark="mcf")):
+        with pytest.raises(WorkerTimeoutError, match="stalled"):
+            run_supervised(
+                _freeze_self,
+                None,
+                heartbeat_interval_s=0.1,
+                label="frozen",
+            )
+
+
+def test_heartbeat_interval_validated():
+    with pytest.raises(Exception):
+        RetryPolicy(heartbeat_interval_s=0.0)

@@ -1,0 +1,80 @@
+"""The `repro-8t cache` command group and campaign `--result-cache` flag."""
+
+import pytest
+
+from repro.cli import main
+from repro.faultinject import tear_entry
+from repro.store import ResultStore, digest
+
+META = {
+    "kind": "campaign-row",
+    "benchmark": "mcf",
+    "config": "c" * 16,
+    "workload": "w" * 16,
+    "code": "v" * 16,
+}
+PAYLOAD = {"reads": 1}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    store.put(digest(META), META, PAYLOAD, benchmark="mcf")
+    return tmp_path / "cache"
+
+
+def test_cache_stats(cache, capsys):
+    assert main(["cache", "stats", str(cache)]) == 0
+    output = capsys.readouterr().out
+    assert "entries" in output and "code_version" in output
+
+
+def test_cache_verify_clean(cache, capsys):
+    assert main(["cache", "verify", str(cache)]) == 0
+    assert "1 ok" in capsys.readouterr().out
+
+
+def test_cache_verify_corrupt_exits_3(cache, capsys):
+    store = ResultStore(cache)
+    (entry,) = store.objects_dir.rglob("*.json")
+    tear_entry(entry)
+    assert main(["cache", "verify", str(cache)]) == 3
+    output = capsys.readouterr().out
+    assert "torn" in output
+    # Verify healed the damage: a second pass is clean.
+    assert main(["cache", "verify", str(cache)]) == 0
+
+
+def test_cache_gc(cache, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "something-else")
+    assert main(["cache", "gc", str(cache)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+
+
+def test_cache_invalidate_requires_selector(cache, capsys):
+    assert main(["cache", "invalidate", str(cache)]) == 2
+    assert main(["cache", "invalidate", str(cache), "--all"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", str(cache)]) == 0
+    assert ResultStore(cache).stats()["entries"] == 0
+
+
+def test_figure_with_result_cache_flag(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = [
+        "figure",
+        "fig9",
+        "--benchmarks",
+        "bwaves",
+        "--accesses",
+        "800",
+        "--result-cache",
+        str(cache),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold  # bit-identical table either way
+    store = ResultStore(cache)
+    assert store.stats()["entries"] == 1

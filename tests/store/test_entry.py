@@ -1,0 +1,108 @@
+"""Entry codec: every corruption mode maps to a classified refusal."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreIntegrityError
+from repro.store import (
+    FORMAT_NAME,
+    SCHEMA_VERSION,
+    decode_entry,
+    digest,
+    encode_entry,
+    entry_header,
+    payload_crc,
+)
+
+META = {
+    "kind": "campaign-row",
+    "benchmark": "mcf",
+    "config": "c" * 16,
+    "workload": "w" * 16,
+    "code": "v" * 16,
+}
+PAYLOAD = {"reads": 100, "writes": 40, "nested": {"hits": [1, 2, 3]}}
+KEY = digest(META)
+
+
+def encoded():
+    return encode_entry(KEY, META, PAYLOAD)
+
+
+def reason_of(call):
+    with pytest.raises(StoreIntegrityError) as err:
+        call()
+    return err.value.reason
+
+
+def test_roundtrip():
+    text = encoded()
+    assert text.endswith("\n")
+    assert decode_entry(text, "t", key=KEY, meta=META) == PAYLOAD
+    header = entry_header(text, "t")
+    assert header == {"key": KEY, "meta": META}
+
+
+def test_torn_truncation():
+    text = encoded()
+    for cut in (0, 1, len(text) // 2, len(text) - 3):
+        assert (
+            reason_of(lambda t=text[:cut]: decode_entry(t, "t", key=KEY))
+            == "torn"
+        )
+
+
+def test_torn_non_object():
+    assert reason_of(lambda: decode_entry('["list"]', "t")) == "torn"
+
+
+def test_torn_missing_sections():
+    document = json.loads(encoded())
+    del document["payload"]
+    text = json.dumps(document)
+    assert reason_of(lambda: decode_entry(text, "t")) == "torn"
+    assert reason_of(lambda: entry_header(text, "t")) == "torn"
+
+
+def test_schema_wrong_format_and_version():
+    for field, value in (("format", "other-store"), ("schema", 999)):
+        document = json.loads(encoded())
+        document[field] = value
+        text = json.dumps(document)
+        assert reason_of(lambda t=text: decode_entry(t, "t")) == "schema"
+        assert reason_of(lambda t=text: entry_header(t, "t")) == "schema"
+
+
+def test_skew_key_mismatch():
+    assert (
+        reason_of(lambda: decode_entry(encoded(), "t", key="0" * 64))
+        == "skew"
+    )
+
+
+def test_skew_meta_mismatch_names_drifted_fields():
+    expected = dict(META, code="f" * 16)
+    with pytest.raises(StoreIntegrityError) as err:
+        decode_entry(encoded(), "t", key=KEY, meta=expected)
+    assert err.value.reason == "skew"
+    assert "code" in str(err.value)
+
+
+def test_crc_detects_payload_damage():
+    document = json.loads(encoded())
+    document["payload"]["reads"] = 999  # header CRC now stale
+    text = json.dumps(document)
+    assert reason_of(lambda: decode_entry(text, "t", key=KEY)) == "crc"
+    assert reason_of(lambda: entry_header(text, "t")) == "crc"
+
+
+def test_crc_is_canonical_not_textual():
+    """Key-order changes in the payload JSON must not change the CRC."""
+    assert payload_crc({"a": 1, "b": 2}) == payload_crc({"b": 2, "a": 1})
+
+
+def test_format_constants_pinned():
+    document = json.loads(encoded())
+    assert document["format"] == FORMAT_NAME == "repro8t-result"
+    assert document["schema"] == SCHEMA_VERSION == 1
