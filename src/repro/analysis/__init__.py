@@ -19,13 +19,23 @@ from repro.analysis.reductions import (
 from repro.analysis.area import section54_area
 from repro.analysis.power_perf import section55_power_performance
 from repro.analysis.reliability import reliability_vs_voltage
-from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+from repro.analysis.figures import (
+    ESTIMATOR_AWARE_IDS,
+    FIGURE_IDS,
+    reproduce_figure,
+)
 from repro.analysis.export import figure_to_csv
 from repro.analysis.report import generate_report, write_report
 from repro.analysis.bars import render_bars
 from repro.analysis.dvfs_energy import dvfs_energy_endgame
+from repro.analysis.estimators import resolve_estimator
+from repro.analysis.overheads import check_overhead_claims, overhead_report
 
 __all__ = [
+    "ESTIMATOR_AWARE_IDS",
+    "check_overhead_claims",
+    "overhead_report",
+    "resolve_estimator",
     "FigureResult",
     "figure3_access_frequency",
     "figure4_scenarios",

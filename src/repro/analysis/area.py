@@ -3,15 +3,21 @@
 The paper: at 64 KB / 4-way / 32 B the Set-Buffer is one 128 B set
 (< 0.2 % of the cache) and the Tag-Buffer is under 150 bits at 48-bit
 physical addresses.
+
+Area numbers come through the estimator registry (see
+:mod:`repro.power.estimator`), so ``--estimator`` selects which
+backend's area table answers and cached estimation records are reused
+across runs.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
+from repro.analysis.estimators import resolve_estimator
 from repro.analysis.result import FigureResult
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
-from repro.power.area import AreaModel
+from repro.power.estimator import EstimationQuery, EstimatorRegistry
 
 __all__ = ["section54_area"]
 
@@ -19,23 +25,29 @@ __all__ = ["section54_area"]
 def section54_area(
     geometries: Sequence[CacheGeometry] = (BASELINE_GEOMETRY,),
     node_nm: int = 45,
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
+    cell_kind: str = "8T",
 ) -> FigureResult:
     """Compute the Section 5.4 area numbers for one or more geometries."""
-    model = AreaModel(node_nm=node_nm)
+    registry = resolve_estimator(estimator)
     rows = []
+    estimations = []
     for geometry in geometries:
-        report = model.report(geometry)
+        estimation = registry.estimate(
+            EstimationQuery.area(geometry, cell_kind=cell_kind, node_nm=node_nm)
+        )
+        estimations.append(estimation)
         rows.append(
             (
                 geometry.describe(),
                 geometry.set_bytes,
-                report.set_buffer_bits,
-                100.0 * report.set_buffer_overhead,
-                model.tag_buffer_bits(geometry),
-                report.tag_buffer_bits,
+                estimation["set_buffer_bits"],
+                100.0 * estimation["set_buffer_overhead"],
+                estimation["tag_buffer_bits"],
+                estimation["tag_buffer_bits_with_state"],
             )
         )
-    baseline_report = model.report(geometries[0])
+    baseline = estimations[0]
     return FigureResult(
         figure_id="sec5.4",
         title="Section 5.4: buffer area overhead",
@@ -50,8 +62,8 @@ def section54_area(
         rows=rows,
         summary={
             "set_buffer_overhead_pct": 100.0
-            * baseline_report.set_buffer_overhead,
-            "tag_buffer_bits": float(model.tag_buffer_bits(geometries[0])),
+            * baseline["set_buffer_overhead"],
+            "tag_buffer_bits": baseline["tag_buffer_bits"],
         },
         paper_values={
             "set_buffer_overhead_pct": 0.2,

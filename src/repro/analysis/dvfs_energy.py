@@ -19,17 +19,16 @@ energy per configuration — who wins, and by how much.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.analysis.estimators import resolve_estimator
 from repro.analysis.result import FigureResult
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
 from repro.perf.timing import TimingSimulator
-from repro.power.energy import EnergyModel
-from repro.power.leakage import LeakageModel
+from repro.power.estimator import EstimationQuery, EstimatorRegistry
 from repro.power.params import TECH_45NM, TechnologyParams
 from repro.power.voltage import DVFSController
 from repro.sim.simulator import run_simulation
-from repro.sram.geometry import ArrayGeometry
 from repro.trace.stream import materialize
 from repro.workload.generator import generate_trace
 from repro.workload.spec2006 import benchmark_names, get_profile
@@ -50,11 +49,11 @@ def dvfs_energy_endgame(
     geometry: CacheGeometry = BASELINE_GEOMETRY,
     technology: TechnologyParams = TECH_45NM,
     benchmarks: Optional[Sequence[str]] = None,
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
 ) -> FigureResult:
     """Total (dynamic + leakage) cache energy per configuration."""
     names = list(benchmarks) if benchmarks else benchmark_names()
-    array_geometry = ArrayGeometry.for_cache(geometry)
-    leakage_model = LeakageModel(technology, array_geometry)
+    registry = resolve_estimator(estimator)
 
     floors = {}
     for label, technique, cell in _CONFIGS:
@@ -68,17 +67,30 @@ def dvfs_energy_endgame(
         row = [name]
         for label, technique, cell in _CONFIGS:
             level = floors[label]
-            energy_model = EnergyModel(
-                technology, array_geometry, vdd_mv=level.vdd_mv
-            )
             sim_result = run_simulation(trace, technique, geometry)
-            dynamic_fj = energy_model.energy_of(sim_result.events).total_fj
+            dynamic_fj = registry.estimate(
+                EstimationQuery.dynamic_energy(
+                    sim_result.events,
+                    geometry,
+                    cell_kind=cell,
+                    node_nm=technology.node_nm,
+                    vdd_mv=level.vdd_mv,
+                )
+            )["total_fj"]
             perf = TimingSimulator(technique, geometry).run(trace)
             elapsed_seconds = perf.elapsed_cycles / (
                 level.frequency_ghz * 1e9
             )
+            leakage_uw = registry.estimate(
+                EstimationQuery.leakage_power(
+                    geometry,
+                    cell_kind=cell,
+                    node_nm=technology.node_nm,
+                    vdd_mv=level.vdd_mv,
+                )
+            )["power_uw"]
             leakage_fj = (
-                leakage_model.array_power_uw(cell, level.vdd_mv)
+                leakage_uw
                 * 1e-6  # uW -> W
                 * elapsed_seconds
                 * 1e15  # J -> fJ

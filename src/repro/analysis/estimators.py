@@ -1,0 +1,37 @@
+"""How analysis producers obtain an estimator registry.
+
+Every estimator-aware producer accepts ``estimator=None`` and resolves
+it here: an :class:`EstimatorRegistry` passes through untouched (the
+report generator builds one and shares it across figures so they share
+one record cache), a string is a CLI-style backend spec, and ``None``
+falls back to the ambient :class:`repro.sim.resilience.ExecutionPolicy`
+— the same mechanism campaign code uses for retry/caching defaults, so
+``--estimator``/``--estimator-cache`` set once on the command line
+reach every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.telemetry import Telemetry
+from repro.power.estimator import EstimatorRegistry, default_registry
+from repro.sim.resilience import active_policy
+
+__all__ = ["resolve_estimator"]
+
+
+def resolve_estimator(
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> EstimatorRegistry:
+    """An :class:`EstimatorRegistry` for one analysis run."""
+    if isinstance(estimator, EstimatorRegistry):
+        return estimator
+    policy = active_policy()
+    spec = estimator if estimator is not None else policy.estimator
+    return default_registry(
+        spec,
+        cache_path=policy.estimator_cache,
+        telemetry=telemetry,
+    )

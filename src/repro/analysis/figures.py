@@ -13,6 +13,7 @@ from repro.analysis.reductions import (
     figure9_access_reduction,
 )
 from repro.analysis.dvfs_energy import dvfs_energy_endgame
+from repro.analysis.overheads import overhead_report
 from repro.analysis.reliability import reliability_vs_voltage
 from repro.analysis.result import FigureResult
 from repro.analysis.rmw_overhead import claim_rmw_overhead
@@ -21,7 +22,7 @@ from repro.analysis.silent import figure5_silent_writes
 from repro.analysis.traffic import traffic_anatomy
 from repro.errors import ValidationError
 
-__all__ = ["FIGURE_IDS", "reproduce_figure"]
+__all__ = ["ESTIMATOR_AWARE_IDS", "FIGURE_IDS", "reproduce_figure"]
 
 _PRODUCERS: Dict[str, Callable[..., FigureResult]] = {
     "fig3": figure3_access_frequency,
@@ -36,7 +37,13 @@ _PRODUCERS: Dict[str, Callable[..., FigureResult]] = {
     "reliability": reliability_vs_voltage,
     "dvfs_energy": dvfs_energy_endgame,
     "traffic": traffic_anatomy,
+    "overheads": overhead_report,
 }
+
+#: Figures whose producers accept an ``estimator=`` registry (the
+#: report generator threads one shared registry through these so they
+#: share a single estimation-record cache).
+ESTIMATOR_AWARE_IDS = ("sec5.4", "sec5.5", "dvfs_energy", "overheads")
 
 FIGURE_IDS = tuple(sorted(_PRODUCERS))
 """Every reproducible figure/table/claim id."""

@@ -11,15 +11,16 @@ port-contention timing model.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.analysis.estimators import resolve_estimator
 from repro.analysis.result import FigureResult
 from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import ValidationError
 from repro.perf.timing import evaluate_performance
-from repro.power.energy import EnergyModel
+from repro.power.estimator import EstimationQuery, EstimatorRegistry
 from repro.power.params import TECH_45NM, TechnologyParams
 from repro.sim.comparison import compare_techniques
-from repro.sram.geometry import ArrayGeometry
 from repro.trace.stream import materialize
 from repro.workload.generator import generate_trace
 from repro.workload.spec2006 import benchmark_names, get_profile
@@ -35,11 +36,19 @@ def section55_power_performance(
     geometry: CacheGeometry = BASELINE_GEOMETRY,
     technology: TechnologyParams = TECH_45NM,
     benchmarks: Optional[Sequence[str]] = None,
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
 ) -> FigureResult:
     """Energy savings and read-latency effects of WG / WG+RB vs RMW."""
     names = list(benchmarks) if benchmarks else benchmark_names()
-    array_geometry = ArrayGeometry.for_cache(geometry)
-    energy_model = EnergyModel(technology, array_geometry)
+    registry = resolve_estimator(estimator)
+
+    def total_fj(events) -> float:
+        estimation = registry.estimate(
+            EstimationQuery.dynamic_energy(
+                events, geometry, cell_kind="8T", node_nm=technology.node_nm
+            )
+        )
+        return estimation["total_fj"]
 
     rows = []
     sums = {"wg_energy": 0.0, "wgrb_energy": 0.0, "rmw_lat": 0.0,
@@ -47,12 +56,15 @@ def section55_power_performance(
     for name in names:
         trace = materialize(generate_trace(get_profile(name), accesses, seed=seed))
         comparison = compare_techniques(trace, geometry, techniques=_TECHNIQUES)
-        baseline_events = comparison.result("rmw").events
-        wg_saving = energy_model.savings_vs(
-            comparison.result("wg").events, baseline_events
-        )
-        wgrb_saving = energy_model.savings_vs(
-            comparison.result("wg_rb").events, baseline_events
+        baseline_fj = total_fj(comparison.result("rmw").events)
+        if baseline_fj == 0:
+            raise ValidationError(
+                f"benchmark {name!r}: RMW baseline has zero dynamic "
+                "energy; savings fractions are undefined"
+            )
+        wg_saving = 1.0 - total_fj(comparison.result("wg").events) / baseline_fj
+        wgrb_saving = (
+            1.0 - total_fj(comparison.result("wg_rb").events) / baseline_fj
         )
         perf = evaluate_performance(trace, geometry, techniques=_TECHNIQUES)
         rmw_latency = perf["rmw"].mean_read_latency

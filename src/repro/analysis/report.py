@@ -10,10 +10,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.analysis.figures import FIGURE_IDS, reproduce_figure
+from repro.analysis.estimators import resolve_estimator
+from repro.analysis.figures import (
+    ESTIMATOR_AWARE_IDS,
+    FIGURE_IDS,
+    reproduce_figure,
+)
 from repro.analysis.result import FigureResult
 from repro.obs.spans import span
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.power.estimator import EstimatorRegistry
 
 __all__ = ["generate_report", "write_report"]
 
@@ -27,28 +33,33 @@ def generate_report(
     seed: int = 2012,
     figure_ids: Optional[Sequence[str]] = None,
     telemetry: Optional[Telemetry] = None,
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
 ) -> str:
     """Reproduce every figure and render one markdown report.
 
     Each figure runs under a ``figure.<id>`` span; pass ``telemetry``
     to land those phases in a metrics registry or on a trace timeline
     (the per-figure timings in the report itself come from the same
-    spans).
+    spans).  ``estimator`` (a backend spec or a ready registry) is
+    shared across every estimator-aware figure, so they draw on one
+    estimation-record cache.
     """
     ids = list(figure_ids) if figure_ids else list(FIGURE_IDS)
     telem = telemetry if telemetry is not None else NULL_TELEMETRY
+    registry = resolve_estimator(estimator, telemetry=telemetry)
     results: Dict[str, FigureResult] = {}
     timings: Dict[str, float] = {}
     for figure_id in ids:
+        kwargs: Dict[str, object] = {}
+        if figure_id in _SEED_ONLY:
+            kwargs["seed"] = seed
+        elif figure_id not in _PARAMETERLESS:
+            kwargs["accesses"] = accesses
+            kwargs["seed"] = seed
+        if figure_id in ESTIMATOR_AWARE_IDS:
+            kwargs["estimator"] = registry
         with span(telem, f"figure.{figure_id}", category="figure") as timing:
-            if figure_id in _PARAMETERLESS:
-                results[figure_id] = reproduce_figure(figure_id)
-            elif figure_id in _SEED_ONLY:
-                results[figure_id] = reproduce_figure(figure_id, seed=seed)
-            else:
-                results[figure_id] = reproduce_figure(
-                    figure_id, accesses=accesses, seed=seed
-                )
+            results[figure_id] = reproduce_figure(figure_id, **kwargs)
         timings[figure_id] = timing.elapsed
     return _render(results, timings, accesses, seed)
 
@@ -99,6 +110,7 @@ def write_report(
     seed: int = 2012,
     figure_ids: Optional[Sequence[str]] = None,
     telemetry: Optional[Telemetry] = None,
+    estimator: Optional[Union[str, EstimatorRegistry]] = None,
 ) -> Path:
     """Generate and save the report; returns the path."""
     path = Path(path)
@@ -108,6 +120,7 @@ def write_report(
             seed=seed,
             figure_ids=figure_ids,
             telemetry=telemetry,
+            estimator=estimator,
         ),
         encoding="utf-8",
     )

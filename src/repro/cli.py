@@ -22,6 +22,8 @@ Installed as the ``repro-8t`` console script::
     repro-8t cache verify .cache          # validate + quarantine (exit 3)
     repro-8t cache gc .cache              # drop stale-code-version entries
     repro-8t cache invalidate .cache --benchmark mcf
+    repro-8t power --estimator library --json overheads.json
+    repro-8t power --estimator-cache .estimates   # reuse estimation records
 
 Every subcommand is a thin shell over the public library API, so the
 CLI doubles as executable documentation.
@@ -43,6 +45,12 @@ failing, ``--heartbeat S`` detects frozen workers early, ``--strict``
 restores fail-fast, and ``--processes N`` (``figure``, ``report``)
 runs campaigns on supervised worker processes.  See
 ``docs/robustness.md``.
+
+Estimator flags (``figure``, ``report``, ``power``): ``--estimator
+{auto,analytical,library}`` selects the energy/area backend (auto
+routes each query to the most accurate capable backend) and
+``--estimator-cache DIR`` serves repeat estimates from durable,
+code-versioned estimation records.  See ``docs/power.md``.
 
 Errors derived from :class:`ReproError` print a one-line message and
 exit with code 2 (usage/configuration) or 3 (runtime failure); pass
@@ -167,6 +175,34 @@ def _finish_telemetry(telemetry: Optional[Telemetry], args) -> None:
         print(f"wrote {rows} interval snapshots to {args.snapshots_out}")
 
 
+# -- estimator plumbing ------------------------------------------------------------
+
+
+def _add_estimator_flags(sub: argparse.ArgumentParser) -> None:
+    """The shared energy/area estimator flags (see docs/power.md)."""
+    from repro.power.estimator import ESTIMATOR_CHOICES
+
+    group = sub.add_argument_group("estimator")
+    group.add_argument(
+        "--estimator",
+        choices=ESTIMATOR_CHOICES,
+        default="auto",
+        help=(
+            "energy/area backend: auto routes each query to the most "
+            "accurate capable backend; analytical/library force one"
+        ),
+    )
+    group.add_argument(
+        "--estimator-cache",
+        metavar="DIR",
+        help=(
+            "durable estimation-record cache: energy/area estimates "
+            "already computed for this exact query + backend + code "
+            "version are served from here instead of recomputed"
+        ),
+    )
+
+
 # -- resilience plumbing -----------------------------------------------------------
 
 
@@ -259,6 +295,8 @@ def _policy_from_args(args) -> ExecutionPolicy:
         processes=getattr(args, "processes", None),
         result_cache=getattr(args, "result_cache", None),
         result_cache_max_bytes=getattr(args, "result_cache_max_bytes", None),
+        estimator=getattr(args, "estimator", None) or "auto",
+        estimator_cache=getattr(args, "estimator_cache", None),
     )
 
 
@@ -447,6 +485,65 @@ def _cmd_report(args) -> int:
         )
     print(f"wrote reproduction report to {path}")
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_power(args) -> int:
+    import json as json_mod
+
+    from repro.analysis.overheads import check_overhead_claims, overhead_report
+    from repro.power.estimator import default_registry
+
+    telemetry = _telemetry_from_args(args)
+    registry = default_registry(
+        args.estimator,
+        cache_path=args.estimator_cache,
+        telemetry=telemetry,
+    )
+    result = overhead_report(
+        accesses=args.accesses,
+        seed=args.seed,
+        geometry=args.geometry,
+        node_nm=args.node,
+        benchmarks=args.benchmarks or None,
+        estimator=registry,
+    )
+    print(result.render())
+    stats = registry.stats()
+    calls = ", ".join(
+        f"{backend}={count}"
+        for backend, count in sorted(stats["backend_calls"].items())
+    )
+    line = f"\nestimator: backend calls {calls}"
+    cache_stats = stats.get("cache")
+    if cache_stats:
+        line += (
+            f"; cache {cache_stats['hits']} hit(s) / "
+            f"{cache_stats['misses']} miss(es) at {cache_stats['path']}"
+        )
+    print(line)
+    violations = check_overhead_claims(result)
+    if args.json:
+        document = {
+            "figure_id": result.figure_id,
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "summary": result.summary,
+            "paper_values": result.paper_values,
+            "violations": violations,
+            "estimator": stats,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_mod.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote overhead report to {args.json}")
+    _finish_telemetry(telemetry, args)
+    if violations:
+        for violation in violations:
+            print(f"CLAIM FAILED: {violation}", file=sys.stderr)
+        return EXIT_RUNTIME
+    print("all overhead claims verified")
     return 0
 
 
@@ -899,6 +996,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(sub)
     _add_resilience_flags(sub)
+    _add_estimator_flags(sub)
     sub.set_defaults(handler=_cmd_figure)
 
     sub = subparsers.add_parser(
@@ -990,6 +1088,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--figures", nargs="*", choices=FIGURE_IDS)
     _add_obs_flags(sub)
     _add_resilience_flags(sub)
+    _add_estimator_flags(sub)
     sub.set_defaults(handler=_cmd_report)
 
     sub = subparsers.add_parser(
@@ -1309,6 +1408,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="remove every entry in the store"
     )
     csub.set_defaults(handler=_cmd_cache)
+
+    sub = subparsers.add_parser(
+        "power",
+        help="verify the paper's overhead claims, per estimator backend",
+        description=(
+            "Reproduce the Section 5.4/5.5 overhead claims — Set-Buffer "
+            "< 0.2% of the cache, Tag-Buffer < 150 bits, WG+RB saving "
+            "dynamic energy vs RMW — from every capable estimator "
+            "backend (or just the one --estimator forces), pricing each "
+            "technique as energy per access.  Exit code 3 if any claim "
+            "fails under any backend (the CI power-smoke gate)."
+        ),
+    )
+    sub.add_argument("--accesses", type=int, default=4_000)
+    sub.add_argument("--seed", type=int, default=2012)
+    sub.add_argument(
+        "--geometry", type=parse_geometry, default=BASELINE_GEOMETRY
+    )
+    sub.add_argument(
+        "--node",
+        type=int,
+        default=45,
+        help="process node in nm (default 45)",
+    )
+    sub.add_argument("--benchmarks", nargs="*", choices=benchmark_names())
+    sub.add_argument(
+        "--json", metavar="PATH", help="write the overhead report as JSON"
+    )
+    _add_obs_flags(sub)
+    _add_estimator_flags(sub)
+    sub.set_defaults(handler=_cmd_power)
 
     sub = subparsers.add_parser("benchmarks", help="list workload profiles")
     sub.set_defaults(handler=_cmd_benchmarks)

@@ -86,6 +86,21 @@ METRIC_NAMES: Dict[str, str] = {
         "wall-clock budget (RetryPolicy.worker_timeout_s) or for "
         "missing heartbeats (stalled=True)"
     ),
+    # -- estimator layer (repro.power.estimator.registry) ------------------
+    "estimator.cache.hit": (
+        "estimation queries served from the durable estimation-record "
+        "cache without calling a backend estimate method"
+    ),
+    "estimator.cache.miss": (
+        "estimation-record cache lookups that found no record for the "
+        "(backend, query, code-version) key and fell through to the "
+        "backend"
+    ),
+    "estimator.dispatch": (
+        "estimation queries routed through the EstimatorRegistry "
+        "(cache hits and misses alike); the denominator for the cache "
+        "hit rate"
+    ),
     # -- controller instrumentation (repro.core.*) -------------------------
     "ctrl.*.hits": "requests that hit in the cache, per technique",
     "ctrl.*.misses": "requests that missed in the cache, per technique",
@@ -118,6 +133,12 @@ METRIC_NAMES: Dict[str, str] = {
     ),
     "span.*.total_s": "cumulative wall-clock seconds inside the span",
     # -- structured warnings (Telemetry.warn) ------------------------------
+    "warning.estimator.*": (
+        "estimator-layer degradations: an unreadable estimation cache "
+        "starting cold (warning.estimator.cache_unreadable) or an "
+        "unwritable one dropping a record (warning.estimator."
+        "cache_unwritable); estimates still succeed"
+    ),
     "warning.*": (
         "structured degradation warnings, one counter per warning "
         "name (e.g. warning.parallel.pool_fallback); always paired "

@@ -16,6 +16,13 @@ quantitative with CACTI-flavoured analytic models:
     (Set-Buffer < 0.2 % of the cache, Tag-Buffer < 150 bits).
 ``voltage``
     DVFS level table and the Vmin story that motivates 8T cells.
+``estimator``
+    The pluggable backend layer over all of the above: capability-
+    queried dispatch (analytical vs characterised-library backends)
+    with durable, code-versioned estimation records.  Analysis code
+    consumes energy/area through an
+    :class:`~repro.power.estimator.EstimatorRegistry` rather than
+    instantiating the models directly.
 """
 
 from repro.power.params import TechnologyParams, TECH_45NM, TECH_32NM
@@ -23,6 +30,18 @@ from repro.power.energy import EnergyBreakdown, EnergyModel
 from repro.power.leakage import LeakageModel
 from repro.power.area import AreaModel, AreaReport
 from repro.power.voltage import DVFSLevel, DVFSController, vmin_mv
+from repro.power.estimator import (
+    ESTIMATOR_CHOICES,
+    AccuracyEstimation,
+    AnalyticalEstimator,
+    Estimation,
+    EstimationQuery,
+    EstimationRecordCache,
+    Estimator,
+    EstimatorRegistry,
+    LibraryEstimator,
+    default_registry,
+)
 
 __all__ = [
     "TechnologyParams",
@@ -36,4 +55,14 @@ __all__ = [
     "DVFSLevel",
     "DVFSController",
     "vmin_mv",
+    "ESTIMATOR_CHOICES",
+    "AccuracyEstimation",
+    "AnalyticalEstimator",
+    "Estimation",
+    "EstimationQuery",
+    "EstimationRecordCache",
+    "Estimator",
+    "EstimatorRegistry",
+    "LibraryEstimator",
+    "default_registry",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import ValidationError
 from repro.power.params import TechnologyParams
 from repro.sram.events import SRAMEventLog
 from repro.sram.geometry import ArrayGeometry
@@ -108,8 +109,16 @@ class EnergyModel:
     def savings_vs(
         self, events: SRAMEventLog, baseline_events: SRAMEventLog
     ) -> float:
-        """Fractional dynamic-energy saving of ``events`` vs a baseline."""
+        """Fractional dynamic-energy saving of ``events`` vs a baseline.
+
+        A zero-energy baseline has no meaningful savings fraction —
+        returning 0.0 here would read as "no savings" and quietly
+        poison downstream aggregates, so it raises instead.
+        """
         baseline = self.energy_of(baseline_events).total_fj
         if baseline == 0:
-            return 0.0
+            raise ValidationError(
+                "savings_vs baseline has zero dynamic energy (empty event "
+                "log?); a savings fraction against it is undefined"
+            )
         return 1.0 - self.energy_of(events).total_fj / baseline

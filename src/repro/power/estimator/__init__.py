@@ -1,0 +1,71 @@
+"""Pluggable energy/area estimation backends.
+
+The estimator layer splits *what to estimate* (an
+:class:`EstimationQuery`) from *how to estimate it* (an
+:class:`Estimator` backend).  Backends declare per-query capability as
+an :class:`AccuracyEstimation`; the :class:`EstimatorRegistry` routes
+each query to the most accurate capable backend and serves repeat
+queries from a durable :class:`EstimationRecordCache` keyed on backend
+id + query fingerprint + estimator code version.
+
+Two backends ship: ``analytical`` (the original CACTI-flavoured
+coefficient models) and ``library`` (table-driven characterisation
+entries, including the 9T near-threshold cell the analytic models do
+not know).  See ``docs/power.md``.
+"""
+
+from repro.power.estimator.analytical import (
+    ANALYTICAL_ACCURACY_PCT,
+    AnalyticalEstimator,
+)
+from repro.power.estimator.library import (
+    CELL_LIBRARY,
+    LIBRARY_ACCURACY_PCT,
+    CellCharacterization,
+    LibraryEstimator,
+    MacroEntry,
+    derive_macro_entry,
+)
+from repro.power.estimator.protocol import (
+    AREA_KEYS,
+    ENERGY_KEYS,
+    LEAKAGE_KEYS,
+    AccuracyEstimation,
+    Estimation,
+    Estimator,
+)
+from repro.power.estimator.query import EstimationQuery
+from repro.power.estimator.records import (
+    EstimationRecordCache,
+    estimator_code_version,
+    record_key,
+)
+from repro.power.estimator.registry import (
+    ESTIMATOR_CHOICES,
+    EstimatorRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "ANALYTICAL_ACCURACY_PCT",
+    "AREA_KEYS",
+    "AccuracyEstimation",
+    "AnalyticalEstimator",
+    "CELL_LIBRARY",
+    "CellCharacterization",
+    "ENERGY_KEYS",
+    "ESTIMATOR_CHOICES",
+    "Estimation",
+    "EstimationQuery",
+    "EstimationRecordCache",
+    "Estimator",
+    "EstimatorRegistry",
+    "LEAKAGE_KEYS",
+    "LIBRARY_ACCURACY_PCT",
+    "LibraryEstimator",
+    "MacroEntry",
+    "default_registry",
+    "derive_macro_entry",
+    "estimator_code_version",
+    "record_key",
+]

@@ -1,0 +1,108 @@
+"""The analytical backend: the original CACTI-flavoured models.
+
+This is the pre-existing :class:`EnergyModel` / :class:`AreaModel` /
+:class:`LeakageModel` trio, refactored to sit *behind* the estimator
+protocol instead of being instantiated directly by ``analysis/``.  It
+understands the process nodes with a :class:`TechnologyParams` preset
+(45/32 nm) and the 6T/8T cells those models parameterise; anything
+else — notably the 9T near-threshold cell — reads as unsupported so
+the registry routes it to a characterised backend.
+
+Accuracy is declared at CACTI's conventional self-estimate (70 %,
+the figure the Accelergy CACTI plug-in ships with): analytic
+coefficient models capture ratios well and absolutes loosely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.power.area import AreaModel
+from repro.power.energy import EnergyModel
+from repro.power.estimator.protocol import AccuracyEstimation, Estimation
+from repro.power.estimator.query import EstimationQuery
+from repro.power.leakage import LeakageModel
+from repro.power.params import TECH_32NM, TECH_45NM, TechnologyParams
+from repro.sram.geometry import ArrayGeometry
+
+__all__ = ["AnalyticalEstimator", "ANALYTICAL_ACCURACY_PCT"]
+
+#: The CACTI-conventional self-declared accuracy of analytic models.
+ANALYTICAL_ACCURACY_PCT = 70.0
+
+#: Node -> technology preset; the analytic coefficients only exist for
+#: nodes somebody calibrated.
+_TECHNOLOGIES: Dict[int, TechnologyParams] = {
+    45: TECH_45NM,
+    32: TECH_32NM,
+}
+
+#: Cells the analytic trio parameterises (leakage presets + area
+#: constants exist for exactly these).
+_CELLS = ("6T", "8T")
+
+
+class AnalyticalEstimator:
+    """Protocol adapter over ``EnergyModel``/``AreaModel``/``LeakageModel``."""
+
+    backend_id = "analytical"
+
+    def supports(self, query: EstimationQuery) -> AccuracyEstimation:
+        if query.node_nm not in _TECHNOLOGIES:
+            return AccuracyEstimation(0.0)
+        if query.cell_kind not in _CELLS:
+            return AccuracyEstimation(0.0)
+        return AccuracyEstimation(ANALYTICAL_ACCURACY_PCT)
+
+    # -- energy --------------------------------------------------------------
+
+    def estimate_energy(self, query: EstimationQuery) -> Estimation:
+        technology = _TECHNOLOGIES[query.node_nm]
+        array_geometry = ArrayGeometry.for_cache(query.geometry)
+        if query.action == "leakage_power":
+            model = LeakageModel(technology, array_geometry)
+            power_uw = model.array_power_uw(
+                query.cell_kind, query.vdd_mv  # type: ignore[arg-type]
+            )
+            return self._estimation({"power_uw": power_uw})
+        energy_model = EnergyModel(
+            technology, array_geometry, vdd_mv=query.vdd_mv
+        )
+        breakdown = energy_model.energy_of(query.event_log())
+        return self._estimation(
+            {
+                "read_fj": breakdown.read_fj,
+                "write_fj": breakdown.write_fj,
+                "buffer_fj": breakdown.buffer_fj,
+                "total_fj": breakdown.total_fj,
+            }
+        )
+
+    # -- area ----------------------------------------------------------------
+
+    def estimate_area(self, query: EstimationQuery) -> Estimation:
+        model = AreaModel(node_nm=query.node_nm)
+        report = model.report(query.geometry)
+        cell_um2 = model.cell_area_um2(query.cell_kind)
+        data_bits = query.geometry.size_bytes * 8
+        return self._estimation(
+            {
+                "cache_data_bits": float(report.cache_data_bits),
+                "set_buffer_bits": float(report.set_buffer_bits),
+                "tag_buffer_bits": float(
+                    model.tag_buffer_bits(query.geometry)
+                ),
+                "tag_buffer_bits_with_state": float(report.tag_buffer_bits),
+                "set_buffer_overhead": report.set_buffer_overhead,
+                "tag_buffer_overhead": report.tag_buffer_overhead,
+                "cell_area_um2": cell_um2,
+                "macro_area_mm2": data_bits * cell_um2 * 1e-6,
+            }
+        )
+
+    def _estimation(self, values: Dict[str, float]) -> Estimation:
+        return Estimation(
+            values=values,
+            accuracy_pct=ANALYTICAL_ACCURACY_PCT,
+            backend=self.backend_id,
+        )

@@ -1,0 +1,156 @@
+"""The estimator protocol: capability query -> accuracy -> estimation.
+
+Modelled on the Accelergy plug-in interface (see SNIPPETS.md's CACTI
+wrapper): a backend first answers ``supports(query)`` with an
+:class:`AccuracyEstimation` — ``0`` means "not my department", anything
+positive is the backend's self-declared accuracy in percent — and the
+registry dispatches each query to the highest-accuracy capable backend.
+Estimates come back as :class:`Estimation` records: a flat mapping of
+named values plus the accuracy and backend that produced them, which is
+exactly the JSON-serialisable shape the estimation-record cache
+persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Protocol, runtime_checkable
+
+from repro.errors import ValidationError
+
+__all__ = ["AccuracyEstimation", "Estimation", "Estimator"]
+
+
+@dataclass(frozen=True, order=True)
+class AccuracyEstimation:
+    """A backend's self-declared accuracy for one query, in percent.
+
+    ``0`` means the query is unsupported.  Ordered so the registry can
+    ``max()`` over capable backends.
+    """
+
+    percent: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.percent <= 100.0:
+            raise ValidationError(
+                f"accuracy must be in [0, 100], got {self.percent}"
+            )
+
+    @property
+    def supported(self) -> bool:
+        return self.percent > 0.0
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
+#: Value keys produced per action, the contract between backends and
+#: consumers (every backend must fill the full key set for an action).
+ENERGY_KEYS = ("read_fj", "write_fj", "buffer_fj", "total_fj")
+LEAKAGE_KEYS = ("power_uw",)
+AREA_KEYS = (
+    "cache_data_bits",
+    "set_buffer_bits",
+    "tag_buffer_bits",
+    "tag_buffer_bits_with_state",
+    "set_buffer_overhead",
+    "tag_buffer_overhead",
+    "cell_area_um2",
+    "macro_area_mm2",
+)
+
+
+@dataclass(frozen=True)
+class Estimation:
+    """One estimation record: named values + provenance.
+
+    Attributes:
+        values: the estimated quantities (see the ``*_KEYS`` contracts).
+        accuracy_pct: the producing backend's declared accuracy.
+        backend: backend id, for provenance in reports and cache meta.
+        cached: True when this record was served from the estimation
+            cache rather than computed (set by the registry; not part
+            of the persisted payload).
+    """
+
+    values: Mapping[str, float]
+    accuracy_pct: float
+    backend: str
+    cached: bool = field(default=False, compare=False)
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise ValidationError(
+                f"estimation from {self.backend!r} has no value "
+                f"{name!r}; known: {sorted(self.values)}"
+            ) from None
+
+    @property
+    def total_fj(self) -> float:
+        return self["total_fj"]
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON shape the estimation-record cache persists."""
+        return {
+            "values": dict(self.values),
+            "accuracy_pct": self.accuracy_pct,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "Estimation":
+        try:
+            values = payload["values"]
+            accuracy = payload["accuracy_pct"]
+            backend = payload["backend"]
+        except (KeyError, TypeError):
+            raise ValidationError(
+                f"malformed estimation payload: {payload!r}"
+            ) from None
+        if not isinstance(values, dict) or not isinstance(backend, str):
+            raise ValidationError(
+                f"malformed estimation payload: {payload!r}"
+            )
+        return cls(
+            values={str(k): float(v) for k, v in values.items()},
+            accuracy_pct=float(accuracy),  # type: ignore[arg-type]
+            backend=backend,
+        )
+
+    def as_cached(self) -> "Estimation":
+        """Copy of this record flagged as cache-served."""
+        return Estimation(
+            values=self.values,
+            accuracy_pct=self.accuracy_pct,
+            backend=self.backend,
+            cached=True,
+        )
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """What every energy/area backend implements.
+
+    ``supports`` is the capability query — it must be cheap, pure, and
+    never raise for a well-formed query.  ``estimate_energy`` serves
+    ``dynamic_energy`` and ``leakage_power`` actions; ``estimate_area``
+    serves ``area``.  Backends may assume the registry only routes them
+    queries they declared support for.
+    """
+
+    backend_id: str
+
+    def supports(self, query) -> AccuracyEstimation:
+        """Accuracy for this query; 0 when unsupported."""
+        ...
+
+    def estimate_energy(self, query) -> Estimation:
+        """Serve a dynamic_energy or leakage_power query."""
+        ...
+
+    def estimate_area(self, query) -> Estimation:
+        """Serve an area query."""
+        ...

@@ -1,0 +1,185 @@
+"""Estimation queries — the one value object every backend consumes.
+
+An :class:`EstimationQuery` names *what* to estimate (``action``), for
+*which* macro (cell kind, process node, cache geometry, supply), and —
+for dynamic energy — the circuit-event counts of the run being priced.
+It is frozen and canonically serialisable, which buys three things:
+
+* backends dispatch on a single structured value instead of positional
+  argument soup (the Accelergy plug-in ``AccelergyQuery`` pattern);
+* the query's :meth:`fingerprint` reuses the content-addressed key
+  canonicalisation from :mod:`repro.store.keys`, so estimation records
+  are cacheable under ``(backend, query, code-version)`` keys;
+* two runs that ask the same physical question produce byte-identical
+  keys, which is what makes the warm-run cache hit rate meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cache.config import CacheGeometry
+from repro.errors import ValidationError
+from repro.sram.events import SRAMEventLog
+from repro.store.keys import digest
+
+__all__ = ["ACTIONS", "CELL_KINDS", "EstimationQuery"]
+
+#: The estimation actions the protocol defines.  ``dynamic_energy`` and
+#: ``leakage_power`` are served by ``estimate_energy``; ``area`` by
+#: ``estimate_area``.
+ACTIONS = ("dynamic_energy", "leakage_power", "area")
+
+#: Cell technologies a query may name.  ``9T`` is the near-threshold
+#: cell from PAPERS.md's 256 kb 9T SRAM; only table-driven backends
+#: characterise it.
+CELL_KINDS = ("6T", "8T", "9T")
+
+
+@dataclass(frozen=True)
+class EstimationQuery:
+    """One estimation request.
+
+    Attributes:
+        action: one of :data:`ACTIONS`.
+        cell_kind: one of :data:`CELL_KINDS`.
+        node_nm: process node (feature size in nm).
+        geometry: the cache whose macro is being estimated.
+        vdd_mv: supply voltage; ``None`` means the backend's nominal
+            supply for the node.  Required for ``leakage_power``.
+        events: circuit-event counts as a sorted ``(name, count)``
+            tuple (see :meth:`dynamic_energy`).  Required for
+            ``dynamic_energy``, meaningless otherwise.
+    """
+
+    action: str
+    cell_kind: str
+    node_nm: int
+    geometry: CacheGeometry
+    vdd_mv: Optional[float] = None
+    events: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValidationError(
+                f"unknown estimation action {self.action!r}; "
+                f"known: {list(ACTIONS)}"
+            )
+        if self.cell_kind not in CELL_KINDS:
+            raise ValidationError(
+                f"unknown cell kind {self.cell_kind!r}; "
+                f"known: {list(CELL_KINDS)}"
+            )
+        if self.node_nm <= 0:
+            raise ValidationError(
+                f"node_nm must be positive, got {self.node_nm}"
+            )
+        if self.vdd_mv is not None and self.vdd_mv <= 0:
+            raise ValidationError(
+                f"vdd_mv must be positive, got {self.vdd_mv}"
+            )
+        if self.action == "dynamic_energy" and self.events is None:
+            raise ValidationError(
+                "a dynamic_energy query needs the run's event counts; "
+                "build it with EstimationQuery.dynamic_energy(...)"
+            )
+        if self.action == "leakage_power" and self.vdd_mv is None:
+            raise ValidationError(
+                "a leakage_power query needs an explicit vdd_mv "
+                "(leakage is priced at a specific operating point)"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def dynamic_energy(
+        cls,
+        events: SRAMEventLog,
+        geometry: CacheGeometry,
+        cell_kind: str = "8T",
+        node_nm: int = 45,
+        vdd_mv: Optional[float] = None,
+    ) -> "EstimationQuery":
+        """Price the dynamic energy of one run's event log."""
+        counts = tuple(sorted(events.to_dict().items()))
+        return cls(
+            action="dynamic_energy",
+            cell_kind=cell_kind,
+            node_nm=node_nm,
+            geometry=geometry,
+            vdd_mv=vdd_mv,
+            events=counts,
+        )
+
+    @classmethod
+    def leakage_power(
+        cls,
+        geometry: CacheGeometry,
+        vdd_mv: float,
+        cell_kind: str = "8T",
+        node_nm: int = 45,
+    ) -> "EstimationQuery":
+        """Price the whole-array leakage power at one operating point."""
+        return cls(
+            action="leakage_power",
+            cell_kind=cell_kind,
+            node_nm=node_nm,
+            geometry=geometry,
+            vdd_mv=vdd_mv,
+        )
+
+    @classmethod
+    def area(
+        cls,
+        geometry: CacheGeometry,
+        cell_kind: str = "8T",
+        node_nm: int = 45,
+    ) -> "EstimationQuery":
+        """Macro and buffer area for one cache geometry."""
+        return cls(
+            action="area",
+            cell_kind=cell_kind,
+            node_nm=node_nm,
+            geometry=geometry,
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    def event_log(self) -> SRAMEventLog:
+        """Rebuild the event log a ``dynamic_energy`` query carries."""
+        if self.events is None:
+            raise ValidationError(
+                f"a {self.action!r} query carries no event counts"
+            )
+        return SRAMEventLog(**dict(self.events))
+
+    def payload(self) -> Dict[str, object]:
+        """The canonical dictionary form everything downstream digests."""
+        return {
+            "action": self.action,
+            "cell": self.cell_kind,
+            "node": self.node_nm,
+            "vdd": self.vdd_mv,
+            "geometry": {
+                "size_bytes": self.geometry.size_bytes,
+                "associativity": self.geometry.associativity,
+                "block_bytes": self.geometry.block_bytes,
+                "address_bits": self.geometry.address_bits,
+            },
+            "events": (
+                dict(self.events) if self.events is not None else None
+            ),
+        }
+
+    def fingerprint(self) -> str:
+        """Content digest of the query (full sha256 hex)."""
+        return digest(self.payload())
+
+    def describe(self) -> str:
+        """Compact label, e.g. ``dynamic_energy 8T@45nm 64KB/4-way/32B``."""
+        vdd = f" @{self.vdd_mv:g}mV" if self.vdd_mv is not None else ""
+        return (
+            f"{self.action} {self.cell_kind}@{self.node_nm}nm "
+            f"{self.geometry.describe()}{vdd}"
+        )

@@ -1,0 +1,206 @@
+"""Capability-queried dispatch across estimator backends.
+
+The registry is the one object consumers talk to.  Each query is
+offered to every registered backend via ``supports()``; the backend
+declaring the highest :class:`AccuracyEstimation` wins (ties break by
+registration order, so the default ordering makes a deliberate
+statement: the characterised library outranks the analytic
+coefficients wherever both apply).  A caller — or the CLI's
+``--estimator`` flag — can force a specific backend instead, which
+turns "would silently fall back" into a loud :class:`ValidationError`.
+
+Estimates are served cache-first when an
+:class:`~repro.power.estimator.records.EstimationRecordCache` is
+attached: the record key binds backend id, query fingerprint, and the
+estimator code version, so a warm cache answers repeat queries with
+zero backend calls (``backend_calls`` stays flat — the acceptance
+test's lever) and any power-model edit structurally misses.
+
+Telemetry: ``estimator.dispatch`` counts routed queries,
+``estimator.cache.hit``/``estimator.cache.miss`` count cache outcomes.
+All three are declared in ``repro/obs/names.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.power.estimator.analytical import AnalyticalEstimator
+from repro.power.estimator.library import LibraryEstimator
+from repro.power.estimator.protocol import (
+    AccuracyEstimation,
+    Estimation,
+    Estimator,
+)
+from repro.power.estimator.query import EstimationQuery
+from repro.power.estimator.records import EstimationRecordCache, record_key
+
+__all__ = [
+    "ESTIMATOR_CHOICES",
+    "EstimatorRegistry",
+    "default_registry",
+]
+
+#: CLI-facing backend spec values: "auto" routes by accuracy, the rest
+#: force one backend.
+ESTIMATOR_CHOICES = ("auto", "analytical", "library")
+
+
+class EstimatorRegistry:
+    """Ordered backend set with accuracy-based dispatch and caching."""
+
+    def __init__(
+        self,
+        backends: Optional[Iterable[Estimator]] = None,
+        cache: Optional[EstimationRecordCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        forced_backend: Optional[str] = None,
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.cache = cache
+        #: Calls that actually reached a backend's estimate method,
+        #: per backend id.  A fully warm cache keeps these flat.
+        self.backend_calls: Dict[str, int] = {}
+        self._backends: Dict[str, Estimator] = {}
+        for backend in backends or ():
+            self.register(backend)
+        if forced_backend is not None and forced_backend != "auto":
+            if forced_backend not in self._backends:
+                raise ValidationError(
+                    f"forced estimator backend {forced_backend!r} is not "
+                    f"registered; have {sorted(self._backends)}"
+                )
+            self.forced_backend: Optional[str] = forced_backend
+        else:
+            self.forced_backend = None
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, backend: Estimator) -> None:
+        backend_id = backend.backend_id
+        if backend_id in self._backends:
+            raise ValidationError(
+                f"estimator backend {backend_id!r} is already registered"
+            )
+        self._backends[backend_id] = backend
+        self.backend_calls[backend_id] = 0
+
+    @property
+    def backend_ids(self) -> Tuple[str, ...]:
+        return tuple(self._backends)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def select(
+        self,
+        query: EstimationQuery,
+        backend_id: Optional[str] = None,
+    ) -> Tuple[Estimator, AccuracyEstimation]:
+        """The backend that will answer ``query`` and its accuracy.
+
+        With ``backend_id`` (or a registry-level ``forced_backend``)
+        the named backend must support the query; otherwise the
+        highest-accuracy supporter wins, ties going to the earlier
+        registration.
+        """
+        forced = backend_id if backend_id is not None else self.forced_backend
+        if forced is not None:
+            try:
+                backend = self._backends[forced]
+            except KeyError:
+                raise ValidationError(
+                    f"estimator backend {forced!r} is not registered; "
+                    f"have {sorted(self._backends)}"
+                ) from None
+            accuracy = backend.supports(query)
+            if not accuracy.supported:
+                raise ValidationError(
+                    f"backend {forced!r} does not support {query.describe()}"
+                )
+            return backend, accuracy
+        best: Optional[Tuple[Estimator, AccuracyEstimation]] = None
+        for backend in self._backends.values():
+            accuracy = backend.supports(query)
+            if not accuracy.supported:
+                continue
+            if best is None or accuracy > best[1]:
+                best = (backend, accuracy)
+        if best is None:
+            raise ValidationError(
+                f"no registered backend supports {query.describe()}; "
+                f"registered: {sorted(self._backends)}"
+            )
+        return best
+
+    def estimate(
+        self,
+        query: EstimationQuery,
+        backend_id: Optional[str] = None,
+    ) -> Estimation:
+        """Route one query: select, consult the cache, fall to backend."""
+        backend, _accuracy = self.select(query, backend_id=backend_id)
+        if self.telemetry.enabled:
+            self.telemetry.registry.inc("estimator.dispatch")
+        key = meta = None
+        if self.cache is not None:
+            key, meta = record_key(backend.backend_id, query)
+            cached = self.cache.get(key)
+            if cached is not None:
+                if self.telemetry.enabled:
+                    self.telemetry.registry.inc("estimator.cache.hit")
+                return cached
+            if self.telemetry.enabled:
+                self.telemetry.registry.inc("estimator.cache.miss")
+        if query.action == "area":
+            estimation = backend.estimate_area(query)
+        else:
+            estimation = backend.estimate_energy(query)
+        self.backend_calls[backend.backend_id] += 1
+        if self.cache is not None and key is not None and meta is not None:
+            self.cache.put(key, meta, estimation)
+        return estimation
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "backends": list(self._backends),
+            "forced_backend": self.forced_backend,
+            "backend_calls": dict(self.backend_calls),
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+
+def default_registry(
+    estimator: str = "auto",
+    cache_path: Optional[Union[str, "EstimationRecordCache"]] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> EstimatorRegistry:
+    """The standard two-backend registry, CLI-spec flavoured.
+
+    ``estimator`` is one of :data:`ESTIMATOR_CHOICES`; ``cache_path``
+    may be a path (a cache is built over it) or an already-constructed
+    :class:`EstimationRecordCache` to share between registries.
+    """
+    if estimator not in ESTIMATOR_CHOICES:
+        raise ValidationError(
+            f"unknown estimator spec {estimator!r}; "
+            f"choose from {ESTIMATOR_CHOICES}"
+        )
+    cache: Optional[EstimationRecordCache]
+    if cache_path is None:
+        cache = None
+    elif isinstance(cache_path, EstimationRecordCache):
+        cache = cache_path
+    else:
+        cache = EstimationRecordCache(cache_path, telemetry=telemetry)
+    return EstimatorRegistry(
+        backends=(AnalyticalEstimator(), LibraryEstimator()),
+        cache=cache,
+        telemetry=telemetry,
+        forced_backend=estimator,
+    )

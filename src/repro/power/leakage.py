@@ -64,5 +64,11 @@ class LeakageModel:
         power_6t = self.array_power_uw("6T", vdd_6t_min_mv)
         power_8t = self.array_power_uw("8T", vdd_8t_min_mv)
         if power_6t == 0:
-            return 0.0
+            # A zero-power 6T baseline (degenerate geometry or preset)
+            # makes the win fraction undefined; refuse rather than
+            # report "no win" and mislead the scaling comparison.
+            raise ValidationError(
+                "6T baseline leakage is zero; the 8T scaling-win "
+                "fraction is undefined against a zero-power baseline"
+            )
         return 1.0 - power_8t / power_6t

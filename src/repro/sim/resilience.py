@@ -268,6 +268,14 @@ class ExecutionPolicy:
     result_cache: Optional[Union[str, Path]] = None
     #: LRU size bound for the result store (None = unbounded).
     result_cache_max_bytes: Optional[int] = None
+    #: Energy/area estimator backend spec ("auto" routes each query to
+    #: the most accurate capable backend; "analytical"/"library" force
+    #: one).  Analysis producers that were not handed an explicit
+    #: registry consult this.
+    estimator: str = "auto"
+    #: Directory (or file) of the durable estimation-record cache
+    #: (None = estimates are recomputed every run).
+    estimator_cache: Optional[Union[str, Path]] = None
 
 
 _DEFAULT_POLICY = ExecutionPolicy()

@@ -28,7 +28,12 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-__all__ = ["ENV_CODE_VERSION", "RESULT_CODE_PATHS", "code_version"]
+__all__ = [
+    "ENV_CODE_VERSION",
+    "RESULT_CODE_PATHS",
+    "ESTIMATOR_CODE_PATHS",
+    "code_version",
+]
 
 #: Environment override: when set and non-empty, its value *is* the
 #: code version (truncated to 16 chars for uniform key material).
@@ -49,6 +54,20 @@ RESULT_CODE_PATHS = (
     "sim",
 )
 
+#: The estimator-result code surface: an estimation record is valid
+#: only while the power models (and the geometry code they derive
+#: from) are unchanged.  Deliberately *narrower* than
+#: :data:`RESULT_CODE_PATHS` — an edit to a controller invalidates
+#: simulated campaign rows but not cached energy/area estimates, and
+#: vice versa.
+ESTIMATOR_CODE_PATHS = (
+    "errors.py",
+    "cache/config.py",
+    "power",
+    "sram/geometry.py",
+    "sram/events.py",
+)
+
 #: Hex digits kept from the sha256 digest — plenty against accidental
 #: collision, short enough to read in ``cache stats`` output.
 VERSION_LENGTH = 16
@@ -62,8 +81,8 @@ def _package_root() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
-def _iter_source_files(root: Path):
-    for rel in RESULT_CODE_PATHS:
+def _iter_source_files(root: Path, paths):
+    for rel in paths:
         target = root / rel
         if target.is_file():
             yield rel, target
@@ -72,29 +91,35 @@ def _iter_source_files(root: Path):
                 yield str(path.relative_to(root)), path
 
 
-def code_version(root: Optional[Union[str, Path]] = None) -> str:
+def code_version(
+    root: Optional[Union[str, Path]] = None,
+    paths=RESULT_CODE_PATHS,
+) -> str:
     """Digest of the result-bearing source tree (16 hex chars).
 
     Deterministic in the file *contents* only — paths are hashed
     relative to the package root, so two checkouts of the same tree
     agree regardless of where they live.  The result is cached per
-    root; a long-running process keeps one stable version for its
-    lifetime (it runs one code build anyway).
+    (root, paths); a long-running process keeps one stable version for
+    its lifetime (it runs one code build anyway).  ``paths`` selects
+    the code surface: campaign results use :data:`RESULT_CODE_PATHS`,
+    estimation records the narrower :data:`ESTIMATOR_CODE_PATHS`.
     """
     override = os.environ.get(ENV_CODE_VERSION)
     if override:
         return override[:VERSION_LENGTH]
     root = Path(root).resolve() if root is not None else _package_root()
-    cached = _cache.get(str(root))
+    memo_key = f"{root}|{'|'.join(paths)}"
+    cached = _cache.get(memo_key)
     if cached is not None:
         return cached
     hasher = hashlib.sha256()
-    for rel, path in _iter_source_files(root):
+    for rel, path in _iter_source_files(root, paths):
         # Portable separators so the digest agrees across platforms.
         hasher.update(rel.replace(os.sep, "/").encode())
         hasher.update(b"\x00")
         hasher.update(path.read_bytes())
         hasher.update(b"\x00")
     version = hasher.hexdigest()[:VERSION_LENGTH]
-    _cache[str(root)] = version
+    _cache[memo_key] = version
     return version

@@ -27,6 +27,7 @@ class TestFrontDoor:
             "reliability",
             "dvfs_energy",
             "traffic",
+            "overheads",
         }
 
     def test_unknown_figure(self):

@@ -1,0 +1,109 @@
+"""The overhead reproduction report and its claim gate."""
+
+import pytest
+
+from repro.analysis.overheads import (
+    SET_BUFFER_OVERHEAD_LIMIT_PCT,
+    TAG_BUFFER_BITS_LIMIT,
+    check_overhead_claims,
+    overhead_report,
+)
+from repro.analysis.result import FigureResult
+from repro.power.estimator import default_registry
+
+FAST = dict(accesses=2000, benchmarks=("bwaves", "mcf"))
+
+
+class TestClaims:
+    def test_both_backends_reproduce_the_paper(self):
+        result = overhead_report(**FAST)
+        backends = {row[0] for row in result.rows}
+        assert backends == {"analytical", "library"}
+        for row in result.rows:
+            backend, set_buffer_pct, tag_bits = row[0], row[1], row[2]
+            assert set_buffer_pct < SET_BUFFER_OVERHEAD_LIMIT_PCT, backend
+            assert tag_bits < TAG_BUFFER_BITS_LIMIT, backend
+        assert check_overhead_claims(result) == []
+
+    def test_buffers_pay_for_themselves(self):
+        result = overhead_report(**FAST)
+        for row in result.rows:
+            rmw_fj, wg_fj, wgrb_fj = row[3], row[4], row[5]
+            assert wgrb_fj < wg_fj < rmw_fj
+        assert result.summary["wgrb_vs_rmw_saving_pct"] > 0.0
+
+    def test_forced_backend_restricts_the_rows(self):
+        result = overhead_report(estimator="library", **FAST)
+        assert [row[0] for row in result.rows] == ["library"]
+
+    def test_summary_is_the_worst_case(self):
+        result = overhead_report(**FAST)
+        assert result.summary["set_buffer_overhead_pct"] == pytest.approx(
+            max(row[1] for row in result.rows)
+        )
+        assert result.summary["tag_buffer_bits"] == pytest.approx(
+            max(row[2] for row in result.rows)
+        )
+
+
+class TestGate:
+    def _result(self, **summary):
+        defaults = {
+            "set_buffer_overhead_pct": 0.19,
+            "tag_buffer_bits": 145.0,
+            "wgrb_vs_rmw_saving_pct": 10.0,
+        }
+        defaults.update(summary)
+        return FigureResult(
+            figure_id="overheads",
+            title="t",
+            headers=("backend",),
+            rows=[("library",)],
+            summary=defaults,
+            paper_values={},
+        )
+
+    def test_passes_when_under_the_bounds(self):
+        assert check_overhead_claims(self._result()) == []
+
+    def test_each_breach_is_named(self):
+        violations = check_overhead_claims(
+            self._result(
+                set_buffer_overhead_pct=0.3,
+                tag_buffer_bits=160.0,
+                wgrb_vs_rmw_saving_pct=-1.0,
+            )
+        )
+        assert len(violations) == 3
+        assert any("Set-Buffer" in v for v in violations)
+        assert any("Tag-Buffer" in v for v in violations)
+
+    def test_empty_report_is_a_violation(self):
+        empty = FigureResult(
+            figure_id="overheads",
+            title="t",
+            headers=(),
+            rows=[],
+            summary={},
+            paper_values={},
+        )
+        assert check_overhead_claims(empty) == ["report contains no backend rows"]
+
+
+class TestWarmCache:
+    def test_second_run_is_served_entirely_from_records(self, tmp_path):
+        """The ISSUE 8 acceptance criterion: a warm second run makes
+        zero backend estimate calls — every estimation is a record."""
+        cold = default_registry(cache_path=str(tmp_path))
+        first = overhead_report(estimator=cold, **FAST)
+        assert sum(cold.backend_calls.values()) > 0
+        assert cold.cache.counters["hits"] == 0
+
+        warm = default_registry(cache_path=str(tmp_path))
+        second = overhead_report(estimator=warm, **FAST)
+        assert warm.backend_calls == {"analytical": 0, "library": 0}
+        assert warm.cache.counters["misses"] == 0
+        assert warm.cache.counters["hits"] == sum(
+            cold.backend_calls.values()
+        )
+        assert second.rows == first.rows

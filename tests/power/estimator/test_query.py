@@ -1,0 +1,105 @@
+"""EstimationQuery: validation, canonical payloads, fingerprints."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY, CacheGeometry
+from repro.errors import ValidationError
+from repro.power.estimator import EstimationQuery
+from repro.sram.events import SRAMEventLog
+
+
+def _events(reads=5, writes=2):
+    log = SRAMEventLog()
+    for _ in range(reads):
+        log.record_row_read(words_routed=1)
+    for _ in range(writes):
+        log.record_row_write(words_driven=16)
+    return log
+
+
+class TestValidation:
+    def test_unknown_action(self):
+        with pytest.raises(ValidationError, match="unknown estimation action"):
+            EstimationQuery(
+                action="phase_noise",
+                cell_kind="8T",
+                node_nm=45,
+                geometry=BASELINE_GEOMETRY,
+            )
+
+    def test_unknown_cell(self):
+        with pytest.raises(ValidationError, match="unknown cell kind"):
+            EstimationQuery.area(BASELINE_GEOMETRY, cell_kind="12T")
+
+    def test_dynamic_energy_requires_events(self):
+        with pytest.raises(ValidationError, match="event counts"):
+            EstimationQuery(
+                action="dynamic_energy",
+                cell_kind="8T",
+                node_nm=45,
+                geometry=BASELINE_GEOMETRY,
+            )
+
+    def test_leakage_requires_vdd(self):
+        with pytest.raises(ValidationError, match="vdd_mv"):
+            EstimationQuery(
+                action="leakage_power",
+                cell_kind="8T",
+                node_nm=45,
+                geometry=BASELINE_GEOMETRY,
+            )
+
+    def test_non_positive_vdd(self):
+        with pytest.raises(ValidationError):
+            EstimationQuery.leakage_power(BASELINE_GEOMETRY, vdd_mv=0.0)
+
+
+class TestEventRoundtrip:
+    def test_event_log_rebuilds_exactly(self):
+        events = _events()
+        query = EstimationQuery.dynamic_energy(events, BASELINE_GEOMETRY)
+        assert query.event_log().to_dict() == events.to_dict()
+
+    def test_area_query_carries_no_events(self):
+        query = EstimationQuery.area(BASELINE_GEOMETRY)
+        with pytest.raises(ValidationError, match="no event counts"):
+            query.event_log()
+
+
+class TestFingerprint:
+    def test_same_question_same_fingerprint(self):
+        first = EstimationQuery.dynamic_energy(_events(), BASELINE_GEOMETRY)
+        second = EstimationQuery.dynamic_energy(_events(), BASELINE_GEOMETRY)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_any_axis_changes_fingerprint(self):
+        base = EstimationQuery.area(BASELINE_GEOMETRY)
+        variants = (
+            EstimationQuery.area(BASELINE_GEOMETRY, cell_kind="6T"),
+            EstimationQuery.area(BASELINE_GEOMETRY, node_nm=32),
+            EstimationQuery.area(
+                CacheGeometry(
+                    size_bytes=32 * 1024, associativity=4, block_bytes=32
+                )
+            ),
+            EstimationQuery.leakage_power(BASELINE_GEOMETRY, vdd_mv=800.0),
+        )
+        fingerprints = {q.fingerprint() for q in variants}
+        assert base.fingerprint() not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_event_counts_feed_the_fingerprint(self):
+        light = EstimationQuery.dynamic_energy(
+            _events(reads=1), BASELINE_GEOMETRY
+        )
+        heavy = EstimationQuery.dynamic_energy(
+            _events(reads=100), BASELINE_GEOMETRY
+        )
+        assert light.fingerprint() != heavy.fingerprint()
+
+    def test_describe_names_the_question(self):
+        query = EstimationQuery.leakage_power(BASELINE_GEOMETRY, vdd_mv=700.0)
+        text = query.describe()
+        assert "leakage_power" in text
+        assert "8T@45nm" in text
+        assert "64KB/4-way/32B" in text

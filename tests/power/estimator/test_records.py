@@ -1,0 +1,140 @@
+"""Estimation-record cache: keys, persistence, damage tolerance."""
+
+import json
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY
+from repro.obs.telemetry import Telemetry
+from repro.power.estimator import (
+    Estimation,
+    EstimationQuery,
+    EstimationRecordCache,
+)
+from repro.power.estimator.records import (
+    RECORDS_FILENAME,
+    estimator_code_version,
+    record_key,
+)
+from repro.store.keys import digest
+from repro.store.version import ENV_CODE_VERSION
+
+
+def _query():
+    return EstimationQuery.area(BASELINE_GEOMETRY)
+
+
+def _estimation(total=123.0):
+    return Estimation(
+        values={"total_fj": total},
+        accuracy_pct=85.0,
+        backend="library",
+    )
+
+
+class TestRecordKey:
+    def test_deterministic(self):
+        assert record_key("library", _query()) == record_key(
+            "library", _query()
+        )
+
+    def test_backend_is_part_of_identity(self):
+        assert (
+            record_key("library", _query())[0]
+            != record_key("analytical", _query())[0]
+        )
+
+    def test_key_is_digest_of_meta(self):
+        key, meta = record_key("library", _query())
+        assert key == digest(meta)
+        assert meta["kind"] == "estimation"
+        assert meta["code"] == estimator_code_version()
+
+    def test_code_version_rotates_the_key(self, monkeypatch):
+        before = record_key("library", _query())[0]
+        monkeypatch.setenv(ENV_CODE_VERSION, "deadbeefcafe0000")
+        after = record_key("library", _query())[0]
+        assert before != after
+
+
+class TestRoundtrip:
+    def test_put_then_get_marks_cached(self, tmp_path):
+        cache = EstimationRecordCache(tmp_path)
+        key, meta = record_key("library", _query())
+        assert cache.get(key) is None
+        cache.put(key, meta, _estimation())
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.cached is True
+        assert loaded["total_fj"] == 123.0
+        assert cache.counters["hits"] == 1
+        assert cache.counters["misses"] == 1
+        assert cache.counters["puts"] == 1
+
+    def test_directory_path_gets_the_standard_filename(self, tmp_path):
+        cache = EstimationRecordCache(tmp_path)
+        assert cache.path == tmp_path / RECORDS_FILENAME
+
+    def test_persists_across_instances(self, tmp_path):
+        key, meta = record_key("library", _query())
+        EstimationRecordCache(tmp_path).put(key, meta, _estimation(7.0))
+        reloaded = EstimationRecordCache(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.get(key)["total_fj"] == 7.0
+
+    def test_last_writer_wins(self, tmp_path):
+        key, meta = record_key("library", _query())
+        first = EstimationRecordCache(tmp_path)
+        first.put(key, meta, _estimation(1.0))
+        first.put(key, meta, _estimation(2.0))
+        assert EstimationRecordCache(tmp_path).get(key)["total_fj"] == 2.0
+
+
+class TestDamage:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        key, meta = record_key("library", _query())
+        cache = EstimationRecordCache(tmp_path)
+        cache.put(key, meta, _estimation())
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "meta": {"tr')  # torn mid-write
+        reloaded = EstimationRecordCache(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.counters["skipped_lines"] == 1
+        assert reloaded.get(key) is not None
+
+    def test_tampered_meta_fails_digest_check(self, tmp_path):
+        key, meta = record_key("library", _query())
+        cache = EstimationRecordCache(tmp_path)
+        cache.put(key, meta, _estimation())
+        document = json.loads(cache.path.read_text().splitlines()[0])
+        document["meta"]["backend"] = "somebody-else"
+        cache.path.write_text(json.dumps(document) + "\n")
+        reloaded = EstimationRecordCache(tmp_path)
+        assert len(reloaded) == 0
+        assert reloaded.counters["skipped_lines"] == 1
+
+    def test_unwritable_cache_degrades_to_warning(self, tmp_path):
+        target = tmp_path / "records.jsonl"
+        target.mkdir()  # a directory where the file should be -> OSError
+        telemetry = Telemetry(enabled=True)
+        cache = EstimationRecordCache(target / "nope.jsonl", telemetry)
+        cache.path = target  # open() on a directory raises OSError
+        key, meta = record_key("library", _query())
+        persisted = cache.put(key, meta, _estimation())
+        assert persisted is False
+        assert cache.counters["write_failures"] == 1
+        # The record is still served from memory for this process.
+        assert cache.get(key) is not None
+        assert (
+            telemetry.registry.value("warning.estimator.cache_unwritable")
+            == 1
+        )
+
+
+class TestStats:
+    def test_stats_shape(self, tmp_path):
+        cache = EstimationRecordCache(tmp_path)
+        stats = cache.stats()
+        assert stats["records"] == 0
+        assert stats["code_version"] == estimator_code_version()
+        assert set(cache.counters) <= set(stats)

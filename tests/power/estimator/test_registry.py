@@ -1,0 +1,126 @@
+"""Registry dispatch, forcing, caching, and telemetry."""
+
+import pytest
+
+from repro.cache.config import BASELINE_GEOMETRY
+from repro.errors import ValidationError
+from repro.obs.telemetry import Telemetry
+from repro.power.estimator import (
+    AnalyticalEstimator,
+    EstimationQuery,
+    EstimationRecordCache,
+    EstimatorRegistry,
+    LibraryEstimator,
+    default_registry,
+)
+from repro.store.version import ENV_CODE_VERSION
+
+
+def _area(cell_kind="8T", node_nm=45):
+    return EstimationQuery.area(
+        BASELINE_GEOMETRY, cell_kind=cell_kind, node_nm=node_nm
+    )
+
+
+class TestDispatch:
+    def test_auto_prefers_the_more_accurate_library(self):
+        registry = default_registry()
+        backend, accuracy = registry.select(_area())
+        assert backend.backend_id == "library"
+        assert accuracy.percent == 85.0
+
+    def test_uncharacterised_macro_falls_back_to_analytical(self):
+        # 6T at 32 nm is deliberately absent from the library.
+        registry = default_registry()
+        backend, _ = registry.select(_area(cell_kind="6T", node_nm=32))
+        assert backend.backend_id == "analytical"
+
+    def test_9t_is_library_only(self):
+        registry = default_registry()
+        backend, _ = registry.select(_area(cell_kind="9T"))
+        assert backend.backend_id == "library"
+        with pytest.raises(ValidationError, match="does not support"):
+            registry.select(_area(cell_kind="9T"), backend_id="analytical")
+
+    def test_no_capable_backend_is_loud(self):
+        registry = EstimatorRegistry(backends=(AnalyticalEstimator(),))
+        with pytest.raises(ValidationError, match="no registered backend"):
+            registry.select(_area(cell_kind="9T"))
+
+    def test_forced_backend_is_honoured(self):
+        registry = default_registry("analytical")
+        estimation = registry.estimate(_area())
+        assert estimation.backend == "analytical"
+
+    def test_unknown_forced_backend(self):
+        with pytest.raises(ValidationError, match="not registered"):
+            default_registry().select(_area(), backend_id="spice")
+        with pytest.raises(ValidationError, match="not registered"):
+            EstimatorRegistry(
+                backends=(LibraryEstimator(),), forced_backend="spice"
+            )
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValidationError, match="unknown estimator spec"):
+            default_registry("vibes")
+
+    def test_duplicate_registration(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            EstimatorRegistry(
+                backends=(LibraryEstimator(), LibraryEstimator())
+            )
+
+
+class TestCaching:
+    def test_cache_first_with_telemetry(self, tmp_path):
+        telemetry = Telemetry(enabled=True)
+        registry = default_registry(
+            cache_path=str(tmp_path), telemetry=telemetry
+        )
+        cold = registry.estimate(_area())
+        warm = registry.estimate(_area())
+        assert cold.cached is False
+        assert warm.cached is True
+        assert warm.values == cold.values
+        assert registry.backend_calls["library"] == 1
+        assert telemetry.registry.value("estimator.dispatch") == 2
+        assert telemetry.registry.value("estimator.cache.miss") == 1
+        assert telemetry.registry.value("estimator.cache.hit") == 1
+
+    def test_warm_cache_means_zero_backend_calls(self, tmp_path):
+        default_registry(cache_path=str(tmp_path)).estimate(_area())
+        rebuilt = default_registry(cache_path=str(tmp_path))
+        rebuilt.estimate(_area())
+        assert rebuilt.backend_calls == {"analytical": 0, "library": 0}
+
+    def test_code_version_rotation_invalidates(self, tmp_path, monkeypatch):
+        cache = EstimationRecordCache(tmp_path)
+        first = EstimatorRegistry(
+            backends=(LibraryEstimator(),), cache=cache
+        )
+        first.estimate(_area())
+        monkeypatch.setenv(ENV_CODE_VERSION, "feedface00000000")
+        second = EstimatorRegistry(
+            backends=(LibraryEstimator(),),
+            cache=EstimationRecordCache(tmp_path),
+        )
+        second.estimate(_area())
+        # The persisted record is structurally unreachable under the
+        # new code version: the backend had to be called again.
+        assert second.backend_calls["library"] == 1
+
+    def test_per_backend_records_are_distinct(self, tmp_path):
+        registry = default_registry(cache_path=str(tmp_path))
+        library = registry.estimate(_area(), backend_id="library")
+        analytical = registry.estimate(_area(), backend_id="analytical")
+        assert library.backend == "library"
+        assert analytical.backend == "analytical"
+        assert registry.cache is not None and len(registry.cache) == 2
+
+    def test_stats_shape(self, tmp_path):
+        registry = default_registry("library", cache_path=str(tmp_path))
+        registry.estimate(_area())
+        stats = registry.stats()
+        assert stats["forced_backend"] == "library"
+        assert stats["backend_calls"]["library"] == 1
+        assert stats["cache"]["puts"] == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.power.energy import EnergyModel
 from repro.power.params import TECH_45NM
 from repro.sram.events import SRAMEventLog
@@ -80,8 +81,18 @@ class TestSavings:
         saving = model.savings_vs(improved, baseline)
         assert 0.85 < saving < 1.0
 
-    def test_zero_baseline(self, model):
-        assert model.savings_vs(SRAMEventLog(), SRAMEventLog()) == 0.0
+    def test_zero_baseline_raises(self, model):
+        """An empty baseline log has zero energy; a savings fraction
+        against it is undefined and must fail loudly, not read as
+        'no savings'."""
+        with pytest.raises(ValidationError):
+            model.savings_vs(SRAMEventLog(), SRAMEventLog())
+
+    def test_zero_baseline_raises_even_with_real_events(self, model):
+        improved = SRAMEventLog()
+        improved.record_row_read(1)
+        with pytest.raises(ValidationError):
+            model.savings_vs(improved, SRAMEventLog())
 
     def test_identical_logs_save_nothing(self, model):
         log = SRAMEventLog()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.power.leakage import LeakageModel
 from repro.power.params import TECH_45NM
 from repro.power.voltage import vmin_mv
@@ -57,3 +58,16 @@ class TestScalingWin:
     def test_no_win_at_equal_voltage(self, model):
         win = model.scaling_win_fraction(1000.0, 1000.0)
         assert win < 0.0  # 8T strictly worse at the same Vdd
+
+    def test_zero_power_baseline_raises(self):
+        """A degenerate 6T preset (zero leakage) makes the win fraction
+        undefined; it must raise, not report 'no win'."""
+        from repro.power.params import TechnologyParams
+        from dataclasses import replace
+
+        zero_leak = replace(TECH_45NM, leak_per_cell_6t_pw=0.0)
+        model = LeakageModel(
+            zero_leak, ArrayGeometry(rows=4, words_per_row=4)
+        )
+        with pytest.raises(ValidationError):
+            model.scaling_win_fraction(1000.0, 1000.0)

@@ -13,8 +13,8 @@ def no_ambient_override(monkeypatch):
 
 
 def fresh_version(root):
-    """The version is memoized per root; drop the memo to recompute."""
-    version_mod._cache.pop(str(root.resolve()), None)
+    """The version is memoized per (root, paths); drop it to recompute."""
+    version_mod._cache.clear()
     return code_version(root=root)
 
 
@@ -59,3 +59,36 @@ def test_version_ignores_result_free_paths(tmp_path):
     before = fresh_version(pkg)
     (pkg / "obs" / "telemetry.py").write_text("Y = 9\n")
     assert fresh_version(pkg) == before
+
+
+def test_estimator_surface_is_independent(tmp_path):
+    """Controller edits rotate campaign keys only; power-model edits
+    rotate estimation keys only — the two caches invalidate apart."""
+    pkg = tmp_path / "pkg"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "power").mkdir()
+    (pkg / "core" / "ctrl.py").write_text("X = 1\n")
+    (pkg / "power" / "energy.py").write_text("E = 1\n")
+    version_mod._cache.clear()
+    campaign_before = code_version(root=pkg)
+    estimator_before = code_version(
+        root=pkg, paths=version_mod.ESTIMATOR_CODE_PATHS
+    )
+    assert campaign_before != estimator_before
+
+    (pkg / "core" / "ctrl.py").write_text("X = 2\n")
+    version_mod._cache.clear()
+    assert code_version(root=pkg) != campaign_before
+    assert (
+        code_version(root=pkg, paths=version_mod.ESTIMATOR_CODE_PATHS)
+        == estimator_before
+    )
+
+    campaign_mid = code_version(root=pkg)
+    (pkg / "power" / "energy.py").write_text("E = 2\n")
+    version_mod._cache.clear()
+    assert code_version(root=pkg) == campaign_mid
+    assert (
+        code_version(root=pkg, paths=version_mod.ESTIMATOR_CODE_PATHS)
+        != estimator_before
+    )

@@ -655,3 +655,55 @@ class TestPerfObservatory:
         )
         capsys.readouterr()
         assert "ledger is empty" in out.read_text(encoding="utf-8")
+
+
+class TestPowerSubcommand:
+    FAST = ["--accesses", "2000", "--benchmarks", "bwaves", "mcf"]
+
+    def test_claims_verified_exit_zero(self, capsys):
+        assert main(["power", *self.FAST]) == 0
+        output = capsys.readouterr().out
+        assert "Set-Buffer %" in output
+        assert "all overhead claims verified" in output
+        assert "backend calls" in output
+
+    def test_forced_library_backend(self, capsys):
+        assert main(["power", "--estimator", "library", *self.FAST]) == 0
+        output = capsys.readouterr().out
+        assert "library" in output
+        assert "analytical=0" in output  # forced: analytical never called
+        assert "\nanalytical" not in output  # and it gets no table row
+
+    def test_json_document_and_warm_cache(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "overheads.json"
+        cache = tmp_path / "cache"
+        argv = [
+            "power",
+            "--estimator-cache", str(cache),
+            "--json", str(report),
+            *self.FAST,
+        ]
+        assert main(argv) == 0
+        document = json.loads(report.read_text(encoding="utf-8"))
+        assert document["violations"] == []
+        assert document["summary"]["set_buffer_overhead_pct"] < 0.2
+        assert document["summary"]["tag_buffer_bits"] < 150.0
+        assert document["estimator"]["cache"]["hits"] == 0
+
+        assert main(argv) == 0
+        capsys.readouterr()
+        warm = json.loads(report.read_text(encoding="utf-8"))
+        calls = warm["estimator"]["backend_calls"]
+        assert calls == {"analytical": 0, "library": 0}
+        assert warm["estimator"]["cache"]["misses"] == 0
+        assert warm["rows"] == document["rows"]
+
+    def test_unknown_estimator_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["power", "--estimator", "spice"])
+
+    def test_estimator_flags_on_figure(self, capsys):
+        assert main(["figure", "sec5.4", "--estimator", "analytical"]) == 0
+        assert "Tag-Buffer" in capsys.readouterr().out
