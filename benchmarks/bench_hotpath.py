@@ -48,17 +48,41 @@ def main(argv=None) -> int:
         "--out", default="BENCH_hotpath.json", help="report output path"
     )
     parser.add_argument(
+        "--engine",
+        action="append",
+        dest="engines",
+        choices=["scalar", "batched", "columnar"],
+        help="engine tier to measure (repeatable); scalar and batched "
+        "are always timed, '--engine columnar' adds the columnar tier "
+        "(needs NumPy; skipped with a warning when absent)",
+    )
+    parser.add_argument(
         "--no-floors",
         action="store_true",
         help="measure only; never fail on a speedup regression",
     )
     args = parser.parse_args(argv)
 
+    engines = {"scalar", "batched"}
+    engines.update(args.engines or ())
+    if "columnar" in engines:
+        from repro.engine.columnar import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            print(
+                "warning: --engine columnar requested but NumPy is not "
+                "installed (pip install repro-8t[columnar]); skipping "
+                "the columnar tier",
+                file=sys.stderr,
+            )
+            engines.discard("columnar")
+
     results = run_hotpath_bench(
         accesses=args.accesses,
         benchmark=args.benchmark,
         seed=args.seed,
         repeats=args.repeats,
+        engines=sorted(engines),
     )
     floors = None if args.no_floors else SPEEDUP_FLOORS
     report = bench_report(
@@ -72,11 +96,17 @@ def main(argv=None) -> int:
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
     for result in results:
-        print(
+        line = (
             f"{result.technique:<14} scalar {result.scalar_aps:>12,.0f}/s   "
             f"batched {result.batched_aps:>12,.0f}/s   "
             f"speedup {result.speedup:.2f}x"
         )
+        if result.columnar_seconds is not None:
+            line += (
+                f"   columnar {result.columnar_aps:>12,.0f}/s   "
+                f"col/batched {result.columnar_speedup:.2f}x"
+            )
+        print(line)
     print(f"wrote {args.out}")
     if report["regressions"]:
         for regression in report["regressions"]:

@@ -1,12 +1,14 @@
-"""Three-way differential check: oracle vs scalar engine vs batched engine.
+"""Four-way differential check: oracle vs scalar vs batched vs columnar.
 
 One :func:`run_differential` call replays a single trace through
 
 * the :class:`repro.check.oracle.ReferenceOracle` (independent model),
-* the scalar engine (``CacheController.process`` per record), and
-* the batched engine (``Simulator(engine="batched")``),
+* the scalar engine (``CacheController.process`` per record),
+* the batched engine (``Simulator(engine="batched")``), and
+* the columnar engine (``Simulator(engine="columnar")``) whenever
+  NumPy is installed — the leg is skipped silently without it,
 
-then compares every observable the three models share: per-read values
+then compares every observable the models share: per-read values
 (oracle vs scalar, access by access), circuit events, operation counts,
 hit/miss statistics, and the final memory image after draining the
 controller and flushing every dirty line.  The return value is a flat
@@ -24,6 +26,7 @@ from repro.cache.config import CacheGeometry
 from repro.cache.memory import FunctionalMemory
 from repro.check.oracle import ORACLE_TECHNIQUES, OracleRun, ReferenceOracle
 from repro.core.registry import make_controller
+from repro.engine.columnar import HAVE_NUMPY
 from repro.sim.simulator import Simulator
 from repro.trace.record import MemoryAccess
 
@@ -64,15 +67,16 @@ def _run_scalar(
     return controller, cache, outcomes, memory.snapshot()
 
 
-def _run_batched(
+def _run_engine(
     trace: Sequence[MemoryAccess],
     technique: str,
     geometry: CacheGeometry,
     kwargs: Dict[str, object],
     batch_size: Optional[int],
+    engine: str,
 ):
     simulator = Simulator(
-        technique, geometry, engine="batched", batch_size=batch_size, **kwargs
+        technique, geometry, engine=engine, batch_size=batch_size, **kwargs
     )
     simulator.feed(list(trace))
     result = simulator.finish()
@@ -125,39 +129,44 @@ def run_differential(
     controller, cache, outcomes, scalar_memory = _run_scalar(
         trace, technique, geometry, kwargs, invariants
     )
-    batched, batched_memory = _run_batched(
-        trace, technique, geometry, kwargs, batch_size
-    )
 
     divergences: List[str] = []
 
-    # -- scalar vs batched: must be bit-identical ---------------------------
-    divergences += _diff_mapping(
-        "scalar-vs-batched events",
-        controller.events.to_dict(),
-        batched.events.to_dict(),
-    )
-    divergences += _diff_mapping(
-        "scalar-vs-batched counts",
-        _as_dict(controller.counts),
-        _as_dict(batched.counts),
-    )
-    divergences += _diff_mapping(
-        "scalar-vs-batched stats",
-        _as_dict(cache.stats),
-        _as_dict(batched.cache_stats),
-    )
-    if scalar_memory != batched_memory:
-        delta = {
-            word
-            for word in set(scalar_memory) | set(batched_memory)
-            if scalar_memory.get(word, 0) != batched_memory.get(word, 0)
-        }
-        divergences.append(
-            "scalar-vs-batched memory: "
-            f"{len(delta)} word(s) differ, first at word "
-            f"{min(delta)}"
+    # -- scalar vs batched / columnar: must be bit-identical ----------------
+    engines = ["batched"]
+    if HAVE_NUMPY:
+        engines.append("columnar")
+    for engine in engines:
+        candidate, candidate_memory = _run_engine(
+            trace, technique, geometry, kwargs, batch_size, engine
         )
+        label = f"scalar-vs-{engine}"
+        divergences += _diff_mapping(
+            f"{label} events",
+            controller.events.to_dict(),
+            candidate.events.to_dict(),
+        )
+        divergences += _diff_mapping(
+            f"{label} counts",
+            _as_dict(controller.counts),
+            _as_dict(candidate.counts),
+        )
+        divergences += _diff_mapping(
+            f"{label} stats",
+            _as_dict(cache.stats),
+            _as_dict(candidate.cache_stats),
+        )
+        if scalar_memory != candidate_memory:
+            delta = {
+                word
+                for word in set(scalar_memory) | set(candidate_memory)
+                if scalar_memory.get(word, 0) != candidate_memory.get(word, 0)
+            }
+            divergences.append(
+                f"{label} memory: "
+                f"{len(delta)} word(s) differ, first at word "
+                f"{min(delta)}"
+            )
 
     # -- oracle vs scalar ---------------------------------------------------
     if technique in ORACLE_TECHNIQUES:

@@ -599,18 +599,33 @@ def _cmd_profile(args) -> int:
 
 
 def _print_bench_table(args, results) -> None:
+    with_columnar = any(
+        result.columnar_seconds is not None for result in results
+    )
+    headers = ["technique", "scalar acc/s", "batched acc/s", "speedup"]
+    if with_columnar:
+        headers += ["columnar acc/s", "col/batched"]
+    rows = []
+    for result in results:
+        row = [
+            result.technique,
+            f"{result.scalar_aps:,.0f}",
+            f"{result.batched_aps:,.0f}",
+            f"{result.speedup:.2f}x",
+        ]
+        if with_columnar:
+            if result.columnar_seconds is not None:
+                row += [
+                    f"{result.columnar_aps:,.0f}",
+                    f"{result.columnar_speedup:.2f}x",
+                ]
+            else:
+                row += ["-", "-"]
+        rows.append(tuple(row))
     print(
         format_table(
-            ("technique", "scalar acc/s", "batched acc/s", "speedup"),
-            [
-                (
-                    result.technique,
-                    f"{result.scalar_aps:,.0f}",
-                    f"{result.batched_aps:,.0f}",
-                    f"{result.speedup:.2f}x",
-                )
-                for result in results
-            ],
+            tuple(headers),
+            rows,
             title=(
                 f"hot-path throughput: {args.benchmark}, "
                 f"{args.accesses} accesses on {args.geometry.describe()}"
@@ -659,6 +674,19 @@ def _append_bench_history(args, results, env, timestamp) -> None:
 def _cmd_bench(args) -> int:
     from repro.engine.bench import run_hotpath_bench
 
+    engines = {"scalar", "batched"}
+    engines.update(getattr(args, "engines", None) or ())
+    if "columnar" in engines:
+        from repro.engine.columnar import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            print(
+                "warning: --engine columnar requested but NumPy is not "
+                "installed (pip install repro-8t[columnar]); skipping the "
+                "columnar tier",
+                file=sys.stderr,
+            )
+            engines.discard("columnar")
     results = run_hotpath_bench(
         techniques=tuple(args.techniques),
         accesses=args.accesses,
@@ -667,6 +695,7 @@ def _cmd_bench(args) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         repeats=args.repeats,
+        engines=sorted(engines),
     )
     _print_bench_table(args, results)
     env = timestamp = None
@@ -1093,7 +1122,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser(
         "bench",
-        help="hot-path throughput: scalar vs batched engine",
+        help="hot-path throughput: scalar vs batched vs columnar engine",
     )
     sub.add_argument(
         "benchmark", nargs="?", default="bwaves", choices=benchmark_names()
@@ -1108,6 +1137,18 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["conventional", "rmw", "wg", "wg_rb"],
         choices=ALL_CONTROLLER_NAMES,
+    )
+    sub.add_argument(
+        "--engine",
+        action="append",
+        dest="engines",
+        choices=["scalar", "batched", "columnar"],
+        metavar="ENGINE",
+        help=(
+            "engine tier to measure (repeatable); scalar and batched are "
+            "always timed, '--engine columnar' adds the columnar tier "
+            "(needs NumPy; skipped with a warning when absent)"
+        ),
     )
     sub.add_argument(
         "--batch-size", type=int, help="records per batch (default 4096)"

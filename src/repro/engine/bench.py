@@ -1,11 +1,21 @@
-"""Hot-path throughput benchmark: scalar vs batched engine.
+"""Hot-path throughput benchmark: scalar vs batched vs columnar engine.
 
-Replays one synthetic workload through every requested technique twice
-— once through the scalar ``process()`` loop, once through the batched
-``process_batch()`` engine — and reports accesses/second for each.  As
-a side effect every run cross-checks the two engines' event logs, so a
-benchmark run doubles as an end-to-end equivalence check on a real
-workload.
+Replays one synthetic workload through every requested technique —
+once through the scalar ``process()`` loop, once through the batched
+``process_batch()`` engine, and (on request, NumPy permitting) once
+through the columnar ``process_chunk()`` engine — and reports
+accesses/second for each.  As a side effect every run cross-checks the
+engines' event logs, so a benchmark run doubles as an end-to-end
+equivalence check on a real workload.
+
+Methodology: every engine is timed on pre-decoded input.  The scalar
+engine consumes materialized records, the batched engine pre-built
+:class:`AccessBatch` lists, the columnar engine pre-built
+:class:`ColumnarChunk` arrays with their grouped projection
+pre-computed — the projection is a pure trace transform cached on the
+chunk and shared across techniques (see
+:meth:`repro.engine.columnar.ColumnarChunk.grouped`), so it belongs to
+the decode stage the benchmark deliberately excludes.
 
 Entry points: ``repro-8t bench`` (CLI) and
 ``benchmarks/bench_hotpath.py`` (writes ``BENCH_hotpath.json`` for the
@@ -30,17 +40,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.cache import SetAssociativeCache
     from repro.sram.events import SRAMEventLog
 
-__all__ = ["BenchResult", "run_hotpath_bench", "bench_report"]
+__all__ = ["BENCH_ENGINES", "BenchResult", "run_hotpath_bench", "bench_report"]
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Throughput of one technique under both engines."""
+    """Throughput of one technique under the measured engines.
+
+    ``columnar_seconds`` is ``None`` when the columnar engine was not
+    measured (not requested, or NumPy absent); ``to_dict`` omits the
+    columnar keys in that case so existing snapshot consumers see the
+    exact historical shape.
+    """
 
     technique: str
     accesses: int
     scalar_seconds: float
     batched_seconds: float
+    columnar_seconds: Optional[float] = None
 
     @property
     def scalar_aps(self) -> float:
@@ -57,8 +74,22 @@ class BenchResult:
         """Batched over scalar throughput."""
         return self.scalar_seconds / self.batched_seconds if self.batched_seconds else 0.0
 
+    @property
+    def columnar_aps(self) -> float:
+        """Columnar accesses/second (0.0 when not measured)."""
+        if not self.columnar_seconds:
+            return 0.0
+        return self.accesses / self.columnar_seconds
+
+    @property
+    def columnar_speedup(self) -> float:
+        """Columnar over *batched* throughput (0.0 when not measured)."""
+        if not self.columnar_seconds:
+            return 0.0
+        return self.batched_seconds / self.columnar_seconds
+
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "technique": self.technique,
             "accesses": self.accesses,
             "scalar_seconds": self.scalar_seconds,
@@ -67,6 +98,11 @@ class BenchResult:
             "batched_accesses_per_second": self.batched_aps,
             "speedup": self.speedup,
         }
+        if self.columnar_seconds is not None:
+            doc["columnar_seconds"] = self.columnar_seconds
+            doc["columnar_accesses_per_second"] = self.columnar_aps
+            doc["columnar_speedup"] = self.columnar_speedup
+        return doc
 
 
 def _time_scalar(
@@ -99,10 +135,35 @@ def _time_batched(
     return elapsed, controller.events
 
 
+def _time_columnar(
+    technique: str,
+    trace: Sequence[MemoryAccess],
+    geometry: CacheGeometry,
+    batch_size: Optional[int],
+) -> Tuple[float, "SRAMEventLog"]:
+    from repro.engine.columnar import iter_chunks, process_chunk
+
+    controller = make_controller(technique, _fresh_cache(geometry))
+    chunks = list(iter_chunks(trace, geometry, batch_size))
+    for chunk in chunks:
+        chunk.grouped()  # decode-stage projection (see module docstring)
+    start = time.perf_counter()
+    for chunk in chunks:
+        process_chunk(controller, chunk)
+    elapsed = time.perf_counter() - start
+    controller.finalize()
+    return elapsed, controller.events
+
+
 def _fresh_cache(geometry: CacheGeometry) -> "SetAssociativeCache":
     from repro.cache.cache import SetAssociativeCache
 
     return SetAssociativeCache(geometry)
+
+
+#: Engines ``run_hotpath_bench`` can time; scalar and batched are always
+#: measured (they anchor the speedup baselines), columnar is opt-in.
+BENCH_ENGINES = ("scalar", "batched", "columnar")
 
 
 def run_hotpath_bench(
@@ -113,22 +174,38 @@ def run_hotpath_bench(
     seed: int = 2012,
     batch_size: Optional[int] = None,
     repeats: int = 3,
+    engines: Optional[Sequence[str]] = None,
 ) -> List[BenchResult]:
-    """Measure scalar vs batched throughput for each technique.
+    """Measure per-engine throughput for each technique.
 
-    ``repeats`` runs of each engine are timed and the *fastest* kept
-    (standard microbenchmark practice: the minimum is the least noisy
-    estimator of the true cost).  Raises :class:`ReproError` if the two
-    engines ever disagree on the resulting event log.
+    ``engines`` selects which engines to time (default scalar +
+    batched; add ``"columnar"`` for the second-generation engine —
+    requires NumPy).  Scalar and batched are always measured: they
+    anchor the recorded speedup baselines.  ``repeats`` runs of each
+    engine are timed and the *fastest* kept (standard microbenchmark
+    practice: the minimum is the least noisy estimator of the true
+    cost).  Raises :class:`ReproError` if any two engines ever disagree
+    on the resulting event log.
     """
     if repeats < 1:
         raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    engine_names = set(engines) if engines is not None else {"scalar", "batched"}
+    unknown = engine_names.difference(BENCH_ENGINES)
+    if unknown:
+        raise ValidationError(
+            f"unknown engine(s) {sorted(unknown)}; known: {BENCH_ENGINES}"
+        )
+    want_columnar = "columnar" in engine_names
+    if want_columnar:
+        from repro.engine.columnar import require_numpy
+
+        require_numpy()
     names = list(techniques) if techniques is not None else list(CONTROLLER_NAMES)
     trace = generate_trace(get_profile(benchmark), accesses, seed=seed)
     results: List[BenchResult] = []
     for technique in names:
-        scalar_best = batched_best = float("inf")
-        scalar_events = batched_events = None
+        scalar_best = batched_best = columnar_best = float("inf")
+        scalar_events = batched_events = columnar_events = None
         for _ in range(repeats):
             elapsed, events = _time_scalar(technique, trace, geometry)
             if elapsed < scalar_best:
@@ -138,10 +215,22 @@ def run_hotpath_bench(
             if elapsed < batched_best:
                 batched_best = elapsed
             batched_events = events
+            if want_columnar:
+                elapsed, events = _time_columnar(
+                    technique, trace, geometry, batch_size
+                )
+                if elapsed < columnar_best:
+                    columnar_best = elapsed
+                columnar_events = events
         if scalar_events != batched_events:
             raise ReproError(
                 f"engine mismatch for {technique!r}: scalar and batched "
                 "event logs differ — the batched fast path is broken"
+            )
+        if want_columnar and scalar_events != columnar_events:
+            raise ReproError(
+                f"engine mismatch for {technique!r}: scalar and columnar "
+                "event logs differ — the columnar fast path is broken"
             )
         results.append(
             BenchResult(
@@ -149,6 +238,7 @@ def run_hotpath_bench(
                 accesses=len(trace),
                 scalar_seconds=scalar_best,
                 batched_seconds=batched_best,
+                columnar_seconds=columnar_best if want_columnar else None,
             )
         )
     return results

@@ -1,0 +1,793 @@
+"""Columnar (second-generation) execution engine.
+
+The batched engine removed per-record object construction but still
+pays Python's per-record indirection tax on every access: container
+lookups for the set's slot arrays, method calls into ``cache._fill``,
+``memory.read_block`` and the Set-Buffer, attribute traffic on shared
+counters.  This tier removes that tax.  A :class:`ColumnarChunk` holds
+a trace chunk as NumPy arrays (zero-copy views when it comes from an
+``RPCOL1`` mmap, see :mod:`repro.trace.colio`); the kernels below use
+vectorized decode/regrouping to set the loops up, then replay records
+through loops whose *entire* working state lives in local variables —
+the fill path, next-level memory transfers, buffer write-backs and all
+statistics inlined, flushed once per chunk.
+
+Why this is bit-identical
+-------------------------
+* **Ticks are positional.**  Every access bumps the cache's LRU tick
+  exactly once (hit → ``_touch``, miss → ``_fill``/``_record_fill``) in
+  every technique, so the access at chunk position ``p`` always stamps
+  ``tick0 + p``.  Stamps are therefore assigned by position, which
+  frees the conventional/RMW kernel to regroup records.
+* **Set-disjoint state.**  Tags, stamps, data, dirty bits and miss
+  traffic are all per-set, and eviction/fill block addresses compose
+  the set index, so accesses to different sets never interact.  The
+  conventional/RMW kernel exploits this: a stable argsort groups the
+  chunk by set (trace order preserved within each set), the per-set
+  slot arrays are hoisted into locals once per group, and each group
+  replays independently — same state transitions, same aggregate
+  counters, radically fewer lookups.
+* **WG runs in trace order.**  The Write-Grouping buffer is global
+  state, so that kernel keeps trace order; with the paper's single
+  buffer entry its whole control plane reduces to four locals
+  (buffered set, dirty bit, data rows, modified-word set) plus one
+  invariant — while a set is buffered the cache never refills it
+  (``fill_flush`` drains the buffer first), hence the Tag-Buffer's
+  tags always equal the cache's and every probe outcome is implied by
+  the cache probe.  Consecutive same-set write runs are pre-grouped
+  vectorized (``np.flatnonzero(np.diff(...))``).
+
+Gating matches :meth:`CacheController.process_batch` exactly (fast-path
+name, telemetry, invariant checker, ``engine_fast_ok``); anything the
+kernels cannot reproduce bit-identically — WG buffer pools with more
+than one entry, non-LRU replacement, telemetry, invariant checks —
+falls back to the batched engine for the whole chunk.  The four-way
+scalar↔batched↔columnar↔oracle differential in ``tests/engine/`` and
+``repro/check/`` enforces bit-identity across all of it.
+
+NumPy is an optional extra; :func:`require_numpy` raises a
+:class:`ValidationError` when it is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
+
+from repro.cache.config import CacheGeometry
+from repro.engine.batch import AccessBatch, iter_batches
+from repro.errors import StateError, ValidationError
+from repro.trace.record import MemoryAccess
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - exercised on CI without numpy
+    numpy = None  # type: ignore[assignment]
+
+np: Any = numpy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import CacheController
+    from repro.core.write_grouping import WriteGroupingController
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnarChunk",
+    "require_numpy",
+    "iter_chunks",
+    "process_chunk",
+]
+
+HAVE_NUMPY = np is not None
+
+_NO_TAG = -1
+
+
+def require_numpy() -> None:
+    """Raise :class:`ValidationError` unless NumPy is importable."""
+    if np is None:
+        raise ValidationError(
+            "engine='columnar' requires NumPy; install the 'columnar' "
+            "extra (pip install repro-8t[columnar])"
+        )
+
+
+@dataclass
+class ColumnarChunk:
+    """One trace chunk as seven parallel NumPy arrays.
+
+    The columnar counterpart of :class:`AccessBatch`: ``icounts``/
+    ``addresses``/``values`` are u64, ``kinds`` u8, and the pre-split
+    ``set_indices``/``tags``/``word_offsets`` are i64 (signed, so they
+    compare directly against the cache's slot-array tags, whose invalid
+    sentinel is ``-1``).  Slices of
+    :class:`repro.trace.colio.ColumnarTrace` columns arrive here as
+    zero-copy views.
+    """
+
+    geometry: CacheGeometry
+    icounts: Any
+    kinds: Any
+    addresses: Any
+    values: Any
+    set_indices: Any
+    tags: Any
+    word_offsets: Any
+    _grouped: Any = field(default=None, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def grouped(self) -> "Any":
+        """The set-grouped, run-compressed projection of this chunk.
+
+        A pure function of the trace data and geometry — independent of
+        any cache or controller state — so it is computed once and
+        cached: a campaign sweeping several techniques over the same
+        chunks (see :mod:`repro.sim.parallel`) pays for the projection
+        once, not once per technique.  See
+        :func:`_grouped_projection` for the layout.
+        """
+        if self._grouped is None:
+            self._grouped = _grouped_projection(self)
+        return self._grouped
+
+    @classmethod
+    def from_access_batch(cls, batch: AccessBatch) -> "ColumnarChunk":
+        """Lift a list-based batch into array form."""
+        require_numpy()
+        return cls(
+            geometry=batch.geometry,
+            icounts=np.array(batch.icounts, dtype=np.uint64),
+            kinds=np.array(batch.kinds, dtype=np.uint8),
+            addresses=np.array(batch.addresses, dtype=np.uint64),
+            values=np.array(batch.values, dtype=np.uint64),
+            set_indices=np.array(batch.set_indices, dtype=np.int64),
+            tags=np.array(batch.tags, dtype=np.int64),
+            word_offsets=np.array(batch.word_offsets, dtype=np.int64),
+        )
+
+    def to_access_batch(self) -> AccessBatch:
+        """Decode back to plain-int lists (the batched-engine fallback)."""
+        return AccessBatch(
+            geometry=self.geometry,
+            icounts=self.icounts.tolist(),
+            kinds=self.kinds.tolist(),
+            addresses=self.addresses.tolist(),
+            values=self.values.tolist(),
+            set_indices=self.set_indices.tolist(),
+            tags=self.tags.tolist(),
+            word_offsets=self.word_offsets.tolist(),
+        )
+
+
+def _grouped_projection(chunk: ColumnarChunk) -> Any:
+    """Set-grouped, run-compressed view of a chunk (pure trace transform).
+
+    A stable argsort groups the chunk by set, preserving trace order
+    within each set — legal input to the plain kernel because per-set
+    cache state is disjoint and LRU stamps are positional.  Consecutive
+    same-(set, tag) records then form *runs* in which only the first
+    record can miss (the block stays resident — an eviction would need
+    another access to the set, and the run is contiguous in sorted
+    order) and only writes mutate data.  A read affects nothing but the
+    LRU stamp, and stamps are only *read* after its run ends (victim
+    choice happens on a miss, i.e. in a later run of the set), so every
+    record may stamp with its run's final trace position and non-first
+    reads drop out entirely.
+
+    Returns ``(set_l, pos_l, flag_l, tag_l, word_l, val_l, fword_l,
+    writes)``: plain-int lists over the kept records (run-firsts plus
+    writes), where ``pos_l`` is the run-final chunk position (the
+    kernel adds its tick base), ``flag_l`` packs the record's kind in
+    bit 0 and "run contains a write" in bit 1, ``fword_l`` is the first
+    word-store index of the record's block (the fill path's memory
+    address, ``WORD_BYTES == 8``), and ``writes`` counts writes in the
+    whole chunk.  Everything here depends only on the trace data and
+    the chunk's geometry — never on cache or controller state — so the
+    result is cached on the chunk and shared across techniques.
+    """
+    set_arr = chunk.set_indices
+    n = len(set_arr)
+    wpb = chunk.geometry.words_per_block
+    order = np.argsort(set_arr, kind="stable")
+    s_sorted = set_arr[order]
+    t_sorted = chunk.tags[order]
+    k_sorted = chunk.kinds[order]
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    np.logical_or(
+        s_sorted[1:] != s_sorted[:-1],
+        t_sorted[1:] != t_sorted[:-1],
+        out=new_run[1:],
+    )
+    run_starts = np.flatnonzero(new_run)
+    run_id = np.cumsum(new_run) - 1
+    run_end = np.append(run_starts[1:], n) - 1
+    # Within a run positions increase (stable sort), so the run's last
+    # sorted record carries its final position.
+    pos_sorted = order[run_end][run_id]
+    flag_sorted = k_sorted + 2 * np.logical_or.reduceat(
+        k_sorted, run_starts
+    )[run_id].astype(np.uint8)
+    keep = np.flatnonzero(new_run | (k_sorted != 0))
+    sel = order[keep]
+    return (
+        s_sorted.take(keep).tolist(),
+        pos_sorted.take(keep).tolist(),
+        flag_sorted.take(keep).tolist(),
+        t_sorted.take(keep).tolist(),
+        chunk.word_offsets.take(sel).tolist(),
+        chunk.values.take(sel).tolist(),
+        ((chunk.addresses.take(sel) >> 3).astype(np.int64) & ~(wpb - 1))
+        .tolist(),
+        int(np.count_nonzero(k_sorted)),
+    )
+
+
+def iter_chunks(
+    trace: Iterable[MemoryAccess],
+    geometry: CacheGeometry,
+    batch_size: Optional[int] = None,
+) -> Iterator[ColumnarChunk]:
+    """Chunk a scalar trace into :class:`ColumnarChunk` arrays.
+
+    Streaming like :func:`repro.engine.batch.iter_batches` (which does
+    the decode); this adds only the list→array lift per chunk.
+    """
+    require_numpy()
+    for batch in iter_batches(trace, geometry, batch_size):
+        yield ColumnarChunk.from_access_batch(batch)
+
+
+def process_chunk(controller: "CacheController", chunk: ColumnarChunk) -> int:
+    """Run one chunk through the columnar kernels; returns records consumed.
+
+    Mirrors :meth:`CacheController.process_batch`'s contract (finalized
+    check, geometry check, gating) and falls back to the batched engine
+    — itself gated down to scalar when needed — whenever the columnar
+    kernels cannot reproduce the exact semantics.
+    """
+    require_numpy()
+    if controller._finalized:  # noqa: SLF001 - engine contract
+        raise StateError("controller already finalized")
+    if chunk.geometry != controller.cache.geometry:
+        raise ValidationError(
+            f"batch decoded for {chunk.geometry.describe()} fed to a "
+            f"{controller.cache.geometry.describe()} cache"
+        )
+    n = len(chunk)
+    if n == 0:
+        return 0
+    name = controller.name
+    fast_ok = (
+        name == controller._fast_path_name  # noqa: SLF001 - engine contract
+        and not controller._obs  # noqa: SLF001
+        and controller._invariant_checker is None  # noqa: SLF001
+        and controller.cache.engine_fast_ok
+    )
+    if fast_ok and name in ("conventional", "rmw"):
+        _process_chunk_plain(controller, chunk, is_rmw=name == "rmw")
+    elif (
+        fast_ok
+        and name in ("wg", "wg_rb")
+        and len(controller._entries) == 1  # noqa: SLF001
+    ):
+        _process_chunk_wg(controller, chunk)  # type: ignore[arg-type]
+    else:
+        return controller.process_batch(chunk.to_access_batch())
+    return n
+
+
+def _process_chunk_plain(
+    controller: "CacheController", chunk: ColumnarChunk, is_rmw: bool
+) -> None:
+    """Columnar kernel shared by the conventional and RMW controllers.
+
+    A stable argsort groups the chunk by set (preserving trace order
+    within each set — legal because per-set state is disjoint and LRU
+    stamps are positional); each group replays with the set's slot
+    arrays hoisted into locals and the miss path — way choice, dirty
+    eviction, next-level block transfer, refill — inlined down to plain
+    list and dict operations on the functional memory's word store.
+    All statistics accumulate in locals and flush once.
+    """
+    cache = controller.cache
+    tags_by_set = cache._tags  # noqa: SLF001 - engine contract
+    dirty_by_set = cache._dirty  # noqa: SLF001
+    data_by_set = cache._data  # noqa: SLF001
+    stamps_by_set = cache._stamps  # noqa: SLF001
+    tick0 = cache._tick  # noqa: SLF001
+    memory = cache.memory
+    mem_words = memory._words  # noqa: SLF001
+    geometry = cache.geometry
+    wpb = geometry.words_per_block
+    offset_bits = geometry.offset_bits
+    tag_word_shift = offset_bits + geometry.index_bits - 3
+    set_word_shift = offset_bits - 3
+    count_mt = controller.count_miss_traffic
+    word_range = range(wpb)
+    n = len(chunk)
+
+    set_l, pos_l, flag_l, tag_l, word_l, val_l, fword_l, writes = (
+        chunk.grouped()
+    )
+    mem_get = mem_words.get
+
+    # Hits need no counting in the loop: they are derived at flush time
+    # from the vectorized totals minus the (rare) miss counters.
+    read_misses = write_misses = 0
+    evictions = dirty_evictions = 0
+    current_set = -1
+    tags: Any = None
+    stamps: Any = None
+    dirty: Any = None
+    data: Any = None
+    set_word_base = 0
+    # One-entry (tag -> way) memo per set group.  Every run-first record
+    # resolves (its tag differs from the previous run's, which is what
+    # the memo holds) and refreshes the memo, so the memo branch fires
+    # exactly on non-first records of a run — which by construction of
+    # the projection's keep mask are always writes whose way, stamp and
+    # dirty state the run-first already settled.  Tags only change
+    # through the fill path (which refreshes the memo), so the memo can
+    # never go stale.  -2 collides with no tag (>= -1).
+    last_tag = -2
+    last_base = 0
+    for s, pos, flag, t, w, v, first_word in zip(
+        set_l, pos_l, flag_l, tag_l, word_l, val_l, fword_l
+    ):
+        if t == last_tag and s == current_set:
+            data[last_base + w] = v
+            continue
+        if s != current_set:
+            current_set = s
+            tags = tags_by_set[s]
+            stamps = stamps_by_set[s]
+            dirty = dirty_by_set[s]
+            data = data_by_set[s]
+            set_word_base = s << set_word_shift
+        if t in tags:
+            way = tags.index(t)
+        else:
+            # Miss: ``cache._fill``, inlined.  An invalid way means no
+            # victim; otherwise the LRU way is evicted (written back
+            # when dirty).
+            if flag & 1:
+                write_misses += 1
+            else:
+                read_misses += 1
+            if _NO_TAG in tags:
+                way = tags.index(_NO_TAG)
+                base = way * wpb
+            else:
+                way = stamps.index(min(stamps))
+                base = way * wpb
+                evictions += 1
+                if dirty[way]:
+                    dirty_evictions += 1
+                    victim_word = (tags[way] << tag_word_shift) | set_word_base
+                    for o in word_range:
+                        mem_words[victim_word + o] = data[base + o]
+            data[base : base + wpb] = [
+                mem_get(o, 0) for o in range(first_word, first_word + wpb)
+            ]
+            tags[way] = t
+            dirty[way] = False
+        # LRU stamps are positional, so the run-final stamp is known up
+        # front; the dirty bit may be set as soon as the run is known to
+        # contain a write (bit 1 of ``flag``) — nothing observes it
+        # before the run's writes have applied.
+        stamps[way] = tick0 + pos
+        last_tag = t
+        last_base = way * wpb
+        if flag:
+            dirty[way] = True
+            if flag & 1:
+                data[last_base + w] = v
+
+    reads = n - writes
+    read_hits = reads - read_misses
+    write_hits = writes - write_misses
+    block_reads = read_misses + write_misses
+    block_writes = dirty_evictions
+    mt_fills = block_reads if count_mt else 0
+    mt_dirty = dirty_evictions
+    cache._tick = tick0 + n  # noqa: SLF001
+    controller._current_icount = int(chunk.icounts[-1])  # noqa: SLF001
+    memory.block_reads += block_reads
+    memory.block_writes += block_writes
+    counts = controller.counts
+    counts.read_requests += reads
+    counts.write_requests += writes
+    stats = cache.stats
+    stats.read_hits += read_hits
+    stats.write_hits += write_hits
+    stats.read_misses += read_misses
+    stats.write_misses += write_misses
+    stats.evictions += evictions
+    stats.dirty_evictions += dirty_evictions
+    events = controller.events
+    row_words = controller._row_words  # noqa: SLF001
+    if is_rmw:
+        counts.rmw_operations += writes
+        events.rmw_operations += writes
+        events.precharges += reads + writes
+        events.rwl_pulses += reads + writes
+        events.row_reads += reads + writes
+        events.words_routed += reads + writes * row_words
+        events.wwl_pulses += writes
+        events.row_writes += writes
+        events.words_driven += writes * row_words
+    else:
+        events.precharges += reads
+        events.rwl_pulses += reads
+        events.row_reads += reads
+        events.words_routed += reads
+        events.wwl_pulses += writes
+        events.row_writes += writes
+        events.words_driven += writes
+    if count_mt and mt_fills:
+        events.rmw_operations += mt_fills
+        events.precharges += mt_dirty + mt_fills
+        events.rwl_pulses += mt_dirty + mt_fills
+        events.row_reads += mt_dirty + mt_fills
+        events.words_routed += mt_dirty * wpb + mt_fills * row_words
+        events.wwl_pulses += mt_fills
+        events.row_writes += mt_fills
+        events.words_driven += mt_fills * row_words
+        counts.rmw_operations += mt_fills
+
+
+def _process_chunk_wg(
+    controller: "WriteGroupingController", chunk: ColumnarChunk
+) -> None:
+    """Columnar kernel for WG / WG+RB with a single buffer entry.
+
+    Runs in trace order (the buffer is global state), but the whole
+    buffer reduces to locals: buffered set (``-1`` when invalid), dirty
+    bit, ``dirty_since``, the Set-Buffer's data rows and modified-word
+    set.  Write-backs, buffer fills and cache fills are inlined; the
+    Tag-Buffer needs no tag probes because while a set is buffered its
+    cache tags cannot change (a miss drains the buffer first), so a
+    cache-hit read of the buffered set *is* a Tag-Buffer hit.  The
+    buffer objects are rematerialized once at chunk end.  Consecutive
+    same-(kind, set) runs are pre-grouped vectorized so the inner write
+    loop consumes whole runs without rescanning.
+    """
+    cache = controller.cache
+    tags_by_set = cache._tags  # noqa: SLF001 - engine contract
+    dirty_by_set = cache._dirty  # noqa: SLF001
+    data_by_set = cache._data  # noqa: SLF001
+    stamps_by_set = cache._stamps  # noqa: SLF001
+    tick0 = cache._tick  # noqa: SLF001
+    memory = cache.memory
+    mem_words = memory._words  # noqa: SLF001
+    geometry = cache.geometry
+    wpb = geometry.words_per_block
+    offset_bits = geometry.offset_bits
+    tag_word_shift = offset_bits + geometry.index_bits - 3
+    set_word_shift = offset_bits - 3
+    row_words = controller._row_words  # noqa: SLF001
+    count_mt = controller.count_miss_traffic
+    detect = controller.detect_silent_writes
+    bypass_reads = controller._rb_bypass  # noqa: SLF001
+    word_range = range(wpb)
+    entry = controller._entries[0]  # noqa: SLF001
+    tag_buffer = entry.tag_buffer
+    set_buffer = entry.set_buffer
+
+    # Buffer state, lifted into locals for the duration of the chunk.
+    if tag_buffer.valid:
+        buffered_set = tag_buffer.set_index
+        buffer_dirty = tag_buffer.dirty
+        dirty_since = entry.dirty_since
+        buffer_rows, modified = set_buffer.engine_views()
+    else:
+        buffered_set = -1
+        buffer_dirty = False
+        dirty_since = None
+        buffer_rows = modified = None  # type: ignore[assignment]
+
+    kinds = chunk.kinds
+    set_arr = chunk.set_indices
+    n = len(kinds)
+    set_l = set_arr.tolist()
+    kind_l = kinds.tolist()
+    tag_l = chunk.tags.tolist()
+    word_l = chunk.word_offsets.tolist()
+    val_l = chunk.values.tolist()
+    ic_l = chunk.icounts.tolist()
+    fword_l = ((chunk.addresses >> 3).astype(np.int64) & ~(wpb - 1)).tolist()
+    mem_get = mem_words.get
+    # Vectorized run-length grouping: run_end_l[i] is the end
+    # (exclusive) of the maximal run of records sharing position i's
+    # (kind, set) pair.
+    change = (
+        np.flatnonzero(np.diff(set_arr) | (kinds[1:] != kinds[:-1])) + 1
+    )
+    run_bounds = np.concatenate((change, [n]))
+    run_starts = np.concatenate(([0], change))
+    run_end_l = np.repeat(run_bounds, run_bounds - run_starts).tolist()
+
+    reads = 0  # read requests
+    read_hits = 0  # of which cache hits
+    row_reads = 0  # reads served by an array row read (1 word routed)
+    bypassed = 0  # reads served from the Set-Buffer (WG+RB only)
+    writes = 0  # write requests
+    write_hits = 0  # of which cache hits
+    grouped = 0  # writes merged on a Tag-Buffer hit
+    silent = 0  # of which silent (when detection is on)
+    read_misses = write_misses = evictions = dirty_evictions = 0
+    buffer_fills = 0  # Set-Buffer fills (full-row reads)
+    premature_wb = eviction_wb = fill_flush_wb = 0  # full-row writes
+    residency_total = residency_max = windows = 0
+
+    i = 0
+    while i < n:
+        s = set_l[i]
+        t = tag_l[i]
+        tags = tags_by_set[s]
+        if not kind_l[i]:
+            # Read request.
+            reads += 1
+            row_reads += 1
+            if t in tags:
+                read_hits += 1
+                way = tags.index(t)
+                stamps_by_set[s][way] = tick0 + i
+                if buffered_set == s:
+                    # Tag-Buffer hit (implied: buffered tags equal the
+                    # cache tags while the set stays buffered).
+                    if bypass_reads:
+                        row_reads -= 1
+                        bypassed += 1
+                    elif buffer_dirty:
+                        # WG: premature write-back, inlined.
+                        target = data_by_set[s]
+                        target_dirty = dirty_by_set[s]
+                        for bway, bword in modified:
+                            target[bway * wpb + bword] = buffer_rows[bway][bword]
+                            target_dirty[bway] = True
+                        modified.clear()
+                        buffer_dirty = False
+                        premature_wb += 1
+                        if dirty_since is not None:
+                            residency = ic_l[i] - dirty_since
+                            if residency < 0:
+                                residency = 0
+                            residency_total += residency
+                            if residency > residency_max:
+                                residency_max = residency
+                            windows += 1
+                            dirty_since = None
+            else:
+                # Cache miss: drain-and-drop the buffer if the fill is
+                # about to mutate the buffered set, then fill (inlined).
+                if buffered_set == s:
+                    if buffer_dirty:
+                        target = data_by_set[s]
+                        target_dirty = dirty_by_set[s]
+                        for bway, bword in modified:
+                            target[bway * wpb + bword] = buffer_rows[bway][bword]
+                            target_dirty[bway] = True
+                        modified.clear()
+                        buffer_dirty = False
+                        fill_flush_wb += 1
+                        if dirty_since is not None:
+                            residency = ic_l[i] - dirty_since
+                            if residency < 0:
+                                residency = 0
+                            residency_total += residency
+                            if residency > residency_max:
+                                residency_max = residency
+                            windows += 1
+                            dirty_since = None
+                    buffered_set = -1
+                    buffer_rows = modified = None  # type: ignore[assignment]
+                read_misses += 1
+                stamps = stamps_by_set[s]
+                data = data_by_set[s]
+                set_dirty = dirty_by_set[s]
+                if _NO_TAG in tags:
+                    way = tags.index(_NO_TAG)
+                    base = way * wpb
+                else:
+                    way = stamps.index(min(stamps))
+                    base = way * wpb
+                    evictions += 1
+                    if set_dirty[way]:
+                        dirty_evictions += 1
+                        victim_word = (
+                            tags[way] << tag_word_shift
+                        ) | (s << set_word_shift)
+                        for o in word_range:
+                            mem_words[victim_word + o] = data[base + o]
+                first_word = fword_l[i]
+                data[base : base + wpb] = [
+                    mem_get(o, 0) for o in range(first_word, first_word + wpb)
+                ]
+                tags[way] = t
+                set_dirty[way] = False
+                stamps[way] = tick0 + i
+            i += 1
+            continue
+
+        # Write run: every record in [i, run_end) is a write to set s.
+        run_end = run_end_l[i]
+        stamps = stamps_by_set[s]
+        k = i
+        while k < run_end:
+            t = tag_l[k]
+            writes += 1
+            if t in tags:
+                write_hits += 1
+                way = tags.index(t)
+                stamps[way] = tick0 + k
+            else:
+                # Cache miss mid-run: drain the buffer first when it
+                # holds this set, then fill (both inlined, as above).
+                if buffered_set == s:
+                    if buffer_dirty:
+                        target = data_by_set[s]
+                        target_dirty = dirty_by_set[s]
+                        for bway, bword in modified:
+                            target[bway * wpb + bword] = buffer_rows[bway][bword]
+                            target_dirty[bway] = True
+                        modified.clear()
+                        buffer_dirty = False
+                        fill_flush_wb += 1
+                        if dirty_since is not None:
+                            residency = ic_l[k] - dirty_since
+                            if residency < 0:
+                                residency = 0
+                            residency_total += residency
+                            if residency > residency_max:
+                                residency_max = residency
+                            windows += 1
+                            dirty_since = None
+                    buffered_set = -1
+                    buffer_rows = modified = None  # type: ignore[assignment]
+                write_misses += 1
+                data = data_by_set[s]
+                set_dirty = dirty_by_set[s]
+                if _NO_TAG in tags:
+                    way = tags.index(_NO_TAG)
+                    base = way * wpb
+                else:
+                    way = stamps.index(min(stamps))
+                    base = way * wpb
+                    evictions += 1
+                    if set_dirty[way]:
+                        dirty_evictions += 1
+                        victim_word = (
+                            tags[way] << tag_word_shift
+                        ) | (s << set_word_shift)
+                        for o in word_range:
+                            mem_words[victim_word + o] = data[base + o]
+                first_word = fword_l[k]
+                data[base : base + wpb] = [
+                    mem_get(o, 0) for o in range(first_word, first_word + wpb)
+                ]
+                tags[way] = t
+                set_dirty[way] = False
+                stamps[way] = tick0 + k
+            if buffered_set == s:
+                grouped += 1
+            else:
+                # Tag-Buffer miss: drain the (single) victim entry and
+                # refill it with this set — Algorithm 1's write path,
+                # inlined (``_write_back(entry, "eviction")`` +
+                # ``_fill_entry``).
+                if buffer_dirty:
+                    target = data_by_set[buffered_set]
+                    target_dirty = dirty_by_set[buffered_set]
+                    for bway, bword in modified:
+                        target[bway * wpb + bword] = buffer_rows[bway][bword]
+                        target_dirty[bway] = True
+                    buffer_dirty = False
+                    eviction_wb += 1
+                    if dirty_since is not None:
+                        residency = ic_l[k] - dirty_since
+                        if residency < 0:
+                            residency = 0
+                        residency_total += residency
+                        if residency > residency_max:
+                            residency_max = residency
+                        windows += 1
+                        dirty_since = None
+                data = data_by_set[s]
+                buffer_rows = [
+                    data[way_base : way_base + wpb]
+                    for way_base in range(0, row_words, wpb)
+                ]
+                modified = set()
+                buffered_set = s
+                buffer_fills += 1
+            row = buffer_rows[way]
+            w = word_l[k]
+            v = val_l[k]
+            if row[w] == v:
+                # Silent write: the buffer is left untouched when
+                # detection is on; dirties it like any other write
+                # otherwise.
+                if detect:
+                    silent += 1
+                    k += 1
+                    continue
+            else:
+                row[w] = v
+                modified.add((way, w))
+            if not buffer_dirty:
+                dirty_since = ic_l[k]
+                buffer_dirty = True
+            k += 1
+        i = run_end
+
+    # Rematerialize the buffer objects from the locals.
+    if buffered_set == -1:
+        entry.invalidate()
+        entry.dirty_since = None
+    else:
+        tag_buffer.valid = True
+        tag_buffer.dirty = buffer_dirty
+        tag_buffer.set_index = buffered_set
+        tag_buffer._tags = tuple(  # noqa: SLF001 - engine contract
+            tag if tag != _NO_TAG else None
+            for tag in tags_by_set[buffered_set]
+        )
+        set_buffer.valid = True
+        set_buffer.set_index = buffered_set
+        set_buffer._data = buffer_rows  # noqa: SLF001
+        set_buffer._modified = modified  # noqa: SLF001
+        entry.dirty_since = dirty_since
+
+    cache._tick = tick0 + n  # noqa: SLF001
+    controller._current_icount = ic_l[-1]  # noqa: SLF001
+    block_reads = read_misses + write_misses
+    memory.block_reads += block_reads
+    memory.block_writes += dirty_evictions
+    mt_fills = block_reads if count_mt else 0
+    mt_dirty = dirty_evictions
+    counts = controller.counts
+    counts.read_requests += reads
+    counts.write_requests += writes
+    counts.grouped_writes += grouped
+    counts.silent_writes_detected += silent
+    counts.bypassed_reads += bypassed
+    counts.set_buffer_fills += buffer_fills
+    counts.premature_writebacks += premature_wb
+    counts.eviction_writebacks += eviction_wb
+    counts.fill_flush_writebacks += fill_flush_wb
+    counts.dirty_residency_total += residency_total
+    if residency_max > counts.dirty_residency_max:
+        counts.dirty_residency_max = residency_max
+    counts.dirty_windows += windows
+    stats = cache.stats
+    stats.read_hits += read_hits
+    stats.write_hits += write_hits
+    stats.read_misses += read_misses
+    stats.write_misses += write_misses
+    stats.evictions += evictions
+    stats.dirty_evictions += dirty_evictions
+    events = controller.events
+    wb_row_writes = premature_wb + eviction_wb + fill_flush_wb
+    events.precharges += row_reads + buffer_fills
+    events.rwl_pulses += row_reads + buffer_fills
+    events.row_reads += row_reads + buffer_fills
+    events.words_routed += row_reads + buffer_fills * row_words
+    events.wwl_pulses += wb_row_writes
+    events.row_writes += wb_row_writes
+    events.words_driven += wb_row_writes * row_words
+    events.set_buffer_reads += bypassed
+    events.set_buffer_writes += writes
+    if count_mt and mt_fills:
+        events.rmw_operations += mt_fills
+        events.precharges += mt_dirty + mt_fills
+        events.rwl_pulses += mt_dirty + mt_fills
+        events.row_reads += mt_dirty + mt_fills
+        events.words_routed += mt_dirty * wpb + mt_fills * row_words
+        events.wwl_pulses += mt_fills
+        events.row_writes += mt_fills
+        events.words_driven += mt_fills * row_words
+        counts.rmw_operations += mt_fills

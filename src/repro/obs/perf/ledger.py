@@ -42,15 +42,20 @@ LEDGER_SCHEMA_VERSION = 1
 #: Where ``repro-8t bench --history`` appends by default (repo-relative).
 DEFAULT_LEDGER_PATH = Path("benchmarks") / "results" / "bench_history.jsonl"
 
-#: Per-technique result fields copied into each ledger record.
+#: Per-technique result fields copied into each ledger record.  The
+#: columnar tier's fields are additive — absent when a run did not
+#: measure the columnar engine — so the schema version is unchanged.
 _RESULT_FIELDS = (
     "technique",
     "accesses",
     "scalar_seconds",
     "batched_seconds",
+    "columnar_seconds",
     "scalar_accesses_per_second",
     "batched_accesses_per_second",
+    "columnar_accesses_per_second",
     "speedup",
+    "columnar_speedup",
 )
 
 #: ``on_skip(line_number, reason)`` callback for unreadable records.
@@ -86,6 +91,13 @@ class LedgerEntry:
         if result is None:
             return None
         return float(result.get("batched_accesses_per_second", 0.0))
+
+    def columnar_speedup(self, technique: str) -> Optional[float]:
+        """Columnar-over-batched speedup; ``None`` when not measured."""
+        result = self.results.get(technique)
+        if result is None or "columnar_speedup" not in result:
+            return None
+        return float(result["columnar_speedup"])
 
     # -- provenance shorthands ----------------------------------------------
 

@@ -12,6 +12,13 @@ Execution engines
   throughput is several times higher.
 * ``"scalar"`` — one :meth:`CacheController.process` call per record;
   the reference path the differential suite compares against.
+* ``"columnar"`` — the second-generation engine: chunks become NumPy
+  arrays (:class:`repro.engine.columnar.ColumnarChunk`, zero-copy when
+  read from an ``RPCOL1`` mmap via :mod:`repro.trace.colio`) and the
+  hot path runs vectorized kernels, falling back to the batched engine
+  per chunk whenever exact semantics require it.  Requires the
+  ``columnar`` extra (NumPy); construction raises
+  :class:`ValidationError` without it.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ from repro.core.controller import CacheController
 from repro.core.outcomes import OperationCounts
 from repro.core.registry import make_controller
 from repro.engine.batch import AccessBatch, iter_batches
+from repro.engine.columnar import (
+    ColumnarChunk,
+    iter_chunks,
+    process_chunk,
+    require_numpy,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sram.events import SRAMEventLog
 from repro.trace.record import MemoryAccess
@@ -34,7 +47,7 @@ from repro.errors import ValidationError
 
 __all__ = ["Simulator", "SimulationResult", "run_simulation"]
 
-_ENGINES = ("batched", "scalar")
+_ENGINES = ("batched", "scalar", "columnar")
 
 
 @dataclass(frozen=True)
@@ -75,6 +88,8 @@ class Simulator:
             raise ValidationError(
                 f"unknown engine {engine!r}; known: {_ENGINES}"
             )
+        if engine == "columnar":
+            require_numpy()
         self.memory = memory if memory is not None else FunctionalMemory()
         self.cache = SetAssociativeCache(geometry, self.memory)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -98,6 +113,10 @@ class Simulator:
                 process(access)
                 self._requests += 1
             return
+        if self.engine == "columnar":
+            for chunk in iter_chunks(trace, self.geometry, self.batch_size):
+                self._requests += process_chunk(self.controller, chunk)
+            return
         process_batch = self.controller.process_batch
         for batch in iter_batches(trace, self.geometry, self.batch_size):
             self._requests += process_batch(batch)
@@ -105,9 +124,21 @@ class Simulator:
     def feed_batches(self, batches: Iterable[AccessBatch]) -> None:
         """Process pre-decoded batches (e.g. from
         :func:`repro.trace.read_binary_trace_batches`)."""
+        if self.engine == "columnar":
+            for batch in batches:
+                self._requests += process_chunk(
+                    self.controller, ColumnarChunk.from_access_batch(batch)
+                )
+            return
         process_batch = self.controller.process_batch
         for batch in batches:
             self._requests += process_batch(batch)
+
+    def feed_chunks(self, chunks: Iterable[ColumnarChunk]) -> None:
+        """Process pre-built columnar chunks (e.g. zero-copy views from
+        :meth:`repro.trace.colio.ColumnarTrace.chunks`)."""
+        for chunk in chunks:
+            self._requests += process_chunk(self.controller, chunk)
 
     def reset_measurements(self) -> None:
         """Zero all counters while keeping cache/controller *state*.

@@ -10,6 +10,9 @@ tool over SPEC CPU2006.  This package provides the trace plumbing:
     1 B instructions), length limits and sampling.
 ``textio`` / ``binio``
     Human-readable and packed binary trace file formats.
+``colio``
+    Columnar ``RPCOL1`` trace format — mmap-backed, zero-copy column
+    views for the columnar engine; workers share one mapping.
 ``stats``
     :class:`TraceStatistics` — computes exactly the quantities behind the
     paper's Figures 3 (read/write frequency), 4 (consecutive same-set
@@ -34,6 +37,12 @@ from repro.trace.binio import (
     read_binary_trace_batches,
     write_binary_trace,
 )
+from repro.trace.colio import (
+    ColumnarTrace,
+    convert_trace_to_columnar,
+    open_columnar_trace,
+    write_columnar_trace,
+)
 
 __all__ = [
     "AccessType",
@@ -53,4 +62,8 @@ __all__ = [
     "read_binary_trace",
     "read_binary_trace_batches",
     "write_binary_trace",
+    "ColumnarTrace",
+    "convert_trace_to_columnar",
+    "open_columnar_trace",
+    "write_columnar_trace",
 ]

@@ -50,6 +50,23 @@ _CRC = struct.Struct("<I")
 PathLike = Union[str, Path]
 
 
+def _check_kind_byte(
+    path: PathLike, kind_code: int, record_index: int, byte_offset: int
+) -> None:
+    """Reject kind bytes other than 0 (read) / 1 (write).
+
+    The single source of truth for kind validation: the scalar and
+    batched readers both call this, so a corrupt file raises
+    :class:`TraceFormatError` with identical record-index/byte-offset
+    text regardless of which reader hit it first.
+    """
+    if kind_code not in (0, 1):
+        raise TraceFormatError(
+            f"{path}: record #{record_index} at byte offset "
+            f"{byte_offset} has bad kind byte {kind_code}"
+        )
+
+
 def write_binary_trace(
     path: PathLike, trace: Iterable[MemoryAccess], crc: bool = False
 ) -> int:
@@ -121,11 +138,7 @@ def read_binary_trace(path: PathLike) -> Iterator[MemoryAccess]:
                         f"computed 0x{computed_crc:08x}"
                     )
             icount, kind_code, address, value = _RECORD.unpack(body)
-            if kind_code not in (0, 1):
-                raise TraceFormatError(
-                    f"{path}: record #{record_index} at byte offset "
-                    f"{offset} has bad kind byte {kind_code}"
-                )
+            _check_kind_byte(path, kind_code, record_index, offset)
             kind = AccessType.WRITE if kind_code else AccessType.READ
             yield MemoryAccess(icount=icount, kind=kind, address=address, value=value)
             record_index += 1
@@ -199,10 +212,12 @@ def read_binary_trace_batches(
             tags = batch.tags
             word_offsets = batch.word_offsets
             if with_crc:
-                bodies = b"".join(
-                    blob[base : base + _RECORD.size]
-                    for base in range(0, len(blob), record_size)
-                )
+                # Single pass: each record body is sliced exactly once,
+                # CRC-verified, and collected for one bulk unpack.  All
+                # CRC checks for the chunk still run before any kind
+                # check, preserving which error a doubly-corrupt chunk
+                # reports first.
+                body_parts = []
                 for base in range(0, len(blob), record_size):
                     body = blob[base : base + _RECORD.size]
                     (stored_crc,) = _CRC.unpack(
@@ -217,17 +232,17 @@ def read_binary_trace_batches(
                             f"0x{stored_crc:08x}, computed "
                             f"0x{computed_crc:08x}"
                         )
-                records = _RECORD.iter_unpack(bodies)
+                    body_parts.append(body)
+                records = _RECORD.iter_unpack(b"".join(body_parts))
             else:
                 records = _RECORD.iter_unpack(blob)
             for icount, kind_code, address, value in records:
-                if kind_code > 1:
-                    bad = record_index + len(icounts)
-                    raise TraceFormatError(
-                        f"{path}: record #{bad} at byte offset "
-                        f"{offset + (bad - record_index) * record_size} "
-                        f"has bad kind byte {kind_code}"
-                    )
+                _check_kind_byte(
+                    path,
+                    kind_code,
+                    record_index + len(icounts),
+                    offset + len(icounts) * record_size,
+                )
                 icounts.append(icount)
                 kinds.append(kind_code)
                 addresses.append(address)

@@ -35,12 +35,21 @@ def skip_warmup(
 def limit_accesses(
     trace: Iterable[MemoryAccess], max_accesses: int
 ) -> Iterator[MemoryAccess]:
-    """Truncate the stream after ``max_accesses`` records."""
+    """Truncate the stream after ``max_accesses`` records.
+
+    Pulls exactly ``max_accesses`` records from ``trace`` — the count is
+    checked *after* each yield, so a shared/stateful iterator keeps its
+    next element instead of losing one to limiter look-ahead.
+    """
     check_non_negative("max_accesses", max_accesses)
-    for index, access in enumerate(trace):
-        if index >= max_accesses:
-            return
+    if max_accesses == 0:
+        return
+    count = 0
+    for access in trace:
         yield access
+        count += 1
+        if count >= max_accesses:
+            return
 
 
 def sample_accesses(

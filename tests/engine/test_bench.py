@@ -32,6 +32,48 @@ class TestRunHotpathBench:
         with pytest.raises(ValueError, match="repeats"):
             run_hotpath_bench(repeats=0)
 
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_hotpath_bench(engines=("scalar", "vectorised"))
+
+    def test_columnar_unmeasured_by_default(self, results):
+        for result in results:
+            assert result.columnar_seconds is None
+            assert result.columnar_aps == 0.0
+            assert result.columnar_speedup == 0.0
+            assert "columnar_seconds" not in result.to_dict()
+
+
+class TestColumnarTier:
+    def test_columnar_engine_measured(self):
+        pytest.importorskip("numpy")
+        geometry = CacheGeometry(
+            size_bytes=4 * 1024, associativity=4, block_bytes=32
+        )
+        results = run_hotpath_bench(
+            techniques=("conventional",),
+            accesses=2_000,
+            geometry=geometry,
+            repeats=1,
+            engines=("scalar", "batched", "columnar"),
+        )
+        (result,) = results
+        assert result.columnar_seconds is not None
+        assert result.columnar_seconds > 0
+        assert result.columnar_aps > 0
+        assert result.columnar_speedup > 0
+        doc = result.to_dict()
+        assert doc["columnar_seconds"] == result.columnar_seconds
+        assert doc["columnar_speedup"] == result.columnar_speedup
+        # The ledger copies the columnar fields through additively.
+        from repro.obs.perf.ledger import run_record
+
+        record = run_record(
+            results, "bwaves", geometry.describe(), 2_000, seed=1, repeats=1,
+            env={}, timestamp="2026-01-01T00:00:00Z",
+        )
+        assert "columnar_speedup" in record["results"][0]
+
 
 class TestBenchReport:
     def test_document_shape(self, results):

@@ -1,8 +1,9 @@
-"""Differential suite: scalar vs batched execution must be bit-identical.
+"""Differential suite: scalar vs batched vs columnar must be bit-identical.
 
-The batched engine exists purely for throughput — it must never change
-a number.  Every test here replays the *same* randomized trace through
-``engine="scalar"`` and ``engine="batched"`` and asserts that the
+The batched and columnar engines exist purely for throughput — they
+must never change a number.  Every test here replays the *same*
+randomized trace through ``engine="scalar"``, ``engine="batched"`` and
+(when NumPy is installed) ``engine="columnar"``, and asserts that the
 :class:`SRAMEventLog`, :class:`OperationCounts`, :class:`CacheStats`
 and the final :class:`FunctionalMemory` contents (after flushing every
 dirty line) are equal, across techniques, geometries, controller knobs
@@ -15,6 +16,7 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheGeometry
 from repro.core.registry import ALL_CONTROLLER_NAMES, CONTROLLER_NAMES, make_controller
 from repro.engine.batch import iter_batches
+from repro.engine.columnar import HAVE_NUMPY
 from repro.sim.simulator import Simulator
 
 from tests.conftest import make_random_trace
@@ -44,14 +46,16 @@ def assert_identical(trace, technique, geometry, batch_size=None, **kwargs):
     scalar, scalar_memory = run_engine(
         trace, technique, geometry, "scalar", **kwargs
     )
-    batched, batched_memory = run_engine(
-        trace, technique, geometry, "batched", batch_size=batch_size, **kwargs
-    )
-    assert batched.requests == scalar.requests
-    assert batched.events == scalar.events
-    assert batched.counts == scalar.counts
-    assert batched.cache_stats == scalar.cache_stats
-    assert batched_memory == scalar_memory
+    engines = ["batched"] + (["columnar"] if HAVE_NUMPY else [])
+    for engine in engines:
+        candidate, candidate_memory = run_engine(
+            trace, technique, geometry, engine, batch_size=batch_size, **kwargs
+        )
+        assert candidate.requests == scalar.requests, engine
+        assert candidate.events == scalar.events, engine
+        assert candidate.counts == scalar.counts, engine
+        assert candidate.cache_stats == scalar.cache_stats, engine
+        assert candidate_memory == scalar_memory, engine
 
 
 class TestAllTechniques:

@@ -88,6 +88,75 @@ class TestBinaryBatches:
         with pytest.raises(TraceFormatError):
             next(reader)
 
+    def test_crc_mismatch_message_pins_record_and_offset(
+        self, tmp_path, tiny_geometry
+    ):
+        # Pins the exact record-index/byte-offset text across the
+        # single-pass restructure of the RPTRACE2 chunk loop.
+        trace = make_random_trace(5, seed=3)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace, crc=True)
+        flip_bit(path, byte_offset=8 + 29 + 2, bit=5)
+        with pytest.raises(
+            TraceFormatError,
+            match=r"CRC mismatch in record #1 at byte offset 37: "
+            r"stored 0x[0-9a-f]{8}, computed 0x[0-9a-f]{8}",
+        ):
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+
+    def test_crc_message_identical_to_scalar_reader(
+        self, tmp_path, tiny_geometry
+    ):
+        trace = make_random_trace(5, seed=3)
+        path = tmp_path / "t.bin"
+        write_binary_trace(path, trace, crc=True)
+        flip_bit(path, byte_offset=8 + 2 * 29 + 4, bit=1)
+        with pytest.raises(TraceFormatError) as scalar_exc:
+            list(read_binary_trace(path))
+        with pytest.raises(TraceFormatError) as batch_exc:
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+        assert str(batch_exc.value) == str(scalar_exc.value)
+
+    def test_kind_byte_message_identical_across_readers(
+        self, tmp_path, tiny_geometry
+    ):
+        import struct
+
+        from repro.trace.binio import MAGIC
+
+        path = tmp_path / "kind.bin"
+        good = struct.pack("<QBQQ", 0, 1, 8, 0)
+        bad = struct.pack("<QBQQ", 1, 7, 8, 0)
+        path.write_bytes(MAGIC + good + bad)
+        with pytest.raises(TraceFormatError) as scalar_exc:
+            list(read_binary_trace(path))
+        with pytest.raises(TraceFormatError) as batch_exc:
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+        assert str(batch_exc.value) == str(scalar_exc.value)
+        assert "bad kind byte 7" in str(batch_exc.value)
+
+    def test_crc_checked_before_kind_within_chunk(
+        self, tmp_path, tiny_geometry
+    ):
+        # A chunk holding both a bad kind byte (record #0) and a CRC
+        # mismatch (record #1) must still report the CRC error first:
+        # the chunk verifies every record's CRC before decoding any.
+        import struct
+        import zlib
+
+        from repro.trace.binio import MAGIC_CRC
+
+        body0 = struct.pack("<QBQQ", 0, 7, 8, 0)  # bad kind, valid CRC
+        rec0 = body0 + struct.pack("<I", zlib.crc32(body0) & 0xFFFFFFFF)
+        body1 = struct.pack("<QBQQ", 1, 1, 8, 0)
+        rec1 = body1 + struct.pack("<I", (zlib.crc32(body1) ^ 1) & 0xFFFFFFFF)
+        path = tmp_path / "both.bin"
+        path.write_bytes(MAGIC_CRC + rec0 + rec1)
+        with pytest.raises(
+            TraceFormatError, match=r"CRC mismatch in record #1"
+        ):
+            flatten(read_binary_trace_batches(path, tiny_geometry))
+
 
 class TestTextBatches:
     def test_matches_scalar_reader(self, tmp_path, tiny_geometry):

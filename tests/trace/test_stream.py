@@ -56,6 +56,25 @@ class TestLimitAccesses:
     def test_limit_beyond_length(self):
         assert len(list(limit_accesses(_trace(3), 10))) == 3
 
+    def test_shared_iterator_keeps_next_element(self):
+        # Regression: the limiter used to pull one record *beyond* the
+        # limit off the underlying iterator before returning, silently
+        # consuming an element that a later consumer expected to see.
+        shared = iter(_trace(10))
+        taken = list(limit_accesses(shared, 4))
+        assert [a.icount for a in taken] == [0, 1, 2, 3]
+        assert next(shared).icount == 4
+
+    def test_limit_zero_consumes_nothing(self):
+        shared = iter(_trace(3))
+        assert list(limit_accesses(shared, 0)) == []
+        assert next(shared).icount == 0
+
+    def test_exact_length_exhausts_cleanly(self):
+        shared = iter(_trace(3))
+        assert len(list(limit_accesses(shared, 3))) == 3
+        assert next(shared, None) is None
+
 
 class TestSampleAccesses:
     def test_period_one_keeps_all(self):
