@@ -936,26 +936,41 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.lint import RULE_TYPES, run_lint
+    from repro.lint.deep import DEFAULT_CACHE_PATH
 
     if args.list_rules:
         rows = [
-            (rule_id, rule_type.name, str(rule_type.severity), rule_type.description)
+            (
+                rule_id,
+                rule_type.name,
+                str(rule_type.severity),
+                "deep" if rule_type.deep else "ast",
+                rule_type.description,
+            )
             for rule_id, rule_type in sorted(RULE_TYPES.items())
         ]
         print(
             format_table(
-                ("id", "name", "severity", "description"),
+                ("id", "name", "severity", "tier", "description"),
                 rows,
                 title="repro-8t lint rule catalogue",
             )
         )
         return 0
+    cache_path = (
+        None if args.no_cache else (args.cache_path or DEFAULT_CACHE_PATH)
+    )
     report = run_lint(
         args.paths,
         select=args.select,
         ignore=args.ignore,
         baseline_path=args.baseline,
+        deep=args.deep,
+        cache_path=cache_path,
+        timing=bool(args.timing or args.timing_out),
     )
     if args.write_baseline:
         from repro.lint import Baseline
@@ -967,8 +982,25 @@ def _cmd_lint(args) -> int:
         return 0
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "github":
+        print(report.render_github())
     else:
         print(report.render_text())
+    if args.timing and report.timings:
+        # Timing goes to stderr so --format json stdout stays parseable.
+        width = max(len(key) for key in report.timings)
+        print("rule timing:", file=sys.stderr)
+        for key, seconds in sorted(
+            report.timings.items(), key=lambda item: -item[1]
+        ):
+            print(f"  {key:<{width}}  {seconds * 1000:8.2f} ms", file=sys.stderr)
+    if args.timing_out:
+        payload = {"timings": report.timings}
+        if report.deep_stats is not None:
+            payload["deep"] = report.deep_stats.to_dict()
+        with open(args.timing_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0 if report.ok else 1
 
 
@@ -1369,8 +1401,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     sub.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="finding output format",
+        "--format", choices=("text", "json", "github"), default="text",
+        help=(
+            "finding output format (github emits ::error workflow "
+            "annotations for CI)"
+        ),
+    )
+    sub.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "also run the interprocedural RPR2xx tier (call graph + "
+            "effect closures; per-file summaries cached by content "
+            "digest)"
+        ),
+    )
+    sub.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-rule wall time to stderr",
+    )
+    sub.add_argument(
+        "--timing-out",
+        metavar="PATH",
+        help="write per-rule timing + deep-pass stats as JSON",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the --deep summary cache for this run",
+    )
+    sub.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "summary-cache file for --deep "
+            "(default: .repro-lint-cache/summaries.json)"
+        ),
     )
     sub.add_argument(
         "--baseline",

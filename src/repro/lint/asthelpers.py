@@ -10,7 +10,44 @@ __all__ = [
     "call_name",
     "resolve_string_pattern",
     "patterns_unify",
+    "iter_scope_nodes",
+    "build_parent_map",
 ]
+
+#: Node types opening a new function scope.
+SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_scope_nodes(func: ast.AST):
+    """Yield the nodes belonging to one function's own scope.
+
+    Descends into lambdas and comprehensions (their bodies execute as
+    part of the enclosing function) but not into nested ``def``/
+    ``class`` bodies — those are separate scopes.  Decorators and
+    default expressions of a nested def *do* evaluate in this scope
+    and are yielded.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, SCOPE_TYPES + (ast.ClassDef,)):
+            stack.extend(getattr(node, "decorator_list", ()))
+            args = getattr(node, "args", None)
+            if args is not None:
+                stack.extend(d for d in args.defaults if d is not None)
+                stack.extend(d for d in args.kw_defaults if d is not None)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_parent_map(root: ast.AST) -> dict:
+    """child node -> parent node, for ancestor walks."""
+    parents: dict = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -14,7 +14,7 @@ for downstream forks adopting the linter on a dirtier tree.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import LintConfigError
 from repro.lint.finding import Finding
@@ -45,7 +45,18 @@ class Baseline:
         return cls(counts)
 
     @classmethod
-    def load(cls, path: str) -> "Baseline":
+    def load(
+        cls, path: str, known_rules: Optional[FrozenSet[str]] = None
+    ) -> "Baseline":
+        """Load and validate a baseline file.
+
+        ``known_rules`` enables forward-compatibility checking: an
+        entry naming a rule id this build has never heard of (a
+        baseline written by a *newer* linter) is a classified
+        :class:`~repro.errors.LintConfigError`, not a crash and never a
+        silent ignore — silently dropping it would un-accept debt the
+        moment someone downgrades.
+        """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -74,6 +85,12 @@ class Baseline:
                 raise LintConfigError(
                     f"baseline {path} has a malformed entry: {entry!r}"
                 ) from exc
+            if known_rules is not None and key[0] not in known_rules:
+                raise LintConfigError(
+                    f"baseline {path} names unknown rule id {key[0]!r} "
+                    "(written by a newer linter?); refusing to guess — "
+                    "regenerate with --write-baseline or upgrade"
+                )
             counts[key] = counts.get(key, 0) + count
         return cls(counts)
 

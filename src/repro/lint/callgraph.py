@@ -1,0 +1,704 @@
+"""Project call-graph construction for ``repro-8t lint --deep``.
+
+The deep tier needs to answer "which functions can this function
+reach?" for a plain-Python tree without importing it.  This module
+builds that graph statically, in two phases that mirror the cache
+boundary:
+
+**Summarise** (per file, cacheable) — :func:`summarize_module` walks
+one AST and produces a JSON-serialisable :class:`ModuleSummary`: every
+function/method with its direct effects (via :mod:`repro.lint.effects`),
+its *call-target guesses* into project space (resolved through the
+file's import tables, innermost scope first, including function-local
+imports), its ``self.method()`` sites, the class table (bases +
+methods) needed for method resolution, the module's import table (so
+re-exported names can be chased), flow-rule candidates
+(:mod:`repro.lint.flow`), and the statement-anchor map used for
+suppression scoping.  Because a summary depends only on the file's own
+bytes, it is keyed by content digest and reused verbatim on warm runs.
+
+**Link** (whole project, cheap) — :func:`link` joins the summaries:
+guesses are matched against the global function/class tables,
+``self.m()`` resolves through the recorded base-class chain,
+``from pkg import name`` re-exports are chased through package
+``__init__`` import tables, and everything that still cannot be
+resolved lands in an explicit **unresolved bucket** with a reason —
+reported in the run statistics, never silently dropped.  A static
+resolver cannot see through dynamic dispatch (callbacks passed as
+parameters, registry lookups computed at runtime); the bucket is the
+honest boundary of the analysis, and the deep rules treat it as
+"effects unknown", not "no effects".
+
+Name resolution is deliberately *syntactic*: it trusts the import
+graph, not runtime monkey-patching.  That is the right trade for a
+lint tier — identical input bytes give identical graphs, which is what
+makes the digest cache sound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint import effects as fx
+from repro.lint import flow
+from repro.lint.asthelpers import dotted_name, iter_scope_nodes
+from repro.lint.suppressions import statement_anchor_map
+
+__all__ = [
+    "ModuleSummary",
+    "summarize_module",
+    "link",
+    "LinkResult",
+    "SUMMARY_VERSION",
+]
+
+#: Bump when the summary shape or inference rules change; part of the
+#: cache key alongside the lint-package code version.
+SUMMARY_VERSION = 1
+
+#: Emission leaves that count as telemetry for effect purposes — the
+#: helper vocabulary RPR131/RPR132 already understand plus the plain
+#: receiver methods they resolve through.
+_EMIT_LEAVES = frozenset(
+    {"warn", "emit", "emit_degradation", "on_event", "_emit_point",
+     "increment", "observe", "record"}
+)
+
+_MUTATING_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class ModuleSummary:
+    """Cacheable static summary of one module (see module docstring)."""
+
+    def __init__(
+        self,
+        path: str,
+        module: Optional[str],
+        functions: Dict[str, Dict[str, Any]],
+        classes: Dict[str, Dict[str, Any]],
+        exports: Dict[str, str],
+        unresolved: List[Dict[str, Any]],
+        candidates: List[Dict[str, Any]],
+        anchors: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.functions = functions
+        self.classes = classes
+        self.exports = exports
+        self.unresolved = unresolved
+        self.candidates = candidates
+        self.anchors = anchors
+
+    # -- cache (de)serialisation -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SUMMARY_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "functions": self.functions,
+            "classes": self.classes,
+            "exports": self.exports,
+            "unresolved": self.unresolved,
+            "candidates": self.candidates,
+            # JSON object keys are strings; anchors are rebuilt as ints.
+            "anchors": {
+                str(line): list(anchor)
+                for line, anchor in self.anchors.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            functions=payload["functions"],
+            classes=payload["classes"],
+            exports=payload["exports"],
+            unresolved=payload["unresolved"],
+            candidates=payload["candidates"],
+            anchors={
+                int(line): tuple(anchor)
+                for line, anchor in payload["anchors"].items()
+            },
+        )
+
+
+class _Scope:
+    """One lexical scope: import aliases + names that are dynamic."""
+
+    def __init__(self) -> None:
+        self.imports: Dict[str, str] = {}
+        self.dynamic: Set[str] = set()
+        self.local_funcs: Dict[str, str] = {}
+        self.star_import = False
+
+
+class _Resolver:
+    """Resolves a call expression against the live scope stack."""
+
+    def __init__(
+        self,
+        module: str,
+        project_packages: Sequence[str],
+        module_scope: _Scope,
+        module_classes: Dict[str, Dict[str, Any]],
+    ) -> None:
+        self.module = module
+        self.project_packages = tuple(project_packages)
+        self.stack: List[_Scope] = [module_scope]
+        self.module_classes = module_classes
+
+    def push(self, scope: _Scope) -> None:
+        self.stack.append(scope)
+
+    def pop(self) -> None:
+        self.stack.pop()
+
+    def _lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self.stack):
+            if name in scope.local_funcs:
+                return scope.local_funcs[name]
+            if name in scope.imports:
+                return scope.imports[name]
+            if name in scope.dynamic:
+                return None
+        return None
+
+    def _is_dynamic(self, name: str) -> bool:
+        for scope in reversed(self.stack):
+            if name in scope.local_funcs or name in scope.imports:
+                return False
+            if name in scope.dynamic:
+                return True
+        return False
+
+    def is_project(self, dotted: str) -> bool:
+        top = dotted.split(".", 1)[0]
+        return top in self.project_packages
+
+    def resolve(self, func: ast.expr) -> Tuple[str, str]:
+        """Classify a call's callee expression.
+
+        Returns ``(kind, name)`` with kind one of ``project`` (dotted
+        guess into the linted tree), ``self``/``cls`` (method name),
+        ``external`` (resolved dotted name outside the project), or
+        ``dynamic`` (display string; effects judged by leaf only).
+        """
+        if isinstance(func, ast.Name):
+            name = func.id
+            target = self._lookup(name)
+            if target is not None:
+                kind = "project" if self.is_project(target) else "external"
+                return (kind, target)
+            if name in self.module_classes:
+                return ("project", f"{self.module}.{name}")
+            if self._is_dynamic(name):
+                return ("dynamic", name)
+            if any(scope.star_import for scope in self.stack):
+                return ("dynamic", name)
+            # Unshadowed bare name: a builtin (open, sorted, ...).
+            return ("external", name)
+        chain = dotted_name(func)
+        if chain is None:
+            return ("dynamic", _display(func))
+        root, _, rest = chain.partition(".")
+        if root == "self" or root == "cls":
+            if rest and "." not in rest:
+                return (root, rest)
+            return ("dynamic", chain)
+        target = self._lookup(root)
+        if target is not None:
+            resolved = f"{target}.{rest}" if rest else target
+            kind = "project" if self.is_project(resolved) else "external"
+            return (kind, resolved)
+        if root in self.module_classes and rest:
+            # Call on a module-local class object (classmethod/static).
+            return ("project", f"{self.module}.{chain}")
+        if self._is_dynamic(root):
+            return ("dynamic", chain)
+        return ("external", chain)
+
+
+def _display(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        return f"<expr>.{func.attr}"
+    return type(func).__name__
+
+
+# -- import handling --------------------------------------------------------
+
+
+def _absolute_base(
+    module: str, level: int, is_package: bool
+) -> Optional[str]:
+    """Resolve the base package for a relative import."""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    if drop:
+        parts = parts[:-drop]
+    return ".".join(parts)
+
+
+def _record_import(
+    node: ast.stmt, scope: _Scope, module: str, is_package: bool
+) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            scope.imports[bound] = target
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:
+            base = _absolute_base(module, node.level, is_package)
+            if base is None:
+                return
+            source = f"{base}.{node.module}" if node.module else base
+        else:
+            source = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                scope.star_import = True
+                continue
+            bound = alias.asname or alias.name
+            scope.imports[bound] = (
+                f"{source}.{alias.name}" if source else alias.name
+            )
+
+
+# -- per-function analysis --------------------------------------------------
+
+
+def _collect_locals(
+    func: ast.AST, scope: _Scope, module: str, is_package: bool
+) -> List[ast.AST]:
+    """First pass over a function body: bind imports, nested defs, and
+    every stored name as scope entries; returns the nested defs."""
+    nested: List[ast.AST] = []
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            scope.dynamic.add(arg.arg)
+    for node in iter_scope_nodes(func):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _record_import(node, scope, module, is_package)
+        elif isinstance(node, _MUTATING_SCOPES):
+            nested.append(node)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            scope.dynamic.add(node.id)
+    return nested
+
+
+def _analyze_function(
+    func: ast.AST,
+    qname: str,
+    resolver: _Resolver,
+    summary_functions: Dict[str, Dict[str, Any]],
+    unresolved: List[Dict[str, Any]],
+    class_qname: Optional[str],
+    module: str,
+    is_package: bool,
+) -> None:
+    scope = _Scope()
+    nested = _collect_locals(func, scope, module, is_package)
+    for child in nested:
+        scope.local_funcs[child.name] = f"{qname}.{child.name}"
+    resolver.push(scope)
+
+    info: Dict[str, Any] = {
+        "line": getattr(func, "lineno", 1),
+        "class": class_qname,
+        "project_calls": [],
+        "self_calls": [],
+        "effects": {},
+    }
+
+    def add_effect(effect: str, display: str, line: int) -> None:
+        info["effects"].setdefault(effect, ["direct", display, line])
+
+    for node in iter_scope_nodes(func):
+        if isinstance(node, ast.Call):
+            kind, name = resolver.resolve(node.func)
+            line = node.lineno
+            col = node.col_offset
+            if kind == "project":
+                info["project_calls"].append([name, line, col])
+            elif kind in ("self", "cls"):
+                info["self_calls"].append([name, line, col])
+                if name in _EMIT_LEAVES:
+                    add_effect(fx.TELEMETRY_EMIT, f"self.{name}", line)
+            elif kind == "external":
+                for effect in fx.classify_external_call(name, node):
+                    add_effect(effect, name, line)
+                leaf = name.rsplit(".", 1)[-1]
+                if "." in name and leaf in _EMIT_LEAVES:
+                    add_effect(fx.TELEMETRY_EMIT, name, line)
+                if leaf == "acquire":
+                    add_effect(fx.LOCK_ACQUIRE, name, line)
+            else:  # dynamic
+                unresolved.append(
+                    {
+                        "function": qname,
+                        "line": line,
+                        "display": name,
+                        "reason": "dynamic-callee",
+                    }
+                )
+                leaf = name.rsplit(".", 1)[-1]
+                for effect in fx.classify_external_call(name, node):
+                    add_effect(effect, name, line)
+                if leaf in _EMIT_LEAVES and "." in name:
+                    add_effect(fx.TELEMETRY_EMIT, name, line)
+                if leaf == "acquire":
+                    add_effect(fx.LOCK_ACQUIRE, name, line)
+        elif isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                chain = dotted_name(item.context_expr)
+                if chain is None and isinstance(item.context_expr, ast.Call):
+                    chain = dotted_name(item.context_expr.func)
+                if chain and chain.rsplit(".", 1)[-1].endswith("lock"):
+                    add_effect(fx.LOCK_ACQUIRE, chain, node.lineno)
+        elif isinstance(node, ast.Raise):
+            cls_name = _raised_class(node)
+            if cls_name is not None:
+                add_effect(
+                    fx.raise_effect(cls_name), f"raise {cls_name}", node.lineno
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            # A nested function's name escaping as a value (callback):
+            # record a call edge so its effects still propagate.
+            target = scope.local_funcs.get(node.id)
+            if target is not None:
+                info["project_calls"].append([target, node.lineno, node.col_offset])
+
+    summary_functions[qname] = info
+    # Nested defs analyse with the enclosing scopes still pushed.
+    for child in nested:
+        _analyze_function(
+            child,
+            f"{qname}.{child.name}",
+            resolver,
+            summary_functions,
+            unresolved,
+            class_qname,
+            module,
+            is_package,
+        )
+    resolver.pop()
+
+
+def _raised_class(node: ast.Raise) -> Optional[str]:
+    if node.exc is None:
+        return "<reraise>"
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    chain = dotted_name(exc)
+    if chain is None:
+        return None
+    return chain.rsplit(".", 1)[-1]
+
+
+# -- module summarisation ---------------------------------------------------
+
+
+def summarize_module(
+    path: str,
+    source: str,
+    module: Optional[str],
+    tree: ast.Module,
+    project_packages: Sequence[str] = ("repro",),
+) -> ModuleSummary:
+    """Build the cacheable static summary for one parsed module."""
+    mod_name = module or path
+    is_package = path.endswith("__init__.py")
+    module_scope = _Scope()
+    classes: Dict[str, Dict[str, Any]] = {}
+    unresolved: List[Dict[str, Any]] = []
+    functions: Dict[str, Dict[str, Any]] = {}
+
+    # Pass 1 — module-level names (defs may be referenced before their
+    # definition line, so bind everything first).
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _record_import(node, module_scope, mod_name, is_package)
+        elif isinstance(node, _MUTATING_SCOPES):
+            module_scope.local_funcs[node.name] = f"{mod_name}.{node.name}"
+        elif isinstance(node, ast.ClassDef):
+            classes[f"{mod_name}.{node.name}"] = {"name": node.name}
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            for target in ast.walk(node):
+                if isinstance(target, ast.Name) and isinstance(
+                    target.ctx, ast.Store
+                ):
+                    module_scope.dynamic.add(target.id)
+
+    resolver = _Resolver(
+        mod_name, project_packages, module_scope,
+        {name.rsplit(".", 1)[-1]: info for name, info in classes.items()},
+    )
+
+    # Pass 2 — class tables (bases resolved through the import table).
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        class_qname = f"{mod_name}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            kind, name = resolver.resolve(base)
+            if kind == "project":
+                bases.append(name)
+            elif kind == "external":
+                bases.append(f"<external>{name}")
+            else:
+                bases.append(f"<dynamic>{name}")
+        methods = {
+            child.name: f"{class_qname}.{child.name}"
+            for child in node.body
+            if isinstance(child, _MUTATING_SCOPES)
+        }
+        classes[class_qname].update(
+            {"bases": bases, "methods": methods, "line": node.lineno}
+        )
+
+    # Pass 3 — function bodies.
+    for node in tree.body:
+        if isinstance(node, _MUTATING_SCOPES):
+            _analyze_function(
+                node, f"{mod_name}.{node.name}", resolver,
+                functions, unresolved, None, mod_name, is_package,
+            )
+        elif isinstance(node, ast.ClassDef):
+            class_qname = f"{mod_name}.{node.name}"
+            for child in node.body:
+                if isinstance(child, _MUTATING_SCOPES):
+                    _analyze_function(
+                        child, f"{class_qname}.{child.name}", resolver,
+                        functions, unresolved, class_qname, mod_name,
+                        is_package,
+                    )
+
+    # Pass 4 — the module body itself is import-time code; give it a
+    # pseudo-function so import-time effects propagate to importers of
+    # record (the fence packages must not pay wall clock at import).
+    body_stmts = [
+        stmt
+        for stmt in tree.body
+        if not isinstance(stmt, _MUTATING_SCOPES + (ast.ClassDef,))
+    ]
+    if body_stmts:
+        pseudo = ast.Module(body=body_stmts, type_ignores=[])
+        _analyze_function(
+            pseudo, f"{mod_name}.<module>", resolver,
+            functions, unresolved, None, mod_name, is_package,
+        )
+        functions[f"{mod_name}.<module>"]["line"] = body_stmts[0].lineno
+
+    candidates = flow.collect_candidates(tree, resolver.resolve, mod_name)
+    anchors = statement_anchor_map(tree)
+    return ModuleSummary(
+        path=path,
+        module=module,
+        functions=functions,
+        classes=classes,
+        exports=dict(module_scope.imports),
+        unresolved=unresolved,
+        candidates=candidates,
+        anchors=anchors,
+    )
+
+
+# -- linking ----------------------------------------------------------------
+
+
+class LinkResult:
+    """The joined project graph the deep rules consume."""
+
+    def __init__(
+        self,
+        functions: Dict[str, Dict[str, Any]],
+        summaries: Dict[str, ModuleSummary],
+        edges: Dict[str, List[Tuple[str, int, int]]],
+        closure: Dict[str, Dict[str, Any]],
+        unresolved: List[Dict[str, Any]],
+        classes: Dict[str, Dict[str, Any]],
+        modules: Dict[str, ModuleSummary],
+    ) -> None:
+        self.functions = functions
+        self.summaries = summaries
+        self.edges = edges
+        self.closure = closure
+        self.unresolved = unresolved
+        self._classes = classes
+        self._modules = modules
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+    def resolve_guess(self, guess: str) -> Optional[str]:
+        """Late resolution of a dotted project guess (rule discharges)."""
+        _matched, target = _link_guess(
+            guess, self.functions, self._classes, self._modules
+        )
+        return target
+
+    def resolve_method(self, class_qname: str, method: str) -> Optional[str]:
+        return _resolve_method(class_qname, method, self._classes, self._modules)
+
+
+def _chase_reexport(
+    guess: str,
+    functions: Dict[str, Dict[str, Any]],
+    classes: Dict[str, Dict[str, Any]],
+    modules: Dict[str, ModuleSummary],
+) -> Optional[str]:
+    """Follow ``from x import name`` chains through package __init__
+    import tables: ``repro.obs.Telemetry`` -> ``repro.obs.telemetry.
+    Telemetry``.  Bounded to keep import cycles finite."""
+    current = guess
+    for _ in range(8):
+        if current in functions or current in classes:
+            return current
+        holder, _, leaf = current.rpartition(".")
+        summary = modules.get(holder)
+        if summary is None or leaf not in summary.exports:
+            return None
+        current = summary.exports[leaf]
+    return None
+
+
+def _resolve_method(
+    class_qname: str,
+    method: str,
+    classes: Dict[str, Dict[str, Any]],
+    modules: Dict[str, ModuleSummary],
+    depth: int = 0,
+) -> Optional[str]:
+    """Walk the recorded base chain looking for ``method``."""
+    if depth > 8:
+        return None
+    info = classes.get(class_qname)
+    if info is None:
+        return None
+    methods = info.get("methods", {})
+    if method in methods:
+        return methods[method]
+    for base in info.get("bases", ()):
+        if base.startswith("<"):
+            continue
+        resolved_base = base
+        if resolved_base not in classes:
+            chased = _chase_reexport(base, {}, classes, modules)
+            if chased is None:
+                continue
+            resolved_base = chased
+        found = _resolve_method(
+            resolved_base, method, classes, modules, depth + 1
+        )
+        if found is not None:
+            return found
+    return None
+
+
+def link(summaries: Sequence[ModuleSummary]) -> LinkResult:
+    """Join per-module summaries into the project graph + effect closure."""
+    modules: Dict[str, ModuleSummary] = {}
+    functions: Dict[str, Dict[str, Any]] = {}
+    classes: Dict[str, Dict[str, Any]] = {}
+    unresolved: List[Dict[str, Any]] = []
+    for summary in summaries:
+        if summary.module is not None:
+            modules[summary.module] = summary
+        for qname, info in summary.functions.items():
+            functions[qname] = dict(info, path=summary.path)
+        for cname, cinfo in summary.classes.items():
+            classes[cname] = cinfo
+        unresolved.extend(summary.unresolved)
+
+    edges: Dict[str, List[Tuple[str, int, int]]] = {}
+    direct: Dict[str, Dict[str, Any]] = {}
+
+    for qname, info in functions.items():
+        out: List[Tuple[str, int, int]] = []
+        for guess, line, col in info.get("project_calls", ()):
+            matched, target = _link_guess(guess, functions, classes, modules)
+            if target is not None:
+                out.append((target, line, col))
+            elif not matched:
+                unresolved.append(
+                    {
+                        "function": qname,
+                        "line": line,
+                        "display": guess,
+                        "reason": "unmatched-project-name",
+                    }
+                )
+        class_qname = info.get("class")
+        for method, line, col in info.get("self_calls", ()):
+            target = None
+            if class_qname is not None:
+                target = _resolve_method(class_qname, method, classes, modules)
+            if target is not None:
+                out.append((target, line, col))
+            else:
+                unresolved.append(
+                    {
+                        "function": qname,
+                        "line": line,
+                        "display": f"self.{method}",
+                        "reason": "unresolved-method",
+                    }
+                )
+        if out:
+            edges[qname] = out
+        effects = info.get("effects", {})
+        if effects:
+            direct[qname] = {
+                effect: tuple(origin) for effect, origin in effects.items()
+            }
+
+    closure = fx.propagate(direct, edges, barrier=fx.determinism_barrier)
+    return LinkResult(
+        functions=functions,
+        summaries={s.path: s for s in summaries},
+        edges=edges,
+        closure=closure,
+        unresolved=unresolved,
+        classes=classes,
+        modules=modules,
+    )
+
+
+def _link_guess(
+    guess: str,
+    functions: Dict[str, Dict[str, Any]],
+    classes: Dict[str, Dict[str, Any]],
+    modules: Dict[str, ModuleSummary],
+) -> Tuple[bool, Optional[str]]:
+    """Returns ``(matched, edge_target)``; matched-without-target means
+    the name resolved to something with no body to analyse (a class
+    whose init is synthesised), which is not an unresolved site."""
+    resolved = guess if guess in functions or guess in classes else None
+    if resolved is None:
+        resolved = _chase_reexport(guess, functions, classes, modules)
+    if resolved is None:
+        return (False, None)
+    if resolved in classes:
+        # Constructing the class runs __init__ when it has one; a
+        # default/dataclass init carries no effects worth tracking.
+        return (True, _resolve_method(resolved, "__init__", classes, modules))
+    return (True, resolved)

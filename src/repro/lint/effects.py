@@ -1,0 +1,265 @@
+"""Per-function effect/purity inference for the deep lint tier.
+
+An *effect* is a named, externally visible behaviour a function may
+perform: reading the wall clock, drawing from the unseeded global RNG,
+writing the filesystem, fsync'ing, ``os.replace``-renaming, acquiring a
+lock, emitting telemetry, or raising a class of exception.  The deep
+rules (RPR201-205, :mod:`repro.lint.rules.deep`) do not care what a
+function computes — only which effects its *call closure* can reach.
+
+Two layers live here:
+
+* **Direct inference** — :func:`classify_external_call` and the
+  syntactic helpers map one resolved call (or ``with``/``raise``
+  statement) to its effect, using the same wall-clock/RNG vocabulary
+  the per-node determinism rules enforce (:mod:`repro.lint.rules.
+  determinism`), so the two tiers can never disagree about what counts
+  as nondeterminism.
+* **Transitive closure** — :func:`propagate` folds direct effects over
+  the project call graph to a fixpoint, recording for every
+  ``(function, effect)`` pair an *origin* (the direct call, or the
+  callee the effect was inherited from) so a finding can print the
+  exact helper chain down to the offending primitive.
+
+Determinism effects stop at the measurement plane: the telemetry
+modules (:data:`MEASUREMENT_PLANE_MODULES`) exist to record facts
+*about* a run, so their wall-clock use never taints a caller — the
+same carve-out RPR101 makes for ``perf_counter``/``monotonic``.  The
+perf ledger and environment fingerprint (``repro.obs.perf``) are
+deliberately *not* on that list: a fenced function that reaches
+``utc_timestamp()`` is leaking wall clock into result-bearing values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lint.rules.determinism import DETERMINISM_PACKAGES
+
+__all__ = [
+    "WALL_CLOCK",
+    "UNSEEDED_RNG",
+    "FS_WRITE",
+    "FSYNC",
+    "REPLACE",
+    "LOCK_ACQUIRE",
+    "TELEMETRY_EMIT",
+    "DETERMINISM_EFFECTS",
+    "MEASUREMENT_PLANE_MODULES",
+    "raise_effect",
+    "is_raise_effect",
+    "classify_external_call",
+    "propagate",
+    "origin_chain",
+]
+
+WALL_CLOCK = "wall-clock"
+UNSEEDED_RNG = "unseeded-rng"
+FS_WRITE = "fs-write"
+FSYNC = "fsync"
+REPLACE = "replace"
+LOCK_ACQUIRE = "lock-acquire"
+TELEMETRY_EMIT = "telemetry-emit"
+
+#: The effects RPR201 refuses to let into the determinism fence.
+DETERMINISM_EFFECTS = (WALL_CLOCK, UNSEEDED_RNG)
+
+#: Modules whose wall-clock/RNG use is measurement *about* a run and
+#: never propagates to callers.  ``repro.obs.perf`` is excluded on
+#: purpose — the ledger's timestamps must arrive as parameters.
+MEASUREMENT_PLANE_MODULES = frozenset(
+    {
+        "repro.obs.telemetry",
+        "repro.obs.registry",
+        "repro.obs.sinks",
+        "repro.obs.spans",
+        "repro.obs.sampler",
+        "repro.obs.profiler",
+    }
+)
+
+#: Wall-clock reads, shared verbatim with RPR101 so the direct and
+#: transitive tiers fence the identical primitive set.
+from repro.lint.rules.determinism import (  # noqa: E402  (vocabulary reuse)
+    _GLOBAL_RANDOM_CALLS,
+    _WALL_CLOCK_CALLS,
+)
+
+#: Filesystem mutators by dotted name.
+_FS_WRITE_CALLS = frozenset(
+    {
+        "os.write",
+        "os.truncate",
+        "os.ftruncate",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.move",
+    }
+)
+
+_REPLACE_CALLS = frozenset({"os.replace", "os.rename"})
+
+#: Attribute-call leaves that write through a handle or a Path.
+_WRITE_METHOD_LEAVES = frozenset(
+    {"write", "writelines", "write_text", "write_bytes"}
+)
+
+
+def raise_effect(class_name: str) -> str:
+    """The effect name for ``raise <class_name>``."""
+    return f"raises:{class_name}"
+
+
+def is_raise_effect(effect: str) -> bool:
+    return effect.startswith("raises:")
+
+
+def classify_external_call(name: str, node: ast.Call) -> List[str]:
+    """Effects of one resolved external (non-project) call.
+
+    ``name`` is the import-resolved dotted name (``time.time``,
+    ``os.replace``, ``random.randint``); ``node`` disambiguates the
+    argument-dependent cases (write-mode ``open``, seedless
+    ``random.Random``).
+    """
+    effects: List[str] = []
+    if name in _WALL_CLOCK_CALLS:
+        effects.append(WALL_CLOCK)
+    if (
+        name.startswith("random.")
+        and name[len("random."):] in _GLOBAL_RANDOM_CALLS
+    ):
+        effects.append(UNSEEDED_RNG)
+    if name == "random.Random" and not node.args and not node.keywords:
+        effects.append(UNSEEDED_RNG)
+    if name == "os.fsync":
+        effects.append(FSYNC)
+    if name in _REPLACE_CALLS:
+        effects.append(REPLACE)
+    if name in _FS_WRITE_CALLS:
+        effects.append(FS_WRITE)
+    if name == "open" and _open_mode_writes(node):
+        effects.append(FS_WRITE)
+    leaf = name.rsplit(".", 1)[-1]
+    if "." in name and leaf in _WRITE_METHOD_LEAVES:
+        effects.append(FS_WRITE)
+    return effects
+
+
+def _open_mode_writes(node: ast.Call) -> bool:
+    """True when an ``open()`` call's mode argument can write."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(ch in mode.value for ch in "wax+")
+    return True  # dynamic mode: assume the write capability exists
+
+
+# -- transitive closure -------------------------------------------------------------
+
+#: Origin of an effect on a function: ``("direct", <primitive>, line)``
+#: for a call made in the body, ``("call", <callee qname>, line)`` for
+#: an effect inherited through an edge.
+Origin = Tuple[str, str, int]
+
+
+def propagate(
+    direct: Dict[str, Dict[str, Origin]],
+    edges: Dict[str, List[Tuple[str, int, int]]],
+    barrier: Optional[Callable[[str, str], bool]] = None,
+) -> Dict[str, Dict[str, Origin]]:
+    """Fold direct effects over the call graph to a fixpoint.
+
+    ``direct`` maps function qname -> {effect: origin}; ``edges`` maps
+    caller qname -> [(callee qname, line, col), ...].  ``barrier(callee,
+    effect)`` returning True stops that effect from crossing the edge
+    (the measurement-plane carve-out).  Cycles (recursion) converge
+    because the closure only ever grows and the effect set is finite.
+    """
+    closure: Dict[str, Dict[str, Origin]] = {
+        qname: dict(effects) for qname, effects in direct.items()
+    }
+    callers: Dict[str, List[Tuple[str, int]]] = {}
+    for caller, callees in edges.items():
+        for callee, line, _col in callees:
+            callers.setdefault(callee, []).append((caller, line))
+    pending = list(closure)
+    in_pending = set(pending)
+    while pending:
+        qname = pending.pop()
+        in_pending.discard(qname)
+        effects = closure.get(qname)
+        if not effects:
+            continue
+        for caller, line in callers.get(qname, ()):
+            target = closure.setdefault(caller, {})
+            changed = False
+            for effect in effects:
+                if barrier is not None and barrier(qname, effect):
+                    continue
+                if effect not in target:
+                    target[effect] = ("call", qname, line)
+                    changed = True
+            if changed and caller not in in_pending:
+                pending.append(caller)
+                in_pending.add(caller)
+    return closure
+
+
+def determinism_barrier(callee: str, effect: str) -> bool:
+    """The default propagation barrier (see module docstring)."""
+    if effect not in DETERMINISM_EFFECTS:
+        return False
+    module = callee.rsplit(".", 2)
+    # A qname is module.func or module.Class.method; test both prefixes.
+    candidates = {callee.rsplit(".", 1)[0]}
+    if len(module) == 3:
+        candidates.add(module[0])
+    return any(c in MEASUREMENT_PLANE_MODULES for c in candidates)
+
+
+def origin_chain(
+    closure: Dict[str, Dict[str, Origin]],
+    qname: str,
+    effect: str,
+    limit: int = 10,
+) -> List[str]:
+    """Human-readable witness chain from ``qname`` down to the primitive.
+
+    ``["helper_a()", "helper_b()", "time.time()"]`` — each hop is the
+    callee the effect was inherited through, ending at the direct call.
+    """
+    chain: List[str] = []
+    seen = set()
+    current = qname
+    for _ in range(limit):
+        if current in seen:
+            break
+        seen.add(current)
+        origin = closure.get(current, {}).get(effect)
+        if origin is None:
+            break
+        kind, target, _line = origin
+        chain.append(f"{_short(target)}()")
+        if kind == "direct":
+            return chain
+        current = target
+    chain.append("...")
+    return chain
+
+
+def _short(qname: str) -> str:
+    """Trim a project qname for messages; external names stay whole."""
+    for package in DETERMINISM_PACKAGES + ("repro.",):
+        if qname.startswith(package):
+            parts = qname.split(".")
+            return ".".join(parts[-2:]) if len(parts) > 2 else qname
+    return qname

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.errors import LintConfigError
@@ -56,6 +57,10 @@ class Rule:
     #: owning both directions of a check); keeps --select/--ignore
     #: working for the satellite ids.
     also_provides: Tuple[str, ...] = ()
+    #: Deep rules consume the linked call graph instead of visiting AST
+    #: nodes; they only run under ``lint --deep`` (the deep driver calls
+    #: ``check_deep``) and the shallow engine never instantiates them.
+    deep: bool = False
 
     def start_file(self, ctx: "FileContext") -> None:
         """Hook before a file's AST walk (per-file state reset)."""
@@ -101,7 +106,7 @@ class FileContext:
         #: Dotted module name (``repro.sim.campaign``) when the file
         #: sits inside an ``__init__.py`` package chain, else None.
         self.module = module
-        self.suppressions = SuppressionIndex.from_lines(self.lines)
+        self.suppressions = SuppressionIndex.from_source(self.lines, tree)
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -140,11 +145,14 @@ class FileContext:
 class RunContext:
     """Mutable state for one lint invocation (all files, all rules)."""
 
-    def __init__(self, rules: Iterable[Rule]) -> None:
+    def __init__(self, rules: Iterable[Rule], timing: bool = False) -> None:
         self.rules: Tuple[Rule, ...] = tuple(rules)
         self.findings: List[Finding] = []
         self.suppressed = 0
         self.files_checked = 0
+        self.timing = timing
+        #: rule id -> cumulative seconds, populated when timing is on.
+        self.rule_timings: Dict[str, float] = {}
         self._dispatch = self._build_dispatch(self.rules)
 
     @staticmethod
@@ -185,11 +193,24 @@ class RunContext:
         for rule in self.rules:
             rule.start_file(ctx)
         dispatch = self._dispatch
-        for node in ast.walk(tree):
-            handlers = dispatch.get(type(node).__name__)
-            if handlers:
-                for rule, handler in handlers:
-                    handler(node, ctx)
+        if self.timing:
+            clock = time.perf_counter
+            timings = self.rule_timings
+            for node in ast.walk(tree):
+                handlers = dispatch.get(type(node).__name__)
+                if handlers:
+                    for rule, handler in handlers:
+                        start = clock()
+                        handler(node, ctx)
+                        timings[rule.id] = (
+                            timings.get(rule.id, 0.0) + clock() - start
+                        )
+        else:
+            for node in ast.walk(tree):
+                handlers = dispatch.get(type(node).__name__)
+                if handlers:
+                    for rule, handler in handlers:
+                        handler(node, ctx)
         for rule in self.rules:
             rule.finish_file(ctx)
         self.files_checked += 1
@@ -198,7 +219,16 @@ class RunContext:
     def finish(self) -> None:
         """Run every rule's whole-project pass and order the findings."""
         for rule in self.rules:
-            rule.finish_run(self)
+            if self.timing:
+                start = time.perf_counter()
+                rule.finish_run(self)
+                self.rule_timings[rule.id] = (
+                    self.rule_timings.get(rule.id, 0.0)
+                    + time.perf_counter()
+                    - start
+                )
+            else:
+                rule.finish_run(self)
         self.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
 
 

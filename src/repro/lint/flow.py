@@ -1,0 +1,544 @@
+"""Light intra-function flow analyses for the deep rules.
+
+Three statement-order/structure checks run while a module is being
+summarised (so their results ride in the per-file cache):
+
+* **Durability ordering** (RPR202) — inside one function, a
+  write-effect event (``handle.write``, write-mode ``open``) followed
+  by ``os.replace``/``os.rename`` with no ``os.fsync`` event between
+  them on the linear statement order.  The commit may delegate the
+  fsync to a helper, so each candidate carries the project/self calls
+  seen in the window; the rule discharges the candidate at link time
+  when any of those callees' effect closure contains ``fsync``.
+* **Lock-set discipline** (RPR203) — per class owning a
+  ``threading.Lock``/``RLock`` attribute: attributes mutated both
+  under ``with self._lock`` and outside it.  Private helpers whose
+  every intra-class call site is lock-held are themselves classified
+  lock-held (fixpoint), which is exactly the ``ResultStore`` pattern —
+  ``put()`` takes the lock and calls ``_enforce_bound()`` which
+  mutates freely.  ``__init__``-family methods are exempt: the object
+  is not yet shared.
+* **Resource escape** (RPR204) — an ``open()`` whose handle neither
+  enters a ``with``, nor is closed/stored on ``self``/returned in the
+  function.  Storing on ``self`` and returning are deliberate escape
+  hatches: ownership transfers, and the new owner is lintable.
+* **Silent degradation** (RPR205) — an ``except`` handler catching
+  ``Exception`` or any :mod:`repro.errors` class that neither raises
+  nor emits telemetry in its body.  Handlers that delegate (call a
+  helper that raises a classified error or emits) are discharged at
+  link time through the helper's effect closure.
+
+All four are deliberately *linear* approximations — no path
+sensitivity, no aliasing.  They are tuned so that the shipped tree's
+real idioms pass and the corresponding bug (dropping the fsync,
+mutating outside the lock, swallowing the error) reliably fires; the
+trade-offs are documented in docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro import errors as _errors
+from repro.lint import effects as fx
+from repro.lint.asthelpers import (
+    SCOPE_TYPES,
+    build_parent_map,
+    dotted_name,
+    iter_scope_nodes,
+)
+
+__all__ = ["collect_candidates"]
+
+#: Exception class names from the project hierarchy; catching one of
+#: these (or Exception itself) puts a handler on the degradation
+#: ladder and in RPR205's scope.
+REPRO_ERROR_NAMES = frozenset(
+    name for name in _errors.__all__ if name.endswith("Error")
+)
+
+_LADDER_TYPES = REPRO_ERROR_NAMES | {"Exception", "BaseException"}
+
+#: Telemetry emission leaves (mirrors the helper vocabulary RPR131
+#: resolves through).
+_EMIT_LEAVES = frozenset(
+    {"warn", "emit", "emit_degradation", "on_event", "_emit_point"}
+)
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Method leaves that mutate their receiver in place.
+_MUTATOR_LEAVES = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "remove", "discard",
+        "pop", "popitem", "clear", "setdefault", "appendleft", "popleft",
+    }
+)
+
+_INIT_FAMILY = frozenset({"__init__", "__new__", "__post_init__", "__del__"})
+
+Resolve = Callable[[ast.expr], Tuple[str, str]]
+
+
+def collect_candidates(
+    tree: ast.Module, resolve: Resolve, module: str
+) -> List[Dict[str, Any]]:
+    """All flow-rule candidates for one module (see module docstring)."""
+    candidates: List[Dict[str, Any]] = []
+    for node in tree.body:
+        if isinstance(node, SCOPE_TYPES):
+            _scan_function(
+                node, f"{module}.{node.name}", None, resolve, candidates
+            )
+        elif isinstance(node, ast.ClassDef):
+            class_qname = f"{module}.{node.name}"
+            for child in node.body:
+                if isinstance(child, SCOPE_TYPES):
+                    _scan_function(
+                        child, f"{class_qname}.{child.name}", class_qname,
+                        resolve, candidates,
+                    )
+            _scan_class_locks(node, class_qname, resolve, candidates)
+    return candidates
+
+
+def _scan_function(
+    func: ast.AST,
+    qname: str,
+    class_qname: Optional[str],
+    resolve: Resolve,
+    candidates: List[Dict[str, Any]],
+) -> None:
+    _scan_durability(func, qname, class_qname, resolve, candidates)
+    _scan_open_escape(func, qname, class_qname, resolve, candidates)
+    _scan_handlers(func, qname, class_qname, resolve, candidates)
+    for node in iter_scope_nodes(func):
+        if isinstance(node, SCOPE_TYPES):
+            _scan_function(
+                node, f"{qname}.{node.name}", class_qname, resolve, candidates
+            )
+
+
+def _candidate(
+    rule: str,
+    qname: str,
+    class_qname: Optional[str],
+    node: ast.AST,
+    message: str,
+    discharge: Optional[List[List[str]]] = None,
+    discharge_effects: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    return {
+        "rule": rule,
+        "function": qname,
+        "class": class_qname,
+        "line": getattr(node, "lineno", 1),
+        "col": getattr(node, "col_offset", 0),
+        "message": message,
+        "discharge": discharge or [],
+        "discharge_effects": discharge_effects or [],
+    }
+
+
+# -- RPR202: write -> replace needs an fsync between ------------------------
+
+
+def _scan_durability(
+    func: ast.AST,
+    qname: str,
+    class_qname: Optional[str],
+    resolve: Resolve,
+    candidates: List[Dict[str, Any]],
+) -> None:
+    events: List[Tuple[int, int, str, Any]] = []
+    for node in iter_scope_nodes(func):
+        if not isinstance(node, ast.Call):
+            continue
+        kind, name = resolve(node.func)
+        position = (node.lineno, node.col_offset)
+        if kind == "external":
+            if name == "os.fsync":
+                events.append((*position, "fsync", name))
+                continue
+            if name in ("os.replace", "os.rename"):
+                events.append((*position, "replace", node))
+                continue
+        if kind in ("project", "self"):
+            events.append((*position, "call", [kind, name]))
+        effects = fx.classify_external_call(name, node)
+        if fx.FS_WRITE in effects:
+            events.append((*position, "write", name))
+    events.sort(key=lambda item: (item[0], item[1]))
+    write_line: Optional[int] = None
+    synced_after_write = True
+    window_calls: List[List[str]] = []
+    for line, _col, kind, payload in events:
+        if kind == "write":
+            if write_line is None or synced_after_write:
+                window_calls = []
+            write_line = line
+            synced_after_write = False
+        elif kind == "fsync":
+            synced_after_write = True
+        elif kind == "call":
+            window_calls.append(payload)
+        elif kind == "replace":
+            if write_line is not None and not synced_after_write:
+                candidates.append(
+                    _candidate(
+                        "RPR202",
+                        qname,
+                        class_qname,
+                        payload,
+                        (
+                            f"write at line {write_line} reaches "
+                            "os.replace with no os.fsync between them — "
+                            "a crash can publish an empty or torn file"
+                        ),
+                        discharge=list(window_calls),
+                        discharge_effects=[fx.FSYNC],
+                    )
+                )
+            write_line = None
+            synced_after_write = True
+            window_calls = []
+
+
+# -- RPR204: open() escaping unmanaged --------------------------------------
+
+
+def _scan_open_escape(
+    func: ast.AST,
+    qname: str,
+    class_qname: Optional[str],
+    resolve: Resolve,
+    candidates: List[Dict[str, Any]],
+) -> None:
+    parents = build_parent_map(func)
+    closed_names: Set[str] = set()
+    with_names: Set[str] = set()
+    returned_names: Set[str] = set()
+    stored_names: Set[str] = set()
+    for node in iter_scope_nodes(func):
+        if isinstance(node, ast.Attribute) and node.attr == "close":
+            base = dotted_name(node.value)
+            if base is not None:
+                closed_names.add(base.split(".", 1)[0])
+        elif isinstance(node, ast.withitem):
+            base = dotted_name(node.context_expr)
+            if base is not None:
+                with_names.add(base)
+        elif isinstance(node, ast.Return) and isinstance(
+            node.value, ast.Name
+        ):
+            returned_names.add(node.value.id)
+        elif isinstance(node, ast.Assign):
+            if (
+                isinstance(node.value, ast.Name)
+                and any(
+                    isinstance(t, ast.Attribute) for t in node.targets
+                )
+            ):
+                stored_names.add(node.value.id)
+    for node in iter_scope_nodes(func):
+        if not isinstance(node, ast.Call):
+            continue
+        kind, name = resolve(node.func)
+        if kind != "external" or name not in ("open", "os.fdopen", "io.open"):
+            continue
+        if _is_managed(node, parents, closed_names, with_names,
+                       returned_names, stored_names):
+            continue
+        candidates.append(
+            _candidate(
+                "RPR204",
+                qname,
+                class_qname,
+                node,
+                (
+                    f"{name}() handle neither enters a with-block nor is "
+                    "closed/stored/returned — leaks the descriptor and "
+                    "loses buffered writes on error paths"
+                ),
+            )
+        )
+
+
+def _is_managed(
+    call: ast.Call,
+    parents: Dict[ast.AST, ast.AST],
+    closed_names: Set[str],
+    with_names: Set[str],
+    returned_names: Set[str],
+    stored_names: Set[str],
+) -> bool:
+    node: ast.AST = call
+    while node in parents:
+        parent = parents[node]
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Return):
+            return True  # ownership transfers to the caller
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    return True  # stored on self; lifecycle owned there
+                if isinstance(target, ast.Name):
+                    bound = target.id
+                    if (
+                        bound in closed_names
+                        or bound in with_names
+                        or bound in returned_names
+                        or bound in stored_names
+                    ):
+                        return True
+            return False
+        if isinstance(parent, (ast.stmt, ast.ExceptHandler)):
+            return False
+        node = parent
+    return False
+
+
+# -- RPR205: degradation handlers must raise or emit ------------------------
+
+
+def _scan_handlers(
+    func: ast.AST,
+    qname: str,
+    class_qname: Optional[str],
+    resolve: Resolve,
+    candidates: List[Dict[str, Any]],
+) -> None:
+    for node in iter_scope_nodes(func):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _caught_names(node.type)
+        if not caught or not (caught & _LADDER_TYPES):
+            continue
+        compliant = False
+        discharge: List[List[str]] = []
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                compliant = True
+                break
+            if isinstance(inner, ast.Call):
+                kind, name = resolve(inner.func)
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf in _EMIT_LEAVES:
+                    compliant = True
+                    break
+                if any(
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("warning.")
+                    for arg in inner.args
+                ):
+                    compliant = True
+                    break
+                if kind in ("project", "self"):
+                    discharge.append([kind, name])
+        if compliant:
+            continue
+        label = ", ".join(sorted(caught & _LADDER_TYPES))
+        candidates.append(
+            _candidate(
+                "RPR205",
+                qname,
+                class_qname,
+                node,
+                (
+                    f"except {label}: handler neither re-raises a "
+                    "classified error nor emits a warning.* metric — "
+                    "the degradation is invisible to operators"
+                ),
+                discharge=discharge,
+                discharge_effects=[fx.TELEMETRY_EMIT, "raises:*"],
+            )
+        )
+
+
+def _caught_names(type_node: Optional[ast.expr]) -> Set[str]:
+    if type_node is None:
+        return set()  # bare except is RPR112's finding already
+    exprs = (
+        list(type_node.elts)
+        if isinstance(type_node, ast.Tuple)
+        else [type_node]
+    )
+    names: Set[str] = set()
+    for expr in exprs:
+        chain = dotted_name(expr)
+        if chain is not None:
+            names.add(chain.rsplit(".", 1)[-1])
+    return names
+
+
+# -- RPR203: lock-set discipline per class ----------------------------------
+
+
+def _scan_class_locks(
+    node: ast.ClassDef,
+    class_qname: str,
+    resolve: Resolve,
+    candidates: List[Dict[str, Any]],
+) -> None:
+    methods = [
+        child for child in node.body if isinstance(child, SCOPE_TYPES)
+    ]
+    lock_attrs = _find_lock_attrs(methods, resolve)
+    if not lock_attrs:
+        return
+    # Per method: mutation sites and intra-class call sites, each
+    # tagged with whether a ``with self.<lock>`` frame encloses it.
+    mutations: Dict[str, List[Tuple[str, bool, ast.AST]]] = {}
+    call_sites: List[Tuple[str, str, bool]] = []
+    for method in methods:
+        if method.name in _INIT_FAMILY:
+            continue
+        parents = build_parent_map(method)
+        for inner in ast.walk(method):
+            attr = _mutated_self_attr(inner)
+            if attr is not None and attr not in lock_attrs:
+                locked = _under_lock(inner, parents, lock_attrs)
+                mutations.setdefault(attr, []).append(
+                    (method.name, locked, inner)
+                )
+            if isinstance(inner, ast.Call):
+                chain = dotted_name(inner.func)
+                if (
+                    chain is not None
+                    and chain.startswith("self.")
+                    and chain.count(".") == 1
+                ):
+                    locked = _under_lock(inner, parents, lock_attrs)
+                    call_sites.append(
+                        (method.name, chain.split(".", 1)[1], locked)
+                    )
+    # Fixpoint: a private helper is lock-held when every intra-class
+    # call site is under the lock or inside a lock-held method.
+    lock_held: Set[str] = set()
+    method_names = {m.name for m in methods}
+    changed = True
+    while changed:
+        changed = False
+        for name in method_names:
+            if name in lock_held or not name.startswith("_"):
+                continue
+            sites = [s for s in call_sites if s[1] == name]
+            if not sites:
+                continue
+            if all(locked or caller in lock_held for caller, _, locked in sites):
+                lock_held.add(name)
+                changed = True
+    for attr, sites in sorted(mutations.items()):
+        effective = [
+            (method, locked or method in lock_held, site)
+            for method, locked, site in sites
+        ]
+        locked_sites = [s for s in effective if s[1]]
+        naked_sites = [s for s in effective if not s[1]]
+        if not locked_sites or not naked_sites:
+            continue
+        witness = locked_sites[0]
+        for method, _locked, site in naked_sites:
+            candidates.append(
+                _candidate(
+                    "RPR203",
+                    f"{class_qname}.{method}",
+                    class_qname,
+                    site,
+                    (
+                        f"self.{attr} is mutated here without the lock but "
+                        f"under it in {witness[0]}() line "
+                        f"{getattr(witness[2], 'lineno', '?')} — racing "
+                        "writers can tear the shared state"
+                    ),
+                )
+            )
+
+
+def _find_lock_attrs(methods: List[ast.AST], resolve: Resolve) -> Set[str]:
+    lock_attrs: Set[str] = set()
+    for method in methods:
+        for inner in ast.walk(method):
+            if not isinstance(inner, ast.Assign):
+                continue
+            if not isinstance(inner.value, ast.Call):
+                continue
+            _kind, name = resolve(inner.value.func)
+            if name not in _LOCK_FACTORIES:
+                continue
+            for target in inner.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    lock_attrs.add(target.attr)
+    return lock_attrs
+
+
+def _mutated_self_attr(node: ast.AST) -> Optional[str]:
+    """The ``self.<attr>`` an AST node mutates, if any."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        if (
+            chain is not None
+            and chain.startswith("self.")
+            and chain.rsplit(".", 1)[-1] in _MUTATOR_LEAVES
+            and chain.count(".") >= 2
+        ):
+            return chain.split(".")[1]
+        return None
+    else:
+        return None
+    for target in targets:
+        base = target
+        # self.attr = / self.attr[k] = both mutate attr's referent.
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            return base.attr
+    return None
+
+
+def _under_lock(
+    node: ast.AST,
+    parents: Dict[ast.AST, ast.AST],
+    lock_attrs: Set[str],
+) -> bool:
+    current: ast.AST = node
+    while current in parents:
+        current = parents[current]
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                chain = dotted_name(item.context_expr)
+                if chain is not None and chain.startswith("self."):
+                    if chain.split(".", 1)[1] in lock_attrs:
+                        return True
+        if isinstance(current, SCOPE_TYPES):
+            break
+    return False

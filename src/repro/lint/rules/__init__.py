@@ -18,6 +18,11 @@ RPR132   unemitted-metric-declaration    telemetry
 RPR141   print-in-library                hygiene
 RPR142   mutable-default-argument        hygiene
 RPR143   assert-in-library               hygiene
+RPR201   transitive-determinism-taint    deep (``lint --deep`` only)
+RPR202   durability-fsync-before-replace deep (``lint --deep`` only)
+RPR203   lock-set-violation              deep (``lint --deep`` only)
+RPR204   unclosed-resource               deep (``lint --deep`` only)
+RPR205   silent-degradation              deep (``lint --deep`` only)
 =======  ==============================  ==========================
 """
 
@@ -27,8 +32,13 @@ from repro.lint.rules import errors_discipline as errors_discipline
 from repro.lint.rules import hygiene as hygiene
 from repro.lint.rules import telemetry as telemetry
 
+# The deep family resolves its effect vocabulary through the modules
+# above, so it registers last.
+from repro.lint.rules import deep as deep  # noqa: E402
+
 __all__ = [
     "controllers",
+    "deep",
     "determinism",
     "errors_discipline",
     "hygiene",

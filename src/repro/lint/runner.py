@@ -6,6 +6,13 @@ paths into Python files, derives dotted module names from the
 package), instantiates the active rules once, runs the single-pass
 engine over every file, and folds suppressions + the optional baseline
 into a :class:`LintReport`.
+
+With ``deep=True`` the interprocedural tier
+(:mod:`repro.lint.deep`) runs after the per-node pass over the same
+file set: cached per-file summaries are linked into the project call
+graph and the RPR2xx rules report through the same suppression and
+baseline machinery, so a baseline written under the shallow tier
+round-trips unchanged under ``--deep``.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import LintConfigError
 from repro.lint import rules as _rules  # noqa: F401  (registers the rules)
 from repro.lint.baseline import Baseline
+from repro.lint.deep import DEFAULT_CACHE_PATH, DeepStats, run_deep
 from repro.lint.engine import RULE_TYPES, Rule, RunContext
-from repro.lint.finding import Finding
+from repro.lint.finding import Finding, Severity
 
 __all__ = ["LintReport", "run_lint", "discover_files", "module_name_for"]
 
@@ -38,6 +46,10 @@ class LintReport:
     baseline_path: Optional[str] = None
     #: All findings before baseline filtering — what --write-baseline saves.
     raw_findings: List[Finding] = field(default_factory=list)
+    #: Call-graph/cache counters when the deep tier ran, else None.
+    deep_stats: Optional[DeepStats] = None
+    #: rule id / phase -> seconds, populated under --timing.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -51,15 +63,19 @@ class LintReport:
             if self.baselined:
                 extras.append(f"{self.baselined} baselined")
             tail = f" ({', '.join(extras)})" if extras else ""
-            return (
+            text = (
                 f"ok: {self.files_checked} files clean under "
                 f"{len(self.rules_run)} rules{tail}"
             )
-        return (
-            f"{len(self.findings)} finding(s) in {self.files_checked} "
-            f"files ({self.suppressed} suppressed, "
-            f"{self.baselined} baselined)"
-        )
+        else:
+            text = (
+                f"{len(self.findings)} finding(s) in {self.files_checked} "
+                f"files ({self.suppressed} suppressed, "
+                f"{self.baselined} baselined)"
+            )
+        if self.deep_stats is not None:
+            text = f"{text}\n{self.deep_stats.summary_line()}"
+        return text
 
     def render_text(self) -> str:
         lines = [finding.render() for finding in self.findings]
@@ -78,7 +94,53 @@ class LintReport:
                 "ok": self.ok,
             },
         }
+        if self.deep_stats is not None:
+            payload["deep"] = self.deep_stats.to_dict()
+        if self.timings:
+            payload["timings"] = {
+                key: round(value, 6)
+                for key, value in sorted(self.timings.items())
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotations, one per finding.
+
+        ``::error file=...,line=...,col=...,title=RPRxxx::message`` —
+        the runner attaches these inline to the PR diff.  The summary
+        goes out as a plain log line (not an annotation).
+        """
+        lines = []
+        for finding in self.findings:
+            command = (
+                "error" if finding.severity is Severity.ERROR else "warning"
+            )
+            properties = ",".join(
+                (
+                    f"file={_escape_property(finding.path)}",
+                    f"line={finding.line}",
+                    f"col={finding.column}",
+                    f"title={_escape_property(finding.rule_id)}",
+                )
+            )
+            lines.append(
+                f"::{command} {properties}::{_escape_data(finding.message)}"
+            )
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+def _escape_data(value: str) -> str:
+    """Workflow-command message escaping (order matters: % first)."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _escape_property(value: str) -> str:
+    return (
+        _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
 
 
 def discover_files(paths: Sequence[str]) -> List[str]:
@@ -137,21 +199,51 @@ def module_name_for(path: str) -> Optional[str]:
 
 
 def _select_rules(
-    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
-) -> Tuple[List[Rule], Tuple[str, ...]]:
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    deep: bool,
+) -> Tuple[List[Rule], List[Rule], Tuple[str, ...]]:
+    """Returns (shallow rules, deep rules, active ids).
+
+    Deep rules participate only under ``deep=True``; explicitly
+    selecting one without it is a configuration error rather than a
+    silent no-op.
+    """
     known = set(RULE_TYPES)
     provided: Dict[str, str] = {}
     for rule_id, rule_type in RULE_TYPES.items():
         for extra in rule_type.also_provides:
             provided[extra] = rule_id
-    selected = set(_validate_ids(select, known) or known)
+    deep_ids = {
+        rule_id for rule_id, rule_type in RULE_TYPES.items() if rule_type.deep
+    }
+    selected_list = _validate_ids(select, known)
+    if selected_list is not None and not deep:
+        requested_deep = sorted(set(selected_list) & deep_ids)
+        if requested_deep:
+            raise LintConfigError(
+                f"{', '.join(requested_deep)} are deep rules; "
+                "run with --deep to enable the interprocedural tier"
+            )
+    selected = set(selected_list or known)
+    if not deep:
+        selected -= deep_ids
     ignored = set(_validate_ids(ignore, known) or ())
     active_ids = selected - ignored
     # Instantiate the owning rule for every active id (a cross-reference
     # rule may report under a provided satellite id).
     to_instantiate = {provided.get(rule_id, rule_id) for rule_id in active_ids}
-    rules = [RULE_TYPES[rule_id]() for rule_id in sorted(to_instantiate)]
-    return rules, tuple(sorted(active_ids))
+    shallow = [
+        RULE_TYPES[rule_id]()
+        for rule_id in sorted(to_instantiate)
+        if not RULE_TYPES[rule_id].deep
+    ]
+    deep_rules = [
+        RULE_TYPES[rule_id]()
+        for rule_id in sorted(to_instantiate)
+        if RULE_TYPES[rule_id].deep
+    ]
+    return shallow, deep_rules, tuple(sorted(active_ids))
 
 
 def _validate_ids(
@@ -176,11 +268,24 @@ def _validate_ids(
     return validated
 
 
+def known_rule_ids() -> frozenset:
+    """Every id findings can carry: registered, provided, and RPR001."""
+    provided = {
+        extra
+        for rule_type in RULE_TYPES.values()
+        for extra in rule_type.also_provides
+    }
+    return frozenset(set(RULE_TYPES) | provided | {"RPR001"})
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     baseline_path: Optional[str] = None,
+    deep: bool = False,
+    cache_path: Optional[str] = DEFAULT_CACHE_PATH,
+    timing: bool = False,
 ) -> LintReport:
     """Lint ``paths`` and return the filtered report.
 
@@ -189,33 +294,65 @@ def run_lint(
     selected.  ``baseline_path`` filters findings through a
     :class:`repro.lint.baseline.Baseline` file when it exists (a
     missing baseline file is treated as empty so bootstrap runs work).
+    ``deep=True`` adds the RPR2xx interprocedural tier with its summary
+    cache at ``cache_path`` (None disables caching); ``timing``
+    records per-rule wall time in :attr:`LintReport.timings`.
     """
     if not paths:
         raise LintConfigError("lint needs at least one file or directory")
     files = discover_files(paths)
-    rules, active_ids = _select_rules(select, ignore)
-    run = RunContext(rules)
+    shallow_rules, deep_rules, active_ids = _select_rules(
+        select, ignore, deep
+    )
+    run = RunContext(shallow_rules, timing=timing)
+    sources: List[Tuple[str, str]] = []
+    module_names: Dict[str, Optional[str]] = {}
     for path in files:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as exc:
             raise LintConfigError(f"cannot read {path}: {exc}") from exc
-        run.check_file(path, source, module_name_for(path))
+        module_names[path] = module_name_for(path)
+        sources.append((path, source))
+        run.check_file(path, source, module_names[path])
     run.finish()
+    timings: Dict[str, float] = dict(run.rule_timings) if timing else {}
+
+    deep_stats: Optional[DeepStats] = None
+    suppressed = run.suppressed
+    all_findings = list(run.findings)
+    if deep:
+        deep_findings, deep_suppressed, deep_stats = run_deep(
+            sources,
+            deep_rules,
+            cache_path=cache_path,
+            timing=timing,
+            module_names=module_names,
+        )
+        all_findings.extend(deep_findings)
+        suppressed += deep_suppressed
+        if timing:
+            timings.update(deep_stats.timings)
+        all_findings.sort(
+            key=lambda f: (f.path, f.line, f.column, f.rule_id)
+        )
+
     active = set(active_ids) | {"RPR001"}
-    raw = [f for f in run.findings if f.rule_id in active]
+    raw = [f for f in all_findings if f.rule_id in active]
     baselined = 0
     findings = raw
     if baseline_path is not None and os.path.exists(baseline_path):
-        baseline = Baseline.load(baseline_path)
+        baseline = Baseline.load(baseline_path, known_rules=known_rule_ids())
         findings, baselined = baseline.filter(raw)
     return LintReport(
         findings=findings,
         files_checked=run.files_checked,
-        suppressed=run.suppressed,
+        suppressed=suppressed,
         baselined=baselined,
         rules_run=active_ids,
         baseline_path=baseline_path,
         raw_findings=raw,
+        deep_stats=deep_stats,
+        timings=timings,
     )

@@ -6,32 +6,91 @@ statement::
 
     value = eval(payload)  # repro-lint: disable=RPR141
 
-``disable=all`` silences every rule on the line.  Multiple ids are
-comma-separated.  Suppressions are deliberately line-scoped (no block
-or file scope): a violation either gets fixed, gets a visible per-line
-waiver, or goes in the baseline file — nothing disappears wholesale.
+For a statement spanning several physical lines, a comment on its
+**first physical line** (or, for a decorated ``def``, the header line)
+covers findings anywhere inside the statement::
+
+    handle.write(payload)  # repro-lint: disable=RPR204
+    os.replace(  # repro-lint: disable=RPR202
+        tmp_path,
+        final_path,
+    )
+
+The mapping is *statement*-scoped, innermost statement wins: a comment
+on an ``if``/``with``/``def`` line covers only the header expression
+lines, never the block body.  ``disable=all`` silences every rule on
+the line.  Multiple ids are comma-separated.  Suppressions are
+deliberately line/statement-scoped (no block or file scope): a
+violation either gets fixed, gets a visible per-line waiver, or goes
+in the baseline file — nothing disappears wholesale.
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import Dict, FrozenSet, Sequence
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["SuppressionIndex", "SUPPRESSION_PATTERN"]
+__all__ = ["SuppressionIndex", "SUPPRESSION_PATTERN", "statement_anchor_map"]
 
 SUPPRESSION_PATTERN = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)"
 )
 
 
+def statement_anchor_map(tree: ast.AST) -> Dict[int, Tuple[int, ...]]:
+    """Map each line of a multi-line statement to its anchor lines.
+
+    The anchors are the lines where a suppression comment also covers
+    the mapped line: the statement's first physical line (the first
+    decorator for decorated defs) and, when different, the header line
+    (the ``def``/``class`` keyword line).  Compound statements map only
+    their *header* lines — body lines belong to the inner statements,
+    which :func:`ast.walk` visits afterwards so the innermost mapping
+    wins.  Single-line statements are omitted (their anchor is
+    themselves).
+    """
+    anchors: Dict[int, Tuple[int, ...]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.ExceptHandler)):
+            continue
+        header = node.lineno
+        first = header
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            first = min(first, decorators[0].lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and hasattr(body[0], "lineno"):
+            # Compound statement: the header runs up to the first body
+            # statement (same-line bodies leave no extra header lines).
+            end = max(first, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or first
+        if end <= first and header == first:
+            continue
+        anchor = (first,) if header == first else (first, header)
+        for line in range(first, end + 1):
+            anchors[line] = anchor
+    return anchors
+
+
 class SuppressionIndex:
     """Per-file map of line number -> suppressed rule ids."""
 
-    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+    def __init__(
+        self,
+        by_line: Dict[int, FrozenSet[str]],
+        anchors: Optional[Mapping[int, Tuple[int, ...]]] = None,
+    ) -> None:
         self._by_line = by_line
+        self._anchors: Mapping[int, Tuple[int, ...]] = anchors or {}
 
     @classmethod
-    def from_lines(cls, lines: Sequence[str]) -> "SuppressionIndex":
+    def from_lines(
+        cls,
+        lines: Sequence[str],
+        anchors: Optional[Mapping[int, Tuple[int, ...]]] = None,
+    ) -> "SuppressionIndex":
         by_line: Dict[int, FrozenSet[str]] = {}
         for lineno, text in enumerate(lines, start=1):
             if "repro-lint" not in text:
@@ -46,13 +105,28 @@ class SuppressionIndex:
             )
             if ids:
                 by_line[lineno] = ids
-        return cls(by_line)
+        return cls(by_line, anchors)
 
-    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+    @classmethod
+    def from_source(
+        cls, lines: Sequence[str], tree: ast.AST
+    ) -> "SuppressionIndex":
+        """Build with multi-line statement anchors derived from the AST."""
+        return cls.from_lines(lines, statement_anchor_map(tree))
+
+    def _match(self, rule_id: str, lineno: int) -> bool:
         ids = self._by_line.get(lineno)
         if ids is None:
             return False
         return "ALL" in ids or rule_id.upper() in ids
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        if self._match(rule_id, lineno):
+            return True
+        for anchor in self._anchors.get(lineno, ()):
+            if self._match(rule_id, anchor):
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self._by_line)

@@ -189,7 +189,11 @@ def _supervise_job(
             on_event=on_event,
             breaker=breaker,
         )
-    except ReproError as exc:
+    except ReproError as exc:  # repro-lint: disable=RPR205
+        # Not silent: _run_pool emits breaker.skip / campaign.quarantined
+        # for this FailedRow when folding outcomes, in deterministic
+        # submission order.  Emitting from the supervisor thread here
+        # would double-count and race the ordering.
         skipped = isinstance(exc, BreakerOpenError)
         outcome.failure = FailedRow(
             benchmark=benchmark,

@@ -400,7 +400,10 @@ def _child_entry(conn, target, args, heartbeat_interval_s=None) -> None:
         threading.Thread(target=_beat, daemon=True).start()
     try:
         result = target(args)
-    except BaseException as exc:  # noqa: BLE001 - serialised, not swallowed
+    except BaseException as exc:  # noqa: BLE001  # repro-lint: disable=RPR205
+        # Not silent: the exception is serialised over the pipe and the
+        # parent rebuilds and re-raises it (_rebuild_exception) — the
+        # handler body *is* the error channel.
         stop_beating.set()
         try:
             with send_lock:

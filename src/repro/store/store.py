@@ -360,10 +360,11 @@ class ResultStore:
                 try:
                     header = entry_header(path.read_text(), str(path))
                     stale = header["meta"].get("code") != current
-                except (StoreIntegrityError, OSError):
+                except (StoreIntegrityError, OSError):  # repro-lint: disable=RPR205
                     # Damaged entries are gc'd outright — verify would
                     # quarantine them, but a gc pass is an explicit
-                    # request to reclaim space.
+                    # request to reclaim space.  Not silent: the removal
+                    # is counted in the returned gc report.
                     stale = True
                 if stale:
                     freed += self.index.size_of(key) or path.stat().st_size
@@ -406,7 +407,11 @@ class ResultStore:
                         meta = entry_header(path.read_text(), str(path))[
                             "meta"
                         ]
-                    except (StoreIntegrityError, OSError):
+                    except (StoreIntegrityError, OSError):  # repro-lint: disable=RPR205
+                        # An unreadable header matches no filter, so the
+                        # damaged entry is removed — exactly what an
+                        # invalidate pass wants, and the removal shows
+                        # up in the returned count.
                         meta = {}
                     if benchmark is not None and meta.get(
                         "benchmark"

@@ -1,0 +1,21 @@
+"""Unfenced helpers: direct wall-clock use is legal here (RPR101 only
+fences repro.core/engine/sim/check), but the effect still propagates
+into any fenced caller's closure."""
+
+import time
+
+
+def stamped(step: int) -> float:
+    return _with_clock(step)
+
+
+def _with_clock(step: int) -> float:
+    return step + _now()
+
+
+def _now() -> float:
+    return time.time()
+
+
+def scale(step: int) -> float:
+    return step * 2.0

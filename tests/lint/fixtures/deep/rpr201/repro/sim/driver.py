@@ -1,0 +1,18 @@
+"""Fenced module that leaks wall clock only *transitively*.
+
+No direct ``time.*`` call appears here (RPR101 stays silent); the taint
+arrives through a two-deep helper chain in the unfenced ``helpers``
+package, which only the interprocedural tier can see.
+"""
+
+from repro.helpers import chain
+
+
+def run_step(step: int) -> float:
+    """RPR201: chain.stamped's closure reaches time.time()."""
+    return chain.stamped(step)
+
+
+def run_clean(step: int) -> float:
+    """Silent: chain.scale is pure."""
+    return chain.scale(step)

@@ -1,0 +1,12 @@
+"""Atomic-rename publish that is missing *only* the fsync."""
+
+import json
+import os
+import tempfile
+
+
+def publish(path: str, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+    os.replace(tmp, path)  # RPR202: no fsync between write and replace

@@ -1,0 +1,28 @@
+"""The same publish done durably — inline fsync, and fsync delegated to
+a helper so the link-time discharge path is exercised too."""
+
+import json
+import os
+import tempfile
+
+
+def publish(path: str, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def publish_via_helper(path: str, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        _sync(handle)
+    os.replace(tmp, path)
+
+
+def _sync(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())

@@ -1,0 +1,38 @@
+"""Lock-set fixtures: one racy class, one that follows the
+lock-held-helper idiom RPR203's fixpoint exists to permit."""
+
+import threading
+from typing import List
+
+
+class RacyCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: List[str] = []
+
+    def add(self, item: str) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def reset(self) -> None:
+        self._items = []  # RPR203: naked write to lock-guarded state
+
+
+class SafeCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: List[str] = []
+
+    def add(self, item: str) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self) -> List[str]:
+        with self._lock:
+            out = list(self._items)
+            self._wipe_locked()
+            return out
+
+    def _wipe_locked(self) -> None:
+        # Exempt: every intra-class call site holds the lock.
+        self._items.clear()

@@ -1,0 +1,24 @@
+"""Resource-escape fixtures for the durability paths."""
+
+
+def header_bad(path: str) -> str:
+    handle = open(path, "r", encoding="utf-8")
+    return handle.readline()  # RPR204: handle is never closed
+
+
+def header_ok(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.readline()
+
+
+def header_closed(path: str) -> str:
+    handle = open(path, "r", encoding="utf-8")
+    try:
+        return handle.readline()
+    finally:
+        handle.close()
+
+
+def open_for_caller(path: str):
+    # Ownership transfer: returning the handle is a legal escape.
+    return open(path, "r", encoding="utf-8")

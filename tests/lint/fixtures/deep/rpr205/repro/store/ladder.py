@@ -1,0 +1,42 @@
+"""Silent-degradation fixtures: one swallowing handler, three legal
+shapes (re-raise, direct emit, emit delegated to a helper)."""
+
+from repro.errors import StoreIntegrityError
+
+
+def load_bad(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except StoreIntegrityError:
+        return ""  # RPR205: degradation invisible to operators
+
+
+def load_strict(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except StoreIntegrityError:
+        raise
+
+
+def load_noisy(path: str, telem) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except StoreIntegrityError as exc:
+        telem.warn("warning.store.damaged", str(exc), path=path)
+        return ""
+
+
+def load_delegating(path: str, telem) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except StoreIntegrityError:
+        _note_damage(telem, path)
+        return ""
+
+
+def _note_damage(telem, path: str) -> None:
+    telem.warn("warning.store.damaged", "unreadable entry", path=path)

@@ -85,6 +85,55 @@ def test_malformed_baseline_rejected(tmp_path, payload):
         Baseline.load(str(path))
 
 
+def _baseline_payload(rule_id):
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [
+                {"rule": rule_id, "path": "src/repro/m.py",
+                 "snippet": "x = 1", "count": 1}
+            ],
+        }
+    )
+
+
+class TestForwardCompat:
+    """A baseline naming a rule id this build has never heard of (a
+    file written by a newer linter) is a classified config error, not
+    a silent drop."""
+
+    def test_unknown_rule_id_rejected_when_known_rules_given(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(_baseline_payload("RPR999"), encoding="utf-8")
+        with pytest.raises(LintConfigError) as excinfo:
+            Baseline.load(str(path), known_rules=frozenset({"RPR111"}))
+        assert "RPR999" in str(excinfo.value)
+
+    def test_known_rules_accepts_registered_and_provided_ids(self, tmp_path):
+        from repro.lint.runner import known_rule_ids
+
+        known = known_rule_ids()
+        # Deep ids and also_provides ids are first-class baseline keys.
+        for rule_id in ("RPR001", "RPR132", "RPR201", "RPR205"):
+            assert rule_id in known
+        path = tmp_path / "baseline.json"
+        path.write_text(_baseline_payload("RPR205"), encoding="utf-8")
+        assert len(Baseline.load(str(path), known_rules=known)) == 1
+
+    def test_load_without_known_rules_stays_permissive(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(_baseline_payload("RPR999"), encoding="utf-8")
+        assert len(Baseline.load(str(path))) == 1
+
+    def test_run_lint_rejects_future_baseline(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        path = tmp_path / "baseline.json"
+        path.write_text(_baseline_payload("RPR999"), encoding="utf-8")
+        with pytest.raises(LintConfigError):
+            run_lint([str(target)], baseline_path=str(path))
+
+
 def test_empty_baseline_is_goal_state(tmp_path):
     path = tmp_path / "baseline.json"
     assert Baseline.empty().save(str(path)) == 0

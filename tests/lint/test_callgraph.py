@@ -1,0 +1,164 @@
+"""Units for the deep tier's call-graph builder and effect closure."""
+
+import ast
+
+from repro.lint import effects as fx
+from repro.lint.callgraph import ModuleSummary, link, summarize_module
+
+
+def summarize(module, source, path=None):
+    path = path or module.replace(".", "/") + ".py"
+    return summarize_module(path, source, module, ast.parse(source))
+
+
+class TestResolution:
+    def test_cross_module_project_call_becomes_an_edge(self):
+        a = summarize(
+            "repro.a",
+            "from repro import b\n\ndef caller():\n    return b.helper()\n",
+        )
+        b = summarize("repro.b", "def helper():\n    return 1\n")
+        linked = link([a, b])
+        callees = {c for c, _l, _c in linked.edges.get("repro.a.caller", ())}
+        assert "repro.b.helper" in callees
+
+    def test_from_import_of_function(self):
+        a = summarize(
+            "repro.a",
+            "from repro.b import helper\n\ndef caller():\n"
+            "    return helper()\n",
+        )
+        b = summarize("repro.b", "def helper():\n    return 1\n")
+        linked = link([a, b])
+        callees = {c for c, _l, _c in linked.edges.get("repro.a.caller", ())}
+        assert "repro.b.helper" in callees
+
+    def test_method_resolution_through_self(self):
+        mod = summarize(
+            "repro.m",
+            "class Box:\n"
+            "    def outer(self):\n"
+            "        return self._inner()\n"
+            "    def _inner(self):\n"
+            "        return 1\n",
+        )
+        linked = link([mod])
+        callees = {
+            c for c, _l, _c in linked.edges.get("repro.m.Box.outer", ())
+        }
+        assert "repro.m.Box._inner" in callees
+
+    def test_reexport_chased_through_package_init(self):
+        init = summarize(
+            "repro.pkg",
+            "from repro.pkg.impl import helper\n",
+            path="repro/pkg/__init__.py",
+        )
+        impl = summarize("repro.pkg.impl", "def helper():\n    return 1\n")
+        caller = summarize(
+            "repro.user",
+            "from repro.pkg import helper\n\ndef go():\n"
+            "    return helper()\n",
+        )
+        linked = link([init, impl, caller])
+        callees = {c for c, _l, _c in linked.edges.get("repro.user.go", ())}
+        assert "repro.pkg.impl.helper" in callees
+
+    def test_dynamic_callee_lands_in_the_unresolved_bucket(self):
+        mod = summarize(
+            "repro.m",
+            "def go(fn):\n    return fn()\n",
+        )
+        linked = link([mod])
+        reasons = {entry["reason"] for entry in linked.unresolved}
+        assert "dynamic-callee" in reasons
+
+    def test_unmatched_project_name_is_reported_not_guessed(self):
+        mod = summarize(
+            "repro.m",
+            "from repro import ghost\n\ndef go():\n"
+            "    return ghost.missing()\n",
+        )
+        linked = link([mod])
+        assert any(
+            entry["reason"] == "unmatched-project-name"
+            for entry in linked.unresolved
+        )
+        assert not linked.edges.get("repro.m.go")
+
+
+class TestEffects:
+    def test_direct_wall_clock_effect(self):
+        mod = summarize(
+            "repro.m", "import time\n\ndef now():\n    return time.time()\n"
+        )
+        linked = link([mod])
+        assert fx.WALL_CLOCK in linked.closure["repro.m.now"]
+
+    def test_effect_propagates_two_levels(self):
+        mod = summarize(
+            "repro.m",
+            "import time\n\n"
+            "def top():\n    return mid()\n\n"
+            "def mid():\n    return leaf()\n\n"
+            "def leaf():\n    return time.time()\n",
+        )
+        linked = link([mod])
+        assert fx.WALL_CLOCK in linked.closure["repro.m.top"]
+        chain = fx.origin_chain(linked.closure, "repro.m.top", fx.WALL_CLOCK)
+        assert chain[-1] == "time.time()"
+        assert any("leaf" in hop for hop in chain)
+
+    def test_measurement_plane_barrier_blocks_determinism_taint(self):
+        telem = summarize(
+            "repro.obs.telemetry",
+            "import time\n\ndef stamp():\n    return time.time()\n",
+        )
+        user = summarize(
+            "repro.sim.user",
+            "from repro.obs import telemetry\n\ndef go():\n"
+            "    return telemetry.stamp()\n",
+        )
+        linked = link([telem, user])
+        assert fx.WALL_CLOCK in linked.closure["repro.obs.telemetry.stamp"]
+        assert fx.WALL_CLOCK not in linked.closure.get(
+            "repro.sim.user.go", {}
+        )
+
+    def test_fsync_and_raise_effects_recorded(self):
+        mod = summarize(
+            "repro.m",
+            "import os\n"
+            "from repro.errors import StoreIntegrityError\n\n"
+            "def commit(fd):\n"
+            "    os.fsync(fd)\n"
+            "    raise StoreIntegrityError('x')\n",
+        )
+        linked = link([mod])
+        closure = linked.closure["repro.m.commit"]
+        assert fx.FSYNC in closure
+        assert fx.raise_effect("StoreIntegrityError") in closure
+
+    def test_seeded_rng_is_not_an_effect(self):
+        mod = summarize(
+            "repro.m",
+            "import random\n\ndef draw(seed):\n"
+            "    return random.Random(seed).random()\n",
+        )
+        linked = link([mod])
+        assert fx.UNSEEDED_RNG not in linked.closure.get("repro.m.draw", {})
+
+
+class TestSummaryRoundTrip:
+    def test_to_dict_from_dict_links_identically(self):
+        source = (
+            "import time\n\n"
+            "def top():\n    return leaf()\n\n"
+            "def leaf():\n    return time.time()\n"
+        )
+        fresh = summarize("repro.m", source)
+        thawed = ModuleSummary.from_dict(fresh.to_dict())
+        for summary in (fresh, thawed):
+            linked = link([summary])
+            assert fx.WALL_CLOCK in linked.closure["repro.m.top"]
+        assert fresh.to_dict() == thawed.to_dict()

@@ -1,0 +1,110 @@
+"""The per-file summary cache: hit/miss accounting, invalidation, and
+the warm-run cost envelope."""
+
+import json
+import os
+import shutil
+import time
+
+from repro.lint import run_lint
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEEP_FIXTURES = os.path.join(HERE, "fixtures", "deep")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run_case(case_dir, cache_path, **kwargs):
+    return run_lint([case_dir], deep=True, cache_path=cache_path, **kwargs)
+
+
+class TestCacheAccounting:
+    def test_cold_run_misses_everything_warm_run_hits_everything(
+        self, tmp_path
+    ):
+        case = os.path.join(DEEP_FIXTURES, "rpr202")
+        cache = str(tmp_path / "cache" / "summaries.json")
+        cold = run_case(case, cache)
+        assert cold.deep_stats.cache_hits == 0
+        assert cold.deep_stats.cache_misses == cold.deep_stats.files > 0
+        warm = run_case(case, cache)
+        # Acceptance: a second consecutive run re-analyses zero files.
+        assert warm.deep_stats.cache_misses == 0
+        assert warm.deep_stats.cache_hits == warm.deep_stats.files
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+
+    def test_changed_file_is_the_only_miss(self, tmp_path):
+        target = tmp_path / "case"
+        shutil.copytree(os.path.join(DEEP_FIXTURES, "rpr202"), target)
+        cache = str(tmp_path / "summaries.json")
+        run_case(str(target), cache)
+        bad = target / "repro" / "store" / "writer_bad.py"
+        bad.write_text(
+            bad.read_text(encoding="utf-8") + "\n\nX = 1\n",
+            encoding="utf-8",
+        )
+        second = run_case(str(target), cache)
+        assert second.deep_stats.cache_misses == 1
+        assert second.deep_stats.cache_hits == second.deep_stats.files - 1
+
+    def test_corrupt_cache_is_rebuilt_not_fatal(self, tmp_path):
+        case = os.path.join(DEEP_FIXTURES, "rpr203")
+        cache = str(tmp_path / "summaries.json")
+        run_case(case, cache)
+        with open(cache, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        report = run_case(case, cache)
+        assert report.deep_stats.cache_misses == report.deep_stats.files
+        assert {f.rule_id for f in report.findings} == {"RPR203"}
+
+    def test_suppressions_survive_cache_hits(self, tmp_path):
+        """Anchors ride in the summaries, so a warm run still honours
+        in-file suppression comments without re-parsing."""
+        target = tmp_path / "case"
+        shutil.copytree(os.path.join(DEEP_FIXTURES, "rpr204"), target)
+        leaky = target / "repro" / "store" / "leaky.py"
+        source = leaky.read_text(encoding="utf-8")
+        leaky.write_text(
+            source.replace(
+                '    handle = open(path, "r", encoding="utf-8")\n'
+                "    return handle.readline()  # RPR204",
+                '    handle = open(path, "r", encoding="utf-8")'
+                "  # repro-lint: disable=RPR204\n"
+                "    return handle.readline()  # RPR204",
+                1,
+            ),
+            encoding="utf-8",
+        )
+        cache = str(tmp_path / "summaries.json")
+        cold = run_case(str(target), cache)
+        warm = run_case(str(target), cache)
+        assert warm.deep_stats.cache_misses == 0
+        for report in (cold, warm):
+            assert report.ok
+            assert report.suppressed == 1
+
+    def test_cache_file_is_versioned_json(self, tmp_path):
+        case = os.path.join(DEEP_FIXTURES, "rpr205")
+        cache = str(tmp_path / "summaries.json")
+        run_case(case, cache)
+        with open(cache, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert "version" in payload and "code_version" in payload
+        assert payload["files"]
+
+
+class TestWarmRuntime:
+    def test_full_tree_warm_run_stays_inside_the_ci_budget(self, tmp_path):
+        """Acceptance: with a warm cache the deep pass re-analyses zero
+        files and the whole run (read + digest + link + rules) stays
+        well under the CI budget."""
+        cache = str(tmp_path / "summaries.json")
+        run_lint([SRC_REPRO], deep=True, cache_path=cache)
+        start = time.perf_counter()
+        warm = run_lint([SRC_REPRO], deep=True, cache_path=cache)
+        elapsed = time.perf_counter() - start
+        assert warm.deep_stats.cache_misses == 0
+        assert warm.deep_stats.cache_hits == warm.deep_stats.files
+        assert elapsed < 10.0, f"warm deep lint took {elapsed:.2f}s"

@@ -1,0 +1,140 @@
+"""The RPR2xx rules prove themselves against the deep fixture corpora.
+
+Each case directory under ``fixtures/deep/`` is its own miniature
+``repro`` tree, linted separately so module names never collide; the
+bad file fires exactly its rule and every ok sibling stays silent.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.lint import run_lint
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEEP_FIXTURES = os.path.join(HERE, "fixtures", "deep")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+#: case dir -> (rule id, basename of the one file that fires)
+CASES = {
+    "rpr201": ("RPR201", "driver.py"),
+    "rpr202": ("RPR202", "writer_bad.py"),
+    "rpr203": ("RPR203", "store.py"),
+    "rpr204": ("RPR204", "leaky.py"),
+    "rpr205": ("RPR205", "ladder.py"),
+}
+
+
+def deep_case(case):
+    return run_lint(
+        [os.path.join(DEEP_FIXTURES, case)], deep=True, cache_path=None
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestFixtureCorpora:
+    def test_bad_file_fires_exactly_its_rule(self, case):
+        rule_id, filename = CASES[case]
+        report = deep_case(case)
+        hits = [
+            (f.rule_id, os.path.basename(f.path)) for f in report.findings
+        ]
+        assert hits == [(rule_id, filename)]
+
+    def test_fixture_is_shallow_clean(self, case):
+        report = run_lint([os.path.join(DEEP_FIXTURES, case)])
+        assert report.ok, [f.render() for f in report.findings]
+
+
+class TestWitnessQuality:
+    def test_rpr201_reports_the_full_helper_chain(self):
+        (finding,) = deep_case("rpr201").findings
+        # Taint reached only through the two-deep chain:
+        # driver -> stamped -> _with_clock -> _now -> time.time().
+        for hop in ("stamped", "_with_clock", "_now", "time.time"):
+            assert hop in finding.message
+        assert finding.path.endswith(os.path.join("sim", "driver.py"))
+
+    def test_rpr202_names_the_write_line(self):
+        (finding,) = deep_case("rpr202").findings
+        assert "os.fsync" in finding.message
+        assert "write at line" in finding.message
+
+    def test_rpr203_names_the_locked_witness(self):
+        (finding,) = deep_case("rpr203").findings
+        assert "_items" in finding.message
+        assert "add()" in finding.message  # the under-lock witness site
+
+
+class TestDeepSelection:
+    def test_selecting_deep_rule_without_deep_is_config_error(self):
+        from repro.errors import LintConfigError
+
+        with pytest.raises(LintConfigError):
+            run_lint([os.path.join(DEEP_FIXTURES, "rpr202")],
+                     select=["RPR202"])
+
+    def test_select_narrows_deep_run(self):
+        report = run_lint(
+            [DEEP_FIXTURES], deep=True, cache_path=None, select=["RPR202"]
+        )
+        assert {f.rule_id for f in report.findings} == {"RPR202"}
+
+    def test_ignore_subtracts_deep_rule(self):
+        report = run_lint(
+            [os.path.join(DEEP_FIXTURES, "rpr204")],
+            deep=True,
+            cache_path=None,
+            ignore=["RPR204"],
+        )
+        assert report.ok
+
+
+class TestSuppressionAndBaseline:
+    def test_deep_finding_is_suppressible(self, tmp_path):
+        target = tmp_path / "case"
+        shutil.copytree(os.path.join(DEEP_FIXTURES, "rpr202"), target)
+        bad = target / "repro" / "store" / "writer_bad.py"
+        source = bad.read_text(encoding="utf-8")
+        bad.write_text(
+            source.replace(
+                "    os.replace(tmp, path)",
+                "    os.replace(tmp, path)  # repro-lint: disable=RPR202",
+            ),
+            encoding="utf-8",
+        )
+        report = run_lint([str(target)], deep=True, cache_path=None)
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_shallow_baseline_round_trips_under_deep(self, tmp_path):
+        """Satellite: RPR1xx baselines stay valid when --deep is added."""
+        from repro.lint.baseline import Baseline
+
+        fixtures = os.path.join(HERE, "fixtures")
+        shallow = run_lint([fixtures])
+        baseline_path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(shallow.raw_findings).save(baseline_path)
+        deep = run_lint(
+            [fixtures],
+            deep=True,
+            cache_path=None,
+            baseline_path=baseline_path,
+        )
+        # Every shallow finding is baselined away; only RPR2xx remain.
+        assert deep.baselined == len(shallow.raw_findings)
+        assert {f.rule_id for f in deep.findings} == set(
+            rule for rule, _file in CASES.values()
+        )
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_deep_clean(self):
+        """Acceptance: `lint --deep` exits clean with an empty baseline."""
+        report = run_lint([SRC_REPRO], deep=True, cache_path=None)
+        assert report.ok, [f.render() for f in report.findings]
+        assert report.deep_stats is not None
+        assert report.deep_stats.functions > 500
+        assert report.deep_stats.edges > 500

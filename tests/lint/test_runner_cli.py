@@ -15,6 +15,7 @@ from repro.lint import discover_files, module_name_for, run_lint
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
+DEEP_FIXTURES = os.path.join(FIXTURES, "deep")
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
 
@@ -130,3 +131,109 @@ class TestCli:
 
     def test_unknown_rule_is_config_exit(self):
         assert main(["lint", FIXTURES, "--select", "RPR777"]) == 2
+
+
+class TestDeepCli:
+    def test_deep_finds_rpr2xx(self, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr202")
+        assert main(["lint", case, "--deep", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR202" in out and "deep:" in out
+
+    def test_without_deep_the_same_tree_is_clean(self, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr202")
+        assert main(["lint", case]) == 0
+        assert "deep:" not in capsys.readouterr().out
+
+    def test_shipped_tree_is_deep_clean(self, capsys):
+        """Acceptance: `repro-8t lint src/repro --deep` exits 0 with an
+        empty baseline on the shipped tree."""
+        assert main(["lint", SRC_REPRO, "--deep", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out and "deep:" in out
+
+    def test_selecting_deep_rule_without_deep_is_config_exit(self):
+        assert main(["lint", FIXTURES, "--select", "RPR201"]) == 2
+
+    def test_list_rules_shows_the_deep_tier(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR201", "RPR202", "RPR203", "RPR204", "RPR205"):
+            assert rule_id in out
+        assert "deep" in out
+
+    def test_cache_path_flag_writes_the_cache(self, tmp_path, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr204")
+        cache = str(tmp_path / "c" / "summaries.json")
+        main(["lint", case, "--deep", "--cache-path", cache])
+        assert os.path.isfile(cache)
+
+    def test_timing_table_goes_to_stderr(self, tmp_path, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr201")
+        assert main(["lint", case, "--deep", "--no-cache", "--timing"]) == 1
+        captured = capsys.readouterr()
+        assert "rule timing:" in captured.err
+        assert "deep:link" in captured.err
+        assert "rule timing:" not in captured.out
+
+    def test_timing_out_writes_machine_readable_json(self, tmp_path, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr201")
+        out_path = str(tmp_path / "lint-timing.json")
+        main(["lint", case, "--deep", "--no-cache", "--timing-out", out_path])
+        with open(out_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert "deep:summarize" in payload["timings"]
+        assert any(key.startswith("RPR2") for key in payload["timings"])
+        assert payload["deep"]["files"] > 0
+
+    def test_deep_json_format_carries_stats(self, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr203")
+        main(["lint", case, "--deep", "--no-cache", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deep"]["functions"] > 0
+        assert {f["rule"] for f in payload["findings"]} == {"RPR203"}
+
+
+class TestGithubFormat:
+    def test_annotations_one_per_finding(self, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr205")
+        code = main(["lint", case, "--deep", "--no-cache",
+                     "--format", "github"])
+        assert code == 1
+        out = capsys.readouterr().out
+        annotations = [
+            line for line in out.splitlines() if line.startswith("::error ")
+        ]
+        assert len(annotations) == 1
+        (annotation,) = annotations
+        assert "file=" in annotation and "line=" in annotation
+        assert "title=RPR205" in annotation
+
+    def test_escaping_of_newlines_and_properties(self):
+        from repro.lint.finding import Finding, Severity
+        from repro.lint.runner import LintReport
+
+        finding = Finding(
+            rule_id="RPR101",
+            severity=Severity.ERROR,
+            path="src/a,b.py",
+            line=3,
+            column=1,
+            message="bad%thing\nsecond line",
+            snippet="x",
+        )
+        report = LintReport(
+            findings=[finding], files_checked=1, suppressed=0,
+            baselined=0, rules_run=("RPR101",),
+        )
+        rendered = report.render_github()
+        assert "%25" in rendered      # % in data
+        assert "%0A" in rendered      # newline in data
+        assert "a%2Cb.py" in rendered  # comma in the file property
+        assert "\n" not in rendered.splitlines()[0]
+
+    def test_clean_tree_emits_no_annotations(self, capsys):
+        case = os.path.join(DEEP_FIXTURES, "rpr202")
+        assert main(["lint", case, "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out

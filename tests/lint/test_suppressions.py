@@ -57,6 +57,78 @@ def test_suppressed_count_surfaces_in_report(tmp_path):
     assert "suppressed" in report.summary()
 
 
+class TestStatementSpans:
+    """A suppression on the first physical line of a multi-line
+    statement covers every line the statement spans (satellite: the
+    comment lands where the author writes it — on the decorator of a
+    decorated def, on the opening line of a parenthesized call)."""
+
+    def test_parenthesized_call_suppressed_from_opening_line(self):
+        source = (
+            "import random\n"
+            "x = (  # repro-lint: disable=RPR102\n"
+            "    random.random()\n"
+            ")\n"
+        )
+        assert lint_source(source, path="m.py", module="repro.sim.m") == []
+
+    def test_parenthesized_call_unsuppressed_still_fires(self):
+        source = (
+            "import random\n"
+            "x = (\n"
+            "    random.random()\n"
+            ")\n"
+        )
+        findings = lint_source(source, path="m.py", module="repro.sim.m")
+        assert [f.rule_id for f in findings] == ["RPR102"]
+
+    def test_decorated_def_suppressed_from_decorator_line(self):
+        source = (
+            "@staticmethod  # repro-lint: disable=RPR142\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        assert lint_source(source, path="src/repro/m.py") == []
+
+    def test_def_line_comment_still_works_under_decorator(self):
+        source = (
+            "@staticmethod\n"
+            "def f(x=[]):  # repro-lint: disable=RPR142\n"
+            "    return x\n"
+        )
+        assert lint_source(source, path="src/repro/m.py") == []
+
+    def test_sibling_statement_not_covered(self):
+        # The span is the statement, not the block: a suppression on
+        # one statement never bleeds into the next.
+        source = (
+            "import random\n"
+            "x = (  # repro-lint: disable=RPR102\n"
+            "    random.random()\n"
+            ")\n"
+            "y = random.random()\n"
+        )
+        findings = lint_source(source, path="m.py", module="repro.sim.m")
+        assert [(f.rule_id, f.line) for f in findings] == [("RPR102", 5)]
+
+    def test_anchor_map_shape(self):
+        import ast
+
+        from repro.lint.suppressions import statement_anchor_map
+
+        tree = ast.parse(
+            "@deco(\n"     # 1
+            "    1,\n"      # 2
+            ")\n"           # 3
+            "def f():\n"    # 4
+            "    pass\n"    # 5
+        )
+        anchors = statement_anchor_map(tree)
+        # Every spanned line leads back to the decorator's first line.
+        assert anchors[4][0] == 1
+        assert anchors[2][0] == 1
+
+
 def test_index_parsing():
     index = SuppressionIndex.from_lines(
         [
